@@ -1,0 +1,39 @@
+// Weight-layout ablation: CRSN (the paper's coalesced design) vs CNRS.
+//
+// Section 5.2: "by using the CRSN format, the kernel tensor loading will be
+// fully coalesced". This bench quantifies that choice in the simulator —
+// same tiling, both layouts, per Figure-6 shape.
+#include <vector>
+
+#include "bench_util.h"
+#include "core/tdc_model.h"
+#include "nn/models.h"
+
+int main() {
+  using namespace tdc;
+  using namespace tdc::bench;
+
+  for (const DeviceSpec& device : {make_a100(), make_rtx2080ti()}) {
+    print_title("CRSN vs CNRS weight layout for the TDC kernel on " +
+                device.name);
+    std::printf("%-20s %12s %12s %10s\n", "shape", "CRSN (ms)", "CNRS (ms)",
+                "CNRS/CRSN");
+    std::vector<double> ratios;
+    for (const ConvShape& s : figure6_core_shapes()) {
+      const TdcTiling t = select_tiling_oracle(device, s);
+      const double crsn =
+          tdc_core_cost(device, s, t, TdcWeightLayout::kCRSN).total_s;
+      const double cnrs =
+          tdc_core_cost(device, s, t, TdcWeightLayout::kCNRS).total_s;
+      ratios.push_back(cnrs / crsn);
+      std::printf("%-20s %12s %12s %10s\n", shape_label(s).c_str(),
+                  ms(crsn).c_str(), ms(cnrs).c_str(),
+                  ratio(cnrs / crsn).c_str());
+    }
+    print_rule();
+    std::printf("geomean CNRS-over-CRSN: %s — the offline layout conversion "
+                "pays for itself.\n",
+                ratio(geomean(ratios)).c_str());
+  }
+  return 0;
+}

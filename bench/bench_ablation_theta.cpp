@@ -1,0 +1,42 @@
+// Section 6 ablation: the θ skip threshold.
+//
+// θ controls when a layer stays undecomposed because the Tucker pipeline's
+// two extra 1×1 launches would eat the win. The paper fixes θ = 15 %; this
+// ablation sweeps θ and reports how many layers decompose, the achieved
+// FLOPs reduction, and the end-to-end latency on ResNet-18 / A100.
+#include "bench_util.h"
+#include "nn/model_cost.h"
+#include "nn/models.h"
+
+int main() {
+  using namespace tdc;
+  using namespace tdc::bench;
+  const DeviceSpec device = make_a100();
+  const ModelSpec model = make_resnet18();
+
+  print_title("Theta ablation (ResNet-18, A100, budget 65%)");
+  std::printf("%-8s %12s %12s %14s %12s\n", "theta", "decomposed", "FLOPs dn",
+              "e2e TDC (ms)", "speedup");
+  const double original = model_latency_original(device, model);
+  for (const double theta : {0.0, 0.05, 0.15, 0.30, 0.50, 0.80}) {
+    CodesignOptions opts;
+    opts.budget = 0.65;
+    opts.theta = theta;
+    const CodesignResult r = compress_model(device, model, opts);
+    std::int64_t decomposed = 0;
+    for (const auto& dec : r.layers) {
+      decomposed += dec.decomposed;
+    }
+    const double latency = model_latency_compressed(device, model, r,
+                                                    CoreBackend::kTdcModel);
+    std::printf("%-8.2f %12lld %11.1f%% %14s %12s\n", theta,
+                static_cast<long long>(decomposed),
+                r.achieved_flops_reduction() * 100.0, ms(latency).c_str(),
+                ratio(original / latency).c_str());
+  }
+  print_rule();
+  std::printf("Paper uses theta = 0.15; very large theta keeps every layer "
+              "(no compression), theta = 0 decomposes even break-even "
+              "layers.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Future-work extension (paper Section 8): wide CNNs.
+//
+// The paper defers GoogLeNet/NasNet because their stages run several
+// convolutions concurrently and the ranks must be chosen for the concurrent
+// set. This bench exercises the repository's implementation of exactly
+// that: per-module branch planning + a multi-stream concurrency model, on
+// the Inception-v1 inventory.
+#include "bench_util.h"
+#include "nn/inception.h"
+
+int main() {
+  using namespace tdc;
+  using namespace tdc::bench;
+  const DeviceSpec device = make_a100();
+  CodesignOptions opts;
+  opts.budget = 0.4;
+
+  print_title("Extension: GoogLeNet (wide CNN) on A100 — concurrent-branch "
+              "scheduling + Tucker compression (paper future work)");
+  std::printf("%-8s %16s %16s %16s %16s\n", "module", "seq orig (ms)",
+              "conc orig (ms)", "seq TDC (ms)", "conc TDC (ms)");
+
+  const WideModelSpec g = make_googlenet();
+  InceptionModuleCost total;
+  for (const auto& [module, pool_after] : g.modules) {
+    const InceptionModulePlan plan =
+        plan_inception_module(device, module, opts);
+    const InceptionModuleCost cost =
+        price_inception_module(device, module, plan);
+    total.sequential_original_s += cost.sequential_original_s;
+    total.concurrent_original_s += cost.concurrent_original_s;
+    total.sequential_tdc_s += cost.sequential_tdc_s;
+    total.concurrent_tdc_s += cost.concurrent_tdc_s;
+    std::printf("%-8s %16s %16s %16s %16s\n", module.name.c_str(),
+                ms(cost.sequential_original_s).c_str(),
+                ms(cost.concurrent_original_s).c_str(),
+                ms(cost.sequential_tdc_s).c_str(),
+                ms(cost.concurrent_tdc_s).c_str());
+  }
+  print_rule();
+  std::printf("%-8s %16s %16s %16s %16s\n", "total",
+              ms(total.sequential_original_s).c_str(),
+              ms(total.concurrent_original_s).c_str(),
+              ms(total.sequential_tdc_s).c_str(),
+              ms(total.concurrent_tdc_s).c_str());
+
+  const GoogleNetE2e e2e = evaluate_googlenet(device, opts);
+  std::printf("\nEnd-to-end (incl. stem/head/pools): sequential-original "
+              "%s ms, concurrent-original %s ms, concurrent-TDC %s ms\n",
+              ms(e2e.original_sequential_s).c_str(),
+              ms(e2e.original_concurrent_s).c_str(),
+              ms(e2e.tdc_concurrent_s).c_str());
+  std::printf("Speedup from streams alone: %s; streams + TDC compression: "
+              "%s\n",
+              ratio(e2e.original_sequential_s / e2e.original_concurrent_s)
+                  .c_str(),
+              ratio(e2e.original_sequential_s / e2e.tdc_concurrent_s).c_str());
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 6: per-shape kernel comparison on the (simulated) A100.
+#include "kernel_figure.h"
+
+int main() {
+  const tdc::DeviceSpec device = tdc::make_a100();
+  const auto rows = tdc::bench::run_kernel_comparison(device);
+  tdc::bench::print_kernel_comparison(device, rows, "Figure 6");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 7: per-shape kernel comparison on the (simulated) 2080 Ti.
+#include "kernel_figure.h"
+
+int main() {
+  const tdc::DeviceSpec device = tdc::make_rtx2080ti();
+  const auto rows = tdc::bench::run_kernel_comparison(device);
+  tdc::bench::print_kernel_comparison(device, rows, "Figure 7");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 8: end-to-end inference time of the five CNNs on the (simulated)
+// A100, original vs TK-compressed with cuDNN / TVM / TDC core kernels.
+#include "e2e_figure.h"
+
+int main() {
+  tdc::bench::run_e2e_figure(tdc::make_a100(), "Figure 8");
+  return 0;
+}

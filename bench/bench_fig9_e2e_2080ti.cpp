@@ -1,0 +1,8 @@
+// Figure 9: end-to-end inference time of the five CNNs on the (simulated)
+// 2080 Ti, original vs TK-compressed with cuDNN / TVM / TDC core kernels.
+#include "e2e_figure.h"
+
+int main() {
+  tdc::bench::run_e2e_figure(tdc::make_rtx2080ti(), "Figure 9");
+  return 0;
+}

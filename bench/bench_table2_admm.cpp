@@ -1,0 +1,164 @@
+// Table 2: accuracy of direct compression vs ADMM-based compression at an
+// equal FLOPs budget (the paper uses ResNet-20 / CIFAR-10 at 60 % FLOPs
+// reduction; this reproduction trains a width-reduced ResNet-20-style model
+// on the synthetic dataset — substitution documented in DESIGN.md).
+//
+// Three rows, as in the paper:
+//   Baseline            — uncompressed training
+//   Direct Compression  — truncated-HOSVD of the trained baseline + a short
+//                         fine-tune (the paper's "decompose a pre-trained
+//                         model, and then retrain")
+//   ADMM-based          — ADMM-regularized training, then truncation + the
+//                         same fine-tuning budget
+#include <cstdio>
+
+#include "bench_util.h"
+#include "train/admm.h"
+#include "train/trainer.h"
+#include "train/zoo.h"
+#include "tucker/flops.h"
+
+namespace {
+
+using namespace tdc;
+
+constexpr std::uint64_t kSeed = 2023;
+
+SyntheticSpec data_spec() {
+  SyntheticSpec spec;
+  spec.classes = 12;
+  spec.channels = 3;
+  spec.hw = 16;
+  spec.train_size = 768;
+  spec.test_size = 512;
+  spec.noise = 1.8;  // hard enough that lost capacity costs accuracy
+  spec.seed = 17;
+  return spec;
+}
+
+TrainableModel fresh_model(Rng& rng) {
+  MiniResNetSpec spec;
+  spec.input_hw = 16;
+  spec.classes = data_spec().classes;
+  spec.stage_widths = {8, 16, 32};
+  spec.blocks_per_stage = 1;
+  return make_mini_resnet(spec, rng);
+}
+
+// Rank plan at roughly the paper's 60 % FLOPs reduction over the
+// decomposable convolutions.
+std::vector<TuckerRanks> rank_plan(const TrainableModel& model) {
+  std::vector<TuckerRanks> ranks;
+  for (const auto& slot : model.spatial_convs) {
+    const ConvShape& g = slot.conv->geometry();
+    ranks.push_back({std::max<std::int64_t>(2, g.c / 3),
+                     std::max<std::int64_t>(2, g.n / 3)});
+  }
+  return ranks;
+}
+
+double plan_flops_reduction(const TrainableModel& model,
+                            const std::vector<TuckerRanks>& ranks) {
+  double orig = 0.0;
+  double compressed = 0.0;
+  for (std::size_t i = 0; i < model.spatial_convs.size(); ++i) {
+    const ConvShape& g = model.spatial_convs[i].conv->geometry();
+    orig += g.flops();
+    compressed += tucker_flops(g, ranks[i]);
+  }
+  return 1.0 - compressed / orig;
+}
+
+TrainOptions main_schedule() {
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.batch_size = 32;
+  opts.sgd.lr = 0.08;
+  opts.lr_decay = 0.85;
+  return opts;
+}
+
+TrainOptions finetune_schedule() {
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 32;
+  opts.sgd.lr = 0.02;
+  opts.lr_decay = 0.8;
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tdc;
+  using namespace tdc::bench;
+  const SyntheticData data = make_synthetic_data(data_spec());
+
+  print_title(
+      "Table 2: direct training vs ADMM-based compression "
+      "(ResNet-20-style model on the synthetic 12-class task)");
+
+  // --- Baseline; its trained weights also seed the Direct row ---
+  Rng rng_base(kSeed);
+  TrainableModel baseline = fresh_model(rng_base);
+  train_model(baseline.net.get(), data, main_schedule());
+  const double acc_baseline = evaluate_accuracy(baseline.net.get(), data.test);
+
+  // --- Direct compression: truncate the trained baseline, fine-tune ---
+  const std::vector<TuckerRanks> ranks = rank_plan(baseline);
+  const double flops_reduction = plan_flops_reduction(baseline, ranks);
+  tuckerize_model(&baseline, ranks);  // baseline becomes the Direct model
+  const double acc_direct_trunc =
+      evaluate_accuracy(baseline.net.get(), data.test);
+  train_model(baseline.net.get(), data, finetune_schedule());
+  const double acc_direct = evaluate_accuracy(baseline.net.get(), data.test);
+
+  // --- ADMM-based: regularized training, then truncate + fine-tune ---
+  Rng rng_admm(kSeed);
+  TrainableModel admm_model = fresh_model(rng_admm);
+  {
+    TrainOptions warm = main_schedule();
+    warm.epochs = 2;
+    train_model(admm_model.net.get(), data, warm);
+
+    std::vector<AdmmTarget> targets;
+    const std::vector<TuckerRanks> admm_ranks = rank_plan(admm_model);
+    for (std::size_t i = 0; i < admm_model.spatial_convs.size(); ++i) {
+      targets.push_back({admm_model.spatial_convs[i].conv, admm_ranks[i]});
+    }
+    AdmmState admm(targets, {/*rho=*/0.6});
+    TrainOptions reg = main_schedule();
+    reg.epochs = 4;
+    reg.sgd.lr = 0.04;
+    const auto stats = train_model(admm_model.net.get(), data, reg, &admm);
+    std::printf("ADMM primal residual: %.4f (epoch 1) -> %.4f (final)\n",
+                stats.front().admm_residual, stats.back().admm_residual);
+  }
+  tuckerize_model(&admm_model, ranks);
+  const double acc_admm_trunc =
+      evaluate_accuracy(admm_model.net.get(), data.test);
+  train_model(admm_model.net.get(), data, finetune_schedule());
+  const double acc_admm = evaluate_accuracy(admm_model.net.get(), data.test);
+
+  print_rule();
+  std::printf("%-22s %14s %14s %10s\n", "Method", "at truncation",
+              "after tune", "FLOPs dn");
+  std::printf("%-22s %14s %14.2f %10s\n", "Baseline", "-",
+              acc_baseline * 100.0, "N/A");
+  std::printf("%-22s %14.2f %14.2f %9.0f%%\n", "Direct Compression",
+              acc_direct_trunc * 100.0, acc_direct * 100.0,
+              flops_reduction * 100.0);
+  std::printf("%-22s %14.2f %14.2f %9.0f%%\n", "ADMM-based",
+              acc_admm_trunc * 100.0, acc_admm * 100.0,
+              flops_reduction * 100.0);
+  print_rule();
+  std::printf(
+      "Paper (ResNet-20/CIFAR-10): baseline 91.25, direct 87.41, ADMM 91.02 "
+      "at 60%% FLOPs reduction.\n");
+  std::printf("Reproduced ordering: ADMM %s direct (gap %.2f pts), ADMM "
+              "within %.2f pts of baseline.\n",
+              acc_admm >= acc_direct ? ">=" : "<",
+              (acc_admm - acc_direct) * 100.0,
+              (acc_baseline - acc_admm) * 100.0);
+  return 0;
+}

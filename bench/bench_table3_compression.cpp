@@ -1,0 +1,74 @@
+// Table 3: compression bookkeeping of TDC on the five CNNs.
+//
+// The accuracy column of the paper's Table 3 is an ImageNet quantity that
+// cannot be reproduced offline (see DESIGN.md; the accuracy *mechanism* —
+// ADMM vs direct — is reproduced on the synthetic task by
+// bench_table2_admm). What this harness reproduces exactly is the
+// compression side: for each model and the paper's budget, the hardware-
+// aware rank selection and the resulting FLOPs / parameter reductions
+// (Eqs. 5–6), plus the per-layer decomposition decisions.
+#include <map>
+
+#include "bench_util.h"
+#include "nn/model_cost.h"
+#include "nn/models.h"
+
+int main() {
+  using namespace tdc;
+  using namespace tdc::bench;
+  const DeviceSpec device = make_a100();
+
+  const std::map<std::string, double> budgets = {
+      {"resnet18", 0.65}, {"resnet50", 0.60}, {"vgg16", 0.80},
+      {"densenet121", 0.10}, {"densenet201", 0.10}};
+  // Paper Table 3 rows for TDC (Top-1 drop / FLOPs reduction).
+  const std::map<std::string, std::string> paper_rows = {
+      {"resnet18", "Top-1 69.70 (-0.05), FLOPs dn 63%"},
+      {"resnet50", "Top-1 76.42 (+0.29), FLOPs dn 60%"},
+      {"vgg16", "Top-1 71.62 (+0.03), FLOPs dn 80%"},
+      {"densenet121", "Top-1 76.33 (+1.90), FLOPs dn 10%"},
+      {"densenet201", "Top-1 76.92 (+0.04), FLOPs dn 10%"}};
+
+  print_title("Table 3 (compression columns): hardware-aware rank selection "
+              "at the paper's budgets (A100 latency tables)");
+  std::printf("%-13s %6s %12s %12s %10s %10s   %s\n", "model", "B",
+              "conv GFLOPs", "after", "FLOPs dn", "params dn",
+              "decomposed layers");
+  for (const ModelSpec& model : paper_models()) {
+    CodesignOptions opts;
+    opts.budget = budgets.at(model.name);
+    const CodesignResult r = compress_model(device, model, opts);
+
+    double orig_params = 0.0;
+    double new_params = 0.0;
+    std::int64_t decomposed = 0;
+    std::int64_t decomposable = 0;
+    for (const auto& dec : r.layers) {
+      orig_params += dec.shape.params();
+      if (dec.decomposed) {
+        new_params += tucker_params(dec.shape, dec.ranks);
+        ++decomposed;
+      } else {
+        new_params += dec.shape.params();
+      }
+      decomposable += (dec.shape.r > 1 || dec.shape.s > 1);
+    }
+    std::printf(
+        "%-13s %5.0f%% %12.2f %12.2f %9.1f%% %9.1f%%   %lld of %lld spatial\n",
+        model.name.c_str(), opts.budget * 100.0,
+        r.total_original_flops / 1e9, r.total_chosen_flops / 1e9,
+        r.achieved_flops_reduction() * 100.0,
+        (1.0 - new_params / orig_params) * 100.0,
+        static_cast<long long>(decomposed),
+        static_cast<long long>(decomposable));
+  }
+  print_rule();
+  std::printf("Paper Table 3 (TDC rows, ImageNet accuracy not reproducible "
+              "offline):\n");
+  for (const auto& [name, row] : paper_rows) {
+    std::printf("  %-13s %s\n", name.c_str(), row.c_str());
+  }
+  std::printf("\nAccuracy mechanism (ADMM >= direct at equal budget) is "
+              "reproduced by bench_table2_admm on the synthetic task.\n");
+  return 0;
+}

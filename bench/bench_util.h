@@ -1,0 +1,59 @@
+// Shared table-printing and experiment helpers for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure from the paper and
+// prints it in a fixed-width layout with the paper's row/series structure,
+// so the output can be compared against the publication side by side
+// (EXPERIMENTS.md records that comparison).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "conv/conv_shape.h"
+
+namespace tdc::bench {
+
+inline void print_rule(int width = 118) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+inline std::string shape_label(const ConvShape& s) {
+  return "(" + std::to_string(s.c) + "," + std::to_string(s.n) + "," +
+         std::to_string(s.h) + "," + std::to_string(s.w) + ")";
+}
+
+/// ms with 4 decimals, matching the paper's figure axes.
+inline std::string ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", seconds * 1e3);
+  return buf;
+}
+
+inline std::string ratio(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", x);
+  return buf;
+}
+
+/// Geometric mean of a vector of positive ratios.
+inline double geomean(const std::vector<double>& xs) {
+  double log_sum = 0.0;
+  for (const double x : xs) {
+    log_sum += std::log(x);
+  }
+  return xs.empty() ? 0.0 : std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace tdc::bench

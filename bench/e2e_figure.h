@@ -1,0 +1,54 @@
+// Shared implementation of the Figure 8/9 end-to-end inference comparison.
+//
+// Five bars per model, as in the paper: Original (cuDNN everywhere),
+// TK-compressed cuDNN, TK-compressed TVM, TK-compressed TDC-ORACLE, and
+// TK-compressed TDC-MODEL. Budgets follow Section 7.2: 65 % (ResNet-18),
+// 60 % (ResNet-50), 80 % (VGG-16), 10 % (DenseNet-121/201).
+#pragma once
+
+#include <map>
+
+#include "bench_util.h"
+#include "nn/model_cost.h"
+#include "nn/models.h"
+
+namespace tdc::bench {
+
+inline double model_budget(const std::string& name) {
+  static const std::map<std::string, double> budgets = {
+      {"densenet121", 0.10}, {"densenet201", 0.10}, {"resnet18", 0.65},
+      {"resnet50", 0.60},    {"vgg16", 0.80},
+  };
+  return budgets.at(name);
+}
+
+inline void run_e2e_figure(const DeviceSpec& device, const char* figure_name) {
+  print_title(std::string(figure_name) + ": end-to-end inference on " +
+              device.name + " (simulated latency, ms; budgets per paper §7.2)");
+  std::printf("%-13s %6s %10s %10s %10s %12s %12s   %s\n", "model", "B",
+              "Original", "TK-cuDNN", "TK-TVM", "TK-TDC-ORA", "TK-TDC-MOD",
+              "speedups (orig/tdc, cudnn/tdc, tvm/tdc)");
+  for (const ModelSpec& model : paper_models()) {
+    CodesignOptions opts;
+    opts.budget = model_budget(model.name);
+    const E2eRow row = evaluate_model_e2e(device, model, opts);
+    std::printf(
+        "%-13s %5.0f%% %10s %10s %10s %12s %12s   %s %s %s (flops -%4.1f%%)\n",
+        row.model.c_str(), opts.budget * 100.0, ms(row.original_s).c_str(),
+        ms(row.tk_cudnn_s).c_str(), ms(row.tk_tvm_s).c_str(),
+        ms(row.tk_tdc_oracle_s).c_str(), ms(row.tk_tdc_model_s).c_str(),
+        ratio(row.original_s / row.tk_tdc_oracle_s).c_str(),
+        ratio(row.tk_cudnn_s / row.tk_tdc_oracle_s).c_str(),
+        ratio(row.tk_tvm_s / row.tk_tdc_oracle_s).c_str(),
+        row.flops_reduction * 100.0);
+  }
+  print_rule();
+  std::printf(
+      "Paper (%s): TDC vs original cuDNN up to %s; vs TK-cuDNN %s; vs TK-TVM %s.\n",
+      device.name.c_str(),
+      device.name == "A100" ? "3.27x (resnet18)" : "7.3x (resnet18)",
+      device.name == "A100" ? "1.26-2.21x" : "1.38-3.71x",
+      device.name == "A100" ? "1.02-1.12x" : "1.09-1.91x");
+}
+
+}  // namespace tdc::bench

@@ -1,0 +1,88 @@
+// Shared implementation of the Figure 6/7 per-shape kernel comparison.
+//
+// For each of the 18 core-convolution shapes the paper plots, this prints
+// the simulated latency of: cuDNN-FFT, cuDNN-WINOGRAD, cuDNN-GEMM, the
+// TVM-style scheme (auto-tuned), TDC with oracle tiling, and TDC with the
+// analytical tiling model — then the average speedups the paper quotes in
+// Section 7.3.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/tdc_model.h"
+#include "core/tvm_scheme.h"
+#include "gpusim/library_cost.h"
+#include "nn/models.h"
+
+namespace tdc::bench {
+
+struct KernelRow {
+  ConvShape shape;
+  double fft = 0.0;
+  double winograd = 0.0;
+  double gemm = 0.0;
+  double tvm = 0.0;
+  double tdc_oracle = 0.0;
+  double tdc_model = 0.0;
+};
+
+inline std::vector<KernelRow> run_kernel_comparison(const DeviceSpec& device) {
+  std::vector<KernelRow> rows;
+  for (const ConvShape& s : figure6_core_shapes()) {
+    KernelRow r;
+    r.shape = s;
+    r.fft = cudnn_fft_cost(device, s).total_s;
+    r.winograd = cudnn_winograd_cost(device, s).total_s;
+    r.gemm = cudnn_implicit_gemm_cost(device, s).total_s;
+    r.tvm = tvm_best_cost(device, s).total_s;
+    r.tdc_oracle = tdc_core_cost(device, s, select_tiling_oracle(device, s)).total_s;
+    r.tdc_model = tdc_core_cost(device, s, select_tiling_model(device, s)).total_s;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+inline void print_kernel_comparison(const DeviceSpec& device,
+                                    const std::vector<KernelRow>& rows,
+                                    const char* figure_name) {
+  print_title(std::string(figure_name) +
+              ": core-convolution kernel comparison on " + device.name +
+              " (simulated latency, ms)");
+  std::printf("%-20s %12s %12s %12s %12s %12s %12s\n", "shape (C,N,H,W)",
+              "cuDNN-FFT", "cuDNN-WINO", "cuDNN-GEMM", "TVM", "TDC-ORACLE",
+              "TDC-MODEL");
+  std::vector<double> v_fft, v_wino, v_gemm, v_tvm, v_model_vs_oracle;
+  for (const auto& r : rows) {
+    std::printf("%-20s %12s %12s %12s %12s %12s %12s\n",
+                shape_label(r.shape).c_str(), ms(r.fft).c_str(),
+                ms(r.winograd).c_str(), ms(r.gemm).c_str(), ms(r.tvm).c_str(),
+                ms(r.tdc_oracle).c_str(), ms(r.tdc_model).c_str());
+    v_fft.push_back(r.fft / r.tdc_oracle);
+    v_wino.push_back(r.winograd / r.tdc_oracle);
+    v_gemm.push_back(r.gemm / r.tdc_oracle);
+    v_tvm.push_back(r.tvm / r.tdc_oracle);
+    v_model_vs_oracle.push_back(r.tdc_model / r.tdc_oracle);
+  }
+  print_rule();
+  std::printf("TDC-ORACLE average speedup:  %s over cuDNN-FFT, %s over "
+              "cuDNN-WINOGRAD, %s over cuDNN-GEMM, %s over TVM\n",
+              ratio(geomean(v_fft)).c_str(), ratio(geomean(v_wino)).c_str(),
+              ratio(geomean(v_gemm)).c_str(), ratio(geomean(v_tvm)).c_str());
+  std::vector<double> v_fft_m, v_wino_m, v_gemm_m, v_tvm_m;
+  for (const auto& r : rows) {
+    v_fft_m.push_back(r.fft / r.tdc_model);
+    v_wino_m.push_back(r.winograd / r.tdc_model);
+    v_gemm_m.push_back(r.gemm / r.tdc_model);
+    v_tvm_m.push_back(r.tvm / r.tdc_model);
+  }
+  std::printf("TDC-MODEL  average speedup:  %s over cuDNN-FFT, %s over "
+              "cuDNN-WINOGRAD, %s over cuDNN-GEMM, %s over TVM\n",
+              ratio(geomean(v_fft_m)).c_str(), ratio(geomean(v_wino_m)).c_str(),
+              ratio(geomean(v_gemm_m)).c_str(), ratio(geomean(v_tvm_m)).c_str());
+  std::printf("TDC-MODEL vs TDC-ORACLE overhead: %s (paper reports ~1.25x)\n",
+              ratio(geomean(v_model_vs_oracle)).c_str());
+}
+
+}  // namespace tdc::bench

@@ -1,0 +1,95 @@
+// ADMM-based Tucker compression of a small CNN (paper Section 4.1).
+//
+//   $ ./build/examples/admm_compression
+//
+// Trains a small residual CNN on the synthetic classification task, imposes
+// low-Tucker-rank structure with the ADMM loop (K-update / K̂-update /
+// M-update), then performs the actual model surgery: every spatial
+// convolution is replaced by its 1×1 → core → 1×1 pipeline, and the
+// compressed network is fine-tuned. Prints the per-epoch ADMM residual so
+// the convergence of the rank constraint is visible.
+#include <cstdio>
+
+#include "train/admm.h"
+#include "train/trainer.h"
+#include "train/zoo.h"
+#include "tucker/flops.h"
+
+int main() {
+  using namespace tdc;
+
+  SyntheticSpec dspec;
+  dspec.classes = 8;
+  dspec.channels = 3;
+  dspec.hw = 16;
+  dspec.train_size = 768;
+  dspec.test_size = 384;
+  dspec.noise = 0.9;
+  const SyntheticData data = make_synthetic_data(dspec);
+
+  Rng rng(7);
+  MiniResNetSpec mspec;
+  mspec.input_hw = 16;
+  mspec.classes = dspec.classes;
+  mspec.stage_widths = {8, 16, 32};
+  TrainableModel model = make_mini_resnet(mspec, rng);
+
+  std::printf("== ADMM Tucker compression ==\n\n");
+  std::printf("Model: %zu spatial convolutions, %.2f MFLOPs/sample\n",
+              model.spatial_convs.size(), model_forward_flops(model) / 1e6);
+
+  // Phase 1: plain training.
+  TrainOptions warm;
+  warm.epochs = 3;
+  warm.batch_size = 32;
+  warm.sgd.lr = 0.08;
+  warm.verbose = true;
+  std::printf("\n[1/3] warm-up training\n");
+  train_model(model.net.get(), data, warm);
+
+  // Phase 2: ADMM-regularized training toward per-layer ranks (C/2, N/2).
+  std::vector<AdmmTarget> targets;
+  std::vector<TuckerRanks> ranks;
+  for (const auto& slot : model.spatial_convs) {
+    const ConvShape& g = slot.conv->geometry();
+    const TuckerRanks r{std::max<std::int64_t>(2, g.c / 2),
+                        std::max<std::int64_t>(2, g.n / 2)};
+    targets.push_back({slot.conv, r});
+    ranks.push_back(r);
+  }
+  AdmmState admm(targets, {/*rho=*/0.6});
+  TrainOptions reg;
+  reg.epochs = 5;
+  reg.batch_size = 32;
+  reg.sgd.lr = 0.04;
+  reg.verbose = true;
+  std::printf("\n[2/3] ADMM-regularized training (watch the residual fall)\n");
+  train_model(model.net.get(), data, reg, &admm);
+
+  // Phase 3: surgery + fine-tune.
+  const double flops_before = model_forward_flops(model);
+  const double acc_before = evaluate_accuracy(model.net.get(), data.test);
+  tuckerize_model(&model, ranks);
+  const double flops_after = model_forward_flops(model);
+  const double acc_at_truncation = evaluate_accuracy(model.net.get(), data.test);
+
+  TrainOptions tune;
+  tune.epochs = 2;
+  tune.batch_size = 32;
+  tune.sgd.lr = 0.02;
+  tune.verbose = true;
+  std::printf("\n[3/3] fine-tuning the Tucker-format model\n");
+  train_model(model.net.get(), data, tune);
+  const double acc_final = evaluate_accuracy(model.net.get(), data.test);
+
+  std::printf("\nResults:\n");
+  std::printf("  FLOPs/sample       : %.2f M -> %.2f M (%.1f%% reduction)\n",
+              flops_before / 1e6, flops_after / 1e6,
+              (1.0 - flops_after / flops_before) * 100.0);
+  std::printf("  accuracy before surgery  : %.2f%%\n", acc_before * 100.0);
+  std::printf("  accuracy at truncation   : %.2f%% (ADMM made the kernels "
+              "near-low-rank)\n",
+              acc_at_truncation * 100.0);
+  std::printf("  accuracy after fine-tune : %.2f%%\n", acc_final * 100.0);
+  return 0;
+}

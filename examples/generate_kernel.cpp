@@ -1,0 +1,31 @@
+// CUDA code generation for a deployable TDC core kernel (Section 5 + the
+// artifact's code-generator role).
+//
+//   $ ./build/examples/generate_kernel [C] [N] [HW] [device]
+//
+// Picks the tiling for the requested core-convolution shape with the
+// analytical model, emits the specialized .cu source to stdout, and prints
+// the predicted launch geometry. Redirect to a file and compile with nvcc
+// on a CUDA machine:
+//   $ ./build/examples/generate_kernel 32 32 28 a100 > tdc_core_32x32.cu
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/codegen.h"
+#include "core/tdc_model.h"
+
+int main(int argc, char** argv) {
+  using namespace tdc;
+  const std::int64_t c = argc > 1 ? std::atoll(argv[1]) : 32;
+  const std::int64_t n = argc > 2 ? std::atoll(argv[2]) : 32;
+  const std::int64_t hw = argc > 3 ? std::atoll(argv[3]) : 28;
+  const std::string device_name = argc > 4 ? argv[4] : "a100";
+
+  const DeviceSpec device = device_by_name(device_name);
+  const ConvShape shape = ConvShape::same(c, n, hw, 3);
+  const TdcTiling tiling = select_tiling_model(device, shape);
+
+  std::fputs(generate_cuda_source(device, shape, tiling).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "autograd/batchnorm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tdc {
+
+BatchNorm2d::BatchNorm2d(std::string name, std::int64_t channels, double eps,
+                         double momentum)
+    : name_(std::move(name)),
+      channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(name_ + ".gamma", Tensor::full({channels}, 1.0f)),
+      beta_(name_ + ".beta", Tensor({channels})),
+      running_mean_({channels}),
+      running_var_(Tensor::full({channels}, 1.0f)) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  TDC_CHECK_MSG(x.rank() == 4 && x.dim(1) == channels_,
+                "BatchNorm2d input mismatch");
+  const std::int64_t b = x.dim(0), c = x.dim(1);
+  const std::int64_t plane = x.dim(2) * x.dim(3);
+  const double count = static_cast<double>(b * plane);
+
+  Tensor y(x.dims());
+  cached_xhat_ = Tensor(x.dims());
+  cached_inv_std_.assign(static_cast<std::size_t>(c), 0.0);
+
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    double mean;
+    double var;
+    if (train) {
+      double sum = 0.0, sq = 0.0;
+      for (std::int64_t bi = 0; bi < b; ++bi) {
+        const float* src = x.raw() + (bi * c + ci) * plane;
+        for (std::int64_t i = 0; i < plane; ++i) {
+          sum += src[i];
+          sq += static_cast<double>(src[i]) * src[i];
+        }
+      }
+      mean = sum / count;
+      var = std::max(0.0, sq / count - mean * mean);
+      running_mean_(ci) = static_cast<float>(
+          (1.0 - momentum_) * running_mean_(ci) + momentum_ * mean);
+      running_var_(ci) = static_cast<float>(
+          (1.0 - momentum_) * running_var_(ci) + momentum_ * var);
+    } else {
+      mean = running_mean_(ci);
+      var = running_var_(ci);
+    }
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    cached_inv_std_[static_cast<std::size_t>(ci)] = inv_std;
+    const float g = gamma_.value(ci);
+    const float bt = beta_.value(ci);
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      const float* src = x.raw() + (bi * c + ci) * plane;
+      float* xh = cached_xhat_.raw() + (bi * c + ci) * plane;
+      float* dst = y.raw() + (bi * c + ci) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        const float norm = static_cast<float>((src[i] - mean) * inv_std);
+        xh[i] = norm;
+        dst[i] = g * norm + bt;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  TDC_CHECK_MSG(!cached_xhat_.empty(), "backward before forward");
+  const std::int64_t b = grad_out.dim(0), c = grad_out.dim(1);
+  const std::int64_t plane = grad_out.dim(2) * grad_out.dim(3);
+  const double count = static_cast<double>(b * plane);
+
+  Tensor grad_in(grad_out.dims());
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    // Standard BN backward: dL/dx = γ·inv_std/count ·
+    //   (count·dY − Σ dY − x̂ · Σ (dY·x̂))
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      const float* gy = grad_out.raw() + (bi * c + ci) * plane;
+      const float* xh = cached_xhat_.raw() + (bi * c + ci) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        sum_dy += gy[i];
+        sum_dy_xhat += static_cast<double>(gy[i]) * xh[i];
+      }
+    }
+    gamma_.grad(ci) += static_cast<float>(sum_dy_xhat);
+    beta_.grad(ci) += static_cast<float>(sum_dy);
+
+    const double g = gamma_.value(ci);
+    const double inv_std = cached_inv_std_[static_cast<std::size_t>(ci)];
+    const double scale = g * inv_std / count;
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      const float* gy = grad_out.raw() + (bi * c + ci) * plane;
+      const float* xh = cached_xhat_.raw() + (bi * c + ci) * plane;
+      float* gx = grad_in.raw() + (bi * c + ci) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        gx[i] = static_cast<float>(
+            scale * (count * gy[i] - sum_dy - xh[i] * sum_dy_xhat));
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+}  // namespace tdc

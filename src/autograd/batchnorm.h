@@ -1,0 +1,33 @@
+// 2-D batch normalization (per-channel over B, H, W).
+#pragma once
+
+#include "autograd/layer.h"
+
+namespace tdc {
+
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(std::string name, std::int64_t channels, double eps = 1e-5,
+              double momentum = 0.1);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::int64_t channels_;
+  double eps_;
+  double momentum_;
+  Param gamma_;  // [C]
+  Param beta_;   // [C]
+  Tensor running_mean_;  // [C]
+  Tensor running_var_;   // [C]
+
+  // Backward caches (training mode).
+  Tensor cached_xhat_;
+  std::vector<double> cached_inv_std_;
+};
+
+}  // namespace tdc

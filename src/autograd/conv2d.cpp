@@ -1,0 +1,204 @@
+#include "autograd/conv2d.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "conv/conv.h"
+#include "linalg/gemm.h"
+
+namespace tdc {
+
+namespace {
+
+// Weight matrix A[N, C·R·S] in the row order im2col produces.
+Tensor kernel_matrix(const Tensor& kernel_cnrs, const ConvShape& g) {
+  Tensor a({g.n, g.c * g.r * g.s});
+  for (std::int64_t c = 0; c < g.c; ++c) {
+    for (std::int64_t n = 0; n < g.n; ++n) {
+      for (std::int64_t r = 0; r < g.r; ++r) {
+        for (std::int64_t s = 0; s < g.s; ++s) {
+          a(n, (c * g.r + r) * g.s + s) = kernel_cnrs(c, n, r, s);
+        }
+      }
+    }
+  }
+  return a;
+}
+
+// Scatter the [C·R·S, OH·OW] column-gradient matrix back onto an image.
+void col2im_accumulate(const Tensor& cols, const ConvShape& g, Tensor* image) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  for (std::int64_t c = 0; c < g.c; ++c) {
+    for (std::int64_t r = 0; r < g.r; ++r) {
+      for (std::int64_t s = 0; s < g.s; ++s) {
+        const std::int64_t row = (c * g.r + r) * g.s + s;
+        for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
+          const std::int64_t ih = o_h * g.stride_h - g.pad_h + r;
+          if (ih < 0 || ih >= g.h) {
+            continue;
+          }
+          for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+            const std::int64_t iw = o_w * g.stride_w - g.pad_w + s;
+            if (iw < 0 || iw >= g.w) {
+              continue;
+            }
+            (*image)(c, ih, iw) += cols(row, o_h * ow + o_w);
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor slice_sample(const Tensor& batch, std::int64_t b,
+                    std::vector<std::int64_t> dims) {
+  Tensor out(std::move(dims));
+  const std::int64_t n = out.numel();
+  const float* src = batch.raw() + b * n;
+  std::copy(src, src + n, out.raw());
+  return out;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::string name, const ConvShape& geometry, Rng& rng,
+               bool with_bias)
+    : name_(std::move(name)),
+      geometry_(geometry),
+      kernel_(name_ + ".kernel",
+              Tensor::random_normal(
+                  {geometry.c, geometry.n, geometry.r, geometry.s}, rng, 0.0f,
+                  // He initialization for ReLU networks.
+                  static_cast<float>(std::sqrt(
+                      2.0 / (static_cast<double>(geometry.c) *
+                             static_cast<double>(geometry.r * geometry.s)))))) {
+  TDC_CHECK_MSG(geometry.valid(), "invalid conv geometry");
+  if (with_bias) {
+    bias_.emplace(name_ + ".bias", Tensor({geometry.n}));
+  }
+}
+
+Conv2d::Conv2d(std::string name, const ConvShape& geometry, Tensor kernel_cnrs,
+               std::optional<Tensor> bias)
+    : name_(std::move(name)),
+      geometry_(geometry),
+      kernel_(name_ + ".kernel", std::move(kernel_cnrs)) {
+  TDC_CHECK_MSG(kernel_.value.rank() == 4 &&
+                    kernel_.value.dim(0) == geometry.c &&
+                    kernel_.value.dim(1) == geometry.n &&
+                    kernel_.value.dim(2) == geometry.r &&
+                    kernel_.value.dim(3) == geometry.s,
+                "kernel tensor does not match geometry");
+  if (bias.has_value()) {
+    TDC_CHECK(bias->rank() == 1 && bias->dim(0) == geometry.n);
+    bias_.emplace(name_ + ".bias", std::move(*bias));
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  TDC_CHECK_MSG(x.rank() == 4, "Conv2d expects [B,C,H,W]");
+  TDC_CHECK_MSG(x.dim(1) == geometry_.c && x.dim(2) == geometry_.h &&
+                    x.dim(3) == geometry_.w,
+                "Conv2d input mismatch: got " + x.shape_string() +
+                    " for " + geometry_.to_string());
+  cached_input_ = x;
+  const std::int64_t batch = x.dim(0);
+  const std::int64_t oh = geometry_.out_h();
+  const std::int64_t ow = geometry_.out_w();
+  const Tensor a = kernel_matrix(kernel_.value, geometry_);
+  Tensor y({batch, geometry_.n, oh, ow});
+
+#ifdef TDC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const Tensor xb =
+        slice_sample(x, b, {geometry_.c, geometry_.h, geometry_.w});
+    const Tensor cols = im2col(xb, geometry_);
+    Tensor yb({geometry_.n, oh, ow});
+    gemm(geometry_.n, oh * ow, geometry_.c * geometry_.r * geometry_.s,
+         a.data(), cols.data(), yb.data());
+    float* dst = y.raw() + b * yb.numel();
+    if (bias_.has_value()) {
+      for (std::int64_t n = 0; n < geometry_.n; ++n) {
+        const float bv = bias_->value(n);
+        for (std::int64_t i = 0; i < oh * ow; ++i) {
+          dst[n * oh * ow + i] = yb[n * oh * ow + i] + bv;
+        }
+      }
+    } else {
+      std::copy(yb.raw(), yb.raw() + yb.numel(), dst);
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  TDC_CHECK_MSG(!cached_input_.empty(), "backward before forward");
+  const std::int64_t batch = cached_input_.dim(0);
+  const std::int64_t oh = geometry_.out_h();
+  const std::int64_t ow = geometry_.out_w();
+  const std::int64_t k = geometry_.c * geometry_.r * geometry_.s;
+  TDC_CHECK_MSG(grad_out.rank() == 4 && grad_out.dim(0) == batch &&
+                    grad_out.dim(1) == geometry_.n &&
+                    grad_out.dim(2) == oh && grad_out.dim(3) == ow,
+                "grad_out shape mismatch");
+
+  const Tensor a = kernel_matrix(kernel_.value, geometry_);
+  Tensor grad_a({geometry_.n, k});
+  Tensor grad_in(cached_input_.dims());
+
+  // Parallel over the batch with per-thread dA accumulation would need
+  // reductions; the batch sizes here are small, so keep the dA accumulation
+  // serial per sample and parallelize inside the GEMMs instead.
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const Tensor xb = slice_sample(cached_input_, b,
+                                   {geometry_.c, geometry_.h, geometry_.w});
+    const Tensor cols = im2col(xb, geometry_);
+    Tensor gyb = slice_sample(grad_out, b, {geometry_.n, oh * ow});
+
+    // dA += dY · cols^T
+    gemm_bt(geometry_.n, k, oh * ow, gyb.data(), cols.data(), grad_a.data(),
+            1.0f, 1.0f);
+    // dcols = A^T · dY
+    Tensor dcols({k, oh * ow});
+    gemm_at(k, oh * ow, geometry_.n, a.data(), gyb.data(), dcols.data());
+    Tensor gxb({geometry_.c, geometry_.h, geometry_.w});
+    col2im_accumulate(dcols, geometry_, &gxb);
+    std::copy(gxb.raw(), gxb.raw() + gxb.numel(), grad_in.raw() + b * gxb.numel());
+
+    if (bias_.has_value()) {
+      for (std::int64_t n = 0; n < geometry_.n; ++n) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < oh * ow; ++i) {
+          acc += gyb[n * oh * ow + i];
+        }
+        bias_->grad(n) += static_cast<float>(acc);
+      }
+    }
+  }
+
+  // Fold dA back into the CNRS kernel gradient.
+  for (std::int64_t c = 0; c < geometry_.c; ++c) {
+    for (std::int64_t n = 0; n < geometry_.n; ++n) {
+      for (std::int64_t r = 0; r < geometry_.r; ++r) {
+        for (std::int64_t s = 0; s < geometry_.s; ++s) {
+          kernel_.grad(c, n, r, s) +=
+              grad_a(n, (c * geometry_.r + r) * geometry_.s + s);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> out = {&kernel_};
+  if (bias_.has_value()) {
+    out.push_back(&*bias_);
+  }
+  return out;
+}
+
+}  // namespace tdc

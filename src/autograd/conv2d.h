@@ -1,0 +1,45 @@
+// Trainable 2-D convolution (batched, NCHW activations, CNRS weights).
+//
+// Weights are stored in the paper's CNRS order so the ADMM loop can hand the
+// kernel tensor straight to tucker_decompose / tucker_project without
+// re-layouting. Forward/backward use im2col + GEMM.
+#pragma once
+
+#include <optional>
+
+#include "autograd/layer.h"
+#include "conv/conv_shape.h"
+
+namespace tdc {
+
+class Conv2d : public Layer {
+ public:
+  /// `geometry` describes a single-sample problem; the batch dimension comes
+  /// from the input tensor. Bias is per output channel.
+  Conv2d(std::string name, const ConvShape& geometry, Rng& rng,
+         bool with_bias = true);
+
+  /// Construct with explicit weights (e.g. Tucker factors turned into
+  /// pointwise/core convolutions).
+  Conv2d(std::string name, const ConvShape& geometry, Tensor kernel_cnrs,
+         std::optional<Tensor> bias);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return name_; }
+
+  const ConvShape& geometry() const { return geometry_; }
+  /// The CNRS kernel parameter (the ADMM loop reads and regularizes this).
+  Param& kernel() { return kernel_; }
+  const Param& kernel() const { return kernel_; }
+
+ private:
+  std::string name_;
+  ConvShape geometry_;
+  Param kernel_;                 // [C, N, R, S]
+  std::optional<Param> bias_;    // [N]
+  Tensor cached_input_;          // [B, C, H, W] for backward
+};
+
+}  // namespace tdc

@@ -1,0 +1,99 @@
+// Minimal reverse-mode layer framework for the training substrate.
+//
+// The ADMM compression experiments (paper Section 4.1, Table 2) need full
+// backpropagation through small CNNs. Layers own their parameters and cache
+// whatever activations their backward pass needs; a model is a tree of
+// layers rooted in a Sequential. This is deliberately a static-graph,
+// layer-object design (not a tape) — the models involved are small and the
+// ADMM loop needs direct access to convolution kernels as tensors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+/// A trainable tensor with its gradient and momentum buffers.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  Tensor momentum;
+
+  explicit Param(std::string n, Tensor v)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(value.dims()),
+        momentum(value.dims()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; `train` toggles batch-stat collection (BatchNorm).
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Backward pass: consumes dL/d(output), accumulates parameter gradients,
+  /// returns dL/d(input). Must be called after forward on the same input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Parameters of this layer (and sub-layers), for the optimizer.
+  virtual std::vector<Param*> params() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Sequential container; owns its sub-layers.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& x, bool train) override {
+    Tensor cur = x;
+    for (auto& l : layers_) {
+      cur = l->forward(cur, train);
+    }
+    return cur;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    Tensor cur = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      cur = (*it)->backward(cur);
+    }
+    return cur;
+  }
+
+  std::vector<Param*> params() override {
+    std::vector<Param*> out;
+    for (auto& l : layers_) {
+      for (Param* p : l->params()) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  std::string name() const override { return name_; }
+  std::size_t size() const { return layers_.size(); }
+  Layer* at(std::size_t i) { return layers_[i].get(); }
+  /// Replace the i-th sub-layer (model surgery for Tucker compression).
+  void replace(std::size_t i, std::unique_ptr<Layer> layer) {
+    layers_[i] = std::move(layer);
+  }
+
+ private:
+  std::string name_ = "sequential";
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace tdc

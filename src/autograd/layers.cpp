@@ -1,0 +1,124 @@
+#include "autograd/layers.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tdc {
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  mask_ = Tensor(x.dims());
+  Tensor y(x.dims());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  TDC_CHECK_MSG(grad_out.same_shape(mask_), "ReLU backward shape mismatch");
+  Tensor g(grad_out.dims());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * mask_[i];
+  }
+  return g;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  cached_dims_ = x.dims();
+  return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_dims_);
+}
+
+Tensor MaxPool2x2::forward(const Tensor& x, bool /*train*/) {
+  TDC_CHECK_MSG(x.rank() == 4, "MaxPool2x2 expects [B,C,H,W]");
+  TDC_CHECK_MSG(x.dim(2) % 2 == 0 && x.dim(3) % 2 == 0,
+                "MaxPool2x2 requires even spatial dims");
+  cached_dims_ = x.dims();
+  const std::int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor y({b, c, h / 2, w / 2});
+  argmax_ = Tensor({b, c, h / 2, w / 2});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      for (std::int64_t oh = 0; oh < h / 2; ++oh) {
+        for (std::int64_t ow = 0; ow < w / 2; ++ow) {
+          float best = x(bi, ci, oh * 2, ow * 2);
+          std::int64_t best_idx = (oh * 2) * w + ow * 2;
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const float v = x(bi, ci, oh * 2 + dy, ow * 2 + dx);
+              if (v > best) {
+                best = v;
+                best_idx = (oh * 2 + dy) * w + (ow * 2 + dx);
+              }
+            }
+          }
+          y(bi, ci, oh, ow) = best;
+          argmax_(bi, ci, oh, ow) = static_cast<float>(best_idx);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2x2::backward(const Tensor& grad_out) {
+  Tensor g(cached_dims_);
+  const std::int64_t b = cached_dims_[0], c = cached_dims_[1],
+                     h = cached_dims_[2], w = cached_dims_[3];
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      for (std::int64_t oh = 0; oh < h / 2; ++oh) {
+        for (std::int64_t ow = 0; ow < w / 2; ++ow) {
+          const auto idx =
+              static_cast<std::int64_t>(argmax_(bi, ci, oh, ow));
+          g[((bi * c + ci) * h * w) + idx] += grad_out(bi, ci, oh, ow);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+  TDC_CHECK_MSG(x.rank() == 4, "GlobalAvgPool expects [B,C,H,W]");
+  cached_dims_ = x.dims();
+  const std::int64_t b = x.dim(0), c = x.dim(1);
+  const std::int64_t plane = x.dim(2) * x.dim(3);
+  Tensor y({b, c});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      double acc = 0.0;
+      const float* src = x.raw() + (bi * c + ci) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        acc += src[i];
+      }
+      y(bi, ci) = static_cast<float>(acc / static_cast<double>(plane));
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const std::int64_t b = cached_dims_[0], c = cached_dims_[1];
+  const std::int64_t plane = cached_dims_[2] * cached_dims_[3];
+  Tensor g(cached_dims_);
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float v =
+          grad_out(bi, ci) / static_cast<float>(plane);
+      float* dst = g.raw() + (bi * c + ci) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        dst[i] = v;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace tdc

@@ -1,0 +1,60 @@
+// Small stateless layers: ReLU, Flatten, pooling.
+#pragma once
+
+#include "autograd/layer.h"
+
+namespace tdc {
+
+class ReLU : public Layer {
+ public:
+  explicit ReLU(std::string name = "relu") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor mask_;
+};
+
+/// [B, C, H, W] -> [B, C·H·W].
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name = "flatten") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::int64_t> cached_dims_;
+};
+
+/// 2×2 max pooling, stride 2 (even spatial dims required).
+class MaxPool2x2 : public Layer {
+ public:
+  explicit MaxPool2x2(std::string name = "maxpool") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Tensor argmax_;  // flat input index of each pooled maximum
+  std::vector<std::int64_t> cached_dims_;
+};
+
+/// Global average pooling: [B, C, H, W] -> [B, C].
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name = "gap") : name_(std::move(name)) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::int64_t> cached_dims_;
+};
+
+}  // namespace tdc

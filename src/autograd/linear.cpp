@@ -1,0 +1,60 @@
+#include "autograd/linear.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/gemm.h"
+
+namespace tdc {
+
+Linear::Linear(std::string name, std::int64_t in_features,
+               std::int64_t out_features, Rng& rng)
+    : name_(std::move(name)),
+      in_(in_features),
+      out_(out_features),
+      weight_(name_ + ".weight",
+              Tensor::random_normal(
+                  {out_features, in_features}, rng, 0.0f,
+                  static_cast<float>(std::sqrt(2.0 / in_features)))),
+      bias_(name_ + ".bias", Tensor({out_features})) {}
+
+Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+  TDC_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
+                "Linear expects [B, in]; got " + x.shape_string());
+  cached_input_ = x;
+  const std::int64_t batch = x.dim(0);
+  Tensor y({batch, out_});
+  // Y[B, out] = X[B, in] · W^T[in, out]
+  gemm_bt(batch, out_, in_, x.data(), weight_.value.data(), y.data());
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t o = 0; o < out_; ++o) {
+      y(b, o) += bias_.value(o);
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  TDC_CHECK_MSG(!cached_input_.empty(), "backward before forward");
+  const std::int64_t batch = cached_input_.dim(0);
+  TDC_CHECK(grad_out.rank() == 2 && grad_out.dim(0) == batch &&
+            grad_out.dim(1) == out_);
+
+  // dW += dY^T · X
+  gemm_at(out_, in_, batch, grad_out.data(), cached_input_.data(),
+          weight_.grad.data(), 1.0f, 1.0f);
+  // db += column sums of dY
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t o = 0; o < out_; ++o) {
+      bias_.grad(o) += grad_out(b, o);
+    }
+  }
+  // dX = dY · W
+  Tensor grad_in({batch, in_});
+  gemm(batch, in_, out_, grad_out.data(), weight_.value.data(), grad_in.data());
+  return grad_in;
+}
+
+std::vector<Param*> Linear::params() { return {&weight_, &bias_}; }
+
+}  // namespace tdc

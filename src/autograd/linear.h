@@ -1,0 +1,27 @@
+// Trainable fully-connected layer.
+#pragma once
+
+#include "autograd/layer.h"
+
+namespace tdc {
+
+class Linear : public Layer {
+ public:
+  Linear(std::string name, std::int64_t in_features, std::int64_t out_features,
+         Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::int64_t in_ = 0;
+  std::int64_t out_ = 0;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor cached_input_;  // [B, in]
+};
+
+}  // namespace tdc

@@ -1,0 +1,54 @@
+#include "autograd/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tdc {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  TDC_CHECK_MSG(logits.rank() == 2, "logits must be [B, K]");
+  const std::int64_t b = logits.dim(0);
+  const std::int64_t k = logits.dim(1);
+  TDC_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == b,
+                "label count mismatch");
+
+  LossResult out;
+  out.grad = Tensor({b, k});
+  double total = 0.0;
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const std::int64_t label = labels[static_cast<std::size_t>(bi)];
+    TDC_CHECK_MSG(label >= 0 && label < k, "label out of range");
+    // Numerically stable log-softmax.
+    double max_logit = logits(bi, 0);
+    std::int64_t argmax = 0;
+    for (std::int64_t ki = 1; ki < k; ++ki) {
+      if (logits(bi, ki) > max_logit) {
+        max_logit = logits(bi, ki);
+        argmax = ki;
+      }
+    }
+    double denom = 0.0;
+    for (std::int64_t ki = 0; ki < k; ++ki) {
+      denom += std::exp(static_cast<double>(logits(bi, ki)) - max_logit);
+    }
+    const double log_denom = std::log(denom);
+    total -= (static_cast<double>(logits(bi, label)) - max_logit - log_denom);
+    if (argmax == label) {
+      ++out.correct;
+    }
+    const double inv_b = 1.0 / static_cast<double>(b);
+    for (std::int64_t ki = 0; ki < k; ++ki) {
+      const double p =
+          std::exp(static_cast<double>(logits(bi, ki)) - max_logit - log_denom);
+      out.grad(bi, ki) =
+          static_cast<float>((p - (ki == label ? 1.0 : 0.0)) * inv_b);
+    }
+  }
+  out.loss = total / static_cast<double>(b);
+  return out;
+}
+
+}  // namespace tdc

@@ -1,0 +1,21 @@
+// Softmax cross-entropy loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+struct LossResult {
+  double loss = 0.0;   ///< mean cross-entropy over the batch
+  Tensor grad;         ///< dL/dlogits, [B, K]
+  std::int64_t correct = 0;  ///< argmax hits (for accuracy bookkeeping)
+};
+
+/// logits: [B, K]; labels: B class indices in [0, K).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+}  // namespace tdc

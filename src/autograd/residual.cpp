@@ -1,0 +1,57 @@
+#include "autograd/residual.h"
+
+#include "common/check.h"
+
+namespace tdc {
+
+ResidualBlock::ResidualBlock(std::string name, std::unique_ptr<Layer> main,
+                             std::unique_ptr<Layer> shortcut)
+    : name_(std::move(name)),
+      main_(std::move(main)),
+      shortcut_(std::move(shortcut)) {
+  TDC_CHECK_MSG(main_ != nullptr, "residual block needs a main path");
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool train) {
+  Tensor main_out = main_->forward(x, train);
+  Tensor skip = shortcut_ ? shortcut_->forward(x, train) : x;
+  TDC_CHECK_MSG(main_out.same_shape(skip),
+                "residual paths disagree: " + main_out.shape_string() +
+                    " vs " + skip.shape_string());
+  Tensor y(main_out.dims());
+  relu_mask_ = Tensor(main_out.dims());
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const float v = main_out[i] + skip[i];
+    const bool pos = v > 0.0f;
+    relu_mask_[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? v : 0.0f;
+  }
+  return y;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  TDC_CHECK_MSG(!relu_mask_.empty(), "backward before forward");
+  Tensor g(grad_out.dims());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * relu_mask_[i];
+  }
+  Tensor grad_in = main_->backward(g);
+  if (shortcut_) {
+    grad_in.add_(shortcut_->backward(g));
+  } else {
+    grad_in.add_(g);
+  }
+  return grad_in;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> out = main_->params();
+  if (shortcut_) {
+    for (Param* p : shortcut_->params()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace tdc

@@ -1,0 +1,32 @@
+// Residual block: y = relu(main(x) + shortcut(x)).
+//
+// The shortcut is the identity when null; otherwise a projection path
+// (1×1 conv + BN, as in ResNet downsampling blocks).
+#pragma once
+
+#include "autograd/layer.h"
+
+namespace tdc {
+
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::string name, std::unique_ptr<Layer> main,
+                std::unique_ptr<Layer> shortcut /* may be null */);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return name_; }
+
+  Layer* main() { return main_.get(); }
+  /// Null for identity shortcuts.
+  Layer* shortcut() { return shortcut_.get(); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<Layer> main_;
+  std::unique_ptr<Layer> shortcut_;
+  Tensor relu_mask_;
+};
+
+}  // namespace tdc

@@ -1,0 +1,17 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace tdc::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "TDC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace tdc::detail

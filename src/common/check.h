@@ -1,0 +1,38 @@
+// Lightweight runtime-contract checking used across the library.
+//
+// TDC_CHECK is always on (it guards API contracts such as shape agreement);
+// violations throw tdc::Error so callers and tests can observe them without
+// aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tdc {
+
+/// Exception thrown on any violated library precondition or invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace tdc
+
+#define TDC_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::tdc::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                  \
+  } while (0)
+
+#define TDC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::tdc::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (0)

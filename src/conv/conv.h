@@ -1,0 +1,56 @@
+// Convolution algorithms (single image, CHW activations, CNRS kernels).
+//
+// These implement the baselines the paper compares against:
+//   conv2d_im2col   — stand-in for cuDNN IMPLICIT_GEMM
+//   conv2d_winograd — stand-in for cuDNN WINOGRAD (F(2×2, 3×3))
+//   conv2d_fft      — stand-in for cuDNN FFT
+// plus the exact reference used as the correctness oracle for every other
+// kernel in the repository (including the TDC core kernel in src/core).
+//
+// All functions compute cross-correlation (the CNN convention):
+//   Y(n, oh, ow) = Σ_{c,r,s} X(c, oh·stride − pad + r, ow·stride − pad + s) · K(c,n,r,s)
+#pragma once
+
+#include "conv/conv_shape.h"
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+/// Identifiers for dispatching a core-convolution implementation.
+enum class ConvAlgo { kReference, kIm2col, kWinograd, kFft };
+
+const char* conv_algo_name(ConvAlgo algo);
+
+/// Exact direct convolution; the correctness oracle. X is [C, H, W],
+/// kernel is CNRS [C, N, R, S]; returns [N, H', W'].
+Tensor conv2d_reference(const Tensor& x, const Tensor& kernel_cnrs,
+                        const ConvShape& shape);
+
+/// im2col + GEMM convolution.
+Tensor conv2d_im2col(const Tensor& x, const Tensor& kernel_cnrs,
+                     const ConvShape& shape);
+
+/// Winograd F(2×2, 3×3). Requires r == s == 3 and stride 1 (throws otherwise).
+Tensor conv2d_winograd(const Tensor& x, const Tensor& kernel_cnrs,
+                       const ConvShape& shape);
+
+/// FFT convolution (frequency-domain channel accumulation). Requires
+/// stride 1 (throws otherwise); any filter size.
+Tensor conv2d_fft(const Tensor& x, const Tensor& kernel_cnrs,
+                  const ConvShape& shape);
+
+/// Dispatch by algorithm id. Algorithms with shape restrictions throw on
+/// unsupported shapes; use conv_algo_supports to pre-check.
+Tensor conv2d(ConvAlgo algo, const Tensor& x, const Tensor& kernel_cnrs,
+              const ConvShape& shape);
+
+/// Whether `algo` supports `shape` (Winograd: 3×3 stride-1; FFT: stride-1).
+bool conv_algo_supports(ConvAlgo algo, const ConvShape& shape);
+
+/// Zero-pad a CHW image by (pad_h, pad_w) on each border.
+Tensor pad_chw(const Tensor& x, std::int64_t pad_h, std::int64_t pad_w);
+
+/// im2col buffer: [C·R·S, H'·W'] patch matrix for the given problem.
+Tensor im2col(const Tensor& x, const ConvShape& shape);
+
+}  // namespace tdc

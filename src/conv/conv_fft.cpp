@@ -1,0 +1,89 @@
+// FFT convolution — the cuDNN FFT stand-in.
+//
+// Cross-correlation via the correlation theorem: with the image and each
+// filter zero-padded to a common power-of-two plane P_h×P_w,
+//   corr(x, k)(o) = IFFT( FFT(x) · conj(FFT(k)) )(o)   for o ≤ P − R,
+// so the valid outputs are wrap-free as long as P_h ≥ H and P_w ≥ W. Channel
+// accumulation happens in the frequency domain: one forward transform per
+// input channel, one multiply–accumulate per (c, n) pair, one inverse
+// transform per output channel. The padded-plane overhead on small images is
+// the very effect that makes cuDNN-FFT the slowest baseline in the paper.
+#include <complex>
+#include <vector>
+
+#include "common/check.h"
+#include "conv/conv.h"
+#include "fft/fft.h"
+
+namespace tdc {
+
+Tensor conv2d_fft(const Tensor& x, const Tensor& kernel_cnrs,
+                  const ConvShape& shape) {
+  TDC_CHECK_MSG(conv_algo_supports(ConvAlgo::kFft, shape),
+                "fft conv requires stride 1: " + shape.to_string());
+  TDC_CHECK_MSG(x.rank() == 3 && kernel_cnrs.rank() == 4, "bad operand ranks");
+
+  const Tensor xp = pad_chw(x, shape.pad_h, shape.pad_w);
+  const std::int64_t h = xp.dim(1);
+  const std::int64_t w = xp.dim(2);
+  const std::int64_t oh = shape.out_h();
+  const std::int64_t ow = shape.out_w();
+  const std::int64_t fh = next_pow2(h);
+  const std::int64_t fw = next_pow2(w);
+  const std::int64_t plane = fh * fw;
+
+  using Cpx = std::complex<double>;
+
+  // Forward transforms of all input channels.
+  std::vector<std::vector<Cpx>> fx(static_cast<std::size_t>(shape.c));
+#ifdef TDC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t c = 0; c < shape.c; ++c) {
+    auto& buf = fx[static_cast<std::size_t>(c)];
+    buf.assign(static_cast<std::size_t>(plane), Cpx{});
+    for (std::int64_t i = 0; i < h; ++i) {
+      for (std::int64_t j = 0; j < w; ++j) {
+        buf[static_cast<std::size_t>(i * fw + j)] =
+            Cpx(static_cast<double>(xp(c, i, j)), 0.0);
+      }
+    }
+    fft2d_inplace(buf, fh, fw, /*inverse=*/false);
+  }
+
+  Tensor y({shape.n, oh, ow});
+
+#ifdef TDC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t n = 0; n < shape.n; ++n) {
+    std::vector<Cpx> acc(static_cast<std::size_t>(plane), Cpx{});
+    std::vector<Cpx> fk(static_cast<std::size_t>(plane));
+    for (std::int64_t c = 0; c < shape.c; ++c) {
+      std::fill(fk.begin(), fk.end(), Cpx{});
+      for (std::int64_t r = 0; r < shape.r; ++r) {
+        for (std::int64_t s = 0; s < shape.s; ++s) {
+          fk[static_cast<std::size_t>(r * fw + s)] =
+              Cpx(static_cast<double>(kernel_cnrs(c, n, r, s)), 0.0);
+        }
+      }
+      fft2d_inplace(fk, fh, fw, /*inverse=*/false);
+      const auto& fxc = fx[static_cast<std::size_t>(c)];
+      for (std::int64_t i = 0; i < plane; ++i) {
+        acc[static_cast<std::size_t>(i)] +=
+            fxc[static_cast<std::size_t>(i)] *
+            std::conj(fk[static_cast<std::size_t>(i)]);
+      }
+    }
+    fft2d_inplace(acc, fh, fw, /*inverse=*/true);
+    for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
+      for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+        y(n, o_h, o_w) = static_cast<float>(
+            acc[static_cast<std::size_t>(o_h * fw + o_w)].real());
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace tdc

@@ -1,0 +1,56 @@
+#include "common/check.h"
+#include "conv/conv.h"
+#include "linalg/gemm.h"
+
+namespace tdc {
+
+Tensor im2col(const Tensor& x, const ConvShape& shape) {
+  TDC_CHECK_MSG(x.rank() == 3, "im2col expects [C,H,W]");
+  const std::int64_t oh = shape.out_h();
+  const std::int64_t ow = shape.out_w();
+  Tensor cols({shape.c * shape.r * shape.s, oh * ow});
+  for (std::int64_t c = 0; c < shape.c; ++c) {
+    for (std::int64_t r = 0; r < shape.r; ++r) {
+      for (std::int64_t s = 0; s < shape.s; ++s) {
+        const std::int64_t row = (c * shape.r + r) * shape.s + s;
+        for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
+          const std::int64_t ih = o_h * shape.stride_h - shape.pad_h + r;
+          for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+            const std::int64_t iw = o_w * shape.stride_w - shape.pad_w + s;
+            const bool inside = ih >= 0 && ih < shape.h && iw >= 0 && iw < shape.w;
+            cols(row, o_h * ow + o_w) = inside ? x(c, ih, iw) : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor conv2d_im2col(const Tensor& x, const Tensor& kernel_cnrs,
+                     const ConvShape& shape) {
+  TDC_CHECK_MSG(kernel_cnrs.rank() == 4, "kernel must be [C,N,R,S]");
+  const std::int64_t oh = shape.out_h();
+  const std::int64_t ow = shape.out_w();
+
+  // Weight matrix A: [N, C·R·S] with the same (c, r, s) row flattening that
+  // im2col uses for its patch rows.
+  Tensor a({shape.n, shape.c * shape.r * shape.s});
+  for (std::int64_t c = 0; c < shape.c; ++c) {
+    for (std::int64_t n = 0; n < shape.n; ++n) {
+      for (std::int64_t r = 0; r < shape.r; ++r) {
+        for (std::int64_t s = 0; s < shape.s; ++s) {
+          a(n, (c * shape.r + r) * shape.s + s) = kernel_cnrs(c, n, r, s);
+        }
+      }
+    }
+  }
+
+  const Tensor cols = im2col(x, shape);
+  Tensor y({shape.n, oh, ow});
+  gemm(shape.n, oh * ow, shape.c * shape.r * shape.s, a.data(), cols.data(),
+       y.data());
+  return y;
+}
+
+}  // namespace tdc

@@ -1,0 +1,125 @@
+#include "common/check.h"
+#include "conv/conv.h"
+
+namespace tdc {
+
+const char* conv_algo_name(ConvAlgo algo) {
+  switch (algo) {
+    case ConvAlgo::kReference:
+      return "reference";
+    case ConvAlgo::kIm2col:
+      return "im2col-gemm";
+    case ConvAlgo::kWinograd:
+      return "winograd";
+    case ConvAlgo::kFft:
+      return "fft";
+  }
+  return "unknown";
+}
+
+bool conv_algo_supports(ConvAlgo algo, const ConvShape& shape) {
+  switch (algo) {
+    case ConvAlgo::kReference:
+    case ConvAlgo::kIm2col:
+      return shape.valid();
+    case ConvAlgo::kWinograd:
+      return shape.valid() && shape.r == 3 && shape.s == 3 &&
+             shape.stride_h == 1 && shape.stride_w == 1;
+    case ConvAlgo::kFft:
+      return shape.valid() && shape.stride_h == 1 && shape.stride_w == 1;
+  }
+  return false;
+}
+
+Tensor conv2d(ConvAlgo algo, const Tensor& x, const Tensor& kernel_cnrs,
+              const ConvShape& shape) {
+  switch (algo) {
+    case ConvAlgo::kReference:
+      return conv2d_reference(x, kernel_cnrs, shape);
+    case ConvAlgo::kIm2col:
+      return conv2d_im2col(x, kernel_cnrs, shape);
+    case ConvAlgo::kWinograd:
+      return conv2d_winograd(x, kernel_cnrs, shape);
+    case ConvAlgo::kFft:
+      return conv2d_fft(x, kernel_cnrs, shape);
+  }
+  TDC_CHECK_MSG(false, "unknown convolution algorithm");
+}
+
+Tensor pad_chw(const Tensor& x, std::int64_t pad_h, std::int64_t pad_w) {
+  TDC_CHECK_MSG(x.rank() == 3, "pad_chw expects [C,H,W]");
+  TDC_CHECK(pad_h >= 0 && pad_w >= 0);
+  if (pad_h == 0 && pad_w == 0) {
+    return x;
+  }
+  const std::int64_t c = x.dim(0);
+  const std::int64_t h = x.dim(1);
+  const std::int64_t w = x.dim(2);
+  Tensor out({c, h + 2 * pad_h, w + 2 * pad_w});
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    for (std::int64_t hi = 0; hi < h; ++hi) {
+      for (std::int64_t wi = 0; wi < w; ++wi) {
+        out(ci, hi + pad_h, wi + pad_w) = x(ci, hi, wi);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void check_conv_inputs(const Tensor& x, const Tensor& kernel_cnrs,
+                       const ConvShape& shape) {
+  TDC_CHECK_MSG(shape.valid(), "invalid convolution shape " + shape.to_string());
+  TDC_CHECK_MSG(shape.batch == 1,
+                "functional convolutions are single-image; batched shapes "
+                "are for the cost models");
+  TDC_CHECK_MSG(x.rank() == 3, "input must be [C,H,W]");
+  TDC_CHECK_MSG(kernel_cnrs.rank() == 4, "kernel must be [C,N,R,S]");
+  TDC_CHECK_MSG(x.dim(0) == shape.c && x.dim(1) == shape.h && x.dim(2) == shape.w,
+                "input tensor does not match shape descriptor");
+  TDC_CHECK_MSG(kernel_cnrs.dim(0) == shape.c && kernel_cnrs.dim(1) == shape.n &&
+                    kernel_cnrs.dim(2) == shape.r && kernel_cnrs.dim(3) == shape.s,
+                "kernel tensor does not match shape descriptor");
+}
+
+}  // namespace
+
+Tensor conv2d_reference(const Tensor& x, const Tensor& kernel_cnrs,
+                        const ConvShape& shape) {
+  check_conv_inputs(x, kernel_cnrs, shape);
+  const std::int64_t oh = shape.out_h();
+  const std::int64_t ow = shape.out_w();
+  Tensor y({shape.n, oh, ow});
+
+#ifdef TDC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t n = 0; n < shape.n; ++n) {
+    for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
+      for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+        double acc = 0.0;
+        for (std::int64_t c = 0; c < shape.c; ++c) {
+          for (std::int64_t r = 0; r < shape.r; ++r) {
+            const std::int64_t ih = o_h * shape.stride_h - shape.pad_h + r;
+            if (ih < 0 || ih >= shape.h) {
+              continue;
+            }
+            for (std::int64_t s = 0; s < shape.s; ++s) {
+              const std::int64_t iw = o_w * shape.stride_w - shape.pad_w + s;
+              if (iw < 0 || iw >= shape.w) {
+                continue;
+              }
+              acc += static_cast<double>(x(c, ih, iw)) *
+                     static_cast<double>(kernel_cnrs(c, n, r, s));
+            }
+          }
+        }
+        y(n, o_h, o_w) = static_cast<float>(acc);
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace tdc

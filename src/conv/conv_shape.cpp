@@ -1,0 +1,24 @@
+#include "conv/conv_shape.h"
+
+#include <sstream>
+
+namespace tdc {
+
+std::string ConvShape::to_string() const {
+  std::ostringstream os;
+  os << "(C=" << c << ", N=" << n << ", H=" << h << ", W=" << w << ", R=" << r
+     << ", S=" << s;
+  if (pad_h != 0 || pad_w != 0) {
+    os << ", pad=" << pad_h << "x" << pad_w;
+  }
+  if (stride_h != 1 || stride_w != 1) {
+    os << ", stride=" << stride_h << "x" << stride_w;
+  }
+  if (batch != 1) {
+    os << ", batch=" << batch;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tdc

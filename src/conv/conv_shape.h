@@ -1,0 +1,99 @@
+// Convolution problem descriptor.
+//
+// The paper's notation (Table 1): C input channels, N output channels,
+// H×W input image, R×S filter. Batch size is 1 throughout the paper's
+// evaluation; the substrate supports padding and stride for the full model
+// inventories (7×7/2 stems, strided stage transitions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tdc {
+
+struct ConvShape {
+  std::int64_t c = 1;       ///< input channels
+  std::int64_t n = 1;       ///< output channels
+  std::int64_t h = 1;       ///< input height
+  std::int64_t w = 1;       ///< input width
+  std::int64_t r = 1;       ///< filter height
+  std::int64_t s = 1;       ///< filter width
+  std::int64_t pad_h = 0;   ///< zero padding (both sides), vertical
+  std::int64_t pad_w = 0;   ///< zero padding (both sides), horizontal
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  /// Inference batch. The paper evaluates batch 1 throughout; the cost
+  /// models accept larger batches for the batch-sensitivity extension
+  /// (bench_extension_batch). Functional executors remain single-image.
+  std::int64_t batch = 1;
+
+  std::int64_t out_h() const {
+    return (h + 2 * pad_h - r) / stride_h + 1;
+  }
+  std::int64_t out_w() const {
+    return (w + 2 * pad_w - s) / stride_w + 1;
+  }
+
+  /// Multiply–add count ×2 (the usual FLOPs convention), whole batch.
+  double flops() const {
+    return 2.0 * static_cast<double>(batch) * static_cast<double>(out_h()) *
+           static_cast<double>(out_w()) * static_cast<double>(n) *
+           static_cast<double>(c) * static_cast<double>(r) *
+           static_cast<double>(s);
+  }
+
+  /// Weight parameter count (no bias).
+  double params() const {
+    return static_cast<double>(c) * static_cast<double>(n) *
+           static_cast<double>(r) * static_cast<double>(s);
+  }
+
+  bool valid() const {
+    return c >= 1 && n >= 1 && h >= 1 && w >= 1 && r >= 1 && s >= 1 &&
+           batch >= 1 && pad_h >= 0 && pad_w >= 0 && stride_h >= 1 &&
+           stride_w >= 1 && h + 2 * pad_h >= r && w + 2 * pad_w >= s;
+  }
+
+  /// Copy with a different batch size.
+  ConvShape with_batch(std::int64_t b) const {
+    ConvShape out = *this;
+    out.batch = b;
+    return out;
+  }
+
+  std::string to_string() const;
+
+  /// "Same"-style helper: square filter k×k, stride st, padding k/2.
+  static ConvShape same(std::int64_t c, std::int64_t n, std::int64_t hw,
+                        std::int64_t k, std::int64_t st = 1) {
+    ConvShape cs;
+    cs.c = c;
+    cs.n = n;
+    cs.h = hw;
+    cs.w = hw;
+    cs.r = k;
+    cs.s = k;
+    cs.pad_h = k / 2;
+    cs.pad_w = k / 2;
+    cs.stride_h = st;
+    cs.stride_w = st;
+    return cs;
+  }
+
+  /// Valid (unpadded, stride-1) convolution as in the paper's equations.
+  static ConvShape valid_conv(std::int64_t c, std::int64_t n, std::int64_t h,
+                              std::int64_t w, std::int64_t r, std::int64_t s) {
+    ConvShape cs;
+    cs.c = c;
+    cs.n = n;
+    cs.h = h;
+    cs.w = w;
+    cs.r = r;
+    cs.s = s;
+    return cs;
+  }
+
+  bool operator==(const ConvShape&) const = default;
+};
+
+}  // namespace tdc

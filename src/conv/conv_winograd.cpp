@@ -1,0 +1,161 @@
+// Winograd F(2×2, 3×3) convolution — the cuDNN WINOGRAD stand-in.
+//
+// Standard minimal-filtering formulation (Lavin & Gray, 2016):
+//   Y_tile = A^T [ (G g G^T) ⊙ (B^T d B) ] A
+// with 4×4 input tiles d, 3×3 filters g, 2×2 output tiles, and the classic
+// constant matrices B, G, A. Channel accumulation happens in the transform
+// domain, which is where the arithmetic saving (2.25× fewer multiplies)
+// comes from.
+#include <array>
+
+#include "common/check.h"
+#include "conv/conv.h"
+
+namespace tdc {
+
+namespace {
+
+using Tile4 = std::array<std::array<double, 4>, 4>;
+
+// B^T d B for a 4×4 data tile.
+Tile4 input_transform(const Tile4& d) {
+  // B^T = [1  0 -1  0; 0  1  1  0; 0 -1  1  0; 0  1  0 -1]
+  Tile4 t{};  // t = B^T d
+  for (int j = 0; j < 4; ++j) {
+    t[0][j] = d[0][j] - d[2][j];
+    t[1][j] = d[1][j] + d[2][j];
+    t[2][j] = d[2][j] - d[1][j];
+    t[3][j] = d[1][j] - d[3][j];
+  }
+  Tile4 u{};  // u = t B
+  for (int i = 0; i < 4; ++i) {
+    u[i][0] = t[i][0] - t[i][2];
+    u[i][1] = t[i][1] + t[i][2];
+    u[i][2] = t[i][2] - t[i][1];
+    u[i][3] = t[i][1] - t[i][3];
+  }
+  return u;
+}
+
+// G g G^T for a 3×3 filter.
+Tile4 filter_transform(const std::array<std::array<double, 3>, 3>& g) {
+  // G = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
+  std::array<std::array<double, 3>, 4> t{};  // t = G g
+  for (int j = 0; j < 3; ++j) {
+    t[0][j] = g[0][j];
+    t[1][j] = 0.5 * (g[0][j] + g[1][j] + g[2][j]);
+    t[2][j] = 0.5 * (g[0][j] - g[1][j] + g[2][j]);
+    t[3][j] = g[2][j];
+  }
+  Tile4 u{};  // u = t G^T
+  for (int i = 0; i < 4; ++i) {
+    u[i][0] = t[i][0];
+    u[i][1] = 0.5 * (t[i][0] + t[i][1] + t[i][2]);
+    u[i][2] = 0.5 * (t[i][0] - t[i][1] + t[i][2]);
+    u[i][3] = t[i][2];
+  }
+  return u;
+}
+
+// A^T m A for the accumulated 4×4 transform-domain tile -> 2×2 output.
+std::array<std::array<double, 2>, 2> output_transform(const Tile4& m) {
+  // A^T = [1 1 1 0; 0 1 -1 -1]
+  std::array<std::array<double, 4>, 2> t{};  // t = A^T m
+  for (int j = 0; j < 4; ++j) {
+    t[0][j] = m[0][j] + m[1][j] + m[2][j];
+    t[1][j] = m[1][j] - m[2][j] - m[3][j];
+  }
+  std::array<std::array<double, 2>, 2> y{};
+  for (int i = 0; i < 2; ++i) {
+    y[i][0] = t[i][0] + t[i][1] + t[i][2];
+    y[i][1] = t[i][1] - t[i][2] - t[i][3];
+  }
+  return y;
+}
+
+}  // namespace
+
+Tensor conv2d_winograd(const Tensor& x, const Tensor& kernel_cnrs,
+                       const ConvShape& shape) {
+  TDC_CHECK_MSG(conv_algo_supports(ConvAlgo::kWinograd, shape),
+                "winograd requires a 3x3 stride-1 problem: " + shape.to_string());
+  TDC_CHECK_MSG(x.rank() == 3 && kernel_cnrs.rank() == 4, "bad operand ranks");
+
+  const std::int64_t oh = shape.out_h();
+  const std::int64_t ow = shape.out_w();
+  const Tensor xp = pad_chw(x, shape.pad_h, shape.pad_w);
+  const std::int64_t ph = xp.dim(1);
+  const std::int64_t pw = xp.dim(2);
+
+  // Tile counts over the output plane (2×2 outputs per tile).
+  const std::int64_t tiles_h = (oh + 1) / 2;
+  const std::int64_t tiles_w = (ow + 1) / 2;
+
+  // Precompute all filter transforms: [C, N] tiles of 4×4.
+  std::vector<Tile4> uk(static_cast<std::size_t>(shape.c * shape.n));
+  for (std::int64_t c = 0; c < shape.c; ++c) {
+    for (std::int64_t n = 0; n < shape.n; ++n) {
+      std::array<std::array<double, 3>, 3> g{};
+      for (int r = 0; r < 3; ++r) {
+        for (int s = 0; s < 3; ++s) {
+          g[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)] =
+              static_cast<double>(kernel_cnrs(c, n, r, s));
+        }
+      }
+      uk[static_cast<std::size_t>(c * shape.n + n)] = filter_transform(g);
+    }
+  }
+
+  Tensor y({shape.n, oh, ow});
+
+#ifdef TDC_HAVE_OPENMP
+#pragma omp parallel for collapse(2) schedule(static)
+#endif
+  for (std::int64_t th = 0; th < tiles_h; ++th) {
+    for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
+      // Transform the C input tiles for this spatial position once.
+      std::vector<Tile4> ux(static_cast<std::size_t>(shape.c));
+      for (std::int64_t c = 0; c < shape.c; ++c) {
+        Tile4 d{};
+        for (int i = 0; i < 4; ++i) {
+          for (int j = 0; j < 4; ++j) {
+            const std::int64_t ih = th * 2 + i;
+            const std::int64_t iw = tw * 2 + j;
+            d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                (ih < ph && iw < pw) ? static_cast<double>(xp(c, ih, iw)) : 0.0;
+          }
+        }
+        ux[static_cast<std::size_t>(c)] = input_transform(d);
+      }
+
+      for (std::int64_t n = 0; n < shape.n; ++n) {
+        Tile4 m{};
+        for (std::int64_t c = 0; c < shape.c; ++c) {
+          const Tile4& a = ux[static_cast<std::size_t>(c)];
+          const Tile4& b = uk[static_cast<std::size_t>(c * shape.n + n)];
+          for (int i = 0; i < 4; ++i) {
+            for (int j = 0; j < 4; ++j) {
+              m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+                  a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+                  b[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+            }
+          }
+        }
+        const auto out = output_transform(m);
+        for (int i = 0; i < 2; ++i) {
+          for (int j = 0; j < 2; ++j) {
+            const std::int64_t o_h = th * 2 + i;
+            const std::int64_t o_w = tw * 2 + j;
+            if (o_h < oh && o_w < ow) {
+              y(n, o_h, o_w) = static_cast<float>(
+                  out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+            }
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace tdc

@@ -1,0 +1,20 @@
+#include "conv/pointwise.h"
+
+#include "common/check.h"
+#include "linalg/gemm.h"
+
+namespace tdc {
+
+Tensor pointwise_conv(const Tensor& x, const Tensor& u) {
+  TDC_CHECK_MSG(x.rank() == 3, "pointwise_conv expects [C,H,W] input");
+  TDC_CHECK_MSG(u.rank() == 2, "pointwise_conv expects [C,D] factor");
+  TDC_CHECK_MSG(x.dim(0) == u.dim(0), "channel count mismatch");
+  const std::int64_t d = u.dim(1);
+  const std::int64_t hw = x.dim(1) * x.dim(2);
+  Tensor z({d, x.dim(1), x.dim(2)});
+  // Z[D, HW] = U^T[D, C] · X[C, HW]; U is stored [C, D], so use gemm_at.
+  gemm_at(d, hw, x.dim(0), u.data(), x.data(), z.data());
+  return z;
+}
+
+}  // namespace tdc

@@ -1,0 +1,16 @@
+// 1×1 (channel-wise) convolution.
+//
+// The first and last stages of the Tucker pipeline (paper Eqs. 2 and 4) are
+// channel mixes; on a [C, H, W] activation with a [C_in, C_out] factor they
+// reduce to one GEMM: Z[C_out, H·W] = U^T · X[C_in, H·W].
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+/// Z(d, h, w) = Σ_c X(c, h, w) · U(c, d). X is [C, H, W], u is [C, D];
+/// returns [D, H, W].
+Tensor pointwise_conv(const Tensor& x, const Tensor& u);
+
+}  // namespace tdc

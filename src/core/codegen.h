@@ -1,0 +1,35 @@
+// CUDA source generation for the TDC core kernel.
+//
+// TDC is a code-generation framework: once the co-design pass fixes the
+// ranks and the tiling model fixes (TH, TW, TC) per layer, the deployable
+// artifact is specialized CUDA C++ with every tile extent a compile-time
+// constant. This module emits that source. It cannot be compiled in this
+// CUDA-less environment, but its structure is exercised by tests and it is
+// what a user would ship to a real GPU.
+#pragma once
+
+#include <string>
+
+#include "core/tdc_kernel.h"
+
+namespace tdc {
+
+struct CodegenOptions {
+  std::string kernel_name = "tdc_core_conv_kernel";
+  bool emit_launcher = true;       ///< also emit a host-side launch wrapper
+  bool emit_header_comment = true;
+  TdcWeightLayout layout = TdcWeightLayout::kCRSN;
+};
+
+/// Emit the specialized CUDA kernel (and optionally its host launcher) for a
+/// core-convolution shape and tiling.
+std::string generate_cuda_kernel(const ConvShape& shape, const TdcTiling& t,
+                                 const CodegenOptions& options = {});
+
+/// Emit a small self-contained .cu translation unit: kernel + launcher +
+/// grid/block comment block for the given device.
+std::string generate_cuda_source(const DeviceSpec& device,
+                                 const ConvShape& shape, const TdcTiling& t,
+                                 const CodegenOptions& options = {});
+
+}  // namespace tdc

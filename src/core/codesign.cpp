@@ -1,0 +1,202 @@
+#include "core/codesign.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+// Candidate rank grid: multiples of `step` plus the full extent (so a mode
+// can also stay undecomposed within a decomposed layer). Very wide modes
+// (ResNet-50's 2048-channel 1×1s) coarsen the grid so the table stays at
+// most ~16 rows per mode.
+std::vector<std::int64_t> rank_grid(std::int64_t extent, std::int64_t step) {
+  const std::int64_t eff_step =
+      std::max(step, (extent / 16 + step - 1) / step * step);
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = eff_step; v < extent; v += eff_step) {
+    out.push_back(v);
+  }
+  if (out.empty() || out.back() != extent) {
+    out.push_back(extent);
+  }
+  return out;
+}
+
+}  // namespace
+
+double tucker_pipeline_latency(const DeviceSpec& device, const ConvShape& shape,
+                               TuckerRanks ranks, TilingSelector selector) {
+  const ConvShape pw1 = first_pointwise_shape(shape, ranks);
+  const ConvShape core = core_conv_shape(shape, ranks);
+  const ConvShape pw2 = last_pointwise_shape(shape, ranks);
+  const double t1 = cudnn_implicit_gemm_cost(device, pw1).total_s;
+  const TdcTiling tiling = select_tiling(selector, device, core);
+  const double t2 = tdc_core_cost(device, core, tiling).total_s;
+  const double t3 = cudnn_implicit_gemm_cost(device, pw2).total_s;
+  return t1 + t2 + t3;
+}
+
+std::vector<RankCandidate> build_rank_table(const DeviceSpec& device,
+                                            const ConvShape& shape,
+                                            TilingSelector selector,
+                                            std::int64_t rank_step) {
+  TDC_CHECK_MSG(shape.valid(), "invalid shape");
+  TDC_CHECK(rank_step >= 1);
+  std::vector<RankCandidate> table;
+  for (const std::int64_t d1 : rank_grid(shape.c, rank_step)) {
+    for (const std::int64_t d2 : rank_grid(shape.n, rank_step)) {
+      const TuckerRanks ranks{d1, d2};
+      const ConvShape core = core_conv_shape(shape, ranks);
+      // The TDC kernel maps one thread per core output channel, so D2 is
+      // bounded by the block-size limit (never binding for the paper's
+      // shapes, only for very wide 1×1 candidates).
+      if (core.n > device.max_threads_per_block) {
+        continue;
+      }
+      RankCandidate cand;
+      cand.ranks = ranks;
+      cand.tiling = select_tiling(selector, device, core);
+      const ConvShape pw1 = first_pointwise_shape(shape, ranks);
+      const ConvShape pw2 = last_pointwise_shape(shape, ranks);
+      cand.latency_s = cudnn_implicit_gemm_cost(device, pw1).total_s +
+                       tdc_core_cost(device, core, cand.tiling).total_s +
+                       cudnn_implicit_gemm_cost(device, pw2).total_s;
+      cand.flops = tucker_flops(shape, ranks);
+      table.push_back(cand);
+    }
+  }
+  return table;
+}
+
+std::optional<RankCandidate> choose_ranks(
+    const std::vector<RankCandidate>& table, const ConvShape& shape,
+    double layer_budget, double slack) {
+  const double flops_cap =
+      shape.flops() * (1.0 - layer_budget) * (1.0 + slack);
+
+  // Algorithm 1 line 3: max{argmin_{P(D1,D2)≤B} T(D1,D2)} — find the fastest
+  // candidate under the budget, then take the largest ranks on its latency
+  // plateau (Figure 4: latency is a staircase in the channel counts, so a
+  // plateau of rank pairs shares the minimum). The band is anchored at the
+  // global minimum so near-ties cannot ratchet toward degenerate pairs.
+  constexpr double kPlateauBand = 1.10;
+  double min_latency = -1.0;
+  for (const auto& cand : table) {
+    if (cand.flops > flops_cap) {
+      continue;
+    }
+    if (min_latency < 0.0 || cand.latency_s < min_latency) {
+      min_latency = cand.latency_s;
+    }
+  }
+  if (min_latency < 0.0) {
+    return std::nullopt;
+  }
+
+  // "Maximize ranks" with balanced semantics: a (64,64) kernel retains more
+  // of both channel modes than a degenerate (512,32) pair of equal latency,
+  // so rank pairs are ordered by their smaller mode first, then symmetry,
+  // then total size.
+  const auto rank_order_key = [](const TuckerRanks& r) {
+    return std::tuple(std::min(r.d1, r.d2), -std::abs(r.d1 - r.d2),
+                      r.d1 + r.d2);
+  };
+  std::optional<RankCandidate> best;
+  for (const auto& cand : table) {
+    if (cand.flops > flops_cap || cand.latency_s > min_latency * kPlateauBand) {
+      continue;
+    }
+    if (!best.has_value() ||
+        rank_order_key(cand.ranks) > rank_order_key(best->ranks)) {
+      best = cand;
+    }
+  }
+  return best;
+}
+
+CodesignResult run_codesign(const DeviceSpec& device,
+                            const std::vector<ConvShape>& layers,
+                            const CodesignOptions& options) {
+  TDC_CHECK_MSG(options.budget > 0.0 && options.budget < 1.0,
+                "budget must be a reduction ratio in (0, 1)");
+  CodesignResult result;
+
+  const auto is_decomposable = [&options](const ConvShape& shape) {
+    if (shape.r > 1 || shape.s > 1) {
+      return true;
+    }
+    // Pointwise layers need room for a meaningful rank grid on both modes.
+    return options.decompose_pointwise && shape.c >= 2 * options.rank_step &&
+           shape.n >= 2 * options.rank_step;
+  };
+
+  // Total FLOPs over the decomposable layers drives the budget ledger.
+  double decomposable_flops = 0.0;
+  for (const auto& shape : layers) {
+    if (is_decomposable(shape)) {
+      decomposable_flops += shape.flops();
+    }
+  }
+  // FLOPs that must be removed model-wide to meet B.
+  double reduction_needed = options.budget * decomposable_flops;
+  double decomposable_remaining = decomposable_flops;
+
+  for (const auto& shape : layers) {
+    LayerDecision dec;
+    dec.shape = shape;
+    dec.original_flops = shape.flops();
+    dec.original_latency_s = cudnn_implicit_gemm_cost(device, shape).total_s;
+    dec.chosen_flops = dec.original_flops;
+    dec.chosen_latency_s = dec.original_latency_s;
+
+    if (is_decomposable(shape)) {
+      // Per-layer budget: spread the outstanding reduction over the
+      // decomposable FLOPs not yet visited. Skipped layers push their share
+      // onto later ones — the paper's budget redistribution.
+      const double layer_budget = std::clamp(
+          reduction_needed / std::max(decomposable_remaining, 1.0), 0.0, 0.97);
+      const auto table =
+          build_rank_table(device, shape, options.selector, options.rank_step);
+      auto chosen =
+          choose_ranks(table, shape, layer_budget, options.budget_slack);
+      if (!chosen.has_value()) {
+        // The rank grid cannot hit this layer's (redistributed) budget —
+        // the paper's "⪅" tolerance: take the most aggressive candidate
+        // available and let the θ rule decide.
+        for (const auto& cand : table) {
+          if (!chosen || cand.flops < chosen->flops) {
+            chosen = cand;
+          }
+        }
+      }
+      if (chosen.has_value()) {
+        // θ rule: keep the original layer unless the pipeline wins by ≥ θ.
+        const bool worthwhile =
+            chosen->latency_s < (1.0 - options.theta) * dec.original_latency_s;
+        if (worthwhile) {
+          dec.decomposed = true;
+          dec.ranks = chosen->ranks;
+          dec.tiling = chosen->tiling;
+          dec.chosen_flops = chosen->flops;
+          dec.chosen_latency_s = chosen->latency_s;
+          reduction_needed -= dec.original_flops - dec.chosen_flops;
+        }
+      }
+      decomposable_remaining -= dec.original_flops;
+    }
+
+    result.total_original_flops += dec.original_flops;
+    result.total_chosen_flops += dec.chosen_flops;
+    result.total_original_latency_s += dec.original_latency_s;
+    result.total_chosen_latency_s += dec.chosen_latency_s;
+    result.layers.push_back(dec);
+  }
+  return result;
+}
+
+}  // namespace tdc

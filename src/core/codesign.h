@@ -1,0 +1,96 @@
+// The TDC co-design framework (paper Section 6, Algorithm 1).
+//
+// Given a model's convolution layers and a FLOPs-reduction budget B, this
+// pass builds the per-layer latency table T over (D1, D2) candidates spaced
+// in steps of 32 (a GPU warp), then chooses ranks that minimize the
+// *measured* (simulated) pipeline latency while keeping the ranks as large
+// as the budget allows. A layer is left undecomposed when decomposition
+// would not beat the original layer by at least θ (the two extra 1×1 kernel
+// launches can erase small wins) — its unused FLOPs-reduction is then
+// redistributed across the remaining layers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/tdc_model.h"
+#include "gpusim/library_cost.h"
+#include "tucker/flops.h"
+
+namespace tdc {
+
+/// One row of the per-layer performance table T (Figure 5).
+struct RankCandidate {
+  TuckerRanks ranks;
+  double latency_s = 0.0;  ///< full pipeline: 1×1 + core + 1×1
+  double flops = 0.0;      ///< decomposed-layer FLOPs
+  TdcTiling tiling;        ///< core-kernel tiling chosen by the selector
+};
+
+/// Latency of the decomposed pipeline for one candidate: cuDNN 1×1 stages +
+/// TDC core kernel at the selected tiling (the paper's deployment mix).
+double tucker_pipeline_latency(const DeviceSpec& device, const ConvShape& shape,
+                               TuckerRanks ranks, TilingSelector selector);
+
+/// Build the performance table for a layer: all (D1, D2) with D1, D2
+/// multiples of `rank_step` (paper: 32) up to (C, N), including the full
+/// ranks themselves.
+std::vector<RankCandidate> build_rank_table(const DeviceSpec& device,
+                                            const ConvShape& shape,
+                                            TilingSelector selector,
+                                            std::int64_t rank_step = 32);
+
+struct CodesignOptions {
+  double budget = 0.6;          ///< target FLOPs-reduction ratio B
+  double theta = 0.15;          ///< skip threshold θ (paper: 15 %)
+  double budget_slack = 0.05;   ///< the "⪅" tolerance on P(D1,D2) ≤ B
+  std::int64_t rank_step = 32;
+  TilingSelector selector = TilingSelector::kModel;
+  /// Also consider 1×1 convolutions for decomposition (their Tucker-2 form
+  /// is a low-rank matrix chain); needed for the bottleneck-heavy models
+  /// (ResNet-50) to reach the paper's budgets. The θ rule still gates every
+  /// decision.
+  bool decompose_pointwise = true;
+};
+
+/// Decision for one convolution layer.
+struct LayerDecision {
+  ConvShape shape;
+  bool decomposed = false;
+  TuckerRanks ranks;            ///< valid iff decomposed
+  TdcTiling tiling;             ///< valid iff decomposed
+  double original_latency_s = 0.0;  ///< cuDNN implicit-GEMM on the layer
+  double chosen_latency_s = 0.0;    ///< pipeline latency (or original if kept)
+  double original_flops = 0.0;
+  double chosen_flops = 0.0;
+};
+
+struct CodesignResult {
+  std::vector<LayerDecision> layers;
+  double total_original_flops = 0.0;
+  double total_chosen_flops = 0.0;
+  double total_original_latency_s = 0.0;
+  double total_chosen_latency_s = 0.0;
+
+  double achieved_flops_reduction() const {
+    return 1.0 - total_chosen_flops / total_original_flops;
+  }
+  double speedup() const {
+    return total_original_latency_s / total_chosen_latency_s;
+  }
+};
+
+/// Algorithm 1 over a sequence of decomposable convolution layers. Layers
+/// with R = S = 1 are never decomposed (they are already the cheap stage).
+CodesignResult run_codesign(const DeviceSpec& device,
+                            const std::vector<ConvShape>& layers,
+                            const CodesignOptions& options);
+
+/// Rank choice for a single layer under a per-layer budget (Algorithm 1
+/// line 3): minimize latency subject to P(D1,D2) ⪅ B, break ties toward the
+/// largest ranks. Returns nullopt if no candidate meets the budget.
+std::optional<RankCandidate> choose_ranks(
+    const std::vector<RankCandidate>& table, const ConvShape& shape,
+    double layer_budget, double slack);
+
+}  // namespace tdc

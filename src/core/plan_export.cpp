@@ -1,0 +1,103 @@
+#include "core/plan_export.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "tucker/flops.h"
+
+namespace tdc {
+
+std::string plan_to_csv(const CodesignResult& result) {
+  std::ostringstream os;
+  os << "layer,C,N,H,W,R,S,stride,decomposed,D1,D2,TH,TW,TC,orig_us,"
+        "chosen_us\n";
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    const LayerDecision& d = result.layers[i];
+    os << i << ',' << d.shape.c << ',' << d.shape.n << ',' << d.shape.h << ','
+       << d.shape.w << ',' << d.shape.r << ',' << d.shape.s << ','
+       << d.shape.stride_h << ',' << (d.decomposed ? 1 : 0) << ',';
+    if (d.decomposed) {
+      os << d.ranks.d1 << ',' << d.ranks.d2 << ',' << d.tiling.th << ','
+         << d.tiling.tw << ',' << d.tiling.tc << ',';
+    } else {
+      os << ",,,,,";
+    }
+    os << d.original_latency_s * 1e6 << ',' << d.chosen_latency_s * 1e6
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string plan_summary(const CodesignResult& result) {
+  std::int64_t decomposed = 0;
+  std::int64_t kept = 0;
+  for (const auto& d : result.layers) {
+    (d.decomposed ? decomposed : kept) += 1;
+  }
+  std::ostringstream os;
+  os << "TDC deployment plan\n"
+     << "  layers: " << result.layers.size() << " (" << decomposed
+     << " decomposed, " << kept << " kept)\n"
+     << "  conv FLOPs: " << result.total_original_flops / 1e9 << " G -> "
+     << result.total_chosen_flops / 1e9 << " G ("
+     << result.achieved_flops_reduction() * 100.0 << "% reduction)\n"
+     << "  conv latency: " << result.total_original_latency_s * 1e3
+     << " ms -> " << result.total_chosen_latency_s * 1e3 << " ms ("
+     << result.speedup() << "x)\n";
+  return os.str();
+}
+
+namespace {
+
+std::string kernel_file_name(const ConvShape& core) {
+  std::ostringstream os;
+  os << "tdc_core_c" << core.c << "_n" << core.n << "_hw" << core.h << "_k"
+     << core.r << "_s" << core.stride_h << ".cu";
+  return os.str();
+}
+
+}  // namespace
+
+std::map<std::string, std::string> plan_kernels(const DeviceSpec& device,
+                                                const CodesignResult& result) {
+  std::map<std::string, std::string> files;
+  for (const auto& d : result.layers) {
+    if (!d.decomposed) {
+      continue;
+    }
+    const ConvShape core = core_conv_shape(d.shape, d.ranks);
+    const std::string name = kernel_file_name(core);
+    if (files.count(name) != 0) {
+      continue;  // identical core shapes share one kernel
+    }
+    files.emplace(name, generate_cuda_source(device, core, d.tiling));
+  }
+  return files;
+}
+
+int export_plan(const std::string& directory, const DeviceSpec& device,
+                const CodesignResult& result) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  TDC_CHECK_MSG(!ec, "cannot create plan directory " + directory);
+
+  int written = 0;
+  const auto write_file = [&](const std::string& name,
+                              const std::string& contents) {
+    std::ofstream out(fs::path(directory) / name);
+    TDC_CHECK_MSG(out.good(), "cannot open " + name + " for writing");
+    out << contents;
+    ++written;
+  };
+  write_file("plan.csv", plan_to_csv(result));
+  write_file("SUMMARY.txt", plan_summary(result));
+  for (const auto& [name, source] : plan_kernels(device, result)) {
+    write_file(name, source);
+  }
+  return written;
+}
+
+}  // namespace tdc

@@ -1,0 +1,35 @@
+// Deployment-plan export.
+//
+// The artifact a TDC user ships to a GPU box is (a) the per-layer
+// compression plan — which layers are decomposed, at which ranks, with
+// which tiling — and (b) one specialized CUDA kernel per distinct core
+// shape. This module renders both: the plan as a machine-readable CSV plus
+// a human-readable summary, and the kernels through the code generator.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/codegen.h"
+#include "core/codesign.h"
+
+namespace tdc {
+
+/// CSV of the per-layer decisions:
+/// layer_index,C,N,H,W,R,S,stride,decomposed,D1,D2,TH,TW,TC,orig_us,chosen_us
+std::string plan_to_csv(const CodesignResult& result);
+
+/// Human-readable plan summary (totals, reduction, speedup, skip counts).
+std::string plan_summary(const CodesignResult& result);
+
+/// One generated CUDA source per distinct decomposed core shape, keyed by a
+/// filesystem-safe name ("tdc_core_c32_n32_hw28_s1.cu").
+std::map<std::string, std::string> plan_kernels(const DeviceSpec& device,
+                                                const CodesignResult& result);
+
+/// Write the CSV, the summary, and every kernel under `directory`
+/// (created if missing). Returns the number of files written.
+int export_plan(const std::string& directory, const DeviceSpec& device,
+                const CodesignResult& result);
+
+}  // namespace tdc

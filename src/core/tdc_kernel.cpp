@@ -1,0 +1,278 @@
+#include "core/tdc_kernel.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Per-thread register estimate: TH×TW accumulators + an R×S weight slice +
+// bookkeeping. Mirrors what NVCC reports for the generated kernel.
+int tdc_regs_per_thread(const ConvShape& shape, const TdcTiling& t) {
+  const std::int64_t regs = 28 + t.th * t.tw + shape.r * shape.s;
+  return static_cast<int>(std::min<std::int64_t>(regs, 1 << 20));
+}
+
+}  // namespace
+
+std::string TdcTiling::to_string() const {
+  std::ostringstream os;
+  os << "(TH=" << th << ", TW=" << tw << ", TC=" << tc << ")";
+  return os.str();
+}
+
+std::int64_t tdc_tile_in_h(const ConvShape& shape, const TdcTiling& t) {
+  return (t.th - 1) * shape.stride_h + shape.r;
+}
+
+std::int64_t tdc_tile_in_w(const ConvShape& shape, const TdcTiling& t) {
+  return (t.tw - 1) * shape.stride_w + shape.s;
+}
+
+std::int64_t tdc_num_blocks(const ConvShape& shape, const TdcTiling& t) {
+  return ceil_div(shape.out_h(), t.th) * ceil_div(shape.out_w(), t.tw) *
+         ceil_div(shape.c, t.tc);
+}
+
+bool tdc_tiling_feasible(const DeviceSpec& device, const ConvShape& shape,
+                         const TdcTiling& t) {
+  if (t.th < 1 || t.tw < 1 || t.tc < 1) {
+    return false;
+  }
+  if (t.th > shape.out_h() || t.tw > shape.out_w() || t.tc > shape.c) {
+    return false;
+  }
+  if (shape.n > device.max_threads_per_block) {
+    return false;
+  }
+  const std::int64_t shared =
+      t.tc * tdc_tile_in_h(shape, t) * tdc_tile_in_w(shape, t) * 4;
+  if (shared > device.shared_mem_per_block) {
+    return false;
+  }
+  if (tdc_regs_per_thread(shape, t) > device.max_regs_per_thread) {
+    return false;
+  }
+  return compute_occupancy(
+             device, BlockResources{static_cast<int>(shape.n), shared,
+                                    tdc_regs_per_thread(shape, t)})
+      .launchable;
+}
+
+KernelLaunch tdc_core_launch(const DeviceSpec& device, const ConvShape& shape,
+                             const TdcTiling& t, TdcWeightLayout layout) {
+  TDC_CHECK_MSG(tdc_tiling_feasible(device, shape, t),
+                "infeasible tiling " + t.to_string() + " for " +
+                    shape.to_string());
+  const std::int64_t tile_h = tdc_tile_in_h(shape, t);
+  const std::int64_t tile_w = tdc_tile_in_w(shape, t);
+  // The grid replicates over the batch (one image's tiling per slice).
+  const std::int64_t blocks = tdc_num_blocks(shape, t) * shape.batch;
+  const double n = static_cast<double>(shape.n);
+
+  KernelLaunch l;
+  l.label = "tdc-core";
+  l.num_blocks = blocks;
+  l.block.threads = static_cast<int>(shape.n);
+  l.block.shared_bytes = t.tc * tile_h * tile_w * 4;
+  l.block.regs_per_thread = tdc_regs_per_thread(shape, t);
+
+  // Listing 2 arithmetic: each thread walks every shared-tile element and
+  // every (r, s); out-of-tile contributions are predicated off but the warp
+  // pays for them (divergence) — so the block FLOP count is the paper's
+  // flops_blk = 2·(tile_h·tile_w)·TC·N·R·S.
+  l.flops_per_block = 2.0 * static_cast<double>(tile_h * tile_w) *
+                      static_cast<double>(t.tc) * n *
+                      static_cast<double>(shape.r * shape.s);
+
+  // Global reads: the staged input cube (w-contiguous rows) plus each
+  // thread's weight slice. In CRSN order the N threads of the block read
+  // consecutive floats (fully coalesced); in CNRS the per-thread stride is
+  // R·S·N elements, so every load touches its own sector. The weight tensor
+  // (and for small layers the input plane) is re-read by every H/W tile;
+  // those re-reads hit the L2 when the working set fits it.
+  const double waste_in =
+      coalescing_waste_factor(static_cast<double>(tile_w) * 4.0);
+  const double waste_k = layout == TdcWeightLayout::kCRSN
+                             ? coalescing_waste_factor(n * 4.0)
+                             : coalescing_waste_factor(4.0);
+  const double total_in =
+      static_cast<double>(blocks) *
+      static_cast<double>(t.tc * tile_h * tile_w) * 4.0 * waste_in;
+  const double unique_in = static_cast<double>(shape.batch) *
+                           static_cast<double>(shape.c * shape.h * shape.w) *
+                           4.0;
+  add_reread_traffic(device, total_in, unique_in, &l);
+  const double total_k = static_cast<double>(blocks) *
+                         static_cast<double>(t.tc * shape.r * shape.s) * n *
+                         4.0 * waste_k;
+  const double unique_k =
+      static_cast<double>(shape.c * shape.r * shape.s) * n * 4.0 * waste_k;
+  add_reread_traffic(device, total_k, unique_k, &l);
+
+  // Output commits: every block writes its TH×TW×N tile with atomicAdd
+  // (HWN layout — the N threads hit consecutive addresses). The RMW traffic
+  // of every C partition lands in the L2; the unique output plane is what
+  // eventually spills to DRAM.
+  const double out_bytes_per_block =
+      static_cast<double>(t.th * t.tw) * n * 4.0 *
+      coalescing_waste_factor(n * 4.0);
+  l.atomic_bytes = static_cast<double>(blocks) * out_bytes_per_block;
+  l.bytes_written = static_cast<double>(shape.batch) *
+                    static_cast<double>(shape.out_h() * shape.out_w()) * n * 4.0;
+
+  l.sync_count = 1;  // single barrier after the cooperative tile load
+  l.dependent_stalls = 1;
+  l.ilp = static_cast<double>(std::min<std::int64_t>(t.th * t.tw, 8));
+  l.compute_efficiency = 0.8;  // scatter-loop predication overhead
+  return l;
+}
+
+LatencyBreakdown tdc_core_cost(const DeviceSpec& device, const ConvShape& shape,
+                               const TdcTiling& t, TdcWeightLayout layout) {
+  return simulate_latency(device, tdc_core_launch(device, shape, t, layout));
+}
+
+Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
+                     const ConvShape& shape, const TdcTiling& t,
+                     bool parallel) {
+  TDC_CHECK_MSG(x.rank() == 3, "input must be [C,H,W]");
+  TDC_CHECK_MSG(kernel_crsn.rank() == 4, "kernel must be CRSN [C,R,S,N]");
+  TDC_CHECK_MSG(x.dim(0) == shape.c && x.dim(1) == shape.h && x.dim(2) == shape.w,
+                "input does not match shape");
+  TDC_CHECK_MSG(kernel_crsn.dim(0) == shape.c && kernel_crsn.dim(1) == shape.r &&
+                    kernel_crsn.dim(2) == shape.s && kernel_crsn.dim(3) == shape.n,
+                "kernel does not match shape");
+  TDC_CHECK_MSG(shape.batch == 1,
+                "the functional executor is single-image; batched shapes are "
+                "for the cost models");
+  TDC_CHECK(t.th >= 1 && t.tw >= 1 && t.tc >= 1);
+
+  const std::int64_t oh = shape.out_h();
+  const std::int64_t ow = shape.out_w();
+  const std::int64_t blocks_h = ceil_div(oh, t.th);
+  const std::int64_t blocks_w = ceil_div(ow, t.tw);
+  const std::int64_t blocks_c = ceil_div(shape.c, t.tc);
+  const std::int64_t tile_h = tdc_tile_in_h(shape, t);
+  const std::int64_t tile_w = tdc_tile_in_w(shape, t);
+  const std::int64_t num_blocks = blocks_h * blocks_w * blocks_c;
+
+  Tensor y({shape.n, oh, ow});
+  float* ydata = y.raw();
+
+  // One iteration of this loop interprets one thread block of Listing 2.
+  auto run_block = [&](std::int64_t block_id) {
+    const std::int64_t bc = block_id / (blocks_h * blocks_w);
+    const std::int64_t rest = block_id % (blocks_h * blocks_w);
+    const std::int64_t bh = rest / blocks_w;
+    const std::int64_t bw = rest % blocks_w;
+
+    const std::int64_t c0 = bc * t.tc;
+    const std::int64_t c1 = std::min(c0 + t.tc, shape.c);
+    const std::int64_t oh0 = bh * t.th;
+    const std::int64_t ow0 = bw * t.tw;
+    // Input-space origin of the staged tile.
+    const std::int64_t ih0 = oh0 * shape.stride_h - shape.pad_h;
+    const std::int64_t iw0 = ow0 * shape.stride_w - shape.pad_w;
+
+    // copy(input_tile, X): cooperative load with zero fill at the borders.
+    std::vector<float> tile(
+        static_cast<std::size_t>((c1 - c0) * tile_h * tile_w));
+    for (std::int64_t lc = 0; lc < c1 - c0; ++lc) {
+      for (std::int64_t lh = 0; lh < tile_h; ++lh) {
+        const std::int64_t ih = ih0 + lh;
+        for (std::int64_t lw = 0; lw < tile_w; ++lw) {
+          const std::int64_t iw = iw0 + lw;
+          const bool inside =
+              ih >= 0 && ih < shape.h && iw >= 0 && iw < shape.w;
+          tile[static_cast<std::size_t>((lc * tile_h + lh) * tile_w + lw)] =
+              inside ? x(c0 + lc, ih, iw) : 0.0f;
+        }
+      }
+    }
+    // __syncthreads() boundary is implicit here.
+
+    // Each "thread" n owns one output channel.
+    std::vector<float> temp(static_cast<std::size_t>(t.th * t.tw));
+    for (std::int64_t n = 0; n < shape.n; ++n) {
+      std::fill(temp.begin(), temp.end(), 0.0f);
+      for (std::int64_t lc = 0; lc < c1 - c0; ++lc) {
+        const std::int64_t c = c0 + lc;
+        // copy(kernel, K, n, c): the thread's R×S weight slice (CRSN reads).
+        for (std::int64_t lh = 0; lh < tile_h; ++lh) {
+          for (std::int64_t lw = 0; lw < tile_w; ++lw) {
+            const float v = tile[static_cast<std::size_t>(
+                (lc * tile_h + lh) * tile_w + lw)];
+            for (std::int64_t r = 0; r < shape.r; ++r) {
+              const std::int64_t num_h = lh - r;
+              if (num_h < 0 || num_h % shape.stride_h != 0) {
+                continue;
+              }
+              const std::int64_t y_out = num_h / shape.stride_h;
+              if (y_out >= t.th || oh0 + y_out >= oh) {
+                continue;
+              }
+              for (std::int64_t s = 0; s < shape.s; ++s) {
+                const std::int64_t num_w = lw - s;
+                if (num_w < 0 || num_w % shape.stride_w != 0) {
+                  continue;
+                }
+                const std::int64_t x_out = num_w / shape.stride_w;
+                if (x_out >= t.tw || ow0 + x_out >= ow) {
+                  continue;
+                }
+                temp[static_cast<std::size_t>(y_out * t.tw + x_out)] +=
+                    v * kernel_crsn(c, r, s, n);
+              }
+            }
+          }
+        }
+      }
+      // atomicAdd commit of the register tile.
+      for (std::int64_t th = 0; th < t.th; ++th) {
+        const std::int64_t gh = oh0 + th;
+        if (gh >= oh) {
+          break;
+        }
+        for (std::int64_t tw = 0; tw < t.tw; ++tw) {
+          const std::int64_t gw = ow0 + tw;
+          if (gw >= ow) {
+            break;
+          }
+          float* slot = &ydata[(n * oh + gh) * ow + gw];
+          const float add = temp[static_cast<std::size_t>(th * t.tw + tw)];
+#ifdef TDC_HAVE_OPENMP
+#pragma omp atomic
+          *slot += add;
+#else
+          *slot += add;
+#endif
+        }
+      }
+    }
+  };
+
+  if (parallel) {
+#ifdef TDC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (std::int64_t b = 0; b < num_blocks; ++b) {
+      run_block(b);
+    }
+  } else {
+    for (std::int64_t b = 0; b < num_blocks; ++b) {
+      run_block(b);
+    }
+  }
+  return y;
+}
+
+}  // namespace tdc

@@ -1,0 +1,71 @@
+// The TDC core-convolution kernel scheme (paper Section 5.2, Listing 2).
+//
+// Grid: the *output* plane and the input channels are tiled as
+// ceil(OH/TH) × ceil(OW/TW) × ceil(C/TC) thread blocks. Each block stages a
+// TC × ((TH−1)·stride+R) × ((TW−1)·stride+S) input cube in shared memory
+// once (a single __syncthreads — versus 2·C in the TVM-style scheme), then
+// each of the block's N threads owns one output channel: it walks the shared
+// tile, scattering contributions into a TH×TW register accumulator, and
+// finally commits with atomicAdd (blocks along the C split write the same
+// outputs). Weights are read in CRSN order so the N threads load
+// consecutively — fully coalesced.
+//
+// This file provides both the *functional* executor (run on the CPU, checked
+// against conv2d_reference) and the *launch descriptor* consumed by the
+// gpusim latency model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "conv/conv_shape.h"
+#include "gpusim/launch.h"
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+/// Tile sizes of the TDC kernel: TH×TW output positions per block,
+/// TC input channels per block.
+struct TdcTiling {
+  std::int64_t th = 1;
+  std::int64_t tw = 1;
+  std::int64_t tc = 1;
+  bool operator==(const TdcTiling&) const = default;
+  std::string to_string() const;
+};
+
+/// Weight-layout choice for the core kernel. CRSN is the paper's design;
+/// CNRS is kept for the layout ablation.
+enum class TdcWeightLayout { kCRSN, kCNRS };
+
+/// Shared-memory input tile extents for a tiling (halo included).
+std::int64_t tdc_tile_in_h(const ConvShape& shape, const TdcTiling& t);
+std::int64_t tdc_tile_in_w(const ConvShape& shape, const TdcTiling& t);
+
+/// Grid size ceil(OH/TH)·ceil(OW/TW)·ceil(C/TC).
+std::int64_t tdc_num_blocks(const ConvShape& shape, const TdcTiling& t);
+
+/// True when the tiling is executable on the device (fits shared memory,
+/// registers, thread limits, and the shape).
+bool tdc_tiling_feasible(const DeviceSpec& device, const ConvShape& shape,
+                         const TdcTiling& t);
+
+/// Launch descriptor for the latency model.
+KernelLaunch tdc_core_launch(const DeviceSpec& device, const ConvShape& shape,
+                             const TdcTiling& t,
+                             TdcWeightLayout layout = TdcWeightLayout::kCRSN);
+
+/// Simulated latency of the core kernel at this tiling.
+LatencyBreakdown tdc_core_cost(const DeviceSpec& device, const ConvShape& shape,
+                               const TdcTiling& t,
+                               TdcWeightLayout layout = TdcWeightLayout::kCRSN);
+
+/// Functional execution of the kernel scheme. `kernel_crsn` is the weight
+/// tensor in CRSN order ([C, R, S, N]); x is [C, H, W]; returns [N, OH, OW].
+/// `parallel` runs blocks under OpenMP with atomic commits (the faithful
+/// mode); false interprets blocks sequentially for bit-determinism.
+Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
+                     const ConvShape& shape, const TdcTiling& t,
+                     bool parallel = true);
+
+}  // namespace tdc

@@ -1,0 +1,218 @@
+#include "core/tdc_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Tiling selection is pure in (device, shape); rank tables and end-to-end
+// walks re-ask for the same shapes constantly, so memoize.
+class TilingCache {
+ public:
+  bool lookup(const std::string& key, TdcTiling* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+  void store(const std::string& key, const TdcTiling& t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.emplace(key, t);
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, TdcTiling> map_;
+};
+
+TilingCache& tiling_cache() {
+  static TilingCache cache;
+  return cache;
+}
+
+std::string cache_key(const char* kind, const DeviceSpec& device,
+                      const ConvShape& shape) {
+  return std::string(kind) + "|" + device.name + "|" + shape.to_string();
+}
+
+int tdc_regs_estimate(const ConvShape& shape, const TdcTiling& t) {
+  return static_cast<int>(28 + t.th * t.tw + shape.r * shape.s);
+}
+
+BlockResources tdc_block_resources(const ConvShape& shape, const TdcTiling& t) {
+  return BlockResources{
+      static_cast<int>(shape.n),
+      t.tc * tdc_tile_in_h(shape, t) * tdc_tile_in_w(shape, t) * 4,
+      tdc_regs_estimate(shape, t)};
+}
+
+}  // namespace
+
+double paper_comp_latency_block(const DeviceSpec& device,
+                                const ConvShape& shape, const TdcTiling& t) {
+  const double tile_h = static_cast<double>(tdc_tile_in_h(shape, t));
+  const double tile_w = static_cast<double>(tdc_tile_in_w(shape, t));
+  return 2.0 * tile_h * tile_w * static_cast<double>(t.tc) *
+         static_cast<double>(shape.r * shape.s) *
+         static_cast<double>(device.total_threads()) / device.peak_flops;
+}
+
+double paper_comp_waves(const DeviceSpec& device, const ConvShape& shape,
+                        const TdcTiling& t) {
+  const OccupancyResult occ =
+      compute_occupancy(device, tdc_block_resources(shape, t));
+  TDC_CHECK_MSG(occ.launchable, "waves of an unlaunchable tiling");
+  const double total_threads = static_cast<double>(tdc_num_blocks(shape, t)) *
+                               static_cast<double>(shape.batch) *
+                               static_cast<double>(shape.n);
+  return std::ceil(total_threads /
+                   (static_cast<double>(device.total_threads()) * occ.occupancy));
+}
+
+double paper_comp_latency(const DeviceSpec& device, const ConvShape& shape,
+                          const TdcTiling& t) {
+  return paper_comp_waves(device, shape, t) *
+         paper_comp_latency_block(device, shape, t);
+}
+
+double paper_mem_volume(const ConvShape& shape, const TdcTiling& t) {
+  const double blocks_hw =
+      static_cast<double>(ceil_div(shape.out_h(), t.th)) *
+      static_cast<double>(ceil_div(shape.out_w(), t.tw));
+  const double tile =
+      static_cast<double>(tdc_tile_in_h(shape, t) * tdc_tile_in_w(shape, t));
+  // Eq. 17: every (hw-tile, channel) pair is staged once.
+  const double volume_x = blocks_hw * static_cast<double>(shape.c) * tile;
+  // Eq. 16 (with the constant R·S factor restored): each hw-tile reloads the
+  // whole weight tensor across its C partitions.
+  const double volume_k = blocks_hw * static_cast<double>(shape.c) *
+                          static_cast<double>(shape.n) *
+                          static_cast<double>(shape.r * shape.s);
+  // Eq. 18: the output plane is committed once per C partition.
+  const double volume_y = static_cast<double>(shape.out_h() * shape.out_w()) *
+                          static_cast<double>(shape.n) *
+                          static_cast<double>(ceil_div(shape.c, t.tc));
+  // Eq. 19; the batch replicates every per-image term.
+  return static_cast<double>(shape.batch) * (volume_x + volume_k + volume_y);
+}
+
+double paper_mem_latency(const DeviceSpec& device, const ConvShape& shape,
+                         const TdcTiling& t) {
+  return paper_mem_volume(shape, t) * 4.0 / device.mem_bandwidth;
+}
+
+std::vector<TdcTiling> enumerate_tilings(const DeviceSpec& device,
+                                         const ConvShape& shape) {
+  TDC_CHECK_MSG(shape.valid(), "invalid shape");
+  std::vector<TdcTiling> out;
+  const std::int64_t max_th = std::min<std::int64_t>(shape.out_h(), 32);
+  const std::int64_t max_tw = std::min<std::int64_t>(shape.out_w(), 32);
+  // TC candidates: every value up to 64, then warp-sized steps — wide
+  // channel extents (1×1 cores of bottleneck layers) would otherwise blow
+  // the search space up without adding distinct behaviour.
+  std::vector<std::int64_t> tc_options;
+  for (std::int64_t tc = 1; tc <= std::min<std::int64_t>(shape.c, 64); ++tc) {
+    tc_options.push_back(tc);
+  }
+  for (std::int64_t tc = 96; tc <= shape.c; tc += 32) {
+    tc_options.push_back(tc);
+  }
+  if (tc_options.back() != shape.c && shape.c > 64) {
+    tc_options.push_back(shape.c);
+  }
+
+  for (std::int64_t th = 1; th <= max_th; ++th) {
+    for (std::int64_t tw = 1; tw <= max_tw; ++tw) {
+      if (28 + th * tw + shape.r * shape.s > device.max_regs_per_thread) {
+        continue;  // register-file bound, would spill
+      }
+      for (const std::int64_t tc : tc_options) {
+        const TdcTiling t{th, tw, tc};
+        if (tdc_tiling_feasible(device, shape, t)) {
+          out.push_back(t);
+        }
+      }
+    }
+  }
+  TDC_CHECK_MSG(!out.empty(),
+                "no feasible tiling for " + shape.to_string() + " on " +
+                    device.name);
+  return out;
+}
+
+TdcTiling select_tiling_model(const DeviceSpec& device,
+                              const ConvShape& shape) {
+  const std::string key = cache_key("model", device, shape);
+  TdcTiling cached;
+  if (tiling_cache().lookup(key, &cached)) {
+    return cached;
+  }
+  std::vector<TdcTiling> tilings = enumerate_tilings(device, shape);
+
+  // Rank by the closed-form compute latency (Eq. 15).
+  std::vector<std::pair<double, std::size_t>> by_comp(tilings.size());
+  for (std::size_t i = 0; i < tilings.size(); ++i) {
+    by_comp[i] = {paper_comp_latency(device, shape, tilings[i]), i};
+  }
+  std::sort(by_comp.begin(), by_comp.end());
+
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(
+             device.model_top_fraction * static_cast<double>(tilings.size()))));
+
+  // Among the retained candidates, minimize the data-movement volume.
+  TdcTiling best = tilings[by_comp.front().second];
+  double best_mem = paper_mem_volume(shape, best);
+  for (std::size_t i = 1; i < keep; ++i) {
+    const TdcTiling& t = tilings[by_comp[i].second];
+    const double mem = paper_mem_volume(shape, t);
+    if (mem < best_mem) {
+      best_mem = mem;
+      best = t;
+    }
+  }
+  tiling_cache().store(key, best);
+  return best;
+}
+
+TdcTiling select_tiling_oracle(const DeviceSpec& device,
+                               const ConvShape& shape) {
+  const std::string key = cache_key("oracle", device, shape);
+  TdcTiling cached;
+  if (tiling_cache().lookup(key, &cached)) {
+    return cached;
+  }
+  std::vector<TdcTiling> tilings = enumerate_tilings(device, shape);
+  TdcTiling best = tilings.front();
+  double best_latency = tdc_core_cost(device, shape, best).total_s;
+  for (std::size_t i = 1; i < tilings.size(); ++i) {
+    const double latency = tdc_core_cost(device, shape, tilings[i]).total_s;
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = tilings[i];
+    }
+  }
+  tiling_cache().store(key, best);
+  return best;
+}
+
+TdcTiling select_tiling(TilingSelector sel, const DeviceSpec& device,
+                        const ConvShape& shape) {
+  return sel == TilingSelector::kModel ? select_tiling_model(device, shape)
+                                       : select_tiling_oracle(device, shape);
+}
+
+}  // namespace tdc

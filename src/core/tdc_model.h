@@ -1,0 +1,64 @@
+// The paper's analytical performance model and tiling selection
+// (Sections 5.3–5.5).
+//
+// Two selection paths exist, exactly as in the paper:
+//  * "model"  — rank all tilings by the closed-form compute latency
+//    (Eqs. 14–15), keep the top fraction (5 % on A100, 15 % on 2080Ti), and
+//    among those pick the minimum modeled global-memory volume (Eqs. 16–19).
+//    No measurement is involved.
+//  * "oracle" — exhaustive search by *measured* latency. In this
+//    reproduction "measured" means the rich gpusim execution model
+//    (tdc_core_cost), which includes effects the analytical model ignores
+//    (partial waves, atomics, coalescing, barriers) — this is what creates
+//    the oracle-vs-model gap the paper reports (~25 %).
+#pragma once
+
+#include <vector>
+
+#include "core/tdc_kernel.h"
+
+namespace tdc {
+
+/// The paper's per-block compute latency (Section 5.3):
+///   comp_latency_blk = 2·(TH+R−1)·(TW+S−1)·TC·R·S·GPU_ths / GPU_peak.
+/// (Generalized tile extents are used so strided cores model consistently.)
+double paper_comp_latency_block(const DeviceSpec& device,
+                                const ConvShape& shape, const TdcTiling& t);
+
+/// Eq. (14): comp_waves = ceil(num_blks·N / (GPU_ths · occupancy)).
+double paper_comp_waves(const DeviceSpec& device, const ConvShape& shape,
+                        const TdcTiling& t);
+
+/// Eq. (15): comp_latency = comp_waves · comp_latency_blk.
+double paper_comp_latency(const DeviceSpec& device, const ConvShape& shape,
+                          const TdcTiling& t);
+
+/// Eqs. (16)–(19): global-memory data-movement volume in *elements*
+/// (kernel volume includes the R·S factor the paper's Eq. 16 elides as
+/// constant across tilings).
+double paper_mem_volume(const ConvShape& shape, const TdcTiling& t);
+
+/// Memory latency proxy: volume · 4 bytes / device bandwidth.
+double paper_mem_latency(const DeviceSpec& device, const ConvShape& shape,
+                         const TdcTiling& t);
+
+/// All device-feasible tilings for a shape. TH/TW are capped at 32 (the
+/// TH·TW register accumulator binds long before that; see
+/// tdc_tiling_feasible) and TC ranges over 1..C, giving the paper's
+/// H×W×C-flavored search space.
+std::vector<TdcTiling> enumerate_tilings(const DeviceSpec& device,
+                                         const ConvShape& shape);
+
+/// Section 5.5 analytical selection (top-k% compute, then min memory).
+TdcTiling select_tiling_model(const DeviceSpec& device, const ConvShape& shape);
+
+/// Exhaustive oracle selection by simulated-measured latency.
+TdcTiling select_tiling_oracle(const DeviceSpec& device, const ConvShape& shape);
+
+/// Which selector to use when building latency tables.
+enum class TilingSelector { kModel, kOracle };
+
+TdcTiling select_tiling(TilingSelector sel, const DeviceSpec& device,
+                        const ConvShape& shape);
+
+}  // namespace tdc

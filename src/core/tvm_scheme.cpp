@@ -1,0 +1,269 @@
+#include "core/tvm_scheme.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+std::mutex tvm_cache_mu;
+std::unordered_map<std::string, TvmTiling>& tvm_cache() {
+  static std::unordered_map<std::string, TvmTiling> cache;
+  return cache;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+std::int64_t tvm_tile_in_h(const ConvShape& shape, const TvmTiling& t) {
+  return (t.th - 1) * shape.stride_h + shape.r;
+}
+
+std::int64_t tvm_tile_in_w(const ConvShape& shape, const TvmTiling& t) {
+  return (t.tw - 1) * shape.stride_w + shape.s;
+}
+
+// Shared buffers per Listing 1: one input channel's tile + one channel's
+// weight slice for the block's output channels.
+std::int64_t tvm_shared_bytes(const ConvShape& shape, const TvmTiling& t) {
+  return (tvm_tile_in_h(shape, t) * tvm_tile_in_w(shape, t) +
+          shape.r * shape.s * tvm_n_chunk(shape, t)) *
+         4;
+}
+
+int tvm_regs_per_thread(const ConvShape& shape, const TvmTiling& t) {
+  // Accumulators for the block's channel chunk live in registers, chunked
+  // to at most 32 at a time (the scheme writes out per chunk).
+  return static_cast<int>(
+      24 + std::min<std::int64_t>(tvm_n_chunk(shape, t), 32));
+}
+
+}  // namespace
+
+std::string TvmTiling::to_string() const {
+  std::ostringstream os;
+  os << "(TH=" << th << ", TW=" << tw << ", NGRID=" << n_grid << ")";
+  return os.str();
+}
+
+std::int64_t tvm_n_chunk(const ConvShape& shape, const TvmTiling& t) {
+  return ceil_div(shape.n, t.n_grid);
+}
+
+bool tvm_tiling_feasible(const DeviceSpec& device, const ConvShape& shape,
+                         const TvmTiling& t) {
+  if (t.th < 1 || t.tw < 1 || t.n_grid < 1) {
+    return false;
+  }
+  if (t.th > shape.out_h() || t.tw > shape.out_w() || t.n_grid > shape.n) {
+    return false;
+  }
+  const std::int64_t threads = t.th * t.tw;
+  if (threads > device.max_threads_per_block) {
+    return false;
+  }
+  if (tvm_shared_bytes(shape, t) > device.shared_mem_per_block) {
+    return false;
+  }
+  if (tvm_regs_per_thread(shape, t) > device.max_regs_per_thread) {
+    return false;
+  }
+  return compute_occupancy(device,
+                           BlockResources{static_cast<int>(threads),
+                                          tvm_shared_bytes(shape, t),
+                                          tvm_regs_per_thread(shape, t)})
+      .launchable;
+}
+
+KernelLaunch tvm_scheme_launch(const DeviceSpec& device, const ConvShape& shape,
+                               const TvmTiling& t) {
+  TDC_CHECK_MSG(tvm_tiling_feasible(device, shape, t),
+                "infeasible TVM tiling " + t.to_string() + " for " +
+                    shape.to_string());
+  const std::int64_t blocks = ceil_div(shape.out_h(), t.th) *
+                              ceil_div(shape.out_w(), t.tw) * t.n_grid *
+                              shape.batch;
+  const std::int64_t n_chunk = tvm_n_chunk(shape, t);
+  const double tile =
+      static_cast<double>(tvm_tile_in_h(shape, t) * tvm_tile_in_w(shape, t));
+
+  KernelLaunch l;
+  l.label = "tvm-scheme";
+  l.num_blocks = blocks;
+  l.block.threads = static_cast<int>(t.th * t.tw);
+  l.block.shared_bytes = tvm_shared_bytes(shape, t);
+  l.block.regs_per_thread = tvm_regs_per_thread(shape, t);
+
+  // Gather arithmetic: every thread computes its position for the block's
+  // channel chunk.
+  l.flops_per_block = 2.0 * static_cast<double>(t.th * t.tw) *
+                      static_cast<double>(n_chunk) *
+                      static_cast<double>(shape.c) *
+                      static_cast<double>(shape.r * shape.s);
+
+  // Per C iteration: the channel's input tile (w-contiguous rows) and the
+  // R·S×n_chunk weight slice (NCRS layout — rows of R·S floats). The input
+  // tile is re-staged by every channel block covering the same plane — the
+  // H/W-overlap redundancy the paper discusses.
+  const double waste_in = coalescing_waste_factor(
+      static_cast<double>(tvm_tile_in_w(shape, t)) * 4.0);
+  const double waste_k =
+      coalescing_waste_factor(static_cast<double>(shape.r * shape.s) * 4.0);
+  const double total_in = static_cast<double>(blocks) *
+                          static_cast<double>(shape.c) * tile * 4.0 * waste_in;
+  const double unique_in = static_cast<double>(shape.batch) *
+                           static_cast<double>(shape.c * shape.h * shape.w) *
+                           4.0;
+  add_reread_traffic(device, total_in, unique_in, &l);
+  const double total_k =
+      static_cast<double>(blocks) * static_cast<double>(shape.c) *
+      static_cast<double>(shape.r * shape.s) * static_cast<double>(n_chunk) *
+      4.0 * waste_k;
+  const double unique_k = static_cast<double>(shape.c) *
+                          static_cast<double>(shape.r * shape.s) *
+                          static_cast<double>(shape.n) * 4.0 * waste_k;
+  add_reread_traffic(device, total_k, unique_k, &l);
+
+  // Plain (non-atomic) stores: blocks partition the output tensor.
+  l.bytes_written = static_cast<double>(shape.batch) *
+                    static_cast<double>(shape.out_h() * shape.out_w()) *
+                    static_cast<double>(shape.n) * 4.0;
+
+  // Listing 1 lines 1–2: two barriers per input-channel iteration, and the
+  // block waits for the freshly staged tile every time (no double
+  // buffering) — the synchronization cost the paper calls out.
+  l.sync_count = 2 * shape.c;
+  l.dependent_stalls = shape.c;
+  l.ilp = static_cast<double>(std::min<std::int64_t>(n_chunk, 8));
+  l.compute_efficiency = 0.9;
+  return l;
+}
+
+LatencyBreakdown tvm_scheme_cost(const DeviceSpec& device,
+                                 const ConvShape& shape, const TvmTiling& t) {
+  return simulate_latency(device, tvm_scheme_launch(device, shape, t));
+}
+
+TvmTiling select_tvm_tiling(const DeviceSpec& device, const ConvShape& shape) {
+  TDC_CHECK_MSG(shape.valid(), "invalid shape");
+  const std::string key = device.name + "|" + shape.to_string();
+  {
+    std::lock_guard<std::mutex> lock(tvm_cache_mu);
+    const auto it = tvm_cache().find(key);
+    if (it != tvm_cache().end()) {
+      return it->second;
+    }
+  }
+  TvmTiling best;
+  double best_latency = -1.0;
+  const std::int64_t max_th = std::min<std::int64_t>(shape.out_h(), 32);
+  const std::int64_t max_tw = std::min<std::int64_t>(shape.out_w(), 32);
+  for (std::int64_t th = 1; th <= max_th; ++th) {
+    for (std::int64_t tw = 1; tw <= max_tw; ++tw) {
+      for (std::int64_t n_grid = 1; n_grid <= shape.n; n_grid *= 2) {
+        const TvmTiling t{th, tw, n_grid};
+        if (!tvm_tiling_feasible(device, shape, t)) {
+          continue;
+        }
+        const double latency = tvm_scheme_cost(device, shape, t).total_s;
+        if (best_latency < 0.0 || latency < best_latency) {
+          best_latency = latency;
+          best = t;
+        }
+      }
+    }
+  }
+  TDC_CHECK_MSG(best_latency >= 0.0,
+                "no feasible TVM tiling for " + shape.to_string());
+  {
+    std::lock_guard<std::mutex> lock(tvm_cache_mu);
+    tvm_cache().emplace(key, best);
+  }
+  return best;
+}
+
+LatencyBreakdown tvm_best_cost(const DeviceSpec& device,
+                               const ConvShape& shape) {
+  return tvm_scheme_cost(device, shape, select_tvm_tiling(device, shape));
+}
+
+Tensor tvm_scheme_conv(const Tensor& x, const Tensor& kernel_cnrs,
+                       const ConvShape& shape, const TvmTiling& t) {
+  TDC_CHECK_MSG(x.rank() == 3 && kernel_cnrs.rank() == 4, "bad operand ranks");
+  TDC_CHECK_MSG(x.dim(0) == shape.c && x.dim(1) == shape.h && x.dim(2) == shape.w,
+                "input does not match shape");
+  TDC_CHECK_MSG(kernel_cnrs.dim(0) == shape.c && kernel_cnrs.dim(1) == shape.n,
+                "kernel does not match shape");
+  TDC_CHECK_MSG(shape.batch == 1,
+                "the functional executor is single-image; batched shapes are "
+                "for the cost models");
+  TDC_CHECK(t.th >= 1 && t.tw >= 1 && t.n_grid >= 1 && t.n_grid <= shape.n);
+  const std::int64_t oh = shape.out_h();
+  const std::int64_t ow = shape.out_w();
+  const std::int64_t blocks_h = ceil_div(oh, t.th);
+  const std::int64_t blocks_w = ceil_div(ow, t.tw);
+  const std::int64_t n_chunk = tvm_n_chunk(shape, t);
+  const std::int64_t tile_h = tvm_tile_in_h(shape, t);
+  const std::int64_t tile_w = tvm_tile_in_w(shape, t);
+  const std::int64_t num_blocks = blocks_h * blocks_w * t.n_grid;
+
+  Tensor y({shape.n, oh, ow});
+
+#ifdef TDC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::int64_t block_id = 0; block_id < num_blocks; ++block_id) {
+    const std::int64_t bn = block_id / (blocks_h * blocks_w);
+    const std::int64_t rest = block_id % (blocks_h * blocks_w);
+    const std::int64_t bh = rest / blocks_w;
+    const std::int64_t bw = rest % blocks_w;
+    const std::int64_t n0 = bn * n_chunk;
+    const std::int64_t n1 = std::min(n0 + n_chunk, shape.n);
+
+    const std::int64_t oh0 = bh * t.th;
+    const std::int64_t ow0 = bw * t.tw;
+    const std::int64_t ih0 = oh0 * shape.stride_h - shape.pad_h;
+    const std::int64_t iw0 = ow0 * shape.stride_w - shape.pad_w;
+    std::vector<float> tile(static_cast<std::size_t>(tile_h * tile_w));
+
+    // The C loop with its per-iteration shared staging (Listing 1).
+    for (std::int64_t c = 0; c < shape.c; ++c) {
+      for (std::int64_t lh = 0; lh < tile_h; ++lh) {
+        const std::int64_t ih = ih0 + lh;
+        for (std::int64_t lw = 0; lw < tile_w; ++lw) {
+          const std::int64_t iw = iw0 + lw;
+          const bool inside = ih >= 0 && ih < shape.h && iw >= 0 && iw < shape.w;
+          tile[static_cast<std::size_t>(lh * tile_w + lw)] =
+              inside ? x(c, ih, iw) : 0.0f;
+        }
+      }
+      // Threads: one output position each, looping over the channel chunk.
+      for (std::int64_t lth = 0; lth < t.th && oh0 + lth < oh; ++lth) {
+        for (std::int64_t ltw = 0; ltw < t.tw && ow0 + ltw < ow; ++ltw) {
+          for (std::int64_t n = n0; n < n1; ++n) {
+            float acc = 0.0f;
+            for (std::int64_t r = 0; r < shape.r; ++r) {
+              for (std::int64_t s = 0; s < shape.s; ++s) {
+                acc += tile[static_cast<std::size_t>(
+                           (lth * shape.stride_h + r) * tile_w +
+                           ltw * shape.stride_w + s)] *
+                       kernel_cnrs(c, n, r, s);
+              }
+            }
+            y(n, oh0 + lth, ow0 + ltw) += acc;
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace tdc

@@ -1,0 +1,57 @@
+// The TVM-style direct-convolution scheme (paper Section 5.1, Listing 1).
+//
+// This is the comparison scheme the paper analyzes: thread blocks tile the
+// output plane over H and W (plus the output-channel axis — "all threads in
+// the same thread block require the same kernel weight elements"), threads
+// own output positions, and each iteration of the input-channel loop stages
+// one channel of input plus the weight slice into shared memory behind a
+// pair of __syncthreads. Crucially there is *no input-channel split*:
+// Tucker cores have few channels and small planes, so the grid stays small
+// and the per-channel double barrier is paid C times — the under-utilization
+// that motivates the TDC kernel. Tile sizes are chosen by exhaustive search
+// over the scheme's own space, standing in for TVM's ML-based auto-tuner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "conv/conv_shape.h"
+#include "gpusim/launch.h"
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+struct TvmTiling {
+  std::int64_t th = 1;      ///< output rows per block
+  std::int64_t tw = 1;      ///< output cols per block
+  std::int64_t n_grid = 1;  ///< output-channel blocks (each owns N/n_grid)
+  bool operator==(const TvmTiling&) const = default;
+  std::string to_string() const;
+};
+
+/// Output channels each block computes: ceil(N / n_grid).
+std::int64_t tvm_n_chunk(const ConvShape& shape, const TvmTiling& t);
+
+bool tvm_tiling_feasible(const DeviceSpec& device, const ConvShape& shape,
+                         const TvmTiling& t);
+
+/// Launch descriptor of the scheme for the latency model.
+KernelLaunch tvm_scheme_launch(const DeviceSpec& device, const ConvShape& shape,
+                               const TvmTiling& t);
+
+LatencyBreakdown tvm_scheme_cost(const DeviceSpec& device,
+                                 const ConvShape& shape, const TvmTiling& t);
+
+/// Auto-tuned tiling (exhaustive over the scheme's space — the stand-in for
+/// TVM's tuner).
+TvmTiling select_tvm_tiling(const DeviceSpec& device, const ConvShape& shape);
+
+/// Cost at the auto-tuned tiling.
+LatencyBreakdown tvm_best_cost(const DeviceSpec& device, const ConvShape& shape);
+
+/// Functional execution of the scheme (CNRS weights, [C,H,W] input,
+/// [N,OH,OW] output); numerically equivalent to conv2d_reference.
+Tensor tvm_scheme_conv(const Tensor& x, const Tensor& kernel_cnrs,
+                       const ConvShape& shape, const TvmTiling& t);
+
+}  // namespace tdc

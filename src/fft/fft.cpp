@@ -1,0 +1,99 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+bool is_pow2(std::int64_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::int64_t next_pow2(std::int64_t n) {
+  TDC_CHECK(n >= 1);
+  std::int64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& x, bool inverse) {
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  TDC_CHECK_MSG(is_pow2(n), "fft length must be a power of two");
+  if (n == 1) {
+    return;
+  }
+
+  // Bit-reversal permutation.
+  for (std::int64_t i = 1, j = 0; i < n; ++i) {
+    std::int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  for (std::int64_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::int64_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::int64_t j = 0; j < len / 2; ++j) {
+        const auto u = x[static_cast<std::size_t>(i + j)];
+        const auto v = x[static_cast<std::size_t>(i + j + len / 2)] * w;
+        x[static_cast<std::size_t>(i + j)] = u + v;
+        x[static_cast<std::size_t>(i + j + len / 2)] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : x) {
+      v *= inv_n;
+    }
+  }
+}
+
+void fft2d_inplace(std::vector<std::complex<double>>& x, std::int64_t rows,
+                   std::int64_t cols, bool inverse) {
+  TDC_CHECK(static_cast<std::int64_t>(x.size()) == rows * cols);
+  TDC_CHECK_MSG(is_pow2(rows) && is_pow2(cols),
+                "fft2d dims must be powers of two");
+
+  // Transform rows.
+  std::vector<std::complex<double>> buf(static_cast<std::size_t>(cols));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      buf[static_cast<std::size_t>(c)] = x[static_cast<std::size_t>(r * cols + c)];
+    }
+    fft_inplace(buf, inverse);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      x[static_cast<std::size_t>(r * cols + c)] = buf[static_cast<std::size_t>(c)];
+    }
+  }
+
+  // Transform columns.
+  buf.assign(static_cast<std::size_t>(rows), {});
+  for (std::int64_t c = 0; c < cols; ++c) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      buf[static_cast<std::size_t>(r)] = x[static_cast<std::size_t>(r * cols + c)];
+    }
+    fft_inplace(buf, inverse);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      x[static_cast<std::size_t>(r * cols + c)] = buf[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+}  // namespace tdc

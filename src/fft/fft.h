@@ -1,0 +1,28 @@
+// Iterative radix-2 Cooley–Tukey FFT and 2-D helpers.
+//
+// This is the substrate behind the cuDNN-FFT baseline: convolution in the
+// frequency domain (transform input channels and kernels once, multiply-
+// accumulate per output channel, inverse-transform). Sizes are padded to the
+// next power of two, mirroring what FFT convolution libraries do and which is
+// exactly why the FFT path carries a large overhead on small images.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace tdc {
+
+/// In-place FFT of a power-of-two-length complex signal.
+/// `inverse` applies the conjugate transform and the 1/n scaling.
+void fft_inplace(std::vector<std::complex<double>>& x, bool inverse);
+
+/// Next power of two >= n (n >= 1).
+std::int64_t next_pow2(std::int64_t n);
+
+/// 2-D FFT over a row-major [rows, cols] complex buffer; rows and cols must
+/// be powers of two.
+void fft2d_inplace(std::vector<std::complex<double>>& x, std::int64_t rows,
+                   std::int64_t cols, bool inverse);
+
+}  // namespace tdc

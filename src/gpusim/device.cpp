@@ -1,0 +1,70 @@
+#include "gpusim/device.h"
+
+#include "common/check.h"
+
+namespace tdc {
+
+DeviceSpec make_a100() {
+  DeviceSpec d;
+  d.name = "A100";
+  d.sms = 108;
+  d.max_threads_per_sm = 2048;
+  d.max_threads_per_block = 1024;
+  d.max_blocks_per_sm = 32;
+  d.shared_mem_per_sm = 164 * 1024;
+  d.shared_mem_per_block = 163 * 1024;
+  d.regs_per_sm = 65536;
+  d.max_regs_per_thread = 255;
+  d.peak_flops = 19.5e12;       // FP32 (non-tensor-core), GA100 datasheet
+  d.mem_bandwidth = 1935e9;     // HBM2e, 80 GB SXM
+  d.l2_bandwidth = 4500e9;      // measured GA100 L2 read bandwidth class
+  d.l2_capacity_bytes = 40LL * 1024 * 1024;
+  d.launch_overhead_s = 3.5e-6;
+  d.saturation_streams = 32.0;
+  d.warps_for_issue = 2.0;
+  d.warps_to_saturate_bw = 8.0;
+  d.sync_latency_s = 2.0e-8;
+  d.atomic_penalty = 2.0;
+  d.model_top_fraction = 0.05;  // paper §5.5: top 5 % on A100
+  return d;
+}
+
+DeviceSpec make_rtx2080ti() {
+  DeviceSpec d;
+  d.name = "2080Ti";
+  d.sms = 68;
+  d.max_threads_per_sm = 1024;  // Turing resident-thread limit
+  d.max_threads_per_block = 1024;
+  d.max_blocks_per_sm = 16;
+  d.shared_mem_per_sm = 64 * 1024;
+  d.shared_mem_per_block = 64 * 1024;
+  d.regs_per_sm = 65536;
+  d.max_regs_per_thread = 255;
+  d.peak_flops = 13.45e12;      // FP32, TU102 datasheet
+  d.mem_bandwidth = 616e9;      // GDDR6
+  d.l2_bandwidth = 1800e9;      // TU102 L2 bandwidth class
+  d.l2_capacity_bytes = 5632LL * 1024;  // 5.5 MB
+  d.launch_overhead_s = 4.5e-6;
+  d.saturation_streams = 16.0;
+  d.warps_for_issue = 2.0;
+  // GDDR6 latency is lower than HBM2e relative to its bandwidth: a single
+  // warp covers a larger share of the per-SM bandwidth budget.
+  d.warps_to_saturate_bw = 4.0;
+  d.sync_latency_s = 3.0e-8;
+  d.load_stall_s = 3.0e-7;
+  d.atomic_penalty = 2.5;
+  d.model_top_fraction = 0.15;  // paper §5.5: top 15 % on 2080Ti
+  return d;
+}
+
+DeviceSpec device_by_name(const std::string& name) {
+  if (name == "a100" || name == "A100") {
+    return make_a100();
+  }
+  if (name == "2080ti" || name == "2080Ti" || name == "rtx2080ti") {
+    return make_rtx2080ti();
+  }
+  TDC_CHECK_MSG(false, "unknown device: " + name);
+}
+
+}  // namespace tdc

@@ -1,0 +1,70 @@
+// GPU device descriptors for the performance simulator.
+//
+// The paper evaluates on an NVIDIA A100 (108 SMs, Ampere) and a GTX 2080 Ti
+// (68 SMs, Turing). With no GPU in this environment, the evaluation runs on
+// an analytical execution-model simulator parameterized by these descriptors
+// (see DESIGN.md, "Hardware substitution"). Published datasheet numbers are
+// used for every physical quantity; the last few fields are microarchitecture
+// calibration constants for the latency model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tdc {
+
+struct DeviceSpec {
+  std::string name;
+
+  // --- Physical resources (datasheet values) ---
+  int sms = 1;                           ///< streaming multiprocessors
+  int max_threads_per_sm = 2048;         ///< resident thread limit per SM
+  int max_threads_per_block = 1024;
+  int max_blocks_per_sm = 32;
+  std::int64_t shared_mem_per_sm = 0;    ///< bytes
+  std::int64_t shared_mem_per_block = 0; ///< bytes (max opt-in carve-out)
+  std::int64_t regs_per_sm = 65536;      ///< 32-bit registers
+  int max_regs_per_thread = 255;
+  double peak_flops = 0.0;               ///< FP32 FLOP/s
+  double mem_bandwidth = 0.0;            ///< DRAM bytes/s
+  double l2_bandwidth = 0.0;             ///< L2 bytes/s (atomics resolve here)
+  std::int64_t l2_capacity_bytes = 0;    ///< working sets below this re-read from L2
+  int warp_size = 32;
+
+  // --- Latency-model calibration constants ---
+  double launch_overhead_s = 4e-6;   ///< per-kernel launch + teardown
+  /// Warp-instruction streams (warps × per-thread ILP) needed to saturate
+  /// the FP32 pipes of one SM.
+  double saturation_streams = 32.0;
+  /// A single warp can issue at most one FMA warp-instruction per cycle;
+  /// `warps_for_issue` of them are needed to keep every FP32 lane busy.
+  double warps_for_issue = 2.0;
+  /// Resident warps per SM needed to saturate DRAM bandwidth.
+  double warps_to_saturate_bw = 8.0;
+  double sync_latency_s = 2.5e-8;    ///< one __syncthreads barrier
+  /// Exposed wait for one dependent cooperative load (barrier-load-barrier
+  /// with no double buffering): roughly an L2/DRAM round trip.
+  double load_stall_s = 2.0e-7;
+  /// Extra bandwidth multiplier paid by atomic read-modify-write traffic.
+  double atomic_penalty = 2.0;
+  /// Fraction of tilings kept after the compute-latency sort in the paper's
+  /// analytical tiling model (Section 5.5: 5 % on A100, 15 % on 2080Ti).
+  double model_top_fraction = 0.05;
+
+  /// Total resident threads across the device (the paper's GPU_ths).
+  std::int64_t total_threads() const {
+    return static_cast<std::int64_t>(sms) * max_threads_per_sm;
+  }
+  double peak_flops_per_sm() const { return peak_flops / sms; }
+};
+
+/// NVIDIA A100-SXM4-80GB (Ampere, GA100).
+DeviceSpec make_a100();
+
+/// NVIDIA GeForce RTX 2080 Ti (Turing, TU102).
+DeviceSpec make_rtx2080ti();
+
+/// Lookup by name ("a100" or "2080ti"); throws on unknown names.
+DeviceSpec device_by_name(const std::string& name);
+
+}  // namespace tdc

@@ -1,0 +1,152 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "gpusim/launch.h"
+
+namespace tdc {
+
+namespace {
+
+// Wall time of one wave of `blocks_in_wave` resident blocks.
+//
+// Each active SM timeshares `bpsm` blocks. Per-SM FP32 throughput is scaled
+// by a latency-hiding fraction: a warp issues at most one FMA
+// warp-instruction per cycle (`warps_for_issue` needed to fill the lanes),
+// and the pipeline needs `saturation_streams` independent instruction
+// streams (resident warps × per-thread ILP) in flight to cover FMA latency.
+// Exposed __syncthreads barriers add to the critical path; with several
+// resident blocks per SM, barrier stalls in one block are hidden by issuing
+// from the others.
+double wave_time(const DeviceSpec& d, const KernelLaunch& l, int blocks_per_sm,
+                 std::int64_t blocks_in_wave) {
+  const std::int64_t sms_used =
+      std::min<std::int64_t>(d.sms, blocks_in_wave);
+  const std::int64_t bpsm =
+      std::min<std::int64_t>(blocks_per_sm,
+                             (blocks_in_wave + sms_used - 1) / sms_used);
+  const int warp_threads = round_up_to_warp(d, l.block.threads);
+  const double warps_per_block =
+      static_cast<double>(warp_threads) / d.warp_size;
+  const double active_warps = static_cast<double>(bpsm) * warps_per_block;
+
+  double frac = std::min(1.0, active_warps / d.warps_for_issue);
+  frac = std::min(frac, active_warps * std::max(1.0, l.ilp) /
+                            d.saturation_streams);
+  // Partial warps waste lanes: a block of 4 threads pays whole-warp issue
+  // slots for 4 lanes of useful work.
+  frac *= static_cast<double>(l.block.threads) / warp_threads;
+  frac *= std::clamp(l.compute_efficiency, 1e-3, 1.0);
+
+  const double per_sm_rate = d.peak_flops_per_sm() * frac;
+  const double compute =
+      static_cast<double>(bpsm) * l.flops_per_block / per_sm_rate;
+  // Barriers and dependent-load phases stall the block; co-resident blocks
+  // on the same SM hide each other's stalls.
+  const double barriers = static_cast<double>(l.sync_count) *
+                          d.sync_latency_s / static_cast<double>(bpsm);
+  // Load-stall hiding saturates: co-resident copies of the same kernel
+  // stall in lockstep after each barrier and queue at the same L2/DRAM
+  // path, so a handful of neighbours is all the overlap there is.
+  const double stalls =
+      static_cast<double>(l.dependent_stalls) * d.load_stall_s /
+      std::min<double>(static_cast<double>(bpsm), 4.0);
+  return compute + barriers + stalls;
+}
+
+}  // namespace
+
+double coalescing_waste_factor(double segment_bytes, double sector_bytes) {
+  TDC_CHECK(segment_bytes > 0.0 && sector_bytes > 0.0);
+  const double sectors = std::ceil(segment_bytes / sector_bytes);
+  return sectors * sector_bytes / segment_bytes;
+}
+
+void add_reread_traffic(const DeviceSpec& device, double total_bytes,
+                        double working_set_bytes, KernelLaunch* launch) {
+  TDC_CHECK(launch != nullptr);
+  TDC_CHECK(total_bytes >= 0.0 && working_set_bytes >= 0.0);
+  const double first_pass = std::min(total_bytes, working_set_bytes);
+  const double reread = total_bytes - first_pass;
+  launch->bytes_read += first_pass;
+  if (working_set_bytes <= static_cast<double>(device.l2_capacity_bytes)) {
+    launch->bytes_l2 += reread;
+  } else {
+    launch->bytes_read += reread;
+  }
+}
+
+LatencyBreakdown simulate_latency(const DeviceSpec& device,
+                                  const KernelLaunch& launch) {
+  TDC_CHECK_MSG(launch.num_blocks >= 1, "empty grid: " + launch.label);
+  const OccupancyResult occ = compute_occupancy(device, launch.block);
+  TDC_CHECK_MSG(occ.launchable,
+                "kernel does not fit device: " + launch.label);
+
+  LatencyBreakdown out;
+  out.occ = occ;
+  out.launch_s = device.launch_overhead_s;
+
+  const std::int64_t blocks_per_wave =
+      static_cast<std::int64_t>(occ.blocks_per_sm) * device.sms;
+  const std::int64_t full_waves = launch.num_blocks / blocks_per_wave;
+  const std::int64_t remainder = launch.num_blocks % blocks_per_wave;
+  out.waves = static_cast<double>(launch.num_blocks) /
+              static_cast<double>(blocks_per_wave);
+
+  double compute = static_cast<double>(full_waves) *
+                   wave_time(device, launch, occ.blocks_per_sm, blocks_per_wave);
+  if (remainder > 0) {
+    compute += wave_time(device, launch, occ.blocks_per_sm, remainder);
+  }
+  out.compute_s = compute;
+
+  // Memory path: DRAM traffic at a bandwidth derated by the achievable
+  // memory-level parallelism — only the SMs that actually hold blocks issue
+  // loads, and each needs several resident warps to cover DRAM latency.
+  const double warps_per_block =
+      static_cast<double>(round_up_to_warp(device, launch.block.threads)) /
+      device.warp_size;
+  const std::int64_t sms_used =
+      std::min<std::int64_t>(device.sms, launch.num_blocks);
+  const std::int64_t bpsm_actual = std::min<std::int64_t>(
+      occ.blocks_per_sm, (launch.num_blocks + sms_used - 1) / sms_used);
+  const double resident_warps_per_sm =
+      static_cast<double>(bpsm_actual) * warps_per_block;
+  // Aggregate memory-level parallelism: each resident warp sustains
+  // mem_bandwidth / (sms × warps_to_saturate_bw) on its own; the device
+  // ceiling caps the sum.
+  const double bw_frac = std::min(
+      1.0, static_cast<double>(sms_used) * resident_warps_per_sm /
+               (static_cast<double>(device.sms) * device.warps_to_saturate_bw));
+  const double eff_bw = device.mem_bandwidth * std::max(bw_frac, 1e-4);
+  const double dram_s = (launch.bytes_read + launch.bytes_written) / eff_bw;
+  // L2-resident traffic: cached re-reads plus atomics (which resolve in the
+  // L2 slices and pay the read-modify-write penalty there).
+  const double l2_bw =
+      (device.l2_bandwidth > 0.0 ? device.l2_bandwidth
+                                 : 2.0 * device.mem_bandwidth) *
+      std::max(bw_frac, 1e-4);
+  const double l2_s =
+      (launch.bytes_l2 + launch.atomic_bytes * device.atomic_penalty) / l2_bw;
+  out.memory_s = dram_s + l2_s;
+
+  out.total_s = out.launch_s + std::max(out.compute_s, out.memory_s);
+  return out;
+}
+
+LatencyBreakdown simulate_sequence(const DeviceSpec& device,
+                                   const std::vector<KernelLaunch>& launches) {
+  LatencyBreakdown sum;
+  for (const auto& l : launches) {
+    const LatencyBreakdown b = simulate_latency(device, l);
+    sum.total_s += b.total_s;
+    sum.compute_s += b.compute_s;
+    sum.memory_s += b.memory_s;
+    sum.launch_s += b.launch_s;
+    sum.waves += b.waves;
+  }
+  return sum;
+}
+
+}  // namespace tdc

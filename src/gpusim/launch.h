@@ -1,0 +1,85 @@
+// Kernel launch descriptor and latency breakdown.
+//
+// Every convolution scheme in the repository (the TDC kernel, the TVM-style
+// scheme, and the cuDNN-library stand-ins) describes each GPU kernel it would
+// launch as a KernelLaunch; gpusim::simulate_latency turns that description
+// into a latency. This is the "measured" latency of the reproduction — the
+// richer counterpart of the paper's simple analytical model in Section 5.3
+// (which is implemented separately in src/core/tdc_model.* and is used only
+// for tiling *selection*, exactly as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/occupancy.h"
+
+namespace tdc {
+
+struct KernelLaunch {
+  std::string label;
+  std::int64_t num_blocks = 1;
+  BlockResources block;
+
+  /// Useful + redundant FLOPs actually executed per block (2 × MACs).
+  double flops_per_block = 0.0;
+  /// Global-memory read volume for the whole grid, bytes (after coalescing
+  /// inflation — use coalescing_waste_factor for strided patterns).
+  double bytes_read = 0.0;
+  /// Read traffic expected to be served by the L2 (re-reads of a working
+  /// set that fits the cache — see add_reread_traffic).
+  double bytes_l2 = 0.0;
+  /// Global-memory write volume for the whole grid, bytes (the unique
+  /// output footprint that ultimately reaches DRAM).
+  double bytes_written = 0.0;
+  /// Atomic read-modify-write traffic, bytes. Served by the L2 (where GPU
+  /// atomics resolve), with the device's atomic penalty applied — e.g. the
+  /// per-C-partition commits of the TDC kernel.
+  double atomic_bytes = 0.0;
+  /// __syncthreads barriers on one block's critical path.
+  std::int64_t sync_count = 0;
+  /// Serialized cooperative-load waits on the block critical path: phases
+  /// where the whole block sits behind a barrier until a global load lands
+  /// (Listing 1 pays one per input channel; double-buffered kernels only
+  /// pay the pipeline fill).
+  std::int64_t dependent_stalls = 1;
+  /// Independent FMA chains per thread (register-tile accumulators); feeds
+  /// the latency-hiding term of the compute model.
+  double ilp = 4.0;
+  /// Issue efficiency of the inner loop (predication, address math), (0, 1].
+  double compute_efficiency = 1.0;
+};
+
+struct LatencyBreakdown {
+  double total_s = 0.0;    ///< launch + max(compute, memory)
+  double compute_s = 0.0;  ///< compute path incl. exposed barriers
+  double memory_s = 0.0;   ///< DRAM path
+  double launch_s = 0.0;   ///< fixed launch overhead
+  double waves = 0.0;      ///< fractional wave count
+  OccupancyResult occ;
+};
+
+/// Latency of a single kernel launch under the rich execution model.
+/// Throws if the block does not fit the device.
+LatencyBreakdown simulate_latency(const DeviceSpec& device,
+                                  const KernelLaunch& launch);
+
+/// Sum of per-kernel latencies for a multi-kernel algorithm (sequential
+/// stream semantics, one launch overhead each).
+LatencyBreakdown simulate_sequence(const DeviceSpec& device,
+                                   const std::vector<KernelLaunch>& launches);
+
+/// Bandwidth-waste multiplier (>= 1) for contiguous segments of
+/// `segment_bytes` fetched through fixed-size DRAM sectors.
+double coalescing_waste_factor(double segment_bytes, double sector_bytes = 32.0);
+
+/// Account for `total_bytes` of reads over a working set of
+/// `working_set_bytes`: the first pass over the working set comes from DRAM;
+/// the re-read excess is served by the L2 when the working set fits there,
+/// and by DRAM otherwise.
+void add_reread_traffic(const DeviceSpec& device, double total_bytes,
+                        double working_set_bytes, KernelLaunch* launch);
+
+}  // namespace tdc

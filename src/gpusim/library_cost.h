@@ -1,0 +1,55 @@
+// Latency adapters for the library baselines (the cuDNN stand-ins).
+//
+// Each adapter describes the kernels a library implementation would launch
+// for a given convolution problem — their grids, block resources, FLOPs
+// (including tile-padding waste, which is the root of the batch-1
+// under-utilization the paper reports), and global-memory traffic — and
+// feeds them to gpusim::simulate_latency. Tile menus follow the documented
+// blocking of the corresponding cuDNN algorithms; where cuDNN would choose
+// among several internal kernels, the adapter picks the fastest, which is
+// what the library's own heuristics approximate.
+#pragma once
+
+#include <vector>
+
+#include "conv/conv.h"
+#include "conv/conv_shape.h"
+#include "gpusim/launch.h"
+
+namespace tdc {
+
+/// cuDNN IMPLICIT_GEMM: one fused GEMM kernel over the implicit
+/// [N, C·R·S] × [C·R·S, H'·W'] product, with a menu of CTA tiles.
+LatencyBreakdown cudnn_implicit_gemm_cost(const DeviceSpec& device,
+                                          const ConvShape& shape);
+
+/// cuDNN WINOGRAD (non-fused F(2×2, 3×3)): input transform, 16 batched
+/// transform-domain GEMMs, output transform — three kernels. Requires a
+/// 3×3 stride-1 problem.
+LatencyBreakdown cudnn_winograd_cost(const DeviceSpec& device,
+                                     const ConvShape& shape);
+
+/// cuDNN FFT: forward FFT of input channels, forward FFT of all C·N filter
+/// planes, frequency-domain multiply-accumulate, inverse FFT of output
+/// channels — four kernels on power-of-two-padded planes. Stride 1 only.
+LatencyBreakdown cudnn_fft_cost(const DeviceSpec& device,
+                                const ConvShape& shape);
+
+/// Dispatch on the algorithm id (same restrictions as the functional
+/// implementations in src/conv).
+LatencyBreakdown library_conv_cost(ConvAlgo algo, const DeviceSpec& device,
+                                   const ConvShape& shape);
+
+/// Memory-bound elementwise/pooling-style layer over `elems_in` inputs and
+/// `elems_out` outputs (ReLU, bias, batch-norm inference, residual add,
+/// pooling). One kernel.
+LatencyBreakdown elementwise_cost(const DeviceSpec& device, double elems_in,
+                                  double elems_out);
+
+/// Fully-connected layer y = W·x (batch 1): bandwidth-bound on the weight
+/// matrix.
+LatencyBreakdown fully_connected_cost(const DeviceSpec& device,
+                                      std::int64_t in_features,
+                                      std::int64_t out_features);
+
+}  // namespace tdc

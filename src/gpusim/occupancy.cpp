@@ -1,0 +1,71 @@
+#include "gpusim/occupancy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tdc {
+
+int round_up_to_warp(const DeviceSpec& device, int threads) {
+  const int w = device.warp_size;
+  return ((threads + w - 1) / w) * w;
+}
+
+OccupancyResult compute_occupancy(const DeviceSpec& device,
+                                  const BlockResources& block) {
+  OccupancyResult out;
+  TDC_CHECK(block.threads >= 1);
+  TDC_CHECK(block.shared_bytes >= 0);
+  TDC_CHECK(block.regs_per_thread >= 1);
+
+  if (block.threads > device.max_threads_per_block ||
+      block.shared_bytes > device.shared_mem_per_block ||
+      block.regs_per_thread > device.max_regs_per_thread) {
+    out.launchable = false;
+    out.limiter = "unlaunchable";
+    return out;
+  }
+
+  const int warp_threads = round_up_to_warp(device, block.threads);
+
+  const int by_threads = device.max_threads_per_sm / warp_threads;
+  const int by_blocks = device.max_blocks_per_sm;
+  const int by_smem =
+      block.shared_bytes == 0
+          ? device.max_blocks_per_sm
+          : static_cast<int>(device.shared_mem_per_sm / block.shared_bytes);
+  // Register allocation granularity is per-warp on real hardware; the
+  // per-thread approximation is accurate enough for this model.
+  const std::int64_t regs_per_block =
+      static_cast<std::int64_t>(warp_threads) * block.regs_per_thread;
+  const int by_regs = static_cast<int>(device.regs_per_sm / regs_per_block);
+
+  int blocks = by_threads;
+  out.limiter = "threads";
+  if (by_blocks < blocks) {
+    blocks = by_blocks;
+    out.limiter = "blocks";
+  }
+  if (by_smem < blocks) {
+    blocks = by_smem;
+    out.limiter = "smem";
+  }
+  if (by_regs < blocks) {
+    blocks = by_regs;
+    out.limiter = "regs";
+  }
+
+  if (blocks < 1) {
+    out.launchable = false;
+    out.limiter = "unlaunchable";
+    return out;
+  }
+
+  out.launchable = true;
+  out.blocks_per_sm = blocks;
+  out.occupancy = static_cast<double>(blocks) * warp_threads /
+                  static_cast<double>(device.max_threads_per_sm);
+  return out;
+}
+
+}  // namespace tdc

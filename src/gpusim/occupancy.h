@@ -1,0 +1,38 @@
+// CUDA occupancy calculator.
+//
+// Mirrors what `cudaOccupancyMaxActiveBlocksPerMultiprocessor` / the NVCC
+// occupancy spreadsheet compute: resident blocks per SM are limited by the
+// thread, shared-memory, register, and block-count budgets; occupancy is the
+// resulting fraction of resident warps. The paper's wave equation (Eq. 14)
+// consumes exactly this quantity ("we can obtain it by querying via the NVCC
+// compiler").
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.h"
+
+namespace tdc {
+
+/// Per-block resource footprint of a kernel launch.
+struct BlockResources {
+  int threads = 1;
+  std::int64_t shared_bytes = 0;
+  int regs_per_thread = 32;
+};
+
+struct OccupancyResult {
+  bool launchable = false;     ///< block fits the device at all
+  int blocks_per_sm = 0;       ///< resident blocks per SM
+  double occupancy = 0.0;      ///< resident warps / max warps per SM
+  const char* limiter = "";    ///< which budget binds ("threads", "smem", ...)
+};
+
+/// Occupancy of a kernel with the given per-block footprint.
+OccupancyResult compute_occupancy(const DeviceSpec& device,
+                                  const BlockResources& block);
+
+/// Threads rounded up to a whole number of warps.
+int round_up_to_warp(const DeviceSpec& device, int threads);
+
+}  // namespace tdc

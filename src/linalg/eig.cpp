@@ -1,0 +1,108 @@
+#include "linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tdc {
+
+EigResult eig_symmetric(const Tensor& a, int max_sweeps, double tol) {
+  TDC_CHECK_MSG(a.rank() == 2 && a.dim(0) == a.dim(1),
+                "eig_symmetric expects a square matrix");
+  const std::int64_t n = a.dim(0);
+
+  // Work in double precision: Gram matrices square the condition number.
+  std::vector<double> m(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      // Symmetrize from the lower triangle.
+      const float v = (i >= j) ? a(i, j) : a(j, i);
+      m[static_cast<std::size_t>(i * n + j)] = static_cast<double>(v);
+    }
+  }
+  std::vector<double> v(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i * n + i)] = 1.0;
+  }
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const double x = m[static_cast<std::size_t>(i * n + j)];
+        s += 2.0 * x * x;
+      }
+    }
+    return std::sqrt(s);
+  };
+
+  const double scale = std::max(1.0, std::sqrt(std::inner_product(
+      m.begin(), m.end(), m.begin(), 0.0)));
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol * scale) {
+      break;
+    }
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        const double apq = m[static_cast<std::size_t>(p * n + q)];
+        if (std::abs(apq) <= 1e-300) {
+          continue;
+        }
+        const double app = m[static_cast<std::size_t>(p * n + p)];
+        const double aqq = m[static_cast<std::size_t>(q * n + q)];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply the rotation G(p, q, θ) on both sides of M and accumulate in V.
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double mkp = m[static_cast<std::size_t>(k * n + p)];
+          const double mkq = m[static_cast<std::size_t>(k * n + q)];
+          m[static_cast<std::size_t>(k * n + p)] = c * mkp - s * mkq;
+          m[static_cast<std::size_t>(k * n + q)] = s * mkp + c * mkq;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double mpk = m[static_cast<std::size_t>(p * n + k)];
+          const double mqk = m[static_cast<std::size_t>(q * n + k)];
+          m[static_cast<std::size_t>(p * n + k)] = c * mpk - s * mqk;
+          m[static_cast<std::size_t>(q * n + k)] = s * mpk + c * mqk;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double vkp = v[static_cast<std::size_t>(k * n + p)];
+          const double vkq = v[static_cast<std::size_t>(k * n + q)];
+          v[static_cast<std::size_t>(k * n + p)] = c * vkp - s * vkq;
+          v[static_cast<std::size_t>(k * n + q)] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending by eigenvalue.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t x, std::int64_t y) {
+    return m[static_cast<std::size_t>(x * n + x)] >
+           m[static_cast<std::size_t>(y * n + y)];
+  });
+
+  EigResult result;
+  result.values.resize(static_cast<std::size_t>(n));
+  result.vectors = Tensor({n, n});
+  for (std::int64_t col = 0; col < n; ++col) {
+    const std::int64_t src = order[static_cast<std::size_t>(col)];
+    result.values[static_cast<std::size_t>(col)] =
+        m[static_cast<std::size_t>(src * n + src)];
+    for (std::int64_t row = 0; row < n; ++row) {
+      result.vectors(row, col) =
+          static_cast<float>(v[static_cast<std::size_t>(row * n + src)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace tdc

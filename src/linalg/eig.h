@@ -1,0 +1,30 @@
+// Symmetric eigensolver (cyclic Jacobi).
+//
+// The Tucker truncation in the ADMM K̂-update needs the leading left singular
+// vectors of the mode-1/mode-2 unfoldings T_(k). Rather than a full SVD of a
+// C×(N·R·S) matrix we eigendecompose the small Gram matrix T_(k)·T_(k)^T
+// (at most 2048×2048 for the models in this repo); singular values are the
+// square roots of its eigenvalues and the eigenvectors are the left singular
+// vectors. Cyclic Jacobi is simple, robust, and more than accurate enough for
+// rank truncation.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+struct EigResult {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column i of `vectors` is the eigenvector for values[i]; shape [n, n].
+  Tensor vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix (only the lower triangle is
+/// read). Throws if `a` is not square.
+EigResult eig_symmetric(const Tensor& a, int max_sweeps = 64,
+                        double tol = 1e-11);
+
+}  // namespace tdc

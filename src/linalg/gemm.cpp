@@ -1,0 +1,105 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+// Cache-blocking parameters; modest sizes that fit L1/L2 on typical x86.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 64;
+constexpr std::int64_t kBlockK = 256;
+
+}  // namespace
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+          std::span<const float> a, std::span<const float> b,
+          std::span<float> c, float alpha, float beta) {
+  TDC_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
+  TDC_CHECK(static_cast<std::int64_t>(b.size()) >= k * n);
+  TDC_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
+
+  if (beta == 0.0f) {
+    std::fill(c.begin(), c.begin() + static_cast<std::size_t>(m * n), 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) {
+      c[static_cast<std::size_t>(i)] *= beta;
+    }
+  }
+
+#ifdef TDC_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i_max = std::min(i0 + kBlockM, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k_max = std::min(k0 + kBlockK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t j_max = std::min(j0 + kBlockN, n);
+        for (std::int64_t i = i0; i < i_max; ++i) {
+          for (std::int64_t kk = k0; kk < k_max; ++kk) {
+            const float aik = alpha * a[static_cast<std::size_t>(i * k + kk)];
+            const float* brow = &b[static_cast<std::size_t>(kk * n)];
+            float* crow = &c[static_cast<std::size_t>(i * n)];
+            for (std::int64_t j = j0; j < j_max; ++j) {
+              crow[j] += aik * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float alpha, float beta) {
+  // Materialize A^T once; the extra copy is cheap next to the O(mnk) work and
+  // keeps the inner loops contiguous.
+  std::vector<float> at(static_cast<std::size_t>(m * k));
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      at[static_cast<std::size_t>(i * k + kk)] =
+          a[static_cast<std::size_t>(kk * m + i)];
+    }
+  }
+  gemm(m, n, k, at, b, c, alpha, beta);
+}
+
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float alpha, float beta) {
+  std::vector<float> bt(static_cast<std::size_t>(k * n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      bt[static_cast<std::size_t>(kk * n + j)] =
+          b[static_cast<std::size_t>(j * k + kk)];
+    }
+  }
+  gemm(m, n, k, a, bt, c, alpha, beta);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  TDC_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "matmul expects matrices");
+  TDC_CHECK_MSG(a.dim(1) == b.dim(0), "matmul inner-dim mismatch");
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm(a.dim(0), b.dim(1), a.dim(1), a.data(), b.data(), c.data());
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  TDC_CHECK_MSG(a.rank() == 2, "transpose2d expects a matrix");
+  Tensor out({a.dim(1), a.dim(0)});
+  for (std::int64_t i = 0; i < a.dim(0); ++i) {
+    for (std::int64_t j = 0; j < a.dim(1); ++j) {
+      out(j, i) = a(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace tdc

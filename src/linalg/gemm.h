@@ -1,0 +1,36 @@
+// Blocked, OpenMP-parallel single-precision GEMM.
+//
+// This is the workhorse behind the im2col convolution path (the stand-in for
+// cuDNN IMPLICIT_GEMM), the pointwise 1×1 convolutions of the Tucker
+// pipeline, and the fully-connected layers in the training substrate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+/// C[M,N] = alpha * A[M,K] * B[K,N] + beta * C[M,N]; row-major spans.
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+          std::span<const float> a, std::span<const float> b,
+          std::span<float> c, float alpha = 1.0f, float beta = 0.0f);
+
+/// C[M,N] = alpha * A^T[K,M] * B[K,N] + beta * C; A is stored [K, M].
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float alpha = 1.0f, float beta = 0.0f);
+
+/// C[M,N] = alpha * A[M,K] * B^T[N,K] + beta * C; B is stored [N, K].
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float alpha = 1.0f, float beta = 0.0f);
+
+/// Tensor convenience wrapper: returns A·B for rank-2 tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Returns A^T for a rank-2 tensor.
+Tensor transpose2d(const Tensor& a);
+
+}  // namespace tdc

@@ -1,0 +1,48 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/eig.h"
+#include "linalg/gemm.h"
+
+namespace tdc {
+
+SvdLeft svd_left(const Tensor& a) {
+  TDC_CHECK_MSG(a.rank() == 2, "svd_left expects a matrix");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t n = a.dim(1);
+
+  // Gram matrix G = A·A^T (m×m).
+  Tensor g({m, m});
+  gemm_bt(m, m, n, a.data(), a.data(), g.data());
+
+  EigResult eig = eig_symmetric(g);
+
+  SvdLeft out;
+  out.u = std::move(eig.vectors);
+  const std::int64_t k = std::min(m, n);
+  out.singular_values.resize(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    // Numerical noise can push tiny eigenvalues slightly negative.
+    out.singular_values[static_cast<std::size_t>(i)] =
+        std::sqrt(std::max(0.0, eig.values[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+Tensor leading_left_singular_vectors(const Tensor& a, std::int64_t k) {
+  TDC_CHECK_MSG(k >= 1 && k <= a.dim(0),
+                "requested more singular vectors than rows");
+  SvdLeft s = svd_left(a);
+  Tensor u({a.dim(0), k});
+  for (std::int64_t i = 0; i < a.dim(0); ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      u(i, j) = s.u(i, j);
+    }
+  }
+  return u;
+}
+
+}  // namespace tdc

@@ -1,0 +1,30 @@
+// Truncated SVD via the Gram-matrix route.
+//
+// For a (typically wide) matrix A ∈ R^{m×n} with m ≤ a few thousand, the left
+// singular vectors are the eigenvectors of A·A^T and the singular values the
+// square roots of its eigenvalues. This is exactly what truncated HOSVD
+// (paper Eq. 12) needs: only U and σ, never V.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+struct SvdLeft {
+  /// Singular values in descending order (size min(m, n), padded with zeros
+  /// when the Gram spectrum has trailing negatives squashed to zero).
+  std::vector<double> singular_values;
+  /// Left singular vectors, shape [m, m]; column i pairs with
+  /// singular_values[i] for i < min(m, n).
+  Tensor u;
+};
+
+/// Left singular vectors + singular values of a rank-2 tensor.
+SvdLeft svd_left(const Tensor& a);
+
+/// Convenience: the first `k` columns of svd_left(a).u, shape [m, k].
+Tensor leading_left_singular_vectors(const Tensor& a, std::int64_t k);
+
+}  // namespace tdc

@@ -1,0 +1,232 @@
+#include "nn/inception.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "gpusim/library_cost.h"
+#include "nn/model_cost.h"
+
+namespace tdc {
+
+double InceptionModule::flops() const {
+  double f = 0.0;
+  for (const auto& branch : branches) {
+    for (const auto& conv : branch.convs) {
+      f += conv.flops();
+    }
+  }
+  return f;
+}
+
+double WideModelSpec::total_flops() const {
+  double f = 0.0;
+  for (const auto& l : stem) {
+    f += l.flops();
+  }
+  for (const auto& [module, pool] : modules) {
+    f += module.flops();
+  }
+  for (const auto& l : head) {
+    f += l.flops();
+  }
+  return f;
+}
+
+namespace {
+
+// Inception-v1 module: #1×1 | #3×3reduce → #3×3 | #5×5reduce → #5×5 |
+// pool → #poolproj.
+InceptionModule make_module(const std::string& name, std::int64_t in,
+                            std::int64_t hw, std::int64_t c1,
+                            std::int64_t c3r, std::int64_t c3,
+                            std::int64_t c5r, std::int64_t c5,
+                            std::int64_t pp) {
+  InceptionModule m;
+  m.name = name;
+  m.in_channels = in;
+  m.out_channels = c1 + c3 + c5 + pp;
+  m.hw = hw;
+  m.branches.push_back({name + ".b1", {ConvShape::same(in, c1, hw, 1)}});
+  m.branches.push_back({name + ".b3",
+                        {ConvShape::same(in, c3r, hw, 1),
+                         ConvShape::same(c3r, c3, hw, 3)}});
+  m.branches.push_back({name + ".b5",
+                        {ConvShape::same(in, c5r, hw, 1),
+                         ConvShape::same(c5r, c5, hw, 5)}});
+  // Pool branch: the 3×3 max pool is an elementwise-class op; its 1×1
+  // projection is the conv.
+  m.branches.push_back({name + ".bp", {ConvShape::same(in, pp, hw, 1)}});
+  return m;
+}
+
+}  // namespace
+
+WideModelSpec make_googlenet() {
+  WideModelSpec g;
+  g.name = "googlenet";
+
+  const auto plane = [](std::int64_t c, std::int64_t hw) {
+    return static_cast<double>(c) * hw * hw;
+  };
+  g.stem.push_back(
+      LayerSpec::make_conv("conv1", ConvShape::same(3, 64, 224, 7, 2)));
+  g.stem.push_back(LayerSpec::make_pool("pool1", plane(64, 112), plane(64, 56)));
+  g.stem.push_back(
+      LayerSpec::make_conv("conv2", ConvShape::same(64, 64, 56, 1)));
+  g.stem.push_back(
+      LayerSpec::make_conv("conv3", ConvShape::same(64, 192, 56, 3)));
+  g.stem.push_back(LayerSpec::make_pool("pool2", plane(192, 56), plane(192, 28)));
+
+  // The canonical Inception-v1 table (Szegedy et al., Table 1).
+  g.modules.push_back({make_module("3a", 192, 28, 64, 96, 128, 16, 32, 32), false});
+  g.modules.push_back({make_module("3b", 256, 28, 128, 128, 192, 32, 96, 64), true});
+  g.modules.push_back({make_module("4a", 480, 14, 192, 96, 208, 16, 48, 64), false});
+  g.modules.push_back({make_module("4b", 512, 14, 160, 112, 224, 24, 64, 64), false});
+  g.modules.push_back({make_module("4c", 512, 14, 128, 128, 256, 24, 64, 64), false});
+  g.modules.push_back({make_module("4d", 512, 14, 112, 144, 288, 32, 64, 64), false});
+  g.modules.push_back({make_module("4e", 528, 14, 256, 160, 320, 32, 128, 128), true});
+  g.modules.push_back({make_module("5a", 832, 7, 256, 160, 320, 32, 128, 128), false});
+  g.modules.push_back({make_module("5b", 832, 7, 384, 192, 384, 48, 128, 128), false});
+
+  g.head.push_back(LayerSpec::make_global_pool("avgpool", plane(1024, 7), 1024));
+  g.head.push_back(LayerSpec::make_fc("fc", 1024, 1000));
+  return g;
+}
+
+double concurrent_latency(const DeviceSpec& device,
+                          const std::vector<LatencyBreakdown>& kernels) {
+  TDC_CHECK_MSG(!kernels.empty(), "no kernels to co-schedule");
+  // Lower bounds: the slowest member (its critical path cannot shrink) and
+  // the aggregate device throughput over all members' work.
+  double slowest = 0.0;
+  double sum_compute = 0.0;
+  double sum_memory = 0.0;
+  double sum_total = 0.0;
+  for (const auto& k : kernels) {
+    slowest = std::max(slowest, k.total_s);
+    // Device-seconds of pure throughput each kernel needs if perfectly
+    // co-scheduled: its work at full-device rates.
+    sum_compute += k.compute_s * k.occ.occupancy;  // occupancy-weighted share
+    sum_memory += k.memory_s;
+    sum_total += k.total_s;
+  }
+  // Concurrency can hide under-utilization (the whole point of streams) but
+  // not aggregate bandwidth: memory paths serialize at the DRAM controller.
+  const double lower =
+      std::max({slowest, sum_compute, sum_memory / 2.0});
+  return std::min(sum_total, std::max(lower, slowest));
+}
+
+namespace {
+
+// Price one conv: original (cuDNN) or its decomposed pipeline with a TDC
+// core, reusing the e2e pricing used everywhere else.
+double conv_latency(const DeviceSpec& device, const LayerDecision& dec,
+                    bool use_tdc) {
+  if (!dec.decomposed || !use_tdc) {
+    return dec.decomposed && use_tdc
+               ? dec.chosen_latency_s
+               : cudnn_implicit_gemm_cost(device, dec.shape).total_s;
+  }
+  return dec.chosen_latency_s;
+}
+
+LatencyBreakdown branch_breakdown(const DeviceSpec& device,
+                                  const InceptionBranchPlan& plan,
+                                  bool use_tdc) {
+  LatencyBreakdown sum;
+  double occ_weighted = 0.0;
+  double total = 0.0;
+  for (const auto& dec : plan.decisions) {
+    const double t = conv_latency(device, dec, use_tdc);
+    total += t;
+    const LatencyBreakdown b = cudnn_implicit_gemm_cost(device, dec.shape);
+    occ_weighted += b.occ.occupancy;
+  }
+  sum.total_s = total;
+  // Approximate the branch's compute/memory split from its dominant conv.
+  sum.compute_s = total * 0.7;
+  sum.memory_s = total * 0.5;
+  sum.occ.occupancy =
+      plan.decisions.empty()
+          ? 1.0
+          : std::min(1.0, occ_weighted /
+                              static_cast<double>(plan.decisions.size()));
+  return sum;
+}
+
+}  // namespace
+
+InceptionModulePlan plan_inception_module(const DeviceSpec& device,
+                                          const InceptionModule& module,
+                                          const CodesignOptions& options) {
+  InceptionModulePlan plan;
+  for (const auto& branch : module.branches) {
+    InceptionBranchPlan bp;
+    bp.branch = branch;
+    const CodesignResult r = run_codesign(device, branch.convs, options);
+    bp.decisions = r.layers;
+    plan.branches.push_back(std::move(bp));
+  }
+  return plan;
+}
+
+InceptionModuleCost price_inception_module(const DeviceSpec& device,
+                                           const InceptionModule& module,
+                                           const InceptionModulePlan& plan) {
+  TDC_CHECK_MSG(plan.branches.size() == module.branches.size(),
+                "plan does not match module");
+  InceptionModuleCost cost;
+  std::vector<LatencyBreakdown> original_branches;
+  std::vector<LatencyBreakdown> tdc_branches;
+  for (const auto& bp : plan.branches) {
+    const LatencyBreakdown orig = branch_breakdown(device, bp, /*use_tdc=*/false);
+    const LatencyBreakdown tdc = branch_breakdown(device, bp, /*use_tdc=*/true);
+    cost.sequential_original_s += orig.total_s;
+    cost.sequential_tdc_s += tdc.total_s;
+    original_branches.push_back(orig);
+    tdc_branches.push_back(tdc);
+  }
+  cost.concurrent_original_s = concurrent_latency(device, original_branches);
+  cost.concurrent_tdc_s = concurrent_latency(device, tdc_branches);
+  return cost;
+}
+
+GoogleNetE2e evaluate_googlenet(const DeviceSpec& device,
+                                const CodesignOptions& options) {
+  const WideModelSpec g = make_googlenet();
+  GoogleNetE2e out;
+
+  double fixed = 0.0;  // stem + head + pooling, common to all strategies
+  for (const auto& l : g.stem) {
+    fixed += layer_latency(device, l);
+  }
+  for (const auto& l : g.head) {
+    fixed += layer_latency(device, l);
+  }
+
+  out.original_sequential_s = fixed;
+  out.original_concurrent_s = fixed;
+  out.tdc_concurrent_s = fixed;
+  for (const auto& [module, pool_after] : g.modules) {
+    const InceptionModulePlan plan =
+        plan_inception_module(device, module, options);
+    const InceptionModuleCost cost =
+        price_inception_module(device, module, plan);
+    out.original_sequential_s += cost.sequential_original_s;
+    out.original_concurrent_s += cost.concurrent_original_s;
+    out.tdc_concurrent_s += cost.concurrent_tdc_s;
+    if (pool_after) {
+      const double elems = static_cast<double>(module.out_channels) *
+                           module.hw * module.hw;
+      const double pool =
+          elementwise_cost(device, elems, elems / 4.0).total_s;
+      out.original_sequential_s += pool;
+      out.original_concurrent_s += pool;
+      out.tdc_concurrent_s += pool;
+    }
+  }
+  return out;
+}
+
+}  // namespace tdc

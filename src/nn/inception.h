@@ -1,0 +1,102 @@
+// Wide-CNN extension: inception modules and concurrent-convolution costing.
+//
+// The paper's conclusion defers wide CNNs (GoogLeNet, NasNet) to future work
+// because (1) multiple convolutions run *concurrently* per stage and
+// (2) ranks must be chosen jointly for the concurrent branches. This module
+// implements that extension on top of the reproduction: a GoogLeNet
+// (Inception-v1) inventory, a concurrency model for kernels co-scheduled on
+// one device (CUDA multi-stream semantics), and branch-wise rank selection
+// evaluated at module granularity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/codesign.h"
+#include "nn/layer.h"
+
+namespace tdc {
+
+/// One inception branch: a short chain of convolutions executed back to
+/// back (e.g. 1×1 reduce then 5×5).
+struct InceptionBranch {
+  std::string name;
+  std::vector<ConvShape> convs;
+};
+
+/// One inception module: branches run concurrently, then concatenate.
+struct InceptionModule {
+  std::string name;
+  std::vector<InceptionBranch> branches;
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t hw = 0;
+
+  double flops() const;
+};
+
+/// A wide model: a stem (sequential layers), inception modules with
+/// interleaved pooling, and a classifier head.
+struct WideModelSpec {
+  std::string name;
+  std::vector<LayerSpec> stem;
+  /// (module, pool_after) pairs in network order; pool_after halves H/W.
+  std::vector<std::pair<InceptionModule, bool>> modules;
+  std::vector<LayerSpec> head;
+
+  double total_flops() const;
+};
+
+/// GoogLeNet / Inception-v1 (Szegedy et al. 2015), ImageNet geometry.
+WideModelSpec make_googlenet();
+
+/// Latency of kernels co-scheduled on one device (one CUDA stream per
+/// branch): bounded below by every kernel's standalone latency and by the
+/// aggregate compute/memory throughput of the device, bounded above by the
+/// serialized sum.
+double concurrent_latency(const DeviceSpec& device,
+                          const std::vector<LatencyBreakdown>& kernels);
+
+/// Standalone (sequential-stream) latency of a branch under a backend-less
+/// cuDNN pricing, or with TDC cores when `decisions` are provided.
+struct InceptionBranchPlan {
+  InceptionBranch branch;
+  /// Per conv in the branch: decomposition decision (paired by index).
+  std::vector<LayerDecision> decisions;
+};
+
+struct InceptionModulePlan {
+  std::vector<InceptionBranchPlan> branches;
+};
+
+/// Rank selection for a whole module: each branch conv goes through the
+/// standard per-layer co-design; the joint effect is evaluated by the
+/// concurrency model (the "determine the ranks for the concurrent
+/// convolutions" problem the paper poses).
+InceptionModulePlan plan_inception_module(const DeviceSpec& device,
+                                          const InceptionModule& module,
+                                          const CodesignOptions& options);
+
+struct InceptionModuleCost {
+  double sequential_original_s = 0.0;  ///< one stream, cuDNN convs
+  double concurrent_original_s = 0.0;  ///< one stream per branch, cuDNN
+  double sequential_tdc_s = 0.0;       ///< one stream, compressed + TDC cores
+  double concurrent_tdc_s = 0.0;       ///< streams + compressed + TDC cores
+};
+
+InceptionModuleCost price_inception_module(const DeviceSpec& device,
+                                           const InceptionModule& module,
+                                           const InceptionModulePlan& plan);
+
+/// End-to-end wide-model latency (stem and head priced as usual; modules
+/// priced with the chosen strategy).
+struct GoogleNetE2e {
+  double original_sequential_s = 0.0;
+  double original_concurrent_s = 0.0;
+  double tdc_concurrent_s = 0.0;
+};
+
+GoogleNetE2e evaluate_googlenet(const DeviceSpec& device,
+                                const CodesignOptions& options);
+
+}  // namespace tdc

@@ -1,0 +1,134 @@
+// Static layer/model descriptors.
+//
+// The end-to-end evaluation (paper Figures 8–9) does not need weights — it
+// needs every layer's *shape*: convolution geometry for the compression and
+// latency models, element counts for the memory-bound layers. ModelSpec is
+// that inventory for the five CNNs of the paper plus the CIFAR ResNet-20 of
+// Table 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conv/conv_shape.h"
+
+namespace tdc {
+
+enum class LayerKind {
+  kConv,         ///< convolution (any R×S, incl. 1×1 and the 7×7 stem)
+  kPool,         ///< max/avg pooling
+  kGlobalPool,   ///< global average pooling
+  kElementwise,  ///< BN (inference), ReLU, bias, residual add, concat
+  kFullyConnected,
+};
+
+struct LayerSpec {
+  LayerKind kind = LayerKind::kElementwise;
+  std::string name;
+
+  /// kConv: the convolution problem.
+  ConvShape conv;
+
+  /// kPool / kGlobalPool / kElementwise: element counts.
+  double elems_in = 0.0;
+  double elems_out = 0.0;
+
+  /// kFullyConnected.
+  std::int64_t fc_in = 0;
+  std::int64_t fc_out = 0;
+
+  double flops() const {
+    switch (kind) {
+      case LayerKind::kConv:
+        return conv.flops();
+      case LayerKind::kFullyConnected:
+        return 2.0 * static_cast<double>(fc_in) * static_cast<double>(fc_out);
+      default:
+        return elems_in;  // one pass over the input
+    }
+  }
+
+  static LayerSpec make_conv(std::string name, const ConvShape& shape) {
+    LayerSpec l;
+    l.kind = LayerKind::kConv;
+    l.name = std::move(name);
+    l.conv = shape;
+    return l;
+  }
+  static LayerSpec make_pool(std::string name, double in, double out) {
+    LayerSpec l;
+    l.kind = LayerKind::kPool;
+    l.name = std::move(name);
+    l.elems_in = in;
+    l.elems_out = out;
+    return l;
+  }
+  static LayerSpec make_elementwise(std::string name, double elems) {
+    LayerSpec l;
+    l.kind = LayerKind::kElementwise;
+    l.name = std::move(name);
+    l.elems_in = elems;
+    l.elems_out = elems;
+    return l;
+  }
+  static LayerSpec make_global_pool(std::string name, double in, double out) {
+    LayerSpec l;
+    l.kind = LayerKind::kGlobalPool;
+    l.name = std::move(name);
+    l.elems_in = in;
+    l.elems_out = out;
+    return l;
+  }
+  static LayerSpec make_fc(std::string name, std::int64_t in, std::int64_t out) {
+    LayerSpec l;
+    l.kind = LayerKind::kFullyConnected;
+    l.name = std::move(name);
+    l.fc_in = in;
+    l.fc_out = out;
+    return l;
+  }
+};
+
+struct ModelSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+
+  double total_flops() const {
+    double f = 0.0;
+    for (const auto& l : layers) {
+      f += l.flops();
+    }
+    return f;
+  }
+  double conv_flops() const {
+    double f = 0.0;
+    for (const auto& l : layers) {
+      if (l.kind == LayerKind::kConv) {
+        f += l.flops();
+      }
+    }
+    return f;
+  }
+  std::vector<ConvShape> conv_shapes() const {
+    std::vector<ConvShape> out;
+    for (const auto& l : layers) {
+      if (l.kind == LayerKind::kConv) {
+        out.push_back(l.conv);
+      }
+    }
+    return out;
+  }
+  /// Convolutions eligible for Tucker decomposition (spatial filters).
+  std::vector<ConvShape> decomposable_conv_shapes() const {
+    std::vector<ConvShape> out;
+    for (const auto& l : layers) {
+      if (l.kind == LayerKind::kConv && (l.conv.r > 1 || l.conv.s > 1)) {
+        out.push_back(l.conv);
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace tdc

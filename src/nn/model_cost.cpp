@@ -1,0 +1,122 @@
+#include "nn/model_cost.h"
+
+#include "common/check.h"
+#include "core/tvm_scheme.h"
+
+namespace tdc {
+
+const char* core_backend_name(CoreBackend backend) {
+  switch (backend) {
+    case CoreBackend::kCudnn:
+      return "cudnn";
+    case CoreBackend::kTvm:
+      return "tvm";
+    case CoreBackend::kTdcOracle:
+      return "tdc-oracle";
+    case CoreBackend::kTdcModel:
+      return "tdc-model";
+  }
+  return "unknown";
+}
+
+double layer_latency(const DeviceSpec& device, const LayerSpec& layer) {
+  switch (layer.kind) {
+    case LayerKind::kConv:
+      return cudnn_implicit_gemm_cost(device, layer.conv).total_s;
+    case LayerKind::kPool:
+    case LayerKind::kGlobalPool:
+    case LayerKind::kElementwise:
+      return elementwise_cost(device, layer.elems_in, layer.elems_out).total_s;
+    case LayerKind::kFullyConnected:
+      return fully_connected_cost(device, layer.fc_in, layer.fc_out).total_s;
+  }
+  TDC_CHECK_MSG(false, "unknown layer kind");
+}
+
+CodesignResult compress_model(const DeviceSpec& device, const ModelSpec& model,
+                              const CodesignOptions& options) {
+  return run_codesign(device, model.conv_shapes(), options);
+}
+
+double model_latency_original(const DeviceSpec& device,
+                              const ModelSpec& model) {
+  double total = 0.0;
+  for (const auto& layer : model.layers) {
+    total += layer_latency(device, layer);
+  }
+  return total;
+}
+
+namespace {
+
+// Latency of one decomposed layer's core stage under the given backend.
+double core_stage_latency(const DeviceSpec& device, const ConvShape& core,
+                          CoreBackend backend) {
+  switch (backend) {
+    case CoreBackend::kCudnn:
+      return cudnn_implicit_gemm_cost(device, core).total_s;
+    case CoreBackend::kTvm:
+      return tvm_best_cost(device, core).total_s;
+    case CoreBackend::kTdcOracle:
+      return tdc_core_cost(device, core, select_tiling_oracle(device, core))
+          .total_s;
+    case CoreBackend::kTdcModel:
+      return tdc_core_cost(device, core, select_tiling_model(device, core))
+          .total_s;
+  }
+  TDC_CHECK_MSG(false, "unknown backend");
+}
+
+}  // namespace
+
+double model_latency_compressed(const DeviceSpec& device,
+                                const ModelSpec& model,
+                                const CodesignResult& decisions,
+                                CoreBackend backend) {
+  double total = 0.0;
+  std::size_t conv_idx = 0;
+  for (const auto& layer : model.layers) {
+    if (layer.kind != LayerKind::kConv) {
+      total += layer_latency(device, layer);
+      continue;
+    }
+    TDC_CHECK_MSG(conv_idx < decisions.layers.size(),
+                  "decision list shorter than the model's conv list");
+    const LayerDecision& dec = decisions.layers[conv_idx++];
+    TDC_CHECK_MSG(dec.shape == layer.conv,
+                  "decision/model conv sequence mismatch");
+    if (!dec.decomposed) {
+      total += layer_latency(device, layer);
+      continue;
+    }
+    const ConvShape pw1 = first_pointwise_shape(layer.conv, dec.ranks);
+    const ConvShape core = core_conv_shape(layer.conv, dec.ranks);
+    const ConvShape pw2 = last_pointwise_shape(layer.conv, dec.ranks);
+    total += cudnn_implicit_gemm_cost(device, pw1).total_s;
+    total += core_stage_latency(device, core, backend);
+    total += cudnn_implicit_gemm_cost(device, pw2).total_s;
+  }
+  TDC_CHECK_MSG(conv_idx == decisions.layers.size(),
+                "decision list longer than the model's conv list");
+  return total;
+}
+
+E2eRow evaluate_model_e2e(const DeviceSpec& device, const ModelSpec& model,
+                          const CodesignOptions& options) {
+  const CodesignResult decisions = compress_model(device, model, options);
+  E2eRow row;
+  row.model = model.name;
+  row.original_s = model_latency_original(device, model);
+  row.tk_cudnn_s =
+      model_latency_compressed(device, model, decisions, CoreBackend::kCudnn);
+  row.tk_tvm_s =
+      model_latency_compressed(device, model, decisions, CoreBackend::kTvm);
+  row.tk_tdc_oracle_s = model_latency_compressed(device, model, decisions,
+                                                 CoreBackend::kTdcOracle);
+  row.tk_tdc_model_s = model_latency_compressed(device, model, decisions,
+                                                CoreBackend::kTdcModel);
+  row.flops_reduction = decisions.achieved_flops_reduction();
+  return row;
+}
+
+}  // namespace tdc

@@ -1,0 +1,56 @@
+// End-to-end model latency walks (paper Figures 8 and 9).
+//
+// Prices a whole model as the sum of its layer kernels under the gpusim
+// latency model, in four configurations matching the paper's bars:
+//   Original            — every conv via cuDNN IMPLICIT_GEMM
+//   TK-compressed cuDNN — decomposed layers run all three stages on cuDNN
+//   TK-compressed TVM   — core convolutions on the TVM-style scheme
+//   TK-compressed TDC   — core convolutions on the TDC kernel
+//                         (oracle or analytical-model tiling)
+// The compression decisions (which layers are decomposed, at which ranks)
+// come from one co-design pass and are shared by all compressed
+// configurations, exactly as the paper compresses once and deploys with
+// different backends.
+#pragma once
+
+#include "core/codesign.h"
+#include "nn/layer.h"
+
+namespace tdc {
+
+enum class CoreBackend { kCudnn, kTvm, kTdcOracle, kTdcModel };
+
+const char* core_backend_name(CoreBackend backend);
+
+/// Latency of an undecomposed layer.
+double layer_latency(const DeviceSpec& device, const LayerSpec& layer);
+
+/// Run the co-design pass over the model's convolution layers.
+CodesignResult compress_model(const DeviceSpec& device, const ModelSpec& model,
+                              const CodesignOptions& options);
+
+/// End-to-end latency of the original model (cuDNN everywhere).
+double model_latency_original(const DeviceSpec& device, const ModelSpec& model);
+
+/// End-to-end latency of the compressed model with the chosen core backend.
+/// `decisions` must come from compress_model on the same model.
+double model_latency_compressed(const DeviceSpec& device,
+                                const ModelSpec& model,
+                                const CodesignResult& decisions,
+                                CoreBackend backend);
+
+/// Full Figure-8/9 row for one model.
+struct E2eRow {
+  std::string model;
+  double original_s = 0.0;
+  double tk_cudnn_s = 0.0;
+  double tk_tvm_s = 0.0;
+  double tk_tdc_oracle_s = 0.0;
+  double tk_tdc_model_s = 0.0;
+  double flops_reduction = 0.0;  ///< achieved model-wide conv FLOPs reduction
+};
+
+E2eRow evaluate_model_e2e(const DeviceSpec& device, const ModelSpec& model,
+                          const CodesignOptions& options);
+
+}  // namespace tdc

@@ -1,0 +1,259 @@
+#include "nn/models.h"
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+// Convolution with BN + ReLU bookkeeping layers appended, torchvision style.
+void push_conv_bn_relu(ModelSpec& m, const std::string& name,
+                       const ConvShape& shape, bool relu = true) {
+  m.layers.push_back(LayerSpec::make_conv(name, shape));
+  const double out_elems = static_cast<double>(shape.out_h()) *
+                           static_cast<double>(shape.out_w()) *
+                           static_cast<double>(shape.n);
+  m.layers.push_back(LayerSpec::make_elementwise(name + ".bn", out_elems));
+  if (relu) {
+    m.layers.push_back(LayerSpec::make_elementwise(name + ".relu", out_elems));
+  }
+}
+
+double plane(std::int64_t c, std::int64_t hw) {
+  return static_cast<double>(c) * static_cast<double>(hw) *
+         static_cast<double>(hw);
+}
+
+}  // namespace
+
+ModelSpec make_vgg16() {
+  ModelSpec m;
+  m.name = "vgg16";
+  struct Stage {
+    std::int64_t convs, in, out, hw;
+  };
+  const Stage stages[] = {{2, 3, 64, 224},
+                          {2, 64, 128, 112},
+                          {3, 128, 256, 56},
+                          {3, 256, 512, 28},
+                          {3, 512, 512, 14}};
+  int idx = 0;
+  for (const auto& st : stages) {
+    std::int64_t c = st.in;
+    for (std::int64_t i = 0; i < st.convs; ++i) {
+      const ConvShape shape = ConvShape::same(c, st.out, st.hw, 3);
+      push_conv_bn_relu(m, "conv" + std::to_string(++idx), shape);
+      c = st.out;
+    }
+    m.layers.push_back(LayerSpec::make_pool(
+        "pool" + std::to_string(idx), plane(st.out, st.hw),
+        plane(st.out, st.hw / 2)));
+  }
+  m.layers.push_back(LayerSpec::make_fc("fc1", 512 * 7 * 7, 4096));
+  m.layers.push_back(LayerSpec::make_fc("fc2", 4096, 4096));
+  m.layers.push_back(LayerSpec::make_fc("fc3", 4096, 1000));
+  return m;
+}
+
+namespace {
+
+// Basic residual block (two 3×3 convolutions) at spatial size `hw_out`.
+void push_basic_block(ModelSpec& m, const std::string& name, std::int64_t in,
+                      std::int64_t out, std::int64_t hw_in, std::int64_t stride) {
+  const std::int64_t hw_out = hw_in / stride;
+  push_conv_bn_relu(m, name + ".conv1",
+                    ConvShape::same(in, out, hw_in, 3, stride));
+  push_conv_bn_relu(m, name + ".conv2", ConvShape::same(out, out, hw_out, 3),
+                    /*relu=*/false);
+  if (stride != 1 || in != out) {
+    push_conv_bn_relu(m, name + ".downsample",
+                      ConvShape::same(in, out, hw_in, 1, stride),
+                      /*relu=*/false);
+  }
+  m.layers.push_back(
+      LayerSpec::make_elementwise(name + ".add_relu", plane(out, hw_out)));
+}
+
+// Bottleneck block (1×1 reduce, 3×3, 1×1 expand ×4).
+void push_bottleneck(ModelSpec& m, const std::string& name, std::int64_t in,
+                     std::int64_t mid, std::int64_t hw_in, std::int64_t stride) {
+  const std::int64_t out = mid * 4;
+  const std::int64_t hw_out = hw_in / stride;
+  push_conv_bn_relu(m, name + ".conv1", ConvShape::same(in, mid, hw_in, 1));
+  push_conv_bn_relu(m, name + ".conv2",
+                    ConvShape::same(mid, mid, hw_in, 3, stride));
+  push_conv_bn_relu(m, name + ".conv3", ConvShape::same(mid, out, hw_out, 1),
+                    /*relu=*/false);
+  if (stride != 1 || in != out) {
+    push_conv_bn_relu(m, name + ".downsample",
+                      ConvShape::same(in, out, hw_in, 1, stride),
+                      /*relu=*/false);
+  }
+  m.layers.push_back(
+      LayerSpec::make_elementwise(name + ".add_relu", plane(out, hw_out)));
+}
+
+}  // namespace
+
+ModelSpec make_resnet18() {
+  ModelSpec m;
+  m.name = "resnet18";
+  push_conv_bn_relu(m, "conv1", ConvShape::same(3, 64, 224, 7, 2));
+  m.layers.push_back(
+      LayerSpec::make_pool("maxpool", plane(64, 112), plane(64, 56)));
+  const struct {
+    std::int64_t in, out, hw, stride;
+  } stages[] = {{64, 64, 56, 1}, {64, 128, 56, 2}, {128, 256, 28, 2},
+                {256, 512, 14, 2}};
+  int idx = 0;
+  for (const auto& st : stages) {
+    ++idx;
+    push_basic_block(m, "layer" + std::to_string(idx) + ".0", st.in, st.out,
+                     st.hw, st.stride);
+    push_basic_block(m, "layer" + std::to_string(idx) + ".1", st.out, st.out,
+                     st.hw / st.stride, 1);
+  }
+  m.layers.push_back(LayerSpec::make_global_pool("avgpool", plane(512, 7), 512));
+  m.layers.push_back(LayerSpec::make_fc("fc", 512, 1000));
+  return m;
+}
+
+ModelSpec make_resnet50() {
+  ModelSpec m;
+  m.name = "resnet50";
+  push_conv_bn_relu(m, "conv1", ConvShape::same(3, 64, 224, 7, 2));
+  m.layers.push_back(
+      LayerSpec::make_pool("maxpool", plane(64, 112), plane(64, 56)));
+  const struct {
+    std::int64_t blocks, mid, hw, stride;
+  } stages[] = {{3, 64, 56, 1}, {4, 128, 56, 2}, {6, 256, 28, 2},
+                {3, 512, 14, 2}};
+  std::int64_t in = 64;
+  int idx = 0;
+  for (const auto& st : stages) {
+    ++idx;
+    for (std::int64_t b = 0; b < st.blocks; ++b) {
+      const std::int64_t stride = (b == 0) ? st.stride : 1;
+      const std::int64_t hw_in = (b == 0) ? st.hw : st.hw / st.stride;
+      push_bottleneck(m,
+                      "layer" + std::to_string(idx) + "." + std::to_string(b),
+                      in, st.mid, hw_in, stride);
+      in = st.mid * 4;
+    }
+  }
+  m.layers.push_back(
+      LayerSpec::make_global_pool("avgpool", plane(2048, 7), 2048));
+  m.layers.push_back(LayerSpec::make_fc("fc", 2048, 1000));
+  return m;
+}
+
+namespace {
+
+ModelSpec make_densenet(const std::string& name,
+                        const std::vector<std::int64_t>& block_config) {
+  constexpr std::int64_t kGrowth = 32;
+  constexpr std::int64_t kBnSize = 4;  // 1×1 bottleneck width = 4 × growth
+  ModelSpec m;
+  m.name = name;
+  push_conv_bn_relu(m, "conv0", ConvShape::same(3, 64, 224, 7, 2));
+  m.layers.push_back(
+      LayerSpec::make_pool("pool0", plane(64, 112), plane(64, 56)));
+
+  std::int64_t channels = 64;
+  std::int64_t hw = 56;
+  for (std::size_t bi = 0; bi < block_config.size(); ++bi) {
+    for (std::int64_t li = 0; li < block_config[bi]; ++li) {
+      const std::string lname = "denseblock" + std::to_string(bi + 1) +
+                                ".layer" + std::to_string(li + 1);
+      push_conv_bn_relu(m, lname + ".conv1",
+                        ConvShape::same(channels, kBnSize * kGrowth, hw, 1));
+      push_conv_bn_relu(m, lname + ".conv2",
+                        ConvShape::same(kBnSize * kGrowth, kGrowth, hw, 3));
+      // Feature concatenation (memory copy of the new features).
+      m.layers.push_back(LayerSpec::make_elementwise(lname + ".concat",
+                                                     plane(kGrowth, hw)));
+      channels += kGrowth;
+    }
+    if (bi + 1 < block_config.size()) {
+      const std::string tname = "transition" + std::to_string(bi + 1);
+      push_conv_bn_relu(m, tname + ".conv",
+                        ConvShape::same(channels, channels / 2, hw, 1));
+      channels /= 2;
+      m.layers.push_back(LayerSpec::make_pool(
+          tname + ".pool", plane(channels, hw), plane(channels, hw / 2)));
+      hw /= 2;
+    }
+  }
+  m.layers.push_back(LayerSpec::make_elementwise("norm5", plane(channels, hw)));
+  m.layers.push_back(
+      LayerSpec::make_global_pool("avgpool", plane(channels, hw),
+                                  static_cast<double>(channels)));
+  m.layers.push_back(LayerSpec::make_fc("classifier", channels, 1000));
+  return m;
+}
+
+}  // namespace
+
+ModelSpec make_densenet121() {
+  return make_densenet("densenet121", {6, 12, 24, 16});
+}
+
+ModelSpec make_densenet201() {
+  return make_densenet("densenet201", {6, 12, 48, 32});
+}
+
+ModelSpec make_resnet20_cifar() {
+  ModelSpec m;
+  m.name = "resnet20";
+  push_conv_bn_relu(m, "conv1", ConvShape::same(3, 16, 32, 3));
+  const struct {
+    std::int64_t in, out, hw, stride;
+  } stages[] = {{16, 16, 32, 1}, {16, 32, 32, 2}, {32, 64, 16, 2}};
+  int idx = 0;
+  for (const auto& st : stages) {
+    ++idx;
+    push_basic_block(m, "layer" + std::to_string(idx) + ".0", st.in, st.out,
+                     st.hw, st.stride);
+    for (int b = 1; b < 3; ++b) {
+      push_basic_block(m, "layer" + std::to_string(idx) + "." +
+                              std::to_string(b),
+                       st.out, st.out, st.hw / st.stride, 1);
+    }
+  }
+  m.layers.push_back(LayerSpec::make_global_pool("avgpool", plane(64, 8), 64));
+  m.layers.push_back(LayerSpec::make_fc("fc", 64, 10));
+  return m;
+}
+
+std::vector<ModelSpec> paper_models() {
+  return {make_densenet121(), make_densenet201(), make_resnet18(),
+          make_resnet50(), make_vgg16()};
+}
+
+ModelSpec model_by_name(const std::string& name) {
+  if (name == "vgg16") return make_vgg16();
+  if (name == "resnet18") return make_resnet18();
+  if (name == "resnet50") return make_resnet50();
+  if (name == "densenet121") return make_densenet121();
+  if (name == "densenet201") return make_densenet201();
+  if (name == "resnet20") return make_resnet20_cifar();
+  TDC_CHECK_MSG(false, "unknown model: " + name);
+}
+
+std::vector<ConvShape> figure6_core_shapes() {
+  // (C, N, H, W) as listed on the x-axes of Figures 6 and 7.
+  const std::int64_t spec[][4] = {
+      {64, 32, 224, 224}, {64, 32, 112, 112}, {32, 32, 56, 56},
+      {64, 32, 56, 56},   {64, 64, 56, 56},   {32, 32, 28, 28},
+      {64, 32, 28, 28},   {96, 64, 28, 28},   {160, 96, 28, 28},
+      {192, 96, 28, 28},  {32, 32, 14, 14},   {64, 32, 14, 14},
+      {128, 96, 14, 14},  {192, 96, 14, 14},  {32, 32, 7, 7},
+      {64, 32, 7, 7},     {96, 64, 7, 7},     {192, 160, 7, 7}};
+  std::vector<ConvShape> out;
+  for (const auto& s : spec) {
+    out.push_back(ConvShape::same(s[0], s[1], s[2], 3));
+  }
+  return out;
+}
+
+}  // namespace tdc

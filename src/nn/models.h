@@ -1,0 +1,35 @@
+// Layer inventories of the evaluated CNNs (ImageNet geometry, batch 1).
+//
+// The five models of the paper's evaluation (Section 7.1) plus the CIFAR-10
+// ResNet-20 used in Table 2. Inventories follow the reference torchvision
+// architectures; every convolution, pooling, normalization/activation and
+// fully-connected layer is listed so the end-to-end latency walk sees the
+// same kernel sequence the paper's C++/CUDA implementations execute.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace tdc {
+
+ModelSpec make_vgg16();
+ModelSpec make_resnet18();
+ModelSpec make_resnet50();
+ModelSpec make_densenet121();
+ModelSpec make_densenet201();
+
+/// CIFAR-10 ResNet-20 (He et al.), 32×32 inputs — the Table 2 subject.
+ModelSpec make_resnet20_cifar();
+
+/// All five ImageNet models in the paper's order.
+std::vector<ModelSpec> paper_models();
+
+/// Lookup by name ("vgg16", "resnet18", "resnet50", "densenet121",
+/// "densenet201", "resnet20"); throws on unknown names.
+ModelSpec model_by_name(const std::string& name);
+
+/// The 18 core-convolution shapes of Figures 6–7 (C, N, H, W with 3×3
+/// filters, padding 1, stride 1) — the decomposed-core shapes occurring in
+/// the tested CNNs.
+std::vector<ConvShape> figure6_core_shapes();
+
+}  // namespace tdc

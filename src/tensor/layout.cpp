@@ -1,0 +1,45 @@
+#include "tensor/layout.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace tdc {
+
+Tensor chw_to_hwc(const Tensor& x) {
+  TDC_CHECK_MSG(x.rank() == 3, "chw_to_hwc expects rank-3 [C,H,W]");
+  constexpr std::array<int, 3> perm = {1, 2, 0};
+  return x.transposed(perm);
+}
+
+Tensor hwc_to_chw(const Tensor& x) {
+  TDC_CHECK_MSG(x.rank() == 3, "hwc_to_chw expects rank-3 [H,W,C]");
+  constexpr std::array<int, 3> perm = {2, 0, 1};
+  return x.transposed(perm);
+}
+
+Tensor cnrs_to_crsn(const Tensor& k) {
+  TDC_CHECK_MSG(k.rank() == 4, "cnrs_to_crsn expects rank-4 [C,N,R,S]");
+  constexpr std::array<int, 4> perm = {0, 2, 3, 1};
+  return k.transposed(perm);
+}
+
+Tensor crsn_to_cnrs(const Tensor& k) {
+  TDC_CHECK_MSG(k.rank() == 4, "crsn_to_cnrs expects rank-4 [C,R,S,N]");
+  constexpr std::array<int, 4> perm = {0, 3, 1, 2};
+  return k.transposed(perm);
+}
+
+Tensor cnrs_to_ncrs(const Tensor& k) {
+  TDC_CHECK_MSG(k.rank() == 4, "cnrs_to_ncrs expects rank-4 [C,N,R,S]");
+  constexpr std::array<int, 4> perm = {1, 0, 2, 3};
+  return k.transposed(perm);
+}
+
+Tensor ncrs_to_cnrs(const Tensor& k) {
+  TDC_CHECK_MSG(k.rank() == 4, "ncrs_to_cnrs expects rank-4 [N,C,R,S]");
+  constexpr std::array<int, 4> perm = {1, 0, 2, 3};
+  return k.transposed(perm);
+}
+
+}  // namespace tdc

@@ -1,0 +1,43 @@
+// Data-layout conversions used by the convolution kernels.
+//
+// Activation tensors are stored planar (CHW) by default. The paper's core
+// kernel (Listing 2) reads the weight tensor in CRSN order so that the N
+// threads of a block issue fully coalesced loads; the conversion is done
+// offline, exactly as in the paper ("the kernel tensor format conversion can
+// be completely done offline once").
+//
+// Kernel tensor index conventions in this codebase follow the paper:
+//   K(c, n, r, s)  with  c = input channel, n = output channel,
+//                        r/s = filter row/col  — i.e. CNRS storage.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+/// Activation layout tags.
+enum class ActLayout { kCHW, kHWC };
+
+/// Kernel layout tags. CNRS is the library-native order; CRSN is the
+/// coalesced order used by the TDC core kernel; NCRS matches cuDNN's default.
+enum class KernelLayout { kCNRS, kCRSN, kNCRS };
+
+/// CHW -> HWC copy. Input must be rank-3 [C, H, W].
+Tensor chw_to_hwc(const Tensor& x);
+
+/// HWC -> CHW copy. Input must be rank-3 [H, W, C].
+Tensor hwc_to_chw(const Tensor& x);
+
+/// CNRS -> CRSN copy. Input must be rank-4 [C, N, R, S]; output [C, R, S, N].
+Tensor cnrs_to_crsn(const Tensor& k);
+
+/// CRSN -> CNRS copy. Input must be rank-4 [C, R, S, N]; output [C, N, R, S].
+Tensor crsn_to_cnrs(const Tensor& k);
+
+/// CNRS -> NCRS copy. Input must be rank-4 [C, N, R, S]; output [N, C, R, S].
+Tensor cnrs_to_ncrs(const Tensor& k);
+
+/// NCRS -> CNRS copy. Input must be rank-4 [N, C, R, S]; output [C, N, R, S].
+Tensor ncrs_to_cnrs(const Tensor& k);
+
+}  // namespace tdc

@@ -1,0 +1,229 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tdc {
+
+Tensor::Tensor(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  std::int64_t n = 1;
+  for (const auto d : dims_) {
+    TDC_CHECK_MSG(d >= 1, "tensor dims must be >= 1");
+    n *= d;
+  }
+  data_.assign(static_cast<std::size_t>(n), 0.0f);
+  compute_strides();
+}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> dims)
+    : Tensor(std::vector<std::int64_t>(dims)) {}
+
+void Tensor::compute_strides() {
+  strides_.assign(dims_.size(), 1);
+  for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
+    strides_[static_cast<std::size_t>(i)] =
+        strides_[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
+  }
+}
+
+Tensor Tensor::zeros(std::vector<std::int64_t> dims) {
+  return Tensor(std::move(dims));
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> dims, float value) {
+  Tensor t(std::move(dims));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::random_uniform(std::vector<std::int64_t> dims, Rng& rng, float lo,
+                              float hi) {
+  Tensor t(std::move(dims));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::random_normal(std::vector<std::int64_t> dims, Rng& rng, float mean,
+                             float stddev) {
+  Tensor t(std::move(dims));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+std::int64_t Tensor::dim(int i) const {
+  TDC_CHECK_MSG(i >= 0 && i < rank(), "dimension index out of range");
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::operator()(std::int64_t i0) {
+  return data_[static_cast<std::size_t>(i0)];
+}
+
+float& Tensor::operator()(std::int64_t i0, std::int64_t i1) {
+  return data_[static_cast<std::size_t>(i0 * strides_[0] + i1)];
+}
+
+float& Tensor::operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+  return data_[static_cast<std::size_t>(i0 * strides_[0] + i1 * strides_[1] + i2)];
+}
+
+float& Tensor::operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                          std::int64_t i3) {
+  return data_[static_cast<std::size_t>(i0 * strides_[0] + i1 * strides_[1] +
+                                        i2 * strides_[2] + i3)];
+}
+
+float Tensor::operator()(std::int64_t i0) const {
+  return data_[static_cast<std::size_t>(i0)];
+}
+
+float Tensor::operator()(std::int64_t i0, std::int64_t i1) const {
+  return data_[static_cast<std::size_t>(i0 * strides_[0] + i1)];
+}
+
+float Tensor::operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+  return data_[static_cast<std::size_t>(i0 * strides_[0] + i1 * strides_[1] + i2)];
+}
+
+float Tensor::operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                         std::int64_t i3) const {
+  return data_[static_cast<std::size_t>(i0 * strides_[0] + i1 * strides_[1] +
+                                        i2 * strides_[2] + i3)];
+}
+
+std::int64_t Tensor::offset(std::span<const std::int64_t> idx) const {
+  TDC_CHECK_MSG(static_cast<int>(idx.size()) == rank(),
+                "index rank does not match tensor rank");
+  std::int64_t off = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    TDC_CHECK_MSG(idx[i] >= 0 && idx[i] < dims_[i], "index out of bounds");
+    off += idx[i] * strides_[i];
+  }
+  return off;
+}
+
+float& Tensor::at(std::span<const std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(offset(idx))];
+}
+
+float Tensor::at(std::span<const std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(offset(idx))];
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> new_dims) const {
+  std::int64_t n = 1;
+  for (const auto d : new_dims) {
+    TDC_CHECK(d >= 1);
+    n *= d;
+  }
+  TDC_CHECK_MSG(n == numel(), "reshape must preserve element count");
+  Tensor out;
+  out.dims_ = std::move(new_dims);
+  out.data_ = data_;
+  out.compute_strides();
+  return out;
+}
+
+Tensor Tensor::transposed(std::span<const int> perm) const {
+  TDC_CHECK_MSG(static_cast<int>(perm.size()) == rank(),
+                "permutation rank mismatch");
+  std::vector<bool> seen(perm.size(), false);
+  std::vector<std::int64_t> new_dims(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const int p = perm[i];
+    TDC_CHECK_MSG(p >= 0 && p < rank() && !seen[static_cast<std::size_t>(p)],
+                  "invalid permutation");
+    seen[static_cast<std::size_t>(p)] = true;
+    new_dims[i] = dims_[static_cast<std::size_t>(p)];
+  }
+  Tensor out(new_dims);
+  // Walk the output in row-major order, translating each multi-index back to
+  // a source offset. Rank is small (<= 4 in this library) so the generic loop
+  // is fine.
+  std::vector<std::int64_t> idx(perm.size(), 0);
+  for (std::int64_t flat = 0; flat < out.numel(); ++flat) {
+    std::int64_t src = 0;
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      src += idx[i] * strides_[static_cast<std::size_t>(perm[i])];
+    }
+    out.data_[static_cast<std::size_t>(flat)] = data_[static_cast<std::size_t>(src)];
+    // Increment the output multi-index.
+    for (int i = static_cast<int>(perm.size()) - 1; i >= 0; --i) {
+      if (++idx[static_cast<std::size_t>(i)] < new_dims[static_cast<std::size_t>(i)]) {
+        break;
+      }
+      idx[static_cast<std::size_t>(i)] = 0;
+    }
+  }
+  return out;
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) {
+    v = value;
+  }
+}
+
+void Tensor::add_(const Tensor& other) {
+  TDC_CHECK_MSG(same_shape(other), "add_ shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Tensor::scale_(float s) {
+  for (auto& v : data_) {
+    v *= s;
+  }
+}
+
+double Tensor::frobenius_norm() const {
+  double sum = 0.0;
+  for (const auto v : data_) {
+    sum += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return std::sqrt(sum);
+}
+
+double Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  TDC_CHECK_MSG(a.same_shape(b), "max_abs_diff shape mismatch");
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+double Tensor::rel_error(const Tensor& a, const Tensor& b) {
+  TDC_CHECK_MSG(a.same_shape(b), "rel_error shape mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    num += d * d;
+    den += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  return std::sqrt(num) / std::max(std::sqrt(den), 1e-30);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (int i = 0; i < rank(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << dims_[static_cast<std::size_t>(i)];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tdc

@@ -1,0 +1,108 @@
+// Dense row-major FP32 tensor.
+//
+// This is the single data container used throughout the library: network
+// activations, convolution kernels, Tucker factors, im2col buffers and GEMM
+// operands are all Tensors. It is intentionally simple — contiguous storage,
+// row-major strides, explicit shapes — because the point of this codebase is
+// the kernels and models built on top, not a tensor DSL.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tdc {
+
+class Tensor {
+ public:
+  /// Empty 0-element tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape. Each dim must be >= 1.
+  explicit Tensor(std::vector<std::int64_t> dims);
+  Tensor(std::initializer_list<std::int64_t> dims);
+
+  static Tensor zeros(std::vector<std::int64_t> dims);
+  static Tensor full(std::vector<std::int64_t> dims, float value);
+  /// I.i.d. uniform entries in [lo, hi) drawn from `rng`.
+  static Tensor random_uniform(std::vector<std::int64_t> dims, Rng& rng,
+                               float lo = -1.0f, float hi = 1.0f);
+  /// I.i.d. normal entries.
+  static Tensor random_normal(std::vector<std::int64_t> dims, Rng& rng,
+                              float mean = 0.0f, float stddev = 1.0f);
+
+  /// Number of dimensions (0 for the empty tensor).
+  int rank() const { return static_cast<int>(dims_.size()); }
+  /// Extent of dimension i (bounds-checked).
+  std::int64_t dim(int i) const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return std::span<float>(data_); }
+  std::span<const float> data() const { return std::span<const float>(data_); }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  /// Flat element access (bounds-checked in debug contracts only when
+  /// accessed through at()).
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Multi-index access. The overloads cover the ranks used in the library.
+  float& operator()(std::int64_t i0);
+  float& operator()(std::int64_t i0, std::int64_t i1);
+  float& operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2);
+  float& operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                    std::int64_t i3);
+  float operator()(std::int64_t i0) const;
+  float operator()(std::int64_t i0, std::int64_t i1) const;
+  float operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2) const;
+  float operator()(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                   std::int64_t i3) const;
+
+  /// Bounds-checked element access (throws tdc::Error when out of range).
+  float& at(std::span<const std::int64_t> idx);
+  float at(std::span<const std::int64_t> idx) const;
+
+  /// Row-major flat offset of a multi-index (bounds-checked).
+  std::int64_t offset(std::span<const std::int64_t> idx) const;
+
+  /// Returns a tensor with the same data viewed under a new shape;
+  /// total element count must match.
+  Tensor reshaped(std::vector<std::int64_t> new_dims) const;
+
+  /// Returns a copy with dimensions permuted: out.dims[i] = dims[perm[i]].
+  Tensor transposed(std::span<const int> perm) const;
+
+  void fill(float value);
+  /// this += other (same shape required).
+  void add_(const Tensor& other);
+  /// this *= scalar.
+  void scale_(float s);
+
+  /// Frobenius norm of the entries.
+  double frobenius_norm() const;
+  /// Max |a - b| over entries; shapes must match.
+  static double max_abs_diff(const Tensor& a, const Tensor& b);
+  /// Relative Frobenius error ||a-b||_F / max(||b||_F, eps).
+  static double rel_error(const Tensor& a, const Tensor& b);
+
+  /// "[2, 3, 4]"-style shape string for diagnostics.
+  std::string shape_string() const;
+
+  bool same_shape(const Tensor& other) const { return dims_ == other.dims_; }
+
+ private:
+  std::vector<std::int64_t> dims_;
+  std::vector<std::int64_t> strides_;  // row-major, in elements
+  std::vector<float> data_;
+
+  void compute_strides();
+};
+
+}  // namespace tdc

@@ -1,0 +1,125 @@
+#include "tensor/unfold.h"
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+// Enumerate all multi-indices of `dims` in row-major order, invoking fn(idx).
+template <typename Fn>
+void for_each_index(const std::vector<std::int64_t>& dims, Fn&& fn) {
+  std::vector<std::int64_t> idx(dims.size(), 0);
+  std::int64_t total = 1;
+  for (const auto d : dims) {
+    total *= d;
+  }
+  for (std::int64_t flat = 0; flat < total; ++flat) {
+    fn(idx);
+    for (int i = static_cast<int>(dims.size()) - 1; i >= 0; --i) {
+      if (++idx[static_cast<std::size_t>(i)] < dims[static_cast<std::size_t>(i)]) {
+        break;
+      }
+      idx[static_cast<std::size_t>(i)] = 0;
+    }
+  }
+}
+
+// Column index of a multi-index in the Kolda–Bader mode-k unfolding: the
+// non-mode dimensions are flattened with the *first* non-mode dimension
+// varying slowest? Kolda–Bader uses column-major flattening of the remaining
+// modes in increasing order; any fixed bijection works for our purposes
+// (unfold/fold round-trip and SVD row spaces are invariant to column order).
+// We use row-major over the remaining modes in increasing order.
+std::int64_t column_of(const std::vector<std::int64_t>& idx,
+                       const std::vector<std::int64_t>& dims, int mode) {
+  std::int64_t col = 0;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (static_cast<int>(i) == mode) {
+      continue;
+    }
+    col = col * dims[i] + idx[i];
+  }
+  return col;
+}
+
+}  // namespace
+
+Tensor unfold_mode(const Tensor& t, int mode) {
+  TDC_CHECK_MSG(mode >= 0 && mode < t.rank(), "unfold mode out of range");
+  const auto& dims = t.dims();
+  const std::int64_t rows = dims[static_cast<std::size_t>(mode)];
+  const std::int64_t cols = t.numel() / rows;
+  Tensor out({rows, cols});
+  std::int64_t flat = 0;
+  for_each_index(dims, [&](const std::vector<std::int64_t>& idx) {
+    const std::int64_t r = idx[static_cast<std::size_t>(mode)];
+    const std::int64_t c = column_of(idx, dims, mode);
+    out(r, c) = t[flat];
+    ++flat;
+  });
+  return out;
+}
+
+Tensor fold_mode(const Tensor& m, int mode, std::vector<std::int64_t> dims) {
+  TDC_CHECK_MSG(m.rank() == 2, "fold_mode expects a matrix");
+  TDC_CHECK_MSG(mode >= 0 && mode < static_cast<int>(dims.size()),
+                "fold mode out of range");
+  std::int64_t total = 1;
+  for (const auto d : dims) {
+    total *= d;
+  }
+  TDC_CHECK_MSG(total == m.numel(), "fold_mode element count mismatch");
+  TDC_CHECK_MSG(m.dim(0) == dims[static_cast<std::size_t>(mode)],
+                "fold_mode row count mismatch");
+  Tensor out(dims);
+  std::int64_t flat = 0;
+  for_each_index(dims, [&](const std::vector<std::int64_t>& idx) {
+    const std::int64_t r = idx[static_cast<std::size_t>(mode)];
+    const std::int64_t c = column_of(idx, dims, mode);
+    out[flat] = m(r, c);
+    ++flat;
+  });
+  return out;
+}
+
+Tensor mode_product(const Tensor& t, const Tensor& a, int mode) {
+  TDC_CHECK_MSG(a.rank() == 2, "mode_product expects a matrix factor");
+  TDC_CHECK_MSG(mode >= 0 && mode < t.rank(), "mode out of range");
+  TDC_CHECK_MSG(a.dim(0) == t.dim(mode), "mode_product inner-dim mismatch");
+  const std::int64_t in_extent = t.dim(mode);
+  const std::int64_t out_extent = a.dim(1);
+
+  std::vector<std::int64_t> out_dims = t.dims();
+  out_dims[static_cast<std::size_t>(mode)] = out_extent;
+  Tensor out(out_dims);
+
+  // outer = product of dims before `mode`, inner = product after. With
+  // row-major storage, T can be viewed as [outer, in_extent, inner].
+  std::int64_t outer = 1;
+  for (int i = 0; i < mode; ++i) {
+    outer *= t.dim(i);
+  }
+  std::int64_t inner = 1;
+  for (int i = mode + 1; i < t.rank(); ++i) {
+    inner *= t.dim(i);
+  }
+
+  const float* src = t.raw();
+  float* dst = out.raw();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t j = 0; j < out_extent; ++j) {
+      for (std::int64_t in = 0; in < inner; ++in) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < in_extent; ++i) {
+          acc += static_cast<double>(src[(o * in_extent + i) * inner + in]) *
+                 static_cast<double>(a(i, j));
+        }
+        dst[(o * out_extent + j) * inner + in] = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tdc

@@ -1,0 +1,27 @@
+// Mode-k matricization (unfolding) and its inverse.
+//
+// The truncated-HOSVD projection in the ADMM K̂-update (paper Eq. 12) works on
+// the mode-1 and mode-2 unfoldings of the 4-D kernel tensor:
+//   T ∈ R^{C×N×R×S}:  T_(1) ∈ R^{C×(N·R·S)},  T_(2) ∈ R^{N×(C·R·S)}.
+// We use the standard Kolda–Bader convention: unfold_mode(T, k) places mode k
+// as rows and the remaining modes, in increasing mode order, as columns.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+/// Mode-k unfolding of an arbitrary-rank tensor. Returns a rank-2 tensor of
+/// shape [dims[mode], numel / dims[mode]].
+Tensor unfold_mode(const Tensor& t, int mode);
+
+/// Inverse of unfold_mode: folds a [dims[mode], rest] matrix back into the
+/// original shape `dims`.
+Tensor fold_mode(const Tensor& m, int mode, std::vector<std::int64_t> dims);
+
+/// Mode-k tensor-times-matrix product: (T ×_k A)(..., j, ...) =
+/// Σ_i T(..., i, ...) · A(i, j), where i runs over dims[mode] and A is
+/// [dims[mode], J]. The result has dims[mode] replaced by J.
+Tensor mode_product(const Tensor& t, const Tensor& a, int mode);
+
+}  // namespace tdc

@@ -1,0 +1,65 @@
+#include "train/admm.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tdc {
+
+AdmmState::AdmmState(std::vector<AdmmTarget> targets,
+                     const AdmmOptions& options)
+    : targets_(std::move(targets)), options_(options) {
+  TDC_CHECK_MSG(!targets_.empty(), "ADMM needs at least one target kernel");
+  for (const auto& t : targets_) {
+    TDC_CHECK(t.conv != nullptr);
+    const ConvShape& g = t.conv->geometry();
+    TDC_CHECK_MSG(t.ranks.d1 >= 1 && t.ranks.d1 <= g.c && t.ranks.d2 >= 1 &&
+                      t.ranks.d2 <= g.n,
+                  "ADMM ranks out of range for " + g.to_string());
+    // Algorithm 1 line 5 sets K̂ ← K; the first K̂-update then projects it.
+    // We fold that first projection into construction so the primal residual
+    // is meaningful from step 0 (identical trajectory otherwise).
+    k_hat_.push_back(tucker_project(t.conv->kernel().value, t.ranks));
+    dual_.push_back(Tensor(t.conv->kernel().value.dims()));
+  }
+}
+
+void AdmmState::add_penalty_gradients() {
+  const float rho = static_cast<float>(options_.rho);
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    Param& kernel = targets_[i].conv->kernel();
+    const Tensor& k_hat = k_hat_[i];
+    const Tensor& m = dual_[i];
+    for (std::int64_t e = 0; e < kernel.value.numel(); ++e) {
+      kernel.grad[e] += rho * (kernel.value[e] - k_hat[e] + m[e]);
+    }
+  }
+}
+
+void AdmmState::dual_step() {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const Tensor& k = targets_[i].conv->kernel().value;
+    Tensor& m = dual_[i];
+    // K̂ ← proj(K + M): truncated HOSVD at the target ranks.
+    Tensor k_plus_m(k.dims());
+    for (std::int64_t e = 0; e < k.numel(); ++e) {
+      k_plus_m[e] = k[e] + m[e];
+    }
+    k_hat_[i] = tucker_project(k_plus_m, targets_[i].ranks);
+    // M ← M + K − K̂.
+    for (std::int64_t e = 0; e < k.numel(); ++e) {
+      m[e] += k[e] - k_hat_[i][e];
+    }
+  }
+}
+
+double AdmmState::primal_residual() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const Tensor& k = targets_[i].conv->kernel().value;
+    worst = std::max(worst, Tensor::rel_error(k_hat_[i], k));
+  }
+  return worst;
+}
+
+}  // namespace tdc

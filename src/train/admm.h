@@ -1,0 +1,54 @@
+// ADMM regularization for Tucker-rank-constrained training
+// (paper Section 4.1, Algorithm 1 lines 5–11).
+//
+// For each targeted convolution kernel K the state holds the auxiliary
+// variable K̂ (the low-Tucker-rank projection) and the scaled dual M.
+// During training:
+//   K-update: the usual SGD step on ℓ(K) with the proximal gradient term
+//             ρ·(K − K̂ + M) added (Eq. 10) — add_penalty_gradients().
+//   K̂-update: K̂ ← proj_Q(K + M), truncated HOSVD at the target ranks
+//             (Eq. 12) — part of dual_step().
+//   M-update: M ← M + K − K̂ — the other half of dual_step().
+#pragma once
+
+#include <vector>
+
+#include "autograd/conv2d.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+
+struct AdmmTarget {
+  Conv2d* conv = nullptr;
+  TuckerRanks ranks;
+};
+
+struct AdmmOptions {
+  double rho = 0.01;  ///< augmented-Lagrangian penalty coefficient
+};
+
+class AdmmState {
+ public:
+  AdmmState(std::vector<AdmmTarget> targets, const AdmmOptions& options);
+
+  /// Add ρ·(K − K̂ + M) to each target kernel's gradient. Call after
+  /// backward(), before the optimizer step.
+  void add_penalty_gradients();
+
+  /// K̂- and M-updates (call once per epoch or every few iterations).
+  void dual_step();
+
+  /// max over targets of ‖K − K̂‖_F / ‖K‖_F: how far the kernels are from
+  /// the rank-constrained set. Driven toward 0 by the ADMM iterations.
+  double primal_residual() const;
+
+  const std::vector<AdmmTarget>& targets() const { return targets_; }
+
+ private:
+  std::vector<AdmmTarget> targets_;
+  AdmmOptions options_;
+  std::vector<Tensor> k_hat_;
+  std::vector<Tensor> dual_;
+};
+
+}  // namespace tdc

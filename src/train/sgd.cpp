@@ -1,0 +1,31 @@
+#include "train/sgd.h"
+
+#include "common/check.h"
+
+namespace tdc {
+
+Sgd::Sgd(std::vector<Param*> params, const SgdOptions& options)
+    : params_(std::move(params)), options_(options) {
+  TDC_CHECK_MSG(!params_.empty(), "optimizer needs parameters");
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) {
+    p->zero_grad();
+  }
+}
+
+void Sgd::step() {
+  const float lr = static_cast<float>(options_.lr);
+  const float mu = static_cast<float>(options_.momentum);
+  const float wd = static_cast<float>(options_.weight_decay);
+  for (Param* p : params_) {
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i] + wd * p->value[i];
+      p->momentum[i] = mu * p->momentum[i] + g;
+      p->value[i] -= lr * p->momentum[i];
+    }
+  }
+}
+
+}  // namespace tdc

@@ -1,0 +1,32 @@
+// Mini-batch SGD with momentum and weight decay.
+#pragma once
+
+#include <vector>
+
+#include "autograd/layer.h"
+
+namespace tdc {
+
+struct SgdOptions {
+  double lr = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, const SgdOptions& options);
+
+  void zero_grad();
+  /// v ← μ·v + (g + λ·w);  w ← w − lr·v
+  void step();
+
+  void set_lr(double lr) { options_.lr = lr; }
+  double lr() const { return options_.lr; }
+
+ private:
+  std::vector<Param*> params_;
+  SgdOptions options_;
+};
+
+}  // namespace tdc

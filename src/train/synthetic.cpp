@@ -1,0 +1,98 @@
+#include "train/synthetic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+// Smooth random pattern: sum of a few low-frequency sinusoids with
+// class-specific phases and orientations.
+Tensor make_prototype(const SyntheticSpec& spec, Rng& rng) {
+  Tensor p({spec.channels, spec.hw, spec.hw});
+  for (std::int64_t c = 0; c < spec.channels; ++c) {
+    // Three waves per channel.
+    for (int wave = 0; wave < 3; ++wave) {
+      const double fx = rng.uniform(0.5, 2.5);
+      const double fy = rng.uniform(0.5, 2.5);
+      const double phase = rng.uniform(0.0, 6.283);
+      const double amp = rng.uniform(0.4, 1.0);
+      for (std::int64_t y = 0; y < spec.hw; ++y) {
+        for (std::int64_t x = 0; x < spec.hw; ++x) {
+          const double u = static_cast<double>(x) / spec.hw;
+          const double v = static_cast<double>(y) / spec.hw;
+          p(c, y, x) += static_cast<float>(
+              amp * std::sin(6.283 * (fx * u + fy * v) + phase));
+        }
+      }
+    }
+  }
+  return p;
+}
+
+void fill_split(Dataset* split, std::int64_t count, const SyntheticSpec& spec,
+                const std::vector<Tensor>& prototypes, Rng& rng) {
+  split->images = Tensor({count, spec.channels, spec.hw, spec.hw});
+  split->labels.resize(static_cast<std::size_t>(count));
+  const std::int64_t sample_elems =
+      spec.channels * spec.hw * spec.hw;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto label =
+        static_cast<std::int64_t>(rng.uniform_index(
+            static_cast<std::uint64_t>(spec.classes)));
+    split->labels[static_cast<std::size_t>(i)] = label;
+    const Tensor& proto = prototypes[static_cast<std::size_t>(label)];
+    // A distractor prototype at low strength makes classes overlap a bit.
+    const auto distractor = static_cast<std::int64_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(spec.classes)));
+    const Tensor& dproto = prototypes[static_cast<std::size_t>(distractor)];
+    const float strength = static_cast<float>(rng.uniform(0.7, 1.3));
+    const float dstrength = static_cast<float>(rng.uniform(0.0, 0.25));
+    float* dst = split->images.raw() + i * sample_elems;
+    for (std::int64_t e = 0; e < sample_elems; ++e) {
+      dst[e] = strength * proto[e] + dstrength * dproto[e] +
+               static_cast<float>(rng.normal(0.0, spec.noise));
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticData make_synthetic_data(const SyntheticSpec& spec) {
+  TDC_CHECK(spec.classes >= 2 && spec.hw >= 4);
+  SyntheticData data;
+  data.spec = spec;
+  Rng rng(spec.seed);
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(static_cast<std::size_t>(spec.classes));
+  for (std::int64_t k = 0; k < spec.classes; ++k) {
+    prototypes.push_back(make_prototype(spec, rng));
+  }
+  fill_split(&data.train, spec.train_size, spec, prototypes, rng);
+  fill_split(&data.test, spec.test_size, spec, prototypes, rng);
+  return data;
+}
+
+Dataset gather_batch(const Dataset& data,
+                     std::span<const std::size_t> indices) {
+  TDC_CHECK(!data.images.empty());
+  const auto& dims = data.images.dims();
+  const std::int64_t sample_elems = data.images.numel() / dims[0];
+  Dataset out;
+  out.images = Tensor({static_cast<std::int64_t>(indices.size()), dims[1],
+                       dims[2], dims[3]});
+  out.labels.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = static_cast<std::int64_t>(indices[i]);
+    TDC_CHECK(src < dims[0]);
+    std::copy(data.images.raw() + src * sample_elems,
+              data.images.raw() + (src + 1) * sample_elems,
+              out.images.raw() + static_cast<std::int64_t>(i) * sample_elems);
+    out.labels[i] = data.labels[indices[i]];
+  }
+  return out;
+}
+
+}  // namespace tdc

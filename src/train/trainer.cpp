@@ -1,0 +1,91 @@
+#include "train/trainer.h"
+
+#include <cstdio>
+
+#include "autograd/loss.h"
+#include "common/check.h"
+
+namespace tdc {
+
+double evaluate_accuracy(Layer* model, const Dataset& data,
+                         std::int64_t batch_size) {
+  TDC_CHECK(data.size() > 0);
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < data.size(); start += batch_size) {
+    const std::int64_t count = std::min(batch_size, data.size() - start);
+    std::vector<std::size_t> idx(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      idx[static_cast<std::size_t>(i)] = static_cast<std::size_t>(start + i);
+    }
+    const Dataset batch = gather_batch(data, idx);
+    const Tensor logits = model->forward(batch.images, /*train=*/false);
+    const LossResult r = softmax_cross_entropy(logits, batch.labels);
+    correct += r.correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<EpochStats> train_model(Layer* model, const SyntheticData& data,
+                                    const TrainOptions& options,
+                                    AdmmState* admm) {
+  TDC_CHECK(data.train.size() > 0);
+  Sgd opt(model->params(), options.sgd);
+  Rng shuffle_rng(options.shuffle_seed);
+  std::vector<EpochStats> stats;
+
+  for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const std::vector<std::size_t> order =
+        shuffle_rng.permutation(static_cast<std::size_t>(data.train.size()));
+    double loss_sum = 0.0;
+    std::int64_t correct = 0;
+    std::int64_t steps = 0;
+
+    for (std::int64_t start = 0; start < data.train.size();
+         start += options.batch_size) {
+      const std::int64_t count =
+          std::min(options.batch_size, data.train.size() - start);
+      const std::span<const std::size_t> idx(
+          order.data() + start, static_cast<std::size_t>(count));
+      const Dataset batch = gather_batch(data.train, idx);
+
+      opt.zero_grad();
+      const Tensor logits = model->forward(batch.images, /*train=*/true);
+      const LossResult r = softmax_cross_entropy(logits, batch.labels);
+      model->backward(r.grad);
+      if (admm != nullptr) {
+        admm->add_penalty_gradients();
+      }
+      opt.step();
+
+      loss_sum += r.loss;
+      correct += r.correct;
+      ++steps;
+    }
+
+    if (admm != nullptr) {
+      admm->dual_step();
+    }
+
+    EpochStats s;
+    s.loss = loss_sum / static_cast<double>(std::max<std::int64_t>(1, steps));
+    s.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(data.train.size());
+    s.test_accuracy = evaluate_accuracy(model, data.test);
+    s.admm_residual = admm != nullptr ? admm->primal_residual() : 0.0;
+    stats.push_back(s);
+
+    if (options.verbose) {
+      std::printf(
+          "  epoch %2lld  loss %.4f  train %.3f  test %.3f%s\n",
+          static_cast<long long>(epoch + 1), s.loss, s.train_accuracy,
+          s.test_accuracy,
+          admm != nullptr
+              ? ("  admm-residual " + std::to_string(s.admm_residual)).c_str()
+              : "");
+    }
+    opt.set_lr(opt.lr() * options.lr_decay);
+  }
+  return stats;
+}
+
+}  // namespace tdc

@@ -1,0 +1,38 @@
+// Mini-batch training loop with optional ADMM regularization.
+#pragma once
+
+#include "autograd/layer.h"
+#include "train/admm.h"
+#include "train/sgd.h"
+#include "train/synthetic.h"
+
+namespace tdc {
+
+struct TrainOptions {
+  std::int64_t epochs = 5;
+  std::int64_t batch_size = 32;
+  SgdOptions sgd;
+  double lr_decay = 0.8;  ///< multiplicative per-epoch decay
+  std::uint64_t shuffle_seed = 99;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double admm_residual = 0.0;
+};
+
+/// Accuracy of `model` on a dataset (eval mode).
+double evaluate_accuracy(Layer* model, const Dataset& data,
+                         std::int64_t batch_size = 64);
+
+/// Train `model` on `data`; when `admm` is non-null the proximal gradients
+/// are added every step and the dual update runs once per epoch
+/// (Algorithm 1 lines 7–11). Returns per-epoch statistics.
+std::vector<EpochStats> train_model(Layer* model, const SyntheticData& data,
+                                    const TrainOptions& options,
+                                    AdmmState* admm = nullptr);
+
+}  // namespace tdc

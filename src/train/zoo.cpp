@@ -1,0 +1,189 @@
+#include "train/zoo.h"
+
+#include "autograd/batchnorm.h"
+#include "autograd/layers.h"
+#include "autograd/linear.h"
+#include "autograd/residual.h"
+#include "common/check.h"
+#include "tucker/flops.h"
+
+namespace tdc {
+
+namespace {
+
+// conv(3×3) [+ BN] + ReLU, recording the conv slot.
+void push_conv_unit(Sequential* seq, std::vector<ConvSlot>* slots,
+                    const std::string& name, const ConvShape& shape, Rng& rng,
+                    bool batch_norm, bool relu) {
+  auto conv = std::make_unique<Conv2d>(name, shape, rng, /*with_bias=*/!batch_norm);
+  Conv2d* raw = conv.get();
+  seq->add(std::move(conv));
+  if (slots != nullptr && (shape.r > 1 || shape.s > 1)) {
+    slots->push_back(ConvSlot{seq, seq->size() - 1, raw});
+  }
+  if (batch_norm) {
+    seq->add(std::make_unique<BatchNorm2d>(name + ".bn", shape.n));
+  }
+  if (relu) {
+    seq->add(std::make_unique<ReLU>(name + ".relu"));
+  }
+}
+
+}  // namespace
+
+TrainableModel make_mini_resnet(const MiniResNetSpec& spec, Rng& rng) {
+  TDC_CHECK(!spec.stage_widths.empty());
+  TrainableModel model;
+  model.classes = spec.classes;
+  model.net = std::make_unique<Sequential>("mini-resnet");
+
+  std::int64_t hw = spec.input_hw;
+  std::int64_t channels = spec.stage_widths.front();
+  push_conv_unit(model.net.get(), &model.spatial_convs, "stem",
+                 ConvShape::same(spec.input_channels, channels, hw, 3), rng,
+                 spec.batch_norm, /*relu=*/true);
+
+  for (std::size_t si = 0; si < spec.stage_widths.size(); ++si) {
+    const std::int64_t width = spec.stage_widths[si];
+    for (std::int64_t b = 0; b < spec.blocks_per_stage; ++b) {
+      const std::int64_t stride = (si > 0 && b == 0) ? 2 : 1;
+      const std::string bname =
+          "stage" + std::to_string(si + 1) + ".block" + std::to_string(b + 1);
+
+      auto main = std::make_unique<Sequential>(bname + ".main");
+      push_conv_unit(main.get(), &model.spatial_convs, bname + ".conv1",
+                     ConvShape::same(channels, width, hw, 3, stride), rng,
+                     spec.batch_norm, /*relu=*/true);
+      push_conv_unit(main.get(), &model.spatial_convs, bname + ".conv2",
+                     ConvShape::same(width, width, hw / stride, 3), rng,
+                     spec.batch_norm, /*relu=*/false);
+
+      std::unique_ptr<Layer> shortcut;
+      if (stride != 1 || channels != width) {
+        auto sc = std::make_unique<Sequential>(bname + ".shortcut");
+        push_conv_unit(sc.get(), nullptr, bname + ".proj",
+                       ConvShape::same(channels, width, hw, 1, stride), rng,
+                       spec.batch_norm, /*relu=*/false);
+        shortcut = std::move(sc);
+      }
+      model.net->add(std::make_unique<ResidualBlock>(bname, std::move(main),
+                                                     std::move(shortcut)));
+      channels = width;
+      hw /= stride;
+    }
+  }
+
+  model.net->add(std::make_unique<GlobalAvgPool>());
+  model.net->add(std::make_unique<Linear>("fc", channels, spec.classes, rng));
+  return model;
+}
+
+TrainableModel make_mini_cnn(std::int64_t input_hw, std::int64_t input_channels,
+                             std::int64_t classes, std::int64_t width,
+                             Rng& rng) {
+  TrainableModel model;
+  model.classes = classes;
+  model.net = std::make_unique<Sequential>("mini-cnn");
+  push_conv_unit(model.net.get(), &model.spatial_convs, "conv1",
+                 ConvShape::same(input_channels, width, input_hw, 3), rng,
+                 /*batch_norm=*/false, /*relu=*/true);
+  push_conv_unit(model.net.get(), &model.spatial_convs, "conv2",
+                 ConvShape::same(width, width, input_hw, 3), rng,
+                 /*batch_norm=*/false, /*relu=*/true);
+  model.net->add(std::make_unique<MaxPool2x2>());
+  push_conv_unit(model.net.get(), &model.spatial_convs, "conv3",
+                 ConvShape::same(width, width * 2, input_hw / 2, 3), rng,
+                 /*batch_norm=*/false, /*relu=*/true);
+  model.net->add(std::make_unique<GlobalAvgPool>());
+  model.net->add(std::make_unique<Linear>("fc", width * 2, classes, rng));
+  return model;
+}
+
+void tuckerize_slot(const ConvSlot& slot, TuckerRanks ranks) {
+  TDC_CHECK_MSG(slot.parent != nullptr && slot.conv != nullptr,
+                "empty conv slot");
+  TDC_CHECK_MSG(slot.parent->at(slot.index) == slot.conv,
+                "slot does not point at its conv (already replaced?)");
+  const ConvShape g = slot.conv->geometry();
+  TDC_CHECK_MSG(ranks.d1 >= 1 && ranks.d1 <= g.c && ranks.d2 >= 1 &&
+                    ranks.d2 <= g.n,
+                "ranks out of range for " + g.to_string());
+
+  const TuckerFactors f = tucker_decompose(slot.conv->kernel().value, ranks);
+
+  // Stage kernels in CNRS order. U1: [C, D1] -> kernel [C, D1, 1, 1].
+  Tensor k1 = f.u1.reshaped({g.c, ranks.d1, 1, 1});
+  // Core: already [D1, D2, R, S].
+  Tensor k2 = f.core;
+  // U2 maps D2 -> N: kernel [D2, N, 1, 1] = U2^T reshaped.
+  Tensor k3({ranks.d2, g.n, 1, 1});
+  for (std::int64_t n = 0; n < g.n; ++n) {
+    for (std::int64_t d = 0; d < ranks.d2; ++d) {
+      k3(d, n, 0, 0) = f.u2(n, d);
+    }
+  }
+
+  const std::string base = slot.conv->name();
+  std::optional<Tensor> bias;
+  for (Param* p : slot.conv->params()) {
+    if (p->name == base + ".bias") {
+      bias = p->value;
+    }
+  }
+
+  auto pipeline = std::make_unique<Sequential>(base + ".tucker");
+  pipeline->add(std::make_unique<Conv2d>(
+      base + ".u1", first_pointwise_shape(g, ranks), std::move(k1),
+      std::nullopt));
+  pipeline->add(std::make_unique<Conv2d>(base + ".core",
+                                         core_conv_shape(g, ranks),
+                                         std::move(k2), std::nullopt));
+  pipeline->add(std::make_unique<Conv2d>(
+      base + ".u2", last_pointwise_shape(g, ranks), std::move(k3), bias));
+  slot.parent->replace(slot.index, std::move(pipeline));
+}
+
+void tuckerize_model(TrainableModel* model,
+                     const std::vector<TuckerRanks>& ranks) {
+  TDC_CHECK_MSG(ranks.size() == model->spatial_convs.size(),
+                "one rank pair per spatial conv required");
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    tuckerize_slot(model->spatial_convs[i], ranks[i]);
+  }
+  model->spatial_convs.clear();
+}
+
+namespace {
+
+double layer_tree_flops(Layer* layer) {
+  if (auto* conv = dynamic_cast<Conv2d*>(layer)) {
+    return conv->geometry().flops();
+  }
+  if (auto* seq = dynamic_cast<Sequential*>(layer)) {
+    double f = 0.0;
+    for (std::size_t i = 0; i < seq->size(); ++i) {
+      f += layer_tree_flops(seq->at(i));
+    }
+    return f;
+  }
+  if (auto* res = dynamic_cast<ResidualBlock*>(layer)) {
+    double f = layer_tree_flops(res->main());
+    if (res->shortcut() != nullptr) {
+      f += layer_tree_flops(res->shortcut());
+    }
+    return f;
+  }
+  if (auto* fc = dynamic_cast<Linear*>(layer)) {
+    std::vector<Param*> ps = fc->params();
+    return 2.0 * static_cast<double>(ps.front()->value.numel());
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double model_forward_flops(const TrainableModel& model) {
+  return layer_tree_flops(model.net.get());
+}
+
+}  // namespace tdc

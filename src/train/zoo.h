@@ -1,0 +1,63 @@
+// Trainable model builders and Tucker model surgery.
+//
+// The Table-2 experiment trains a ResNet-20-style CIFAR network; at this
+// repository's CPU budget that architecture is reproduced at reduced width
+// and depth (documented substitution, DESIGN.md). Builders return both the
+// network and the list of "slots" holding its spatial (R,S > 1)
+// convolutions, so the ADMM loop can regularize them and the surgery pass
+// can replace each by its three-stage Tucker pipeline.
+#pragma once
+
+#include <memory>
+
+#include "autograd/conv2d.h"
+#include "autograd/layer.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+
+/// Location of a replaceable convolution inside the layer tree.
+struct ConvSlot {
+  Sequential* parent = nullptr;
+  std::size_t index = 0;
+  Conv2d* conv = nullptr;  ///< borrowed; owned by *parent
+};
+
+struct TrainableModel {
+  std::unique_ptr<Sequential> net;
+  std::vector<ConvSlot> spatial_convs;
+  std::int64_t classes = 0;
+};
+
+struct MiniResNetSpec {
+  std::int64_t input_hw = 16;
+  std::int64_t input_channels = 3;
+  std::int64_t classes = 10;
+  std::vector<std::int64_t> stage_widths = {8, 16, 32};
+  std::int64_t blocks_per_stage = 1;
+  bool batch_norm = true;
+};
+
+/// ResNet-20-style residual network (3 stages, 3×3 convolutions, global
+/// average pooling head).
+TrainableModel make_mini_resnet(const MiniResNetSpec& spec, Rng& rng);
+
+/// Small plain CNN (conv-relu ×2, pool, conv-relu, gap, fc) for fast tests.
+TrainableModel make_mini_cnn(std::int64_t input_hw, std::int64_t input_channels,
+                             std::int64_t classes, std::int64_t width, Rng& rng);
+
+/// Decompose the slot's kernel at `ranks` (truncated HOSVD) and replace the
+/// convolution with the 1×1 → core → 1×1 pipeline in place. The slot's
+/// `conv` pointer is invalidated.
+void tuckerize_slot(const ConvSlot& slot, TuckerRanks ranks);
+
+/// Apply tuckerize_slot to every spatial conv of the model with per-slot
+/// ranks; clears model.spatial_convs (the pointers die with the surgery).
+void tuckerize_model(TrainableModel* model,
+                     const std::vector<TuckerRanks>& ranks);
+
+/// FLOPs of one forward pass (conv/fc only) before/after surgery are the
+/// compression bookkeeping for Table 2; this measures the *current* model.
+double model_forward_flops(const TrainableModel& model);
+
+}  // namespace tdc

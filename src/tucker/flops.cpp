@@ -1,0 +1,56 @@
+#include "tucker/flops.h"
+
+#include "common/check.h"
+
+namespace tdc {
+
+double tucker_params(const ConvShape& shape, TuckerRanks ranks) {
+  TDC_CHECK(ranks.d1 >= 1 && ranks.d2 >= 1);
+  return static_cast<double>(shape.c) * static_cast<double>(ranks.d1) +
+         static_cast<double>(shape.r) * static_cast<double>(shape.s) *
+             static_cast<double>(ranks.d1) * static_cast<double>(ranks.d2) +
+         static_cast<double>(shape.n) * static_cast<double>(ranks.d2);
+}
+
+double tucker_flops(const ConvShape& shape, TuckerRanks ranks) {
+  return first_pointwise_shape(shape, ranks).flops() +
+         core_conv_shape(shape, ranks).flops() +
+         last_pointwise_shape(shape, ranks).flops();
+}
+
+double params_reduction_ratio(const ConvShape& shape, TuckerRanks ranks) {
+  return shape.params() / tucker_params(shape, ranks);
+}
+
+double flops_reduction_ratio(const ConvShape& shape, TuckerRanks ranks) {
+  return shape.flops() / tucker_flops(shape, ranks);
+}
+
+ConvShape core_conv_shape(const ConvShape& shape, TuckerRanks ranks) {
+  ConvShape core = shape;
+  core.c = ranks.d1;
+  core.n = ranks.d2;
+  return core;
+}
+
+ConvShape first_pointwise_shape(const ConvShape& shape, TuckerRanks ranks) {
+  // 1×1 over the *input* image; stride/pad stay on the core stage.
+  ConvShape pw;
+  pw.c = shape.c;
+  pw.n = ranks.d1;
+  pw.h = shape.h;
+  pw.w = shape.w;
+  return pw;
+}
+
+ConvShape last_pointwise_shape(const ConvShape& shape, TuckerRanks ranks) {
+  // 1×1 over the *output* image.
+  ConvShape pw;
+  pw.c = ranks.d2;
+  pw.n = shape.n;
+  pw.h = shape.out_h();
+  pw.w = shape.out_w();
+  return pw;
+}
+
+}  // namespace tdc

@@ -1,0 +1,32 @@
+// Storage / FLOPs accounting for Tucker-format convolutions (paper Eqs. 5–6).
+#pragma once
+
+#include "conv/conv_shape.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+
+/// Parameter count of the decomposed layer: C·D1 + R·S·D1·D2 + N·D2.
+double tucker_params(const ConvShape& shape, TuckerRanks ranks);
+
+/// FLOPs of the three-stage pipeline (multiply–add ×2):
+/// H·W·C·D1 + H'·W'·R·S·D1·D2 + H'·W'·N·D2, each term doubled.
+double tucker_flops(const ConvShape& shape, TuckerRanks ranks);
+
+/// γP (Eq. 5): original params / decomposed params.
+double params_reduction_ratio(const ConvShape& shape, TuckerRanks ranks);
+
+/// γF (Eq. 6): original FLOPs / decomposed FLOPs.
+double flops_reduction_ratio(const ConvShape& shape, TuckerRanks ranks);
+
+/// Shape of the core convolution stage: (D1 → D2, same spatial geometry,
+/// same R×S/pad/stride as the original layer).
+ConvShape core_conv_shape(const ConvShape& shape, TuckerRanks ranks);
+
+/// Shape of the first 1×1 stage (C → D1 over the input image).
+ConvShape first_pointwise_shape(const ConvShape& shape, TuckerRanks ranks);
+
+/// Shape of the last 1×1 stage (D2 → N over the output image).
+ConvShape last_pointwise_shape(const ConvShape& shape, TuckerRanks ranks);
+
+}  // namespace tdc

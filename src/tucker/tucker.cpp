@@ -1,0 +1,68 @@
+#include "tucker/tucker.h"
+
+#include "common/check.h"
+#include "linalg/gemm.h"
+#include "linalg/svd.h"
+#include "tensor/unfold.h"
+
+namespace tdc {
+
+TuckerFactors tucker_decompose(const Tensor& kernel_cnrs, TuckerRanks ranks) {
+  TDC_CHECK_MSG(kernel_cnrs.rank() == 4, "kernel must be rank-4 CNRS");
+  const std::int64_t c = kernel_cnrs.dim(0);
+  const std::int64_t n = kernel_cnrs.dim(1);
+  TDC_CHECK_MSG(ranks.d1 >= 1 && ranks.d1 <= c, "d1 out of range");
+  TDC_CHECK_MSG(ranks.d2 >= 1 && ranks.d2 <= n, "d2 out of range");
+
+  TuckerFactors f;
+  // Mode-0 (input channel) and mode-1 (output channel) unfoldings; paper
+  // modes 1 and 2 in 1-based numbering.
+  f.u1 = leading_left_singular_vectors(unfold_mode(kernel_cnrs, 0), ranks.d1);
+  f.u2 = leading_left_singular_vectors(unfold_mode(kernel_cnrs, 1), ranks.d2);
+
+  // Core = K ×_0 U1^T ×_1 U2^T. mode_product contracts with A as [in, out],
+  // so passing U1 ([C, D1]) directly gives Σ_c K(c,...)·U1(c,d1).
+  Tensor tmp = mode_product(kernel_cnrs, f.u1, 0);
+  f.core = mode_product(tmp, f.u2, 1);
+  return f;
+}
+
+Tensor tucker_reconstruct(const TuckerFactors& f) {
+  TDC_CHECK_MSG(f.core.rank() == 4, "core must be rank-4 [D1,D2,R,S]");
+  TDC_CHECK_MSG(f.u1.rank() == 2 && f.u2.rank() == 2, "factors must be matrices");
+  TDC_CHECK_MSG(f.u1.dim(1) == f.core.dim(0), "U1/core rank mismatch");
+  TDC_CHECK_MSG(f.u2.dim(1) == f.core.dim(1), "U2/core rank mismatch");
+  // K = Core ×_0 U1 ×_1 U2; mode_product contracts the tensor mode against
+  // the first matrix dim, so transpose the factors.
+  Tensor tmp = mode_product(f.core, transpose2d(f.u1), 0);
+  return mode_product(tmp, transpose2d(f.u2), 1);
+}
+
+Tensor tucker_project(const Tensor& kernel_cnrs, TuckerRanks ranks) {
+  return tucker_reconstruct(tucker_decompose(kernel_cnrs, ranks));
+}
+
+double tucker_projection_error(const Tensor& kernel_cnrs, TuckerRanks ranks) {
+  const Tensor approx = tucker_project(kernel_cnrs, ranks);
+  return Tensor::rel_error(approx, kernel_cnrs);
+}
+
+TuckerRanks tucker_latent_ranks(const Tensor& kernel_cnrs, double tol) {
+  TDC_CHECK_MSG(kernel_cnrs.rank() == 4, "kernel must be rank-4 CNRS");
+  TuckerRanks out;
+  for (int mode = 0; mode < 2; ++mode) {
+    const SvdLeft s = svd_left(unfold_mode(kernel_cnrs, mode));
+    const double largest =
+        s.singular_values.empty() ? 0.0 : s.singular_values.front();
+    std::int64_t rank = 0;
+    for (const double sv : s.singular_values) {
+      if (sv > tol * largest && largest > 0.0) {
+        ++rank;
+      }
+    }
+    (mode == 0 ? out.d1 : out.d2) = rank;
+  }
+  return out;
+}
+
+}  // namespace tdc

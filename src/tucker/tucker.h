@@ -1,0 +1,52 @@
+// Tucker-2 decomposition of convolution kernels (paper Section 3).
+//
+// A kernel K ∈ R^{C×N×R×S} (CNRS order) is decomposed along the channel modes
+// only, preserving the spatial modes:
+//   K(c,n,r,s) = Σ_{d1,d2} Core(d1,d2,r,s) · U1(c,d1) · U2(n,d2)     (Eq. 1)
+// yielding the three-stage convolution pipeline 1×1 (C→D1) → R×S core
+// (D1→D2) → 1×1 (D2→N) (Eqs. 2–4).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace tdc {
+
+/// Tucker ranks [D1, D2] for the two channel modes.
+struct TuckerRanks {
+  std::int64_t d1 = 0;  ///< latent input channels of the core convolution
+  std::int64_t d2 = 0;  ///< latent output channels of the core convolution
+  bool operator==(const TuckerRanks&) const = default;
+};
+
+/// The decomposed components of a convolution kernel.
+struct TuckerFactors {
+  Tensor core;  ///< [D1, D2, R, S]
+  Tensor u1;    ///< [C, D1]  (input-channel factor)
+  Tensor u2;    ///< [N, D2]  (output-channel factor)
+
+  TuckerRanks ranks() const { return {u1.dim(1), u2.dim(1)}; }
+};
+
+/// Truncated HOSVD of a CNRS kernel tensor at the given channel ranks:
+/// U1 = leading D1 left singular vectors of the mode-C unfolding, U2 likewise
+/// for mode-N, Core = K ×_C U1^T ×_N U2^T. Requires 1 <= d1 <= C, 1 <= d2 <= N.
+TuckerFactors tucker_decompose(const Tensor& kernel_cnrs, TuckerRanks ranks);
+
+/// Reconstruct the (approximate) CNRS kernel: Core ×_1 U1 ×_2 U2 (Eq. 1).
+Tensor tucker_reconstruct(const TuckerFactors& f);
+
+/// Project a CNRS kernel tensor to the set of tensors with Tucker ranks at
+/// most `ranks` (the K̂-update of the ADMM loop, Eq. 12): decompose then
+/// reconstruct.
+Tensor tucker_project(const Tensor& kernel_cnrs, TuckerRanks ranks);
+
+/// Relative Frobenius approximation error of the projection at given ranks.
+double tucker_projection_error(const Tensor& kernel_cnrs, TuckerRanks ranks);
+
+/// Latent Tucker ranks of a kernel: the number of singular values of each
+/// channel-mode unfolding above `tol` relative to the largest one.
+TuckerRanks tucker_latent_ranks(const Tensor& kernel_cnrs, double tol = 1e-6);
+
+}  // namespace tdc

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/batchnorm.h"
+#include "autograd/conv2d.h"
+#include "autograd/layer.h"
+#include "autograd/layers.h"
+#include "autograd/linear.h"
+#include "autograd/loss.h"
+#include "autograd/residual.h"
+#include "common/check.h"
+
+namespace tdc {
+namespace {
+
+// Scalar objective for gradient checking: L = Σ w ⊙ f(x) with fixed random
+// weights w, so dL/d(out) = w.
+struct Probe {
+  Tensor weights;
+  double eval(const Tensor& out) const {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      acc += static_cast<double>(weights[i]) * out[i];
+    }
+    return acc;
+  }
+};
+
+Probe make_probe(const Tensor& out, Rng& rng) {
+  return Probe{Tensor::random_uniform(out.dims(), rng)};
+}
+
+// Central-difference check of dL/dx against the layer's backward.
+void check_input_gradient(Layer* layer, const Tensor& x, double tol,
+                          bool train = true) {
+  Rng rng(991);
+  Tensor x0 = x;
+  const Tensor out = layer->forward(x0, train);
+  const Probe probe = make_probe(out, rng);
+  const Tensor grad_analytic = layer->backward(probe.weights);
+
+  Rng pick(993);
+  const double eps = 1e-3;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto i = static_cast<std::int64_t>(
+        pick.uniform_index(static_cast<std::uint64_t>(x0.numel())));
+    Tensor xp = x0, xm = x0;
+    xp[i] += static_cast<float>(eps);
+    xm[i] -= static_cast<float>(eps);
+    const double lp = probe.eval(layer->forward(xp, train));
+    const double lm = probe.eval(layer->forward(xm, train));
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad_analytic[i], numeric, tol)
+        << "input index " << i;
+  }
+}
+
+// Central-difference check of dL/dθ for every parameter of the layer.
+void check_param_gradients(Layer* layer, const Tensor& x, double tol,
+                           bool train = true) {
+  Rng rng(995);
+  const Tensor out = layer->forward(x, train);
+  const Probe probe = make_probe(out, rng);
+  for (Param* p : layer->params()) {
+    p->zero_grad();
+  }
+  layer->backward(probe.weights);
+
+  Rng pick(997);
+  const double eps = 1e-3;
+  for (Param* p : layer->params()) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto i = static_cast<std::int64_t>(
+          pick.uniform_index(static_cast<std::uint64_t>(p->value.numel())));
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(eps);
+      const double lp = probe.eval(layer->forward(x, train));
+      p->value[i] = saved - static_cast<float>(eps);
+      const double lm = probe.eval(layer->forward(x, train));
+      p->value[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, tol) << p->name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(Conv2dGrad, InputGradientNumerical) {
+  Rng rng(201);
+  const ConvShape g = ConvShape::same(3, 4, 6, 3);
+  Conv2d conv("c", g, rng);
+  const Tensor x = Tensor::random_uniform({2, 3, 6, 6}, rng);
+  check_input_gradient(&conv, x, 2e-2);
+}
+
+TEST(Conv2dGrad, ParamGradientsNumerical) {
+  Rng rng(203);
+  const ConvShape g = ConvShape::same(3, 4, 5, 3);
+  Conv2d conv("c", g, rng);
+  const Tensor x = Tensor::random_uniform({2, 3, 5, 5}, rng);
+  check_param_gradients(&conv, x, 2e-2);
+}
+
+TEST(Conv2dGrad, StridedAndValid) {
+  Rng rng(205);
+  const ConvShape g = ConvShape::same(2, 3, 8, 3, 2);
+  Conv2d conv("c", g, rng);
+  const Tensor x = Tensor::random_uniform({1, 2, 8, 8}, rng);
+  check_input_gradient(&conv, x, 2e-2);
+  check_param_gradients(&conv, x, 2e-2);
+}
+
+TEST(Conv2d, ShapeValidation) {
+  Rng rng(207);
+  Conv2d conv("c", ConvShape::same(3, 4, 6, 3), rng);
+  const Tensor wrong = Tensor::random_uniform({2, 4, 6, 6}, rng);
+  EXPECT_THROW(conv.forward(wrong, true), Error);
+}
+
+TEST(LinearGrad, Numerical) {
+  Rng rng(209);
+  Linear fc("fc", 10, 7, rng);
+  const Tensor x = Tensor::random_uniform({3, 10}, rng);
+  check_input_gradient(&fc, x, 1e-2);
+  check_param_gradients(&fc, x, 1e-2);
+}
+
+TEST(ReluGrad, Numerical) {
+  Rng rng(211);
+  ReLU relu;
+  // Keep values away from the kink for finite differences.
+  Tensor x = Tensor::random_uniform({2, 3, 4, 4}, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (std::abs(x[i]) < 0.05f) {
+      x[i] = 0.2f;
+    }
+  }
+  check_input_gradient(&relu, x, 1e-3);
+}
+
+TEST(MaxPoolGrad, Numerical) {
+  Rng rng(213);
+  MaxPool2x2 pool;
+  const Tensor x = Tensor::random_uniform({2, 3, 6, 6}, rng);
+  check_input_gradient(&pool, x, 1e-3);
+}
+
+TEST(MaxPool, ForwardSelectsMaxima) {
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = 5.0f;
+  x[2] = -2.0f;
+  x[3] = 0.0f;
+  MaxPool2x2 pool;
+  const Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(GlobalAvgPoolGrad, Numerical) {
+  Rng rng(215);
+  GlobalAvgPool gap;
+  const Tensor x = Tensor::random_uniform({2, 5, 4, 4}, rng);
+  check_input_gradient(&gap, x, 1e-3);
+}
+
+TEST(FlattenGrad, RoundTrip) {
+  Rng rng(217);
+  Flatten flat;
+  const Tensor x = Tensor::random_uniform({2, 3, 4, 4}, rng);
+  const Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.dim(1), 48);
+  const Tensor g = flat.backward(y);
+  EXPECT_EQ(g.dims(), x.dims());
+}
+
+TEST(BatchNormGrad, InputNumerical) {
+  Rng rng(219);
+  BatchNorm2d bn("bn", 3);
+  const Tensor x = Tensor::random_uniform({4, 3, 5, 5}, rng, -2.0f, 2.0f);
+  check_input_gradient(&bn, x, 3e-2);
+}
+
+TEST(BatchNormGrad, ParamNumerical) {
+  Rng rng(221);
+  BatchNorm2d bn("bn", 3);
+  const Tensor x = Tensor::random_uniform({4, 3, 5, 5}, rng, -2.0f, 2.0f);
+  check_param_gradients(&bn, x, 3e-2);
+}
+
+TEST(BatchNorm, TrainModeNormalizes) {
+  Rng rng(223);
+  BatchNorm2d bn("bn", 2);
+  const Tensor x = Tensor::random_uniform({8, 2, 6, 6}, rng, 3.0f, 7.0f);
+  const Tensor y = bn.forward(x, /*train=*/true);
+  // Per-channel mean ≈ 0, var ≈ 1.
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t b = 0; b < 8; ++b) {
+      for (std::int64_t i = 0; i < 36; ++i) {
+        const float v = y[(b * 2 + c) * 36 + i];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+        ++n;
+      }
+    }
+    EXPECT_NEAR(sum / n, 0.0, 1e-4);
+    EXPECT_NEAR(sq / n, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  Rng rng(225);
+  BatchNorm2d bn("bn", 2);
+  const Tensor x = Tensor::random_uniform({8, 2, 4, 4}, rng, 1.0f, 2.0f);
+  for (int i = 0; i < 80; ++i) {
+    bn.forward(x, /*train=*/true);
+  }
+  const Tensor y = bn.forward(x, /*train=*/false);
+  // With momentum 0.1, 80 identical batches converge the running stats to
+  // the batch stats within (0.9)^80 ≈ 2e-4; eval output is then normalized.
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    sum += y[i];
+  }
+  EXPECT_NEAR(sum / static_cast<double>(y.numel()), 0.0, 0.05);
+}
+
+TEST(ResidualGrad, IdentityShortcutNumerical) {
+  Rng rng(227);
+  auto main = std::make_unique<Sequential>("main");
+  main->add(std::make_unique<Conv2d>("c1", ConvShape::same(3, 3, 5, 3), rng));
+  ResidualBlock block("res", std::move(main), nullptr);
+  const Tensor x = Tensor::random_uniform({2, 3, 5, 5}, rng);
+  check_input_gradient(&block, x, 2e-2);
+  check_param_gradients(&block, x, 2e-2);
+}
+
+TEST(ResidualGrad, ProjectionShortcutNumerical) {
+  Rng rng(229);
+  auto main = std::make_unique<Sequential>("main");
+  main->add(std::make_unique<Conv2d>("c1", ConvShape::same(2, 4, 6, 3, 2), rng));
+  auto shortcut = std::make_unique<Sequential>("sc");
+  shortcut->add(
+      std::make_unique<Conv2d>("p", ConvShape::same(2, 4, 6, 1, 2), rng));
+  ResidualBlock block("res", std::move(main), std::move(shortcut));
+  const Tensor x = Tensor::random_uniform({2, 2, 6, 6}, rng);
+  check_input_gradient(&block, x, 2e-2);
+}
+
+TEST(Residual, MismatchedPathsThrow) {
+  Rng rng(231);
+  auto main = std::make_unique<Sequential>("main");
+  main->add(std::make_unique<Conv2d>("c1", ConvShape::same(3, 5, 6, 3), rng));
+  ResidualBlock block("res", std::move(main), nullptr);
+  const Tensor x = Tensor::random_uniform({1, 3, 6, 6}, rng);
+  EXPECT_THROW(block.forward(x, true), Error);  // 5 channels vs 3
+}
+
+TEST(SoftmaxCe, LossOfPerfectPrediction) {
+  Tensor logits({2, 3});
+  logits(0, 1) = 100.0f;
+  logits(1, 2) = 100.0f;
+  const LossResult r = softmax_cross_entropy(logits, {1, 2});
+  EXPECT_NEAR(r.loss, 0.0, 1e-6);
+  EXPECT_EQ(r.correct, 2);
+}
+
+TEST(SoftmaxCe, UniformLogitsGiveLogK) {
+  Tensor logits({1, 10});
+  const LossResult r = softmax_cross_entropy(logits, {3});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-6);
+}
+
+TEST(SoftmaxCe, GradientNumerical) {
+  Rng rng(233);
+  Tensor logits = Tensor::random_uniform({3, 5}, rng);
+  const std::vector<std::int64_t> labels = {0, 2, 4};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    const double numeric = (softmax_cross_entropy(lp, labels).loss -
+                            softmax_cross_entropy(lm, labels).loss) /
+                           (2.0 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-4);
+  }
+}
+
+TEST(SoftmaxCe, LabelValidation) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), Error);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), Error);
+}
+
+TEST(Sequential, ComposesAndExposesParams) {
+  Rng rng(235);
+  Sequential seq("net");
+  seq.add(std::make_unique<Conv2d>("c", ConvShape::same(2, 3, 4, 3), rng));
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<GlobalAvgPool>());
+  seq.add(std::make_unique<Linear>("fc", 3, 2, rng));
+  const Tensor x = Tensor::random_uniform({2, 2, 4, 4}, rng);
+  const Tensor y = seq.forward(x, true);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 2);
+  EXPECT_EQ(seq.params().size(), 4u);  // conv kernel+bias, fc weight+bias
+  check_input_gradient(&seq, x, 2e-2);
+}
+
+}  // namespace
+}  // namespace tdc

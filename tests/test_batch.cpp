@@ -1,0 +1,118 @@
+// Tests for the batch-size extension of the cost models.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "conv/conv.h"
+#include "core/tdc_kernel.h"
+#include "core/tdc_model.h"
+#include "core/tvm_scheme.h"
+#include "gpusim/library_cost.h"
+#include "tensor/layout.h"
+
+namespace tdc {
+namespace {
+
+TEST(BatchShape, DefaultsToOne) {
+  const ConvShape s = ConvShape::same(32, 32, 14, 3);
+  EXPECT_EQ(s.batch, 1);
+  EXPECT_EQ(s.with_batch(8).batch, 8);
+  EXPECT_EQ(s.with_batch(8).c, s.c);
+}
+
+TEST(BatchShape, FlopsScaleLinearly) {
+  const ConvShape s = ConvShape::same(32, 32, 14, 3);
+  EXPECT_DOUBLE_EQ(s.with_batch(8).flops(), 8.0 * s.flops());
+}
+
+TEST(BatchShape, ToStringShowsBatchOnlyWhenNotOne) {
+  const ConvShape s = ConvShape::same(8, 8, 8, 3);
+  EXPECT_EQ(s.to_string().find("batch"), std::string::npos);
+  EXPECT_NE(s.with_batch(4).to_string().find("batch=4"), std::string::npos);
+}
+
+TEST(BatchCost, GemmLatencyMonotoneInBatch) {
+  // Non-decreasing: a batch increase that still fits one wave of CTAs can
+  // cost exactly the same (more SMs busy, same critical path).
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 64, 28, 3);
+  double prev = 0.0;
+  for (const std::int64_t b : {1, 4, 16, 64}) {
+    const double t = cudnn_implicit_gemm_cost(d, s.with_batch(b)).total_s;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  // And 64 images cannot be free.
+  EXPECT_GT(prev, cudnn_implicit_gemm_cost(d, s).total_s * 2.0);
+}
+
+TEST(BatchCost, GemmPerImageCostDropsWithBatch) {
+  // The library's whole point: batching amortizes its big tiles.
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 64, 28, 3);
+  const double b1 = cudnn_implicit_gemm_cost(d, s).total_s;
+  const double b32 = cudnn_implicit_gemm_cost(d, s.with_batch(32)).total_s;
+  EXPECT_LT(b32 / 32.0, b1 * 0.5);
+}
+
+TEST(BatchCost, TdcAdvantageShrinksWithBatch) {
+  // The paper's motivating regime is batch 1; at large batch the gap to
+  // cuDNN must narrow.
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 64, 28, 3);
+  const auto gap = [&](std::int64_t b) {
+    const ConvShape sb = s.with_batch(b);
+    const double cudnn = cudnn_implicit_gemm_cost(d, sb).total_s;
+    const double tdc =
+        tdc_core_cost(d, sb, select_tiling_oracle(d, sb)).total_s;
+    return cudnn / tdc;
+  };
+  EXPECT_GT(gap(1), gap(64) * 1.5);
+}
+
+TEST(BatchCost, TdcBlocksScaleWithBatch) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(32, 32, 14, 3);
+  const TdcTiling t{4, 4, 8};
+  const KernelLaunch one = tdc_core_launch(d, s, t);
+  const KernelLaunch eight = tdc_core_launch(d, s.with_batch(8), t);
+  EXPECT_EQ(eight.num_blocks, one.num_blocks * 8);
+}
+
+TEST(BatchCost, TvmAndWinogradAndFftAcceptBatch) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(32, 32, 14, 3).with_batch(4);
+  EXPECT_GT(tvm_best_cost(d, s).total_s, 0.0);
+  EXPECT_GT(cudnn_winograd_cost(d, s).total_s, 0.0);
+  EXPECT_GT(cudnn_fft_cost(d, s).total_s, 0.0);
+}
+
+TEST(BatchCost, PaperModelVolumeScalesLinearly) {
+  const ConvShape s = ConvShape::same(32, 32, 14, 3);
+  const TdcTiling t{4, 4, 8};
+  EXPECT_DOUBLE_EQ(paper_mem_volume(s.with_batch(8), t),
+                   8.0 * paper_mem_volume(s, t));
+}
+
+TEST(BatchFunctional, ExecutorsRejectBatchedShapes) {
+  Rng rng(909);
+  const ConvShape s = ConvShape::same(4, 4, 8, 3).with_batch(2);
+  const Tensor x = Tensor::random_uniform({4, 8, 8}, rng);
+  const Tensor k = Tensor::random_uniform({4, 4, 3, 3}, rng);
+  EXPECT_THROW(conv2d_reference(x, k, s), Error);
+  EXPECT_THROW(tdc_core_conv(x, cnrs_to_crsn(k), s, {2, 2, 2}), Error);
+  EXPECT_THROW(tvm_scheme_conv(x, k, s, {2, 2, 2}), Error);
+}
+
+TEST(BatchCost, TilingSelectionWorksOnBatchedShapes) {
+  const DeviceSpec d = make_rtx2080ti();
+  const ConvShape s = ConvShape::same(32, 32, 14, 3).with_batch(16);
+  const TdcTiling model = select_tiling_model(d, s);
+  const TdcTiling oracle = select_tiling_oracle(d, s);
+  EXPECT_TRUE(tdc_tiling_feasible(d, s, model));
+  EXPECT_TRUE(tdc_tiling_feasible(d, s, oracle));
+  EXPECT_LE(tdc_core_cost(d, s, oracle).total_s,
+            tdc_core_cost(d, s, model).total_s * 1.0001);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/codegen.h"
+
+namespace tdc {
+namespace {
+
+TEST(Codegen, EmitsKernelSignatureAndTileConstants) {
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  const TdcTiling t{4, 5, 16};
+  const std::string src = generate_cuda_kernel(s, t);
+  EXPECT_NE(src.find("__global__ void tdc_core_conv_kernel"), std::string::npos);
+  EXPECT_NE(src.find("#define TH 4"), std::string::npos);
+  EXPECT_NE(src.find("#define TW 5"), std::string::npos);
+  EXPECT_NE(src.find("#define TC 16"), std::string::npos);
+  EXPECT_NE(src.find("#define C 64"), std::string::npos);
+  EXPECT_NE(src.find("#define N 32"), std::string::npos);
+}
+
+TEST(Codegen, SharedTileAndBarrier) {
+  const std::string src =
+      generate_cuda_kernel(ConvShape::same(32, 32, 14, 3), {4, 4, 8});
+  EXPECT_NE(src.find("__shared__ float input_tile[TC]"), std::string::npos);
+  // Exactly one barrier — the design point the paper contrasts with TVM.
+  std::size_t count = 0;
+  for (std::size_t pos = src.find("__syncthreads()"); pos != std::string::npos;
+       pos = src.find("__syncthreads()", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Codegen, AtomicCommitAndHwnLayout) {
+  const std::string src =
+      generate_cuda_kernel(ConvShape::same(32, 32, 14, 3), {4, 4, 8});
+  EXPECT_NE(src.find("atomicAdd(&y[(gh * OW + gw) * N + n]"),
+            std::string::npos);
+}
+
+TEST(Codegen, CrsnIndexingByDefault) {
+  const std::string src =
+      generate_cuda_kernel(ConvShape::same(32, 32, 14, 3), {4, 4, 8});
+  EXPECT_NE(src.find("k[((c * R + r) * S + s) * N + n]"), std::string::npos);
+}
+
+TEST(Codegen, CnrsIndexingWhenRequested) {
+  CodegenOptions opts;
+  opts.layout = TdcWeightLayout::kCNRS;
+  const std::string src =
+      generate_cuda_kernel(ConvShape::same(32, 32, 14, 3), {4, 4, 8}, opts);
+  EXPECT_NE(src.find("k[((c * N + n) * R + r) * S + s]"), std::string::npos);
+}
+
+TEST(Codegen, LauncherEmission) {
+  CodegenOptions opts;
+  opts.kernel_name = "my_kernel";
+  const std::string with =
+      generate_cuda_kernel(ConvShape::same(16, 16, 8, 3), {2, 2, 4}, opts);
+  EXPECT_NE(with.find("launch_my_kernel"), std::string::npos);
+  EXPECT_NE(with.find("<<<grid, block, 0, stream>>>"), std::string::npos);
+
+  opts.emit_launcher = false;
+  const std::string without =
+      generate_cuda_kernel(ConvShape::same(16, 16, 8, 3), {2, 2, 4}, opts);
+  EXPECT_EQ(without.find("launch_my_kernel"), std::string::npos);
+}
+
+TEST(Codegen, StridePadConstantsPropagate) {
+  const ConvShape s = ConvShape::same(16, 16, 14, 3, 2);
+  const std::string src = generate_cuda_kernel(s, {3, 3, 4});
+  EXPECT_NE(src.find("#define STRIDE_H 2"), std::string::npos);
+  EXPECT_NE(src.find("#define PAD_H 1"), std::string::npos);
+  EXPECT_NE(src.find("#define OH 7"), std::string::npos);
+}
+
+TEST(Codegen, FullSourceIncludesDeviceHeader) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(32, 32, 14, 3);
+  const std::string src = generate_cuda_source(d, s, {4, 4, 8});
+  EXPECT_NE(src.find("Target device: A100"), std::string::npos);
+  EXPECT_NE(src.find("Predicted latency"), std::string::npos);
+  EXPECT_NE(src.find("__global__"), std::string::npos);
+}
+
+TEST(Codegen, GridCommentMatchesBlockCount) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(32, 32, 14, 3);
+  const TdcTiling t{4, 4, 8};
+  const std::string src = generate_cuda_source(d, s, t);
+  EXPECT_NE(src.find("Grid: " + std::to_string(tdc_num_blocks(s, t))),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdc

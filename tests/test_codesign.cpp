@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/codesign.h"
+
+namespace tdc {
+namespace {
+
+TEST(RankTable, GridCoversMultiplesOf32PlusFull) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(96, 64, 14, 3);
+  const auto table = build_rank_table(d, s, TilingSelector::kModel);
+  // D1 ∈ {32, 64, 96}, D2 ∈ {32, 64} -> 6 rows.
+  EXPECT_EQ(table.size(), 6u);
+  for (const auto& cand : table) {
+    EXPECT_EQ(cand.ranks.d1 % 32, 0);
+    EXPECT_EQ(cand.ranks.d2 % 32, 0);
+    EXPECT_GT(cand.latency_s, 0.0);
+    EXPECT_GT(cand.flops, 0.0);
+  }
+}
+
+TEST(RankTable, NonMultipleExtentsIncludeFullRank) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(48, 40, 14, 3);
+  const auto table = build_rank_table(d, s, TilingSelector::kModel);
+  bool has_full = false;
+  for (const auto& cand : table) {
+    if (cand.ranks.d1 == 48 && cand.ranks.d2 == 40) {
+      has_full = true;
+    }
+  }
+  EXPECT_TRUE(has_full);
+}
+
+TEST(RankTable, FlopsMatchFormula) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 64, 14, 3);
+  for (const auto& cand : build_rank_table(d, s, TilingSelector::kModel)) {
+    EXPECT_DOUBLE_EQ(cand.flops, tucker_flops(s, cand.ranks));
+  }
+}
+
+TEST(ChooseRanks, RespectsBudget) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(128, 128, 28, 3);
+  const auto table = build_rank_table(d, s, TilingSelector::kModel);
+  const auto chosen = choose_ranks(table, s, 0.6, 0.05);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_LE(chosen->flops, s.flops() * 0.4 * 1.05);
+}
+
+TEST(ChooseRanks, EmptyWhenBudgetImpossible) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(32, 32, 14, 3);
+  const auto table = build_rank_table(d, s, TilingSelector::kModel);
+  // 99.99 % reduction cannot be met even at the smallest grid point.
+  const auto chosen = choose_ranks(table, s, 0.9999, 0.0);
+  EXPECT_FALSE(chosen.has_value());
+}
+
+TEST(ChooseRanks, PrefersLargerRanksOnLatencyTies) {
+  // Construct a synthetic table with equal latencies: the larger ranks win.
+  std::vector<RankCandidate> table(2);
+  table[0].ranks = {32, 32};
+  table[0].latency_s = 1e-5;
+  table[0].flops = 1e6;
+  table[1].ranks = {64, 64};
+  table[1].latency_s = 1e-5;
+  table[1].flops = 2e6;
+  const ConvShape s = ConvShape::same(128, 128, 28, 3);
+  const auto chosen = choose_ranks(table, s, 0.5, 0.05);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->ranks.d1, 64);
+}
+
+TEST(Codesign, BudgetRoughlyAchievedOnUniformStack) {
+  const DeviceSpec d = make_a100();
+  std::vector<ConvShape> layers(4, ConvShape::same(128, 128, 28, 3));
+  CodesignOptions opts;
+  opts.budget = 0.6;
+  const CodesignResult r = run_codesign(d, layers, opts);
+  EXPECT_EQ(r.layers.size(), 4u);
+  EXPECT_GT(r.achieved_flops_reduction(), 0.45);
+}
+
+TEST(Codesign, PointwiseDecompositionIsOptional) {
+  const DeviceSpec d = make_a100();
+  const std::vector<ConvShape> layers = {ConvShape::same(128, 128, 28, 1),
+                                         ConvShape::same(128, 128, 28, 3)};
+  CodesignOptions opts;
+  opts.budget = 0.5;
+  opts.decompose_pointwise = false;
+  const CodesignResult r = run_codesign(d, layers, opts);
+  EXPECT_FALSE(r.layers[0].decomposed);
+}
+
+TEST(Codesign, NarrowPointwiseLayersAlwaysKept) {
+  // Even with pointwise decomposition on, a 1×1 layer without room for a
+  // meaningful rank grid is never decomposed.
+  const DeviceSpec d = make_a100();
+  const std::vector<ConvShape> layers = {ConvShape::same(32, 32, 28, 1),
+                                         ConvShape::same(128, 128, 28, 3)};
+  CodesignOptions opts;
+  opts.budget = 0.5;
+  opts.decompose_pointwise = true;
+  const CodesignResult r = run_codesign(d, layers, opts);
+  EXPECT_FALSE(r.layers[0].decomposed);
+}
+
+TEST(Codesign, ThetaOneKeepsEverything) {
+  // θ = 1 demands an infinite win: no layer can qualify.
+  const DeviceSpec d = make_a100();
+  const std::vector<ConvShape> layers = {ConvShape::same(128, 128, 28, 3)};
+  CodesignOptions opts;
+  opts.budget = 0.6;
+  opts.theta = 1.0;
+  const CodesignResult r = run_codesign(d, layers, opts);
+  EXPECT_FALSE(r.layers[0].decomposed);
+  EXPECT_DOUBLE_EQ(r.total_chosen_latency_s, r.total_original_latency_s);
+}
+
+TEST(Codesign, DecomposedLayersBeatOriginalByTheta) {
+  const DeviceSpec d = make_a100();
+  const std::vector<ConvShape> layers = {ConvShape::same(256, 256, 28, 3),
+                                         ConvShape::same(128, 128, 14, 3)};
+  CodesignOptions opts;
+  opts.budget = 0.6;
+  const CodesignResult r = run_codesign(d, layers, opts);
+  for (const auto& dec : r.layers) {
+    if (dec.decomposed) {
+      EXPECT_LT(dec.chosen_latency_s,
+                (1.0 - opts.theta) * dec.original_latency_s);
+    }
+  }
+}
+
+TEST(Codesign, InvalidBudgetThrows) {
+  const DeviceSpec d = make_a100();
+  CodesignOptions opts;
+  opts.budget = 0.0;
+  EXPECT_THROW(run_codesign(d, {ConvShape::same(64, 64, 14, 3)}, opts), Error);
+  opts.budget = 1.0;
+  EXPECT_THROW(run_codesign(d, {ConvShape::same(64, 64, 14, 3)}, opts), Error);
+}
+
+TEST(Codesign, SpeedupAccountingConsistent) {
+  const DeviceSpec d = make_a100();
+  const std::vector<ConvShape> layers = {ConvShape::same(256, 256, 28, 3),
+                                         ConvShape::same(256, 256, 28, 1)};
+  CodesignOptions opts;
+  opts.budget = 0.6;
+  const CodesignResult r = run_codesign(d, layers, opts);
+  double orig = 0.0, chosen = 0.0;
+  for (const auto& dec : r.layers) {
+    orig += dec.original_latency_s;
+    chosen += dec.chosen_latency_s;
+  }
+  EXPECT_NEAR(r.total_original_latency_s, orig, 1e-12);
+  EXPECT_NEAR(r.total_chosen_latency_s, chosen, 1e-12);
+  EXPECT_NEAR(r.speedup(), orig / chosen, 1e-9);
+}
+
+TEST(PipelineLatency, SumsThreeStages) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(128, 128, 28, 3);
+  const TuckerRanks ranks{32, 32};
+  const double pipeline =
+      tucker_pipeline_latency(d, s, ranks, TilingSelector::kModel);
+  const double core_only =
+      tdc_core_cost(d, core_conv_shape(s, ranks),
+                    select_tiling_model(d, core_conv_shape(s, ranks)))
+          .total_s;
+  EXPECT_GT(pipeline, core_only);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,157 @@
+// Sweep/property tests on the co-design framework: how the rank selection
+// responds to its knobs (budget, θ, selector) across layer stacks.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/codesign.h"
+
+namespace tdc {
+namespace {
+
+std::vector<ConvShape> mixed_stack() {
+  return {ConvShape::same(64, 64, 56, 3),  ConvShape::same(64, 128, 56, 3, 2),
+          ConvShape::same(128, 128, 28, 3), ConvShape::same(128, 128, 28, 1),
+          ConvShape::same(128, 256, 28, 3, 2),
+          ConvShape::same(256, 256, 14, 3)};
+}
+
+TEST(BudgetSweep, AchievedReductionNonDecreasingInBudget) {
+  const DeviceSpec d = make_a100();
+  const auto layers = mixed_stack();
+  double prev = -1.0;
+  for (const double budget : {0.2, 0.4, 0.6, 0.8}) {
+    CodesignOptions opts;
+    opts.budget = budget;
+    const CodesignResult r = run_codesign(d, layers, opts);
+    EXPECT_GE(r.achieved_flops_reduction(), prev - 0.02) << budget;
+    prev = r.achieved_flops_reduction();
+  }
+}
+
+TEST(BudgetSweep, CompressedLatencyNeverAboveOriginal) {
+  // The θ rule guarantees each decomposed layer wins; kept layers tie.
+  const DeviceSpec d = make_a100();
+  const auto layers = mixed_stack();
+  for (const double budget : {0.3, 0.6, 0.8}) {
+    CodesignOptions opts;
+    opts.budget = budget;
+    const CodesignResult r = run_codesign(d, layers, opts);
+    EXPECT_LE(r.total_chosen_latency_s, r.total_original_latency_s) << budget;
+    for (const auto& dec : r.layers) {
+      EXPECT_LE(dec.chosen_latency_s, dec.original_latency_s * 1.0001);
+    }
+  }
+}
+
+TEST(ThetaSweep, DecomposedCountNonIncreasingInTheta) {
+  const DeviceSpec d = make_a100();
+  const auto layers = mixed_stack();
+  std::int64_t prev = 1 << 20;
+  for (const double theta : {0.0, 0.3, 0.6, 0.9}) {
+    CodesignOptions opts;
+    opts.budget = 0.6;
+    opts.theta = theta;
+    const CodesignResult r = run_codesign(d, layers, opts);
+    std::int64_t decomposed = 0;
+    for (const auto& dec : r.layers) {
+      decomposed += dec.decomposed;
+    }
+    EXPECT_LE(decomposed, prev) << theta;
+    prev = decomposed;
+  }
+}
+
+TEST(RankTableSweep, LatencyPositiveAndFlopsOrdered) {
+  const DeviceSpec d = make_rtx2080ti();
+  for (const ConvShape& shape :
+       {ConvShape::same(64, 64, 28, 3), ConvShape::same(96, 96, 14, 3),
+        ConvShape::same(128, 64, 14, 3)}) {
+    const auto table = build_rank_table(d, shape, TilingSelector::kModel);
+    ASSERT_FALSE(table.empty());
+    for (const auto& cand : table) {
+      EXPECT_GT(cand.latency_s, 0.0);
+      EXPECT_DOUBLE_EQ(cand.flops, tucker_flops(shape, cand.ranks));
+    }
+    // FLOPs must be strictly increasing in each rank coordinate.
+    for (const auto& a : table) {
+      for (const auto& b : table) {
+        if (a.ranks.d1 < b.ranks.d1 && a.ranks.d2 == b.ranks.d2) {
+          EXPECT_LT(a.flops, b.flops);
+        }
+      }
+    }
+  }
+}
+
+TEST(RankTableSweep, OracleTablesNeverSlowerThanModelTables) {
+  const DeviceSpec d = make_a100();
+  const ConvShape shape = ConvShape::same(64, 64, 28, 3);
+  const auto model_table = build_rank_table(d, shape, TilingSelector::kModel);
+  const auto oracle_table = build_rank_table(d, shape, TilingSelector::kOracle);
+  ASSERT_EQ(model_table.size(), oracle_table.size());
+  for (std::size_t i = 0; i < model_table.size(); ++i) {
+    ASSERT_EQ(model_table[i].ranks, oracle_table[i].ranks);
+    // The oracle-tiled core can only improve the pipeline latency.
+    EXPECT_LE(oracle_table[i].latency_s, model_table[i].latency_s * 1.0001);
+  }
+}
+
+TEST(BudgetLedger, SkippedLayersPushBudgetDownstream) {
+  // First layer is undecomposable at any budget (tiny C), so the second
+  // layer must absorb a higher effective budget than with the first absent.
+  const DeviceSpec d = make_a100();
+  CodesignOptions opts;
+  opts.budget = 0.5;
+  const std::vector<ConvShape> with_stem = {ConvShape::same(3, 64, 224, 7, 2),
+                                            ConvShape::same(256, 256, 14, 3)};
+  const std::vector<ConvShape> alone = {ConvShape::same(256, 256, 14, 3)};
+  const CodesignResult r_with = run_codesign(d, with_stem, opts);
+  const CodesignResult r_alone = run_codesign(d, alone, opts);
+  ASSERT_TRUE(r_with.layers[1].decomposed);
+  ASSERT_TRUE(r_alone.layers[0].decomposed);
+  // The redistributed budget can only push the second layer's chosen FLOPs
+  // down (or keep them equal).
+  EXPECT_LE(r_with.layers[1].chosen_flops,
+            r_alone.layers[0].chosen_flops * 1.0001);
+}
+
+TEST(Pipeline, LatencyComposesAcrossSelectors) {
+  const DeviceSpec d = make_rtx2080ti();
+  const ConvShape shape = ConvShape::same(96, 96, 14, 3);
+  const TuckerRanks ranks{32, 32};
+  const double model =
+      tucker_pipeline_latency(d, shape, ranks, TilingSelector::kModel);
+  const double oracle =
+      tucker_pipeline_latency(d, shape, ranks, TilingSelector::kOracle);
+  EXPECT_LE(oracle, model * 1.0001);
+  EXPECT_GT(oracle, 0.0);
+}
+
+TEST(EmptyStack, NoLayersNoWork) {
+  const DeviceSpec d = make_a100();
+  CodesignOptions opts;
+  opts.budget = 0.5;
+  const CodesignResult r = run_codesign(d, {}, opts);
+  EXPECT_TRUE(r.layers.empty());
+  EXPECT_DOUBLE_EQ(r.total_chosen_flops, 0.0);
+}
+
+TEST(SingleLayer, FullPipelineInvariants) {
+  const DeviceSpec d = make_a100();
+  CodesignOptions opts;
+  opts.budget = 0.6;
+  const CodesignResult r =
+      run_codesign(d, {ConvShape::same(128, 128, 28, 3)}, opts);
+  ASSERT_EQ(r.layers.size(), 1u);
+  const LayerDecision& dec = r.layers.front();
+  ASSERT_TRUE(dec.decomposed);
+  EXPECT_GE(dec.ranks.d1, 32);
+  EXPECT_GE(dec.ranks.d2, 32);
+  EXPECT_LE(dec.ranks.d1, 128);
+  EXPECT_LE(dec.ranks.d2, 128);
+  EXPECT_LT(dec.chosen_flops, dec.original_flops);
+  EXPECT_GT(r.speedup(), 1.0);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tdc {
+namespace {
+
+TEST(Check, ThrowsTdcErrorWithLocation) {
+  try {
+    TDC_CHECK_MSG(1 == 2, "impossible");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("impossible"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(TDC_CHECK(2 + 2 == 4));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64();
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanCloseToHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kCount = 20000;
+  for (int i = 0; i < kCount; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kCount, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kCount = 20000;
+  for (int i = 0; i < kCount; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kCount, 0.0, 0.03);
+  EXPECT_NEAR(sq / kCount, 1.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversAllValuesWithoutBias) {
+  Rng rng(17);
+  std::vector<int> counts(7, 0);
+  constexpr int kCount = 14000;
+  for (int i = 0; i < kCount; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_index(7))];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kCount / 7, kCount / 7 / 4);
+  }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(19);
+  const auto p = rng.permutation(257);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, PermutationDeterministicPerSeed) {
+  Rng a(23), b(23);
+  EXPECT_EQ(a.permutation(64), b.permutation(64));
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,122 @@
+// Cross-model end-to-end consistency: the full co-design + latency walk on
+// every paper model and both devices, checking the paper's qualitative
+// orderings hold everywhere (not only on the ResNet-18 spot checks of
+// test_model_cost).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.h"
+#include "nn/model_cost.h"
+#include "nn/models.h"
+
+namespace tdc {
+namespace {
+
+struct E2eCase {
+  const char* model;
+  const char* device;
+  double budget;
+};
+
+class ModelDeviceE2e : public ::testing::TestWithParam<E2eCase> {};
+
+// One shared (memoized) evaluation per (model, device) so the assertions
+// below don't redo the codesign pass five times.
+struct E2eEval {
+  double original;
+  double tk_cudnn;
+  double tk_tvm;
+  double tk_tdc_model;
+  double flops_reduction;
+  std::int64_t decomposed;
+  std::size_t conv_count;
+};
+
+const E2eEval& evaluate(const E2eCase& c) {
+  static std::map<std::string, E2eEval> cache;
+  const std::string key = std::string(c.model) + "|" + c.device;
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const DeviceSpec device = device_by_name(c.device);
+  const ModelSpec model = model_by_name(c.model);
+  CodesignOptions opts;
+  opts.budget = c.budget;
+  const CodesignResult decisions = compress_model(device, model, opts);
+  E2eEval e;
+  e.original = model_latency_original(device, model);
+  e.tk_cudnn =
+      model_latency_compressed(device, model, decisions, CoreBackend::kCudnn);
+  e.tk_tvm =
+      model_latency_compressed(device, model, decisions, CoreBackend::kTvm);
+  e.tk_tdc_model = model_latency_compressed(device, model, decisions,
+                                            CoreBackend::kTdcModel);
+  e.flops_reduction = decisions.achieved_flops_reduction();
+  e.decomposed = 0;
+  for (const auto& dec : decisions.layers) {
+    e.decomposed += dec.decomposed;
+  }
+  e.conv_count = model.conv_shapes().size();
+  return cache.emplace(key, e).first->second;
+}
+
+TEST_P(ModelDeviceE2e, CompressionHappens) {
+  const E2eEval& e = evaluate(GetParam());
+  EXPECT_GT(e.decomposed, 0);
+  EXPECT_GT(e.flops_reduction, 0.05);
+  EXPECT_LT(e.flops_reduction, 0.95);
+}
+
+TEST_P(ModelDeviceE2e, TdcFastestBackend) {
+  // The paper's Figure 8/9 bar ordering: TDC <= TVM <= cuDNN on the
+  // compressed model. VGG is the acknowledged near-tie (§7.3: the
+  // 224²/112² stem shapes favour the H/W-split scheme), so the
+  // analytical-tiling backend gets a 5 % band there.
+  const E2eEval& e = evaluate(GetParam());
+  EXPECT_LE(e.tk_tdc_model, e.tk_tvm * 1.05);
+  EXPECT_LT(e.tk_tvm, e.tk_cudnn);
+}
+
+TEST_P(ModelDeviceE2e, CompressedBeatsOriginal) {
+  const E2eEval& e = evaluate(GetParam());
+  EXPECT_LT(e.tk_tdc_model, e.original);
+  // Paper range: 1.5–7.3× end-to-end. Allow a generous envelope.
+  EXPECT_GT(e.original / e.tk_tdc_model, 1.2);
+  EXPECT_LT(e.original / e.tk_tdc_model, 10.0);
+}
+
+TEST_P(ModelDeviceE2e, FlopsReductionAloneDoesNotDeliver) {
+  // The paper's motivating observation: TK-compressed-on-cuDNN captures
+  // only part of the FLOPs win; TDC recovers more.
+  const E2eEval& e = evaluate(GetParam());
+  const double cudnn_speedup = e.original / e.tk_cudnn;
+  const double tdc_speedup = e.original / e.tk_tdc_model;
+  EXPECT_GT(tdc_speedup, cudnn_speedup);
+}
+
+TEST_P(ModelDeviceE2e, LatenciesPositiveAndFinite) {
+  const E2eEval& e = evaluate(GetParam());
+  for (const double v : {e.original, e.tk_cudnn, e.tk_tvm, e.tk_tdc_model}) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);  // under a second for batch-1 inference
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperMatrix, ModelDeviceE2e,
+    ::testing::Values(E2eCase{"resnet18", "a100", 0.65},
+                      E2eCase{"resnet18", "2080ti", 0.65},
+                      E2eCase{"resnet50", "a100", 0.60},
+                      E2eCase{"resnet50", "2080ti", 0.60},
+                      E2eCase{"vgg16", "a100", 0.80},
+                      E2eCase{"vgg16", "2080ti", 0.80},
+                      E2eCase{"densenet121", "a100", 0.10},
+                      E2eCase{"densenet201", "a100", 0.10}),
+    [](const auto& info) {
+      return std::string(info.param.model) + "_" + info.param.device;
+    });
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace tdc {
+namespace {
+
+using Cpx = std::complex<double>;
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(17), 32);
+  EXPECT_EQ(next_pow2(1024), 1024);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Cpx> x(6);
+  EXPECT_THROW(fft_inplace(x, false), Error);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng rng(61);
+  std::vector<Cpx> x(64);
+  for (auto& v : x) {
+    v = Cpx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  std::vector<Cpx> y = x;
+  fft_inplace(y, false);
+  fft_inplace(y, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Cpx> x(16, Cpx{});
+  x[0] = Cpx(1.0, 0.0);
+  fft_inplace(x, false);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneHitsOneBin) {
+  constexpr std::size_t n = 32;
+  constexpr int bin = 5;
+  std::vector<Cpx> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * M_PI * bin * static_cast<double>(i) / n;
+    x[i] = Cpx(std::cos(phase), std::sin(phase));
+  }
+  fft_inplace(x, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(x[k]), k == bin ? static_cast<double>(n) : 0.0, 1e-9)
+        << "bin " << k;
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(63);
+  std::vector<Cpx> x(128);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = Cpx(rng.normal(), rng.normal());
+    time_energy += std::norm(v);
+  }
+  fft_inplace(x, false);
+  double freq_energy = 0.0;
+  for (const auto& v : x) {
+    freq_energy += std::norm(v);
+  }
+  EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-8 * time_energy);
+}
+
+TEST(Fft, LinearConvolutionViaFft) {
+  // corr(x, k)[o] computed via FFT must equal the direct sliding dot.
+  Rng rng(65);
+  constexpr std::int64_t n = 16, klen = 4, pad = 32;
+  std::vector<double> sig(n), ker(klen);
+  for (auto& v : sig) v = rng.uniform(-1, 1);
+  for (auto& v : ker) v = rng.uniform(-1, 1);
+
+  std::vector<Cpx> fs(pad, Cpx{}), fk(pad, Cpx{});
+  for (std::int64_t i = 0; i < n; ++i) fs[static_cast<std::size_t>(i)] = sig[static_cast<std::size_t>(i)];
+  for (std::int64_t i = 0; i < klen; ++i) fk[static_cast<std::size_t>(i)] = ker[static_cast<std::size_t>(i)];
+  fft_inplace(fs, false);
+  fft_inplace(fk, false);
+  for (std::int64_t i = 0; i < pad; ++i) {
+    fs[static_cast<std::size_t>(i)] *= std::conj(fk[static_cast<std::size_t>(i)]);
+  }
+  fft_inplace(fs, true);
+
+  for (std::int64_t o = 0; o <= n - klen; ++o) {
+    double expected = 0.0;
+    for (std::int64_t i = 0; i < klen; ++i) {
+      expected += sig[static_cast<std::size_t>(o + i)] * ker[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(fs[static_cast<std::size_t>(o)].real(), expected, 1e-9);
+  }
+}
+
+TEST(Fft2d, RoundTrip) {
+  Rng rng(67);
+  constexpr std::int64_t rows = 8, cols = 16;
+  std::vector<Cpx> x(rows * cols);
+  for (auto& v : x) {
+    v = Cpx(rng.uniform(-1, 1), 0.0);
+  }
+  std::vector<Cpx> y = x;
+  fft2d_inplace(y, rows, cols, false);
+  fft2d_inplace(y, rows, cols, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft2d, SeparabilityMatchesRowColumnTransforms) {
+  Rng rng(69);
+  constexpr std::int64_t rows = 4, cols = 8;
+  std::vector<Cpx> x(rows * cols);
+  for (auto& v : x) {
+    v = Cpx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  std::vector<Cpx> via2d = x;
+  fft2d_inplace(via2d, rows, cols, false);
+
+  // Manual: rows then columns.
+  std::vector<Cpx> manual = x;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::vector<Cpx> row(manual.begin() + r * cols, manual.begin() + (r + 1) * cols);
+    fft_inplace(row, false);
+    std::copy(row.begin(), row.end(), manual.begin() + r * cols);
+  }
+  for (std::int64_t c = 0; c < cols; ++c) {
+    std::vector<Cpx> col(static_cast<std::size_t>(rows));
+    for (std::int64_t r = 0; r < rows; ++r) {
+      col[static_cast<std::size_t>(r)] = manual[static_cast<std::size_t>(r * cols + c)];
+    }
+    fft_inplace(col, false);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      manual[static_cast<std::size_t>(r * cols + c)] = col[static_cast<std::size_t>(r)];
+    }
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(via2d[i] - manual[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft2d, SizeValidation) {
+  std::vector<Cpx> x(12);
+  EXPECT_THROW(fft2d_inplace(x, 3, 4, false), Error);
+  EXPECT_THROW(fft2d_inplace(x, 4, 4, false), Error);  // size mismatch
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "gpusim/device.h"
+#include "gpusim/launch.h"
+#include "gpusim/occupancy.h"
+
+namespace tdc {
+namespace {
+
+TEST(Device, PaperSmCounts) {
+  EXPECT_EQ(make_a100().sms, 108);        // paper §7.1
+  EXPECT_EQ(make_rtx2080ti().sms, 68);    // paper §7.1
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(device_by_name("a100").name, "A100");
+  EXPECT_EQ(device_by_name("2080ti").name, "2080Ti");
+  EXPECT_THROW(device_by_name("h100"), Error);
+}
+
+TEST(Device, TotalThreads) {
+  EXPECT_EQ(make_a100().total_threads(), 108LL * 2048);
+  EXPECT_EQ(make_rtx2080ti().total_threads(), 68LL * 1024);
+}
+
+TEST(Device, ModelTopFractionMatchesPaper) {
+  EXPECT_DOUBLE_EQ(make_a100().model_top_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(make_rtx2080ti().model_top_fraction, 0.15);
+}
+
+TEST(Occupancy, ThreadLimited) {
+  const DeviceSpec d = make_a100();
+  const OccupancyResult r = compute_occupancy(d, {256, 0, 32});
+  EXPECT_TRUE(r.launchable);
+  EXPECT_EQ(r.blocks_per_sm, 2048 / 256);
+  EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+  EXPECT_STREQ(r.limiter, "threads");
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const DeviceSpec d = make_a100();
+  // 40 KB/block: 164 KB/SM -> 4 blocks.
+  const OccupancyResult r = compute_occupancy(d, {64, 40 * 1024, 32});
+  EXPECT_TRUE(r.launchable);
+  EXPECT_EQ(r.blocks_per_sm, 4);
+  EXPECT_STREQ(r.limiter, "smem");
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const DeviceSpec d = make_a100();
+  // 255 regs × 256 threads = 65280 per block -> 1 block/SM on 64K regs.
+  const OccupancyResult r = compute_occupancy(d, {256, 0, 255});
+  EXPECT_TRUE(r.launchable);
+  EXPECT_EQ(r.blocks_per_sm, 1);
+  EXPECT_STREQ(r.limiter, "regs");
+}
+
+TEST(Occupancy, WarpRounding) {
+  const DeviceSpec d = make_a100();
+  // 33 threads occupy 2 warps of resources.
+  const OccupancyResult r33 = compute_occupancy(d, {33, 0, 32});
+  const OccupancyResult r64 = compute_occupancy(d, {64, 0, 32});
+  EXPECT_EQ(r33.blocks_per_sm, r64.blocks_per_sm);
+}
+
+TEST(Occupancy, UnlaunchableBlocks) {
+  const DeviceSpec d = make_rtx2080ti();
+  EXPECT_FALSE(compute_occupancy(d, {2048, 0, 32}).launchable);   // threads
+  EXPECT_FALSE(compute_occupancy(d, {64, 100 * 1024, 32}).launchable);  // smem
+  EXPECT_FALSE(compute_occupancy(d, {64, 0, 300}).launchable);    // regs
+}
+
+TEST(Occupancy, BlockCountCap) {
+  const DeviceSpec d = make_a100();
+  // Tiny blocks hit the max-blocks-per-SM limit before the thread limit.
+  const OccupancyResult r = compute_occupancy(d, {32, 0, 16});
+  EXPECT_EQ(r.blocks_per_sm, d.max_blocks_per_sm);
+  EXPECT_STREQ(r.limiter, "blocks");
+}
+
+TEST(Coalescing, WasteFactor) {
+  EXPECT_DOUBLE_EQ(coalescing_waste_factor(32.0), 1.0);
+  EXPECT_DOUBLE_EQ(coalescing_waste_factor(64.0), 1.0);
+  EXPECT_DOUBLE_EQ(coalescing_waste_factor(4.0), 8.0);   // one float per sector
+  EXPECT_DOUBLE_EQ(coalescing_waste_factor(48.0), 64.0 / 48.0);
+}
+
+KernelLaunch basic_launch(std::int64_t blocks, int threads) {
+  KernelLaunch l;
+  l.label = "test";
+  l.num_blocks = blocks;
+  l.block.threads = threads;
+  l.block.regs_per_thread = 32;
+  l.flops_per_block = 1e6;
+  l.bytes_read = 1e5;
+  l.bytes_written = 1e4;
+  l.ilp = 8.0;
+  return l;
+}
+
+TEST(Latency, MoreBlocksTakeLonger) {
+  const DeviceSpec d = make_a100();
+  const double t1 = simulate_latency(d, basic_launch(108, 256)).total_s;
+  const double t2 = simulate_latency(d, basic_launch(108 * 16, 256)).total_s;
+  EXPECT_GT(t2, t1 * 4);
+}
+
+TEST(Latency, LaunchOverheadFloorsTinyKernels) {
+  const DeviceSpec d = make_a100();
+  KernelLaunch l = basic_launch(1, 32);
+  l.flops_per_block = 100.0;
+  l.bytes_read = 100.0;
+  l.bytes_written = 0.0;
+  const LatencyBreakdown b = simulate_latency(d, l);
+  EXPECT_GE(b.total_s, d.launch_overhead_s);
+  EXPECT_LT(b.total_s, d.launch_overhead_s * 2.0);
+}
+
+TEST(Latency, UnderUtilizationPenalizesFewWarps) {
+  // Same total FLOPs spread over 1 big-work block vs many small blocks:
+  // the single block cannot fill the device.
+  const DeviceSpec d = make_a100();
+  KernelLaunch one = basic_launch(1, 64);
+  one.flops_per_block = 1e9;
+  KernelLaunch many = basic_launch(1024, 64);
+  many.flops_per_block = 1e9 / 1024;
+  EXPECT_GT(simulate_latency(d, one).compute_s,
+            simulate_latency(d, many).compute_s * 20);
+}
+
+TEST(Latency, WavesReported) {
+  const DeviceSpec d = make_a100();
+  const KernelLaunch l = basic_launch(108 * 8 * 3, 256);  // 8 blocks/SM
+  const LatencyBreakdown b = simulate_latency(d, l);
+  EXPECT_NEAR(b.waves, 3.0, 1e-9);
+}
+
+TEST(Latency, PartialTailWaveCostsLikeAWave) {
+  const DeviceSpec d = make_a100();
+  const double full = simulate_latency(d, basic_launch(108 * 8, 256)).compute_s;
+  const double tail =
+      simulate_latency(d, basic_launch(108 * 8 + 1, 256)).compute_s;
+  // One extra block should cost roughly one more block's serial time, not
+  // round up to double.
+  EXPECT_GT(tail, full);
+  EXPECT_LT(tail, full * 1.6);
+}
+
+TEST(Latency, MemoryBoundKernelScalesWithBytes) {
+  const DeviceSpec d = make_a100();
+  KernelLaunch l = basic_launch(10000, 256);
+  l.flops_per_block = 1.0;
+  l.bytes_read = 1e9;
+  const double t1 = simulate_latency(d, l).total_s;
+  l.bytes_read = 2e9;
+  const double t2 = simulate_latency(d, l).total_s;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.2);
+}
+
+TEST(Latency, AtomicTrafficCostsMore) {
+  const DeviceSpec d = make_a100();
+  KernelLaunch plain = basic_launch(10000, 256);
+  plain.flops_per_block = 1.0;
+  plain.bytes_written = 1e9;
+  KernelLaunch atomic = plain;
+  atomic.atomic_bytes = 1e9;
+  EXPECT_GT(simulate_latency(d, atomic).memory_s,
+            simulate_latency(d, plain).memory_s * 1.5);
+}
+
+TEST(Latency, BarriersAddToComputePath) {
+  const DeviceSpec d = make_a100();
+  KernelLaunch quiet = basic_launch(108, 256);
+  KernelLaunch noisy = quiet;
+  noisy.sync_count = 1000;
+  EXPECT_GT(simulate_latency(d, noisy).compute_s,
+            simulate_latency(d, quiet).compute_s);
+}
+
+TEST(Latency, SequenceSumsLaunchOverheads) {
+  const DeviceSpec d = make_a100();
+  const KernelLaunch l = basic_launch(108, 256);
+  const LatencyBreakdown one = simulate_latency(d, l);
+  const LatencyBreakdown three = simulate_sequence(d, {l, l, l});
+  EXPECT_NEAR(three.total_s, 3.0 * one.total_s, 1e-12);
+  EXPECT_NEAR(three.launch_s, 3.0 * d.launch_overhead_s, 1e-12);
+}
+
+TEST(Latency, UnlaunchableThrows) {
+  const DeviceSpec d = make_rtx2080ti();
+  KernelLaunch l = basic_launch(10, 2048);
+  EXPECT_THROW(simulate_latency(d, l), Error);
+}
+
+TEST(Latency, HigherIlpNeverSlower) {
+  const DeviceSpec d = make_rtx2080ti();
+  KernelLaunch low = basic_launch(68, 32);
+  low.ilp = 1.0;
+  KernelLaunch high = low;
+  high.ilp = 8.0;
+  EXPECT_LE(simulate_latency(d, high).compute_s,
+            simulate_latency(d, low).compute_s);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,212 @@
+// Property tests on the GPU execution-model simulator: the latency model
+// must respond monotonically to each resource knob on both devices, or the
+// tiling search and the co-design pass would optimize against noise.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "gpusim/launch.h"
+
+namespace tdc {
+namespace {
+
+class SimProperties : public ::testing::TestWithParam<const char*> {
+ protected:
+  DeviceSpec device() const { return device_by_name(GetParam()); }
+
+  static KernelLaunch base_launch() {
+    KernelLaunch l;
+    l.label = "prop";
+    l.num_blocks = 256;
+    l.block.threads = 128;
+    l.block.regs_per_thread = 40;
+    l.flops_per_block = 2e6;
+    l.bytes_read = 2e6;
+    l.bytes_written = 5e5;
+    l.ilp = 4.0;
+    return l;
+  }
+};
+
+TEST_P(SimProperties, LatencyMonotoneInBlocks) {
+  // Growing the grid at constant per-block work (so total work grows) can
+  // never reduce latency.
+  const DeviceSpec d = device();
+  KernelLaunch l = base_launch();
+  double prev = 0.0;
+  for (const std::int64_t blocks : {1, 8, 64, 512, 4096, 32768}) {
+    l.num_blocks = blocks;
+    l.bytes_read = 2e4 * static_cast<double>(blocks);
+    l.bytes_written = 5e3 * static_cast<double>(blocks);
+    const double t = simulate_latency(d, l).total_s;
+    EXPECT_GE(t, prev * 0.999) << blocks;
+    prev = t;
+  }
+}
+
+TEST_P(SimProperties, LatencyMonotoneInFlops) {
+  const DeviceSpec d = device();
+  KernelLaunch l = base_launch();
+  double prev = 0.0;
+  for (const double flops : {1e4, 1e5, 1e6, 1e7, 1e8}) {
+    l.flops_per_block = flops;
+    const double t = simulate_latency(d, l).compute_s;
+    EXPECT_GE(t, prev) << flops;
+    prev = t;
+  }
+}
+
+TEST_P(SimProperties, LatencyMonotoneInBytes) {
+  const DeviceSpec d = device();
+  KernelLaunch l = base_launch();
+  double prev = 0.0;
+  for (const double bytes : {1e4, 1e6, 1e8, 1e9}) {
+    l.bytes_read = bytes;
+    const double t = simulate_latency(d, l).memory_s;
+    EXPECT_GE(t, prev) << bytes;
+    prev = t;
+  }
+}
+
+TEST_P(SimProperties, LatencyMonotoneInSyncs) {
+  const DeviceSpec d = device();
+  KernelLaunch l = base_launch();
+  double prev = 0.0;
+  for (const std::int64_t syncs : {0, 2, 32, 512}) {
+    l.sync_count = syncs;
+    const double t = simulate_latency(d, l).compute_s;
+    EXPECT_GE(t, prev) << syncs;
+    prev = t;
+  }
+}
+
+TEST_P(SimProperties, LatencyMonotoneInStalls) {
+  const DeviceSpec d = device();
+  KernelLaunch l = base_launch();
+  double prev = 0.0;
+  for (const std::int64_t stalls : {0, 1, 16, 256}) {
+    l.dependent_stalls = stalls;
+    const double t = simulate_latency(d, l).compute_s;
+    EXPECT_GE(t, prev) << stalls;
+    prev = t;
+  }
+}
+
+TEST_P(SimProperties, AtomicsNeverCheaperThanPlainWrites) {
+  const DeviceSpec d = device();
+  KernelLaunch plain = base_launch();
+  plain.bytes_written = 1e7;
+  KernelLaunch atomic = plain;
+  atomic.atomic_bytes = 1e7;
+  EXPECT_GE(simulate_latency(d, atomic).memory_s,
+            simulate_latency(d, plain).memory_s);
+}
+
+TEST_P(SimProperties, L2TrafficCheaperThanDram) {
+  const DeviceSpec d = device();
+  KernelLaunch dram = base_launch();
+  dram.bytes_read = 1e8;
+  KernelLaunch l2 = base_launch();
+  l2.bytes_read = 0.0;
+  l2.bytes_l2 = 1e8;
+  EXPECT_LT(simulate_latency(d, l2).memory_s,
+            simulate_latency(d, dram).memory_s);
+}
+
+TEST_P(SimProperties, PartialWarpWastesLanes) {
+  const DeviceSpec d = device();
+  KernelLaunch full = base_launch();
+  full.block.threads = 32;
+  KernelLaunch partial = base_launch();
+  partial.block.threads = 8;  // same flops, quarter-full warp
+  EXPECT_GT(simulate_latency(d, partial).compute_s,
+            simulate_latency(d, full).compute_s * 2.0);
+}
+
+TEST_P(SimProperties, OccupancyMonotoneInSharedMemory) {
+  const DeviceSpec d = device();
+  int prev_blocks = 1 << 30;
+  for (const std::int64_t smem : {0LL, 8LL * 1024, 24LL * 1024, 48LL * 1024}) {
+    const OccupancyResult r = compute_occupancy(d, {128, smem, 32});
+    ASSERT_TRUE(r.launchable);
+    EXPECT_LE(r.blocks_per_sm, prev_blocks);
+    prev_blocks = r.blocks_per_sm;
+  }
+}
+
+TEST_P(SimProperties, OccupancyMonotoneInRegisters) {
+  const DeviceSpec d = device();
+  int prev_blocks = 1 << 30;
+  for (const int regs : {16, 32, 64, 128, 255}) {
+    const OccupancyResult r = compute_occupancy(d, {128, 0, regs});
+    ASSERT_TRUE(r.launchable);
+    EXPECT_LE(r.blocks_per_sm, prev_blocks);
+    prev_blocks = r.blocks_per_sm;
+  }
+}
+
+TEST_P(SimProperties, OccupancyMonotoneInThreads) {
+  const DeviceSpec d = device();
+  int prev_total = 0;
+  for (const int threads : {32, 64, 128, 256, 512}) {
+    const OccupancyResult r = compute_occupancy(d, {threads, 0, 32});
+    ASSERT_TRUE(r.launchable);
+    // Resident thread count should not fall as the block grows (until the
+    // per-SM limit quantizes it away entirely).
+    const int total = r.blocks_per_sm * threads;
+    EXPECT_GE(total, prev_total / 2);
+    prev_total = total;
+  }
+}
+
+TEST_P(SimProperties, WavesScaleLinearlyBeyondSaturation) {
+  const DeviceSpec d = device();
+  KernelLaunch l = base_launch();
+  l.num_blocks = 100000;
+  const LatencyBreakdown one = simulate_latency(d, l);
+  l.num_blocks = 200000;
+  const LatencyBreakdown two = simulate_latency(d, l);
+  EXPECT_NEAR(two.waves / one.waves, 2.0, 0.01);
+  EXPECT_NEAR(two.compute_s / one.compute_s, 2.0, 0.05);
+}
+
+TEST_P(SimProperties, BreakdownConsistent) {
+  const DeviceSpec d = device();
+  const LatencyBreakdown b = simulate_latency(d, base_launch());
+  EXPECT_GT(b.compute_s, 0.0);
+  EXPECT_GT(b.memory_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.launch_s, d.launch_overhead_s);
+  EXPECT_NEAR(b.total_s, b.launch_s + std::max(b.compute_s, b.memory_s),
+              1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, SimProperties,
+                         ::testing::Values("a100", "2080ti"),
+                         [](const auto& info) {
+                           return std::string(info.param) == "a100"
+                                      ? "A100"
+                                      : "RTX2080Ti";
+                         });
+
+TEST(RereadTraffic, SplitsAtTheL2Boundary) {
+  const DeviceSpec d = make_a100();
+  KernelLaunch fits;
+  add_reread_traffic(d, /*total=*/10e6, /*working_set=*/1e6, &fits);
+  EXPECT_DOUBLE_EQ(fits.bytes_read, 1e6);
+  EXPECT_DOUBLE_EQ(fits.bytes_l2, 9e6);
+
+  KernelLaunch spills;
+  add_reread_traffic(d, /*total=*/10e9, /*working_set=*/5e9, &spills);
+  EXPECT_DOUBLE_EQ(spills.bytes_read, 10e9);
+  EXPECT_DOUBLE_EQ(spills.bytes_l2, 0.0);
+}
+
+TEST(RereadTraffic, TotalSmallerThanWorkingSet) {
+  const DeviceSpec d = make_a100();
+  KernelLaunch l;
+  add_reread_traffic(d, /*total=*/5e5, /*working_set=*/1e6, &l);
+  EXPECT_DOUBLE_EQ(l.bytes_read, 5e5);
+  EXPECT_DOUBLE_EQ(l.bytes_l2, 0.0);
+}
+
+}  // namespace
+}  // namespace tdc

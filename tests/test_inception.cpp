@@ -1,0 +1,122 @@
+// Tests for the wide-CNN (GoogLeNet) extension: inventory correctness, the
+// concurrency model's bounds, and module-level rank planning.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "nn/inception.h"
+
+namespace tdc {
+namespace {
+
+TEST(GoogleNet, ModuleCountAndOrder) {
+  const WideModelSpec g = make_googlenet();
+  ASSERT_EQ(g.modules.size(), 9u);
+  EXPECT_EQ(g.modules.front().first.name, "3a");
+  EXPECT_EQ(g.modules.back().first.name, "5b");
+}
+
+TEST(GoogleNet, ChannelChainingAcrossModules) {
+  // Each module's input channels equal the previous module's concatenated
+  // output channels.
+  const WideModelSpec g = make_googlenet();
+  for (std::size_t i = 1; i < g.modules.size(); ++i) {
+    EXPECT_EQ(g.modules[i].first.in_channels,
+              g.modules[i - 1].first.out_channels)
+        << g.modules[i].first.name;
+  }
+  EXPECT_EQ(g.modules.back().first.out_channels, 1024);
+}
+
+TEST(GoogleNet, BranchGeometry) {
+  const WideModelSpec g = make_googlenet();
+  const InceptionModule& m3a = g.modules.front().first;
+  ASSERT_EQ(m3a.branches.size(), 4u);
+  // 1×1 branch.
+  EXPECT_EQ(m3a.branches[0].convs.size(), 1u);
+  EXPECT_EQ(m3a.branches[0].convs[0].n, 64);
+  // 3×3 branch: reduce then conv.
+  ASSERT_EQ(m3a.branches[1].convs.size(), 2u);
+  EXPECT_EQ(m3a.branches[1].convs[0].n, 96);
+  EXPECT_EQ(m3a.branches[1].convs[1].r, 3);
+  EXPECT_EQ(m3a.branches[1].convs[1].n, 128);
+  // 5×5 branch.
+  EXPECT_EQ(m3a.branches[2].convs[1].r, 5);
+  // All branches see the same input channels and plane.
+  for (const auto& b : m3a.branches) {
+    EXPECT_EQ(b.convs.front().c, 192);
+    EXPECT_EQ(b.convs.front().h, 28);
+  }
+}
+
+TEST(GoogleNet, FlopsMatchPublished) {
+  // GoogLeNet ≈ 1.5 GMACs => ~3.0 GFLOPs in our 2×MAC convention.
+  EXPECT_NEAR(make_googlenet().total_flops() / 1e9, 3.0, 0.6);
+}
+
+TEST(Concurrency, BoundedBySumAndSlowest) {
+  const DeviceSpec d = make_a100();
+  std::vector<LatencyBreakdown> ks(3);
+  for (int i = 0; i < 3; ++i) {
+    ks[static_cast<std::size_t>(i)].total_s = 1e-5 * (i + 1);
+    ks[static_cast<std::size_t>(i)].compute_s = 0.6e-5 * (i + 1);
+    ks[static_cast<std::size_t>(i)].memory_s = 0.5e-5 * (i + 1);
+    ks[static_cast<std::size_t>(i)].occ.occupancy = 0.25;
+  }
+  const double t = concurrent_latency(d, ks);
+  EXPECT_GE(t, 3e-5);            // the slowest branch
+  EXPECT_LE(t, 6e-5 + 1e-12);    // the serialized sum
+}
+
+TEST(Concurrency, SingleKernelIsItself) {
+  const DeviceSpec d = make_a100();
+  LatencyBreakdown k;
+  k.total_s = 4e-5;
+  k.compute_s = 2e-5;
+  k.memory_s = 1e-5;
+  k.occ.occupancy = 0.5;
+  EXPECT_DOUBLE_EQ(concurrent_latency(d, {k}), 4e-5);
+}
+
+TEST(Concurrency, EmptyThrows) {
+  const DeviceSpec d = make_a100();
+  EXPECT_THROW(concurrent_latency(d, {}), Error);
+}
+
+TEST(ModulePlanning, EveryBranchGetsDecisions) {
+  const DeviceSpec d = make_a100();
+  const InceptionModule m = make_googlenet().modules.front().first;
+  CodesignOptions opts;
+  opts.budget = 0.4;
+  const InceptionModulePlan plan = plan_inception_module(d, m, opts);
+  ASSERT_EQ(plan.branches.size(), m.branches.size());
+  for (std::size_t b = 0; b < plan.branches.size(); ++b) {
+    EXPECT_EQ(plan.branches[b].decisions.size(), m.branches[b].convs.size());
+  }
+}
+
+TEST(ModulePricing, ConcurrencyAndCompressionBothHelp) {
+  const DeviceSpec d = make_a100();
+  const InceptionModule m = make_googlenet().modules.front().first;
+  CodesignOptions opts;
+  opts.budget = 0.4;
+  const InceptionModulePlan plan = plan_inception_module(d, m, opts);
+  const InceptionModuleCost cost = price_inception_module(d, m, plan);
+  // Streams beat one stream; compression beats original; all positive.
+  EXPECT_GT(cost.sequential_original_s, 0.0);
+  EXPECT_LE(cost.concurrent_original_s, cost.sequential_original_s + 1e-12);
+  EXPECT_LE(cost.sequential_tdc_s, cost.sequential_original_s + 1e-12);
+  EXPECT_LE(cost.concurrent_tdc_s, cost.sequential_tdc_s + 1e-12);
+}
+
+TEST(GoogleNetE2eEval, OrderingHolds) {
+  const DeviceSpec d = make_a100();
+  CodesignOptions opts;
+  opts.budget = 0.4;
+  const GoogleNetE2e e = evaluate_googlenet(d, opts);
+  EXPECT_GT(e.original_sequential_s, 0.0);
+  EXPECT_LE(e.original_concurrent_s, e.original_sequential_s + 1e-12);
+  EXPECT_LT(e.tdc_concurrent_s, e.original_concurrent_s);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "gpusim/library_cost.h"
+#include "nn/models.h"
+
+namespace tdc {
+namespace {
+
+TEST(ImplicitGemm, PositiveAndFinite) {
+  const DeviceSpec d = make_a100();
+  const LatencyBreakdown b =
+      cudnn_implicit_gemm_cost(d, ConvShape::same(64, 64, 56, 3));
+  EXPECT_GT(b.total_s, 0.0);
+  EXPECT_LT(b.total_s, 0.1);
+}
+
+TEST(ImplicitGemm, MoreWorkTakesLonger) {
+  const DeviceSpec d = make_a100();
+  const double small =
+      cudnn_implicit_gemm_cost(d, ConvShape::same(32, 32, 14, 3)).total_s;
+  const double big =
+      cudnn_implicit_gemm_cost(d, ConvShape::same(256, 256, 56, 3)).total_s;
+  EXPECT_GT(big, small * 5);
+}
+
+TEST(ImplicitGemm, SmallProblemsUnderutilize) {
+  // Latency per FLOP should be far worse for a tiny Tucker-core shape than
+  // for a large dense layer — the paper's central observation.
+  const DeviceSpec d = make_a100();
+  const ConvShape tiny = ConvShape::same(32, 32, 14, 3);
+  const ConvShape large = ConvShape::same(512, 512, 28, 3);
+  const double tiny_eff =
+      tiny.flops() / cudnn_implicit_gemm_cost(d, tiny).total_s;
+  const double large_eff =
+      large.flops() / cudnn_implicit_gemm_cost(d, large).total_s;
+  EXPECT_GT(large_eff, tiny_eff * 10);
+}
+
+TEST(ImplicitGemm, SupportsStrideAndOneByOne) {
+  const DeviceSpec d = make_a100();
+  EXPECT_NO_THROW(cudnn_implicit_gemm_cost(d, ConvShape::same(64, 128, 56, 1)));
+  EXPECT_NO_THROW(
+      cudnn_implicit_gemm_cost(d, ConvShape::same(64, 128, 56, 3, 2)));
+  EXPECT_NO_THROW(
+      cudnn_implicit_gemm_cost(d, ConvShape::same(3, 64, 224, 7, 2)));
+}
+
+TEST(Winograd, RequiresThreeByThreeStrideOne) {
+  const DeviceSpec d = make_a100();
+  EXPECT_THROW(cudnn_winograd_cost(d, ConvShape::same(8, 8, 14, 5)), Error);
+  EXPECT_THROW(cudnn_winograd_cost(d, ConvShape::same(8, 8, 14, 3, 2)), Error);
+  EXPECT_NO_THROW(cudnn_winograd_cost(d, ConvShape::same(8, 8, 14, 3)));
+}
+
+TEST(Winograd, FourKernelSequence) {
+  const DeviceSpec d = make_a100();
+  const LatencyBreakdown b = cudnn_winograd_cost(d, ConvShape::same(64, 64, 28, 3));
+  EXPECT_NEAR(b.launch_s, 4.0 * d.launch_overhead_s, 1e-12);
+}
+
+TEST(Fft, RequiresStrideOne) {
+  const DeviceSpec d = make_a100();
+  EXPECT_THROW(cudnn_fft_cost(d, ConvShape::same(8, 8, 14, 3, 2)), Error);
+  EXPECT_NO_THROW(cudnn_fft_cost(d, ConvShape::same(8, 8, 14, 5)));
+}
+
+TEST(Fft, SlowestOnSmallTuckerShapes) {
+  // On the paper's small core shapes, FFT must lose to implicit GEMM and
+  // Winograd (Figures 6–7 ordering).
+  const DeviceSpec d = make_a100();
+  for (const ConvShape& s :
+       {ConvShape::same(32, 32, 28, 3), ConvShape::same(64, 32, 14, 3)}) {
+    const double fft = cudnn_fft_cost(d, s).total_s;
+    const double wino = cudnn_winograd_cost(d, s).total_s;
+    EXPECT_GT(fft, wino) << s.to_string();
+  }
+}
+
+TEST(LibraryDispatch, MatchesUnderlying) {
+  const DeviceSpec d = make_rtx2080ti();
+  const ConvShape s = ConvShape::same(32, 32, 28, 3);
+  EXPECT_DOUBLE_EQ(library_conv_cost(ConvAlgo::kWinograd, d, s).total_s,
+                   cudnn_winograd_cost(d, s).total_s);
+  EXPECT_DOUBLE_EQ(library_conv_cost(ConvAlgo::kFft, d, s).total_s,
+                   cudnn_fft_cost(d, s).total_s);
+  EXPECT_DOUBLE_EQ(library_conv_cost(ConvAlgo::kIm2col, d, s).total_s,
+                   cudnn_implicit_gemm_cost(d, s).total_s);
+}
+
+TEST(Elementwise, BandwidthScaling) {
+  const DeviceSpec d = make_a100();
+  const double small = elementwise_cost(d, 1e4, 1e4).total_s;
+  const double big = elementwise_cost(d, 1e8, 1e8).total_s;
+  EXPECT_GT(big, small * 10);
+  EXPECT_GE(small, d.launch_overhead_s);
+}
+
+TEST(FullyConnected, WeightBandwidthBound) {
+  // With the grid large enough to fill the device, doubling the weight
+  // matrix roughly doubles the (bandwidth-bound) cost.
+  const DeviceSpec d = make_a100();
+  const double t1 = fully_connected_cost(d, 4096, 4096).total_s;
+  const double t2 = fully_connected_cost(d, 4096, 8192).total_s;
+  EXPECT_GT(t2, t1 * 1.6);
+  EXPECT_LT(t2, t1 * 2.4);
+}
+
+TEST(DeviceComparison, A100FasterThan2080TiWhenSaturated) {
+  // On device-filling work the A100 wins on both FLOPs and bandwidth. (On
+  // tiny grids the 2080 Ti's higher per-SM clock can locally win — which is
+  // physical, so only the saturated case is asserted.)
+  const DeviceSpec a = make_a100();
+  const DeviceSpec t = make_rtx2080ti();
+  const ConvShape s = ConvShape::same(512, 512, 56, 3);
+  EXPECT_LT(cudnn_implicit_gemm_cost(a, s).total_s,
+            cudnn_implicit_gemm_cost(t, s).total_s);
+  EXPECT_LT(elementwise_cost(a, 1e8, 1e8).total_s,
+            elementwise_cost(t, 1e8, 1e8).total_s);
+}
+
+TEST(PaperShapes, AllCostModelsRunOnFigure6Shapes) {
+  const DeviceSpec a100 = make_a100();
+  const DeviceSpec ti = make_rtx2080ti();
+  for (const ConvShape& s : figure6_core_shapes()) {
+    for (const DeviceSpec& d : {a100, ti}) {
+      EXPECT_GT(cudnn_implicit_gemm_cost(d, s).total_s, 0.0) << s.to_string();
+      EXPECT_GT(cudnn_winograd_cost(d, s).total_s, 0.0) << s.to_string();
+      EXPECT_GT(cudnn_fft_cost(d, s).total_s, 0.0) << s.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "nn/model_cost.h"
+#include "nn/models.h"
+
+namespace tdc {
+namespace {
+
+// These walks exercise the whole pipeline (codesign + all backends) on the
+// smallest paper model; the full five-model sweep lives in the benches.
+class Resnet18E2e : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    device_ = new DeviceSpec(make_a100());
+    model_ = new ModelSpec(make_resnet18());
+    CodesignOptions opts;
+    opts.budget = 0.63;  // paper's achieved reduction for ResNet-18
+    decisions_ = new CodesignResult(compress_model(*device_, *model_, opts));
+  }
+  static void TearDownTestSuite() {
+    delete device_;
+    delete model_;
+    delete decisions_;
+  }
+  static DeviceSpec* device_;
+  static ModelSpec* model_;
+  static CodesignResult* decisions_;
+};
+
+DeviceSpec* Resnet18E2e::device_ = nullptr;
+ModelSpec* Resnet18E2e::model_ = nullptr;
+CodesignResult* Resnet18E2e::decisions_ = nullptr;
+
+TEST_F(Resnet18E2e, DecisionListCoversEveryConv) {
+  EXPECT_EQ(decisions_->layers.size(), model_->conv_shapes().size());
+}
+
+TEST_F(Resnet18E2e, SomeLayersDecomposed) {
+  std::int64_t decomposed = 0;
+  for (const auto& d : decisions_->layers) {
+    decomposed += d.decomposed;
+  }
+  EXPECT_GE(decomposed, 5);
+}
+
+TEST_F(Resnet18E2e, FlopsReductionNearBudget) {
+  EXPECT_GT(decisions_->achieved_flops_reduction(), 0.4);
+  EXPECT_LT(decisions_->achieved_flops_reduction(), 0.9);
+}
+
+TEST_F(Resnet18E2e, TdcBeatsOriginal) {
+  const double orig = model_latency_original(*device_, *model_);
+  const double tdc = model_latency_compressed(*device_, *model_, *decisions_,
+                                              CoreBackend::kTdcOracle);
+  EXPECT_LT(tdc, orig);
+}
+
+TEST_F(Resnet18E2e, TdcBeatsTkCudnn) {
+  // The paper's central claim: FLOPs reduction alone (TK on cuDNN) leaves
+  // performance on the table; the TDC kernel recovers it.
+  const double tk_cudnn = model_latency_compressed(*device_, *model_,
+                                                   *decisions_,
+                                                   CoreBackend::kCudnn);
+  const double tdc = model_latency_compressed(*device_, *model_, *decisions_,
+                                              CoreBackend::kTdcOracle);
+  EXPECT_LT(tdc, tk_cudnn);
+}
+
+TEST_F(Resnet18E2e, OracleAtLeastAsFastAsModel) {
+  const double oracle = model_latency_compressed(*device_, *model_,
+                                                 *decisions_,
+                                                 CoreBackend::kTdcOracle);
+  const double analytic = model_latency_compressed(*device_, *model_,
+                                                   *decisions_,
+                                                   CoreBackend::kTdcModel);
+  EXPECT_LE(oracle, analytic * (1.0 + 1e-9));
+}
+
+TEST_F(Resnet18E2e, BackendMismatchDetected) {
+  // Feeding ResNet-18 decisions to VGG must throw (sequence mismatch).
+  const ModelSpec vgg = make_vgg16();
+  EXPECT_THROW(model_latency_compressed(*device_, vgg, *decisions_,
+                                        CoreBackend::kCudnn),
+               Error);
+}
+
+TEST(LayerLatency, AllKindsPriced) {
+  const DeviceSpec d = make_a100();
+  EXPECT_GT(layer_latency(
+                d, LayerSpec::make_conv("c", ConvShape::same(64, 64, 56, 3))),
+            0.0);
+  EXPECT_GT(layer_latency(d, LayerSpec::make_pool("p", 1e6, 2.5e5)), 0.0);
+  EXPECT_GT(layer_latency(d, LayerSpec::make_elementwise("e", 1e6)), 0.0);
+  EXPECT_GT(layer_latency(d, LayerSpec::make_global_pool("g", 1e5, 512)), 0.0);
+  EXPECT_GT(layer_latency(d, LayerSpec::make_fc("f", 4096, 1000)), 0.0);
+}
+
+TEST(ModelLatency, OriginalSumsLayers) {
+  const DeviceSpec d = make_a100();
+  ModelSpec tiny;
+  tiny.name = "tiny";
+  tiny.layers.push_back(
+      LayerSpec::make_conv("c1", ConvShape::same(16, 16, 14, 3)));
+  tiny.layers.push_back(LayerSpec::make_elementwise("r1", 16 * 14 * 14));
+  const double total = model_latency_original(d, tiny);
+  const double sum = layer_latency(d, tiny.layers[0]) +
+                     layer_latency(d, tiny.layers[1]);
+  EXPECT_NEAR(total, sum, 1e-12);
+}
+
+TEST(BackendNames, Strings) {
+  EXPECT_STREQ(core_backend_name(CoreBackend::kCudnn), "cudnn");
+  EXPECT_STREQ(core_backend_name(CoreBackend::kTdcModel), "tdc-model");
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "nn/models.h"
+
+namespace tdc {
+namespace {
+
+std::int64_t count_convs(const ModelSpec& m) {
+  std::int64_t n = 0;
+  for (const auto& l : m.layers) {
+    n += l.kind == LayerKind::kConv;
+  }
+  return n;
+}
+
+// Published multiply–add counts (batch 1, 224², torchvision): our flops()
+// uses 2×MACs, so targets are doubled GMACs.
+TEST(Models, Vgg16FlopsMatchPublished) {
+  // VGG-16 convs ≈ 15.35 GMACs.
+  EXPECT_NEAR(make_vgg16().conv_flops() / 1e9, 2.0 * 15.35, 1.0);
+}
+
+TEST(Models, Resnet18FlopsMatchPublished) {
+  // ResNet-18 ≈ 1.82 GMACs total.
+  EXPECT_NEAR(make_resnet18().conv_flops() / 1e9, 2.0 * 1.81, 0.3);
+}
+
+TEST(Models, Resnet50FlopsMatchPublished) {
+  // ResNet-50 ≈ 4.09 GMACs.
+  EXPECT_NEAR(make_resnet50().conv_flops() / 1e9, 2.0 * 4.08, 0.5);
+}
+
+TEST(Models, Densenet121FlopsMatchPublished) {
+  // DenseNet-121 ≈ 2.85 GMACs.
+  EXPECT_NEAR(make_densenet121().conv_flops() / 1e9, 2.0 * 2.85, 0.4);
+}
+
+TEST(Models, Densenet201FlopsMatchPublished) {
+  // DenseNet-201 ≈ 4.34 GMACs.
+  EXPECT_NEAR(make_densenet201().conv_flops() / 1e9, 2.0 * 4.32, 0.5);
+}
+
+TEST(Models, ConvCounts) {
+  EXPECT_EQ(count_convs(make_vgg16()), 13);
+  EXPECT_EQ(count_convs(make_resnet18()), 20);     // 16 + stem + 3 downsample
+  EXPECT_EQ(count_convs(make_resnet50()), 53);     // 48 + stem + 4 downsample
+  EXPECT_EQ(count_convs(make_densenet121()), 120); // 2/layer ×58 + stem + 3 trans
+  EXPECT_EQ(count_convs(make_densenet201()), 200);
+}
+
+TEST(Models, Resnet20CifarGeometry) {
+  const ModelSpec m = make_resnet20_cifar();
+  EXPECT_EQ(count_convs(m), 19 + 2);  // 19 convs + 2 projection shortcuts
+  const auto shapes = m.conv_shapes();
+  EXPECT_EQ(shapes.front().h, 32);
+  // Last stage runs at 8×8 with 64 channels.
+  bool found_final_stage = false;
+  for (const auto& s : shapes) {
+    if (s.c == 64 && s.n == 64 && s.h == 8) {
+      found_final_stage = true;
+    }
+  }
+  EXPECT_TRUE(found_final_stage);
+}
+
+TEST(Models, AllShapesValid) {
+  for (const ModelSpec& m : paper_models()) {
+    for (const ConvShape& s : m.conv_shapes()) {
+      EXPECT_TRUE(s.valid()) << m.name << " " << s.to_string();
+    }
+  }
+}
+
+TEST(Models, SpatialDimsNeverBelowSeven) {
+  // ImageNet CNNs bottom out at 7×7 (paper §7.3 discussion).
+  for (const ModelSpec& m : paper_models()) {
+    for (const ConvShape& s : m.conv_shapes()) {
+      EXPECT_GE(s.out_h(), 7) << m.name;
+    }
+  }
+}
+
+TEST(Models, DecomposableSubsetExcludesPointwise) {
+  const ModelSpec m = make_resnet50();
+  for (const ConvShape& s : m.decomposable_conv_shapes()) {
+    EXPECT_GT(s.r * s.s, 1);
+  }
+  // ResNet-50 has exactly 16 3×3 convs + the 7×7 stem.
+  EXPECT_EQ(m.decomposable_conv_shapes().size(), 17u);
+}
+
+TEST(Models, ChannelChainingConsistent) {
+  // Every conv's input channel count must match some producer; check the
+  // simple sequential chaining of VGG.
+  const auto shapes = make_vgg16().conv_shapes();
+  for (std::size_t i = 1; i < shapes.size(); ++i) {
+    EXPECT_EQ(shapes[i].c, shapes[i - 1].n);
+  }
+}
+
+TEST(Models, ByNameLookup) {
+  EXPECT_EQ(model_by_name("vgg16").name, "vgg16");
+  EXPECT_EQ(model_by_name("densenet201").name, "densenet201");
+  EXPECT_THROW(model_by_name("alexnet"), Error);
+}
+
+TEST(Models, Figure6ShapeList) {
+  const auto shapes = figure6_core_shapes();
+  EXPECT_EQ(shapes.size(), 18u);
+  EXPECT_EQ(shapes.front().c, 64);
+  EXPECT_EQ(shapes.front().h, 224);
+  EXPECT_EQ(shapes.back().c, 192);
+  EXPECT_EQ(shapes.back().n, 160);
+  EXPECT_EQ(shapes.back().h, 7);
+  for (const auto& s : shapes) {
+    EXPECT_EQ(s.r, 3);
+    EXPECT_EQ(s.stride_h, 1);
+    EXPECT_TRUE(s.valid());
+  }
+}
+
+TEST(Models, TotalFlopsIncludeFcAndAux) {
+  const ModelSpec m = make_vgg16();
+  EXPECT_GT(m.total_flops(), m.conv_flops());
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,181 @@
+// Regression anchors for the paper's headline claims.
+//
+// These tests pin the calibrated simulator to the qualitative results of the
+// paper — orderings, crossovers, and rough factors — so that future changes
+// to the cost models cannot silently break the reproduction. Bands are
+// deliberately generous: the *shape* of each result is the invariant, not
+// the third digit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/tdc_model.h"
+#include "core/tvm_scheme.h"
+#include "gpusim/library_cost.h"
+#include "nn/models.h"
+
+namespace tdc {
+namespace {
+
+double geomean(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (const double x : xs) {
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+struct FigureAverages {
+  double fft, wino, gemm, tvm, model_gap;
+};
+
+FigureAverages figure_averages(const DeviceSpec& device) {
+  std::vector<double> fft, wino, gemm, tvm, gap;
+  for (const ConvShape& s : figure6_core_shapes()) {
+    const double oracle =
+        tdc_core_cost(device, s, select_tiling_oracle(device, s)).total_s;
+    const double model =
+        tdc_core_cost(device, s, select_tiling_model(device, s)).total_s;
+    fft.push_back(cudnn_fft_cost(device, s).total_s / oracle);
+    wino.push_back(cudnn_winograd_cost(device, s).total_s / oracle);
+    gemm.push_back(cudnn_implicit_gemm_cost(device, s).total_s / oracle);
+    tvm.push_back(tvm_best_cost(device, s).total_s / oracle);
+    gap.push_back(model / oracle);
+  }
+  return {geomean(fft), geomean(wino), geomean(gemm), geomean(tvm),
+          geomean(gap)};
+}
+
+const FigureAverages& a100_averages() {
+  static const FigureAverages a = figure_averages(make_a100());
+  return a;
+}
+
+const FigureAverages& ti_averages() {
+  static const FigureAverages a = figure_averages(make_rtx2080ti());
+  return a;
+}
+
+// --- Figure 6 (A100): paper averages 5.38 / 3.12 / 8.95 / 1.81 ---
+
+TEST(Figure6Claims, TdcBeatsEveryBaselineOnAverage) {
+  const FigureAverages& a = a100_averages();
+  EXPECT_GT(a.fft, 1.5);
+  EXPECT_GT(a.wino, 1.5);
+  EXPECT_GT(a.gemm, 1.5);
+  EXPECT_GT(a.tvm, 1.2);
+}
+
+TEST(Figure6Claims, FactorsInPaperBand) {
+  const FigureAverages& a = a100_averages();
+  EXPECT_GT(a.gemm, 4.0);
+  EXPECT_LT(a.gemm, 14.0);  // paper 8.95
+  EXPECT_GT(a.fft, 3.0);
+  EXPECT_LT(a.fft, 14.0);   // paper 5.38
+  EXPECT_GT(a.wino, 1.5);
+  EXPECT_LT(a.wino, 5.0);   // paper 3.12
+  EXPECT_GT(a.tvm, 1.2);
+  EXPECT_LT(a.tvm, 3.0);    // paper 1.81
+}
+
+TEST(Figure6Claims, TvmIsTheClosestBaseline) {
+  const FigureAverages& a = a100_averages();
+  EXPECT_LT(a.tvm, a.wino);
+  EXPECT_LT(a.wino, a.gemm);
+}
+
+// --- Figure 7 (2080 Ti): paper averages 8.17 / 2.75 / 5.84 / 2.35 ---
+
+TEST(Figure7Claims, OrderingHoldsOn2080Ti) {
+  const FigureAverages& a = ti_averages();
+  EXPECT_GT(a.fft, a.wino);
+  EXPECT_GT(a.gemm, a.wino);
+  EXPECT_GT(a.wino, a.tvm);
+  EXPECT_GT(a.tvm, 1.0);
+}
+
+// --- Section 5.5: model within ~25 % of oracle, still beats TVM ---
+
+TEST(Section55Claims, ModelOracleGapNearPaper) {
+  EXPECT_GT(a100_averages().model_gap, 1.0);
+  EXPECT_LT(a100_averages().model_gap, 1.6);  // paper ~1.25
+  EXPECT_GT(ti_averages().model_gap, 1.0);
+  EXPECT_LT(ti_averages().model_gap, 1.7);
+}
+
+TEST(Section55Claims, ModelTilingStillBeatsTvmOnAverage) {
+  std::vector<double> ratios;
+  const DeviceSpec d = make_a100();
+  for (const ConvShape& s : figure6_core_shapes()) {
+    const double model =
+        tdc_core_cost(d, s, select_tiling_model(d, s)).total_s;
+    ratios.push_back(tvm_best_cost(d, s).total_s / model);
+  }
+  EXPECT_GT(geomean(ratios), 1.1);  // paper: ~1.5x
+}
+
+// --- Section 7.3: the VGG-stem crossover ---
+
+TEST(Section73Claims, TvmWinsTheLargePlaneShape) {
+  // (64, 32, 224, 224) is the one shape where the H/W-split scheme beats
+  // the C-split TDC kernel — the paper's own caveat.
+  const DeviceSpec d = make_a100();
+  const ConvShape stem = ConvShape::same(64, 32, 224, 3);
+  const double tdc = tdc_core_cost(d, stem, select_tiling_oracle(d, stem)).total_s;
+  const double tvm = tvm_best_cost(d, stem).total_s;
+  EXPECT_LT(tvm, tdc);
+}
+
+TEST(Section73Claims, TdcWinsEveryMediumAndSmallShape) {
+  // In this reproduction the TDC/TVM crossover sits one plane size lower
+  // than the paper's (56² is a near-tie here, a TDC win there) — see
+  // EXPERIMENTS.md. Below 56² TDC must win outright; at 56² it must be
+  // within a 25 % band; cuDNN-GEMM must lose everywhere.
+  const DeviceSpec d = make_a100();
+  for (const ConvShape& s : figure6_core_shapes()) {
+    if (s.h >= 112) {
+      continue;  // the acknowledged large-plane shapes
+    }
+    const double tdc = tdc_core_cost(d, s, select_tiling_oracle(d, s)).total_s;
+    const double tvm = tvm_best_cost(d, s).total_s;
+    if (s.h >= 56) {
+      EXPECT_LT(tdc, tvm * 1.25) << s.to_string();
+    } else {
+      EXPECT_LT(tdc, tvm * 1.0001) << s.to_string();
+    }
+    EXPECT_LT(tdc, cudnn_implicit_gemm_cost(d, s).total_s) << s.to_string();
+  }
+}
+
+// --- Figure 4: latency grows sub-proportionally with N ---
+
+TEST(Figure4Claims, SubProportionalGrowthInOutputChannels) {
+  const DeviceSpec d = make_rtx2080ti();
+  const ConvShape n32 = ConvShape::same(64, 32, 28, 3);
+  const ConvShape n256 = ConvShape::same(64, 256, 28, 3);
+  const double t32 =
+      tdc_core_cost(d, n32, select_tiling_oracle(d, n32)).total_s;
+  const double t256 =
+      tdc_core_cost(d, n256, select_tiling_oracle(d, n256)).total_s;
+  // 8x the FLOPs should cost far less than 8x the time (the staircase
+  // argument behind "over rank reduction is pointless").
+  EXPECT_LT(t256 / t32, 6.0);
+  EXPECT_GE(t256, t32);
+}
+
+// --- Intro claim: TK-on-cuDNN leaves performance on the table ---
+
+TEST(IntroClaims, CudnnCoreSlowerThanTdcCoreAtPaperRanks) {
+  // "TKD-compressed ResNet18 using cuDNN only achieves 1.47x" — the core
+  // kernels are the reason. Check a representative decomposed core.
+  const DeviceSpec d = make_a100();
+  const ConvShape core = ConvShape::same(32, 32, 28, 3);
+  const double cudnn = cudnn_implicit_gemm_cost(d, core).total_s;
+  const double tdc =
+      tdc_core_cost(d, core, select_tiling_oracle(d, core)).total_s;
+  EXPECT_GT(cudnn / tdc, 2.0);
+}
+
+}  // namespace
+}  // namespace tdc

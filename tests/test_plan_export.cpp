@@ -1,0 +1,101 @@
+// Tests for the deployment-plan export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "core/plan_export.h"
+
+namespace tdc {
+namespace {
+
+CodesignResult sample_plan(const DeviceSpec& d) {
+  CodesignOptions opts;
+  opts.budget = 0.6;
+  return run_codesign(
+      d, {ConvShape::same(64, 64, 28, 3), ConvShape::same(64, 64, 28, 1),
+          ConvShape::same(128, 128, 14, 3)},
+      opts);
+}
+
+TEST(PlanCsv, HeaderAndRowCount) {
+  const DeviceSpec d = make_a100();
+  const CodesignResult r = sample_plan(d);
+  const std::string csv = plan_to_csv(r);
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_NE(line.find("layer,C,N"), std::string::npos);
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    rows += !line.empty();
+  }
+  EXPECT_EQ(rows, r.layers.size());
+}
+
+TEST(PlanCsv, DecomposedRowsCarryRanksAndTiling) {
+  const DeviceSpec d = make_a100();
+  const CodesignResult r = sample_plan(d);
+  const std::string csv = plan_to_csv(r);
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);  // header
+  for (const auto& dec : r.layers) {
+    ASSERT_TRUE(static_cast<bool>(std::getline(is, line)));
+    if (dec.decomposed) {
+      EXPECT_NE(line.find(",1," + std::to_string(dec.ranks.d1) + ","),
+                std::string::npos)
+          << line;
+    } else {
+      EXPECT_NE(line.find(",0,,,,,"), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(PlanSummary, ContainsTotals) {
+  const DeviceSpec d = make_a100();
+  const std::string s = plan_summary(sample_plan(d));
+  EXPECT_NE(s.find("decomposed"), std::string::npos);
+  EXPECT_NE(s.find("% reduction"), std::string::npos);
+  EXPECT_NE(s.find("x)"), std::string::npos);
+}
+
+TEST(PlanKernels, OnePerDistinctCoreShape) {
+  const DeviceSpec d = make_a100();
+  CodesignOptions opts;
+  opts.budget = 0.6;
+  // Two identical layers must share one kernel file.
+  const CodesignResult r = run_codesign(
+      d, {ConvShape::same(128, 128, 28, 3), ConvShape::same(128, 128, 28, 3)},
+      opts);
+  ASSERT_TRUE(r.layers[0].decomposed);
+  ASSERT_TRUE(r.layers[1].decomposed);
+  const auto files = plan_kernels(d, r);
+  EXPECT_EQ(files.size(), 1u);
+  EXPECT_NE(files.begin()->second.find("__global__"), std::string::npos);
+}
+
+TEST(PlanExport, WritesAllFiles) {
+  const DeviceSpec d = make_a100();
+  const CodesignResult r = sample_plan(d);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tdc_plan_test").string();
+  std::filesystem::remove_all(dir);
+  const int written = export_plan(dir, d, r);
+  EXPECT_GE(written, 3);  // csv + summary + >=1 kernel
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / "plan.csv"));
+  EXPECT_TRUE(
+      std::filesystem::exists(std::filesystem::path(dir) / "SUMMARY.txt"));
+  std::size_t cu_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    cu_files += entry.path().extension() == ".cu";
+  }
+  EXPECT_EQ(static_cast<int>(cu_files) + 2, written);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "conv/conv.h"
+#include "core/tdc_kernel.h"
+#include "tensor/layout.h"
+
+namespace tdc {
+namespace {
+
+TEST(TdcTiling, TileExtents) {
+  const ConvShape s = ConvShape::same(16, 8, 14, 3);
+  const TdcTiling t{4, 5, 8};
+  EXPECT_EQ(tdc_tile_in_h(s, t), 6);   // (4-1)*1 + 3
+  EXPECT_EQ(tdc_tile_in_w(s, t), 7);
+  EXPECT_EQ(tdc_num_blocks(s, t), 4 * 3 * 2);  // ceil(14/4)*ceil(14/5)*ceil(16/8)
+}
+
+TEST(TdcTiling, StridedTileExtents) {
+  const ConvShape s = ConvShape::same(16, 8, 14, 3, 2);
+  const TdcTiling t{3, 3, 16};
+  EXPECT_EQ(tdc_tile_in_h(s, t), (3 - 1) * 2 + 3);
+}
+
+TEST(TdcTiling, Feasibility) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  EXPECT_TRUE(tdc_tiling_feasible(d, s, {4, 4, 16}));
+  EXPECT_FALSE(tdc_tiling_feasible(d, s, {40, 4, 16}));   // th > OH
+  EXPECT_FALSE(tdc_tiling_feasible(d, s, {16, 16, 16}));  // register tile too big
+  EXPECT_FALSE(tdc_tiling_feasible(d, s, {0, 4, 16}));
+}
+
+TEST(TdcTiling, SharedMemoryBound) {
+  const DeviceSpec d = make_rtx2080ti();  // 64 KB/block
+  const ConvShape s = ConvShape::same(512, 32, 56, 3);
+  // 512 channels × 8×8 tile × 4 B = 131 KB > 64 KB.
+  EXPECT_FALSE(tdc_tiling_feasible(d, s, {6, 6, 512}));
+  EXPECT_TRUE(tdc_tiling_feasible(d, s, {6, 6, 64}));
+}
+
+TEST(TdcLaunch, DescriptorInvariants) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  const TdcTiling t{4, 4, 16};
+  const KernelLaunch l = tdc_core_launch(d, s, t);
+  EXPECT_EQ(l.num_blocks, tdc_num_blocks(s, t));
+  EXPECT_EQ(l.block.threads, 32);
+  EXPECT_EQ(l.block.shared_bytes, 16 * 6 * 6 * 4);
+  EXPECT_EQ(l.sync_count, 1);  // the single-barrier design point
+  EXPECT_GT(l.flops_per_block, 0.0);
+  // Every C partition commits atomically; the unique output plane is the
+  // DRAM write footprint.
+  EXPECT_DOUBLE_EQ(l.atomic_bytes,
+                   static_cast<double>(l.num_blocks) * 4 * 4 * 32 * 4);
+  EXPECT_DOUBLE_EQ(l.bytes_written, 28.0 * 28 * 32 * 4);
+  EXPECT_GT(l.atomic_bytes, l.bytes_written);
+}
+
+TEST(TdcLaunch, CrsnReadsLessThanCnrs) {
+  // The CRSN layout ablation: coalesced weight reads mean less DRAM traffic.
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  const TdcTiling t{4, 4, 16};
+  const KernelLaunch crsn = tdc_core_launch(d, s, t, TdcWeightLayout::kCRSN);
+  const KernelLaunch cnrs = tdc_core_launch(d, s, t, TdcWeightLayout::kCNRS);
+  EXPECT_LT(crsn.bytes_read, cnrs.bytes_read);
+}
+
+struct TdcCase {
+  ConvShape shape;
+  TdcTiling tiling;
+  const char* label;
+};
+
+class TdcKernelCorrectness : public ::testing::TestWithParam<TdcCase> {};
+
+TEST_P(TdcKernelCorrectness, MatchesReference) {
+  const auto& p = GetParam();
+  Rng rng(131);
+  const Tensor x =
+      Tensor::random_uniform({p.shape.c, p.shape.h, p.shape.w}, rng);
+  const Tensor k_cnrs =
+      Tensor::random_uniform({p.shape.c, p.shape.n, p.shape.r, p.shape.s}, rng);
+  const Tensor ref = conv2d_reference(x, k_cnrs, p.shape);
+  const Tensor out =
+      tdc_core_conv(x, cnrs_to_crsn(k_cnrs), p.shape, p.tiling);
+  EXPECT_LT(Tensor::rel_error(out, ref), 1e-4) << p.label;
+}
+
+TEST_P(TdcKernelCorrectness, SequentialInterpreterMatchesParallel) {
+  const auto& p = GetParam();
+  Rng rng(133);
+  const Tensor x =
+      Tensor::random_uniform({p.shape.c, p.shape.h, p.shape.w}, rng);
+  const Tensor k =
+      cnrs_to_crsn(Tensor::random_uniform(
+          {p.shape.c, p.shape.n, p.shape.r, p.shape.s}, rng));
+  const Tensor par = tdc_core_conv(x, k, p.shape, p.tiling, /*parallel=*/true);
+  const Tensor seq = tdc_core_conv(x, k, p.shape, p.tiling, /*parallel=*/false);
+  EXPECT_LT(Tensor::rel_error(par, seq), 1e-5) << p.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tilings, TdcKernelCorrectness,
+    ::testing::Values(
+        TdcCase{ConvShape::same(8, 8, 12, 3), {4, 4, 8}, "even_tiles"},
+        TdcCase{ConvShape::same(8, 8, 14, 3), {4, 5, 3}, "ragged_everything"},
+        TdcCase{ConvShape::same(8, 8, 14, 3), {14, 14, 8}, "single_hw_block"},
+        TdcCase{ConvShape::same(8, 8, 14, 3), {1, 1, 1}, "unit_tiles"},
+        TdcCase{ConvShape::valid_conv(6, 4, 10, 10, 3, 3), {4, 4, 2},
+                "valid_conv"},
+        TdcCase{ConvShape::same(8, 16, 14, 3, 2), {4, 4, 8}, "stride2"},
+        TdcCase{ConvShape::same(5, 7, 9, 5), {3, 3, 5}, "filter5_oddC"},
+        TdcCase{ConvShape::same(4, 4, 8, 1), {4, 4, 4}, "pointwise_core"},
+        TdcCase{ConvShape::valid_conv(3, 5, 8, 12, 2, 4), {3, 5, 2},
+                "asym_filter"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(TdcKernel, CSplitPartitionsAccumulate) {
+  // The same problem with 1 vs many C partitions must agree — this is the
+  // atomicAdd accumulation path.
+  Rng rng(135);
+  const ConvShape s = ConvShape::same(12, 8, 10, 3);
+  const Tensor x = Tensor::random_uniform({12, 10, 10}, rng);
+  const Tensor k = cnrs_to_crsn(Tensor::random_uniform({12, 8, 3, 3}, rng));
+  const Tensor full = tdc_core_conv(x, k, s, {5, 5, 12});
+  const Tensor split = tdc_core_conv(x, k, s, {5, 5, 2});
+  EXPECT_LT(Tensor::rel_error(split, full), 1e-4);
+}
+
+TEST(TdcKernel, InputValidation) {
+  Rng rng(137);
+  const ConvShape s = ConvShape::same(4, 4, 8, 3);
+  const Tensor x = Tensor::random_uniform({4, 8, 8}, rng);
+  const Tensor bad_kernel = Tensor::random_uniform({4, 4, 3, 3}, rng);  // CNRS!
+  // CRSN expected: dims [4, 3, 3, 4]; the CNRS tensor has wrong extents.
+  EXPECT_THROW(tdc_core_conv(x, Tensor({4, 4, 3, 3}), s, {2, 2, 2}), Error);
+  EXPECT_NO_THROW(tdc_core_conv(x, Tensor({4, 3, 3, 4}), s, {2, 2, 2}));
+  (void)bad_kernel;
+}
+
+TEST(TdcCost, FasterThanNaiveSingleBlock) {
+  // A reasonable tiling must beat the degenerate whole-image block.
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  const double good = tdc_core_cost(d, s, {4, 4, 8}).total_s;
+  const double bad = tdc_core_cost(d, s, {14, 14, 64}).total_s;
+  EXPECT_LT(good, bad);
+}
+
+TEST(TdcCost, InfeasibleTilingThrows) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  EXPECT_THROW(tdc_core_cost(d, s, {28, 28, 64}), Error);
+}
+
+}  // namespace
+}  // namespace tdc

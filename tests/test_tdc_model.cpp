@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/tdc_model.h"
+
+namespace tdc {
+namespace {
+
+TEST(PaperModel, BlockLatencyFormula) {
+  // comp_latency_blk = 2·(TH+R−1)(TW+S−1)·TC·R·S·GPU_ths / GPU_peak.
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  const TdcTiling t{4, 5, 16};
+  const double expected = 2.0 * 6 * 7 * 16 * 9 *
+                          static_cast<double>(d.total_threads()) / d.peak_flops;
+  EXPECT_DOUBLE_EQ(paper_comp_latency_block(d, s, t), expected);
+}
+
+TEST(PaperModel, BlockLatencyIndependentOfN) {
+  // N cancels in the paper's per-block latency (blk_peak scales with N).
+  const DeviceSpec d = make_a100();
+  const ConvShape s32 = ConvShape::same(64, 32, 28, 3);
+  const ConvShape s128 = ConvShape::same(64, 128, 28, 3);
+  const TdcTiling t{4, 4, 16};
+  EXPECT_DOUBLE_EQ(paper_comp_latency_block(d, s32, t),
+                   paper_comp_latency_block(d, s128, t));
+}
+
+TEST(PaperModel, WavesCeilBehaviour) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  const TdcTiling t{4, 4, 16};
+  const double waves = paper_comp_waves(d, s, t);
+  EXPECT_GE(waves, 1.0);
+  EXPECT_DOUBLE_EQ(waves, std::ceil(waves));
+}
+
+TEST(PaperModel, MemVolumeDecomposition) {
+  // Eq. 19 = Eq. 16 + Eq. 17 + Eq. 18 with our R·S restoration on Eq. 16.
+  const ConvShape s = ConvShape::valid_conv(16, 8, 12, 12, 3, 3);
+  const TdcTiling t{5, 5, 4};
+  const double blocks_hw = 2.0 * 2.0;  // ceil(10/5)^2
+  const double vol_x = blocks_hw * 16 * 7 * 7;
+  const double vol_k = blocks_hw * 16.0 * 8 * 9;
+  const double vol_y = 10.0 * 10 * 8 * 4;  // ceil(16/4) C partitions
+  EXPECT_DOUBLE_EQ(paper_mem_volume(s, t), vol_x + vol_k + vol_y);
+}
+
+TEST(PaperModel, SmallerTcMeansMoreOutputTraffic) {
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  EXPECT_GT(paper_mem_volume(s, {4, 4, 1}), paper_mem_volume(s, {4, 4, 64}));
+}
+
+TEST(PaperModel, MemLatencyScalesWithBandwidth) {
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  const TdcTiling t{4, 4, 16};
+  const DeviceSpec a = make_a100();
+  const DeviceSpec ti = make_rtx2080ti();
+  EXPECT_LT(paper_mem_latency(a, s, t), paper_mem_latency(ti, s, t));
+}
+
+TEST(Enumerate, AllFeasible) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(32, 32, 14, 3);
+  const auto tilings = enumerate_tilings(d, s);
+  EXPECT_GT(tilings.size(), 100u);
+  for (const auto& t : tilings) {
+    EXPECT_TRUE(tdc_tiling_feasible(d, s, t)) << t.to_string();
+  }
+}
+
+TEST(Enumerate, RespectsShapeBounds) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(8, 16, 7, 3);
+  for (const auto& t : enumerate_tilings(d, s)) {
+    EXPECT_LE(t.th, 7);
+    EXPECT_LE(t.tw, 7);
+    EXPECT_LE(t.tc, 8);
+  }
+}
+
+TEST(Selection, ModelAndOracleAreFeasible) {
+  const DeviceSpec d = make_a100();
+  for (const ConvShape& s :
+       {ConvShape::same(32, 32, 28, 3), ConvShape::same(64, 32, 14, 3)}) {
+    const TdcTiling m = select_tiling_model(d, s);
+    const TdcTiling o = select_tiling_oracle(d, s);
+    EXPECT_TRUE(tdc_tiling_feasible(d, s, m)) << s.to_string();
+    EXPECT_TRUE(tdc_tiling_feasible(d, s, o)) << s.to_string();
+  }
+}
+
+TEST(Selection, OracleNeverWorseThanModelUnderSimulatedLatency) {
+  // The oracle minimizes the simulated latency directly, so by construction
+  // it must be at least as fast as the analytically chosen tiling.
+  const DeviceSpec d = make_rtx2080ti();
+  for (const ConvShape& s :
+       {ConvShape::same(32, 32, 28, 3), ConvShape::same(96, 64, 28, 3),
+        ConvShape::same(64, 32, 14, 3), ConvShape::same(192, 160, 7, 3)}) {
+    const double model =
+        tdc_core_cost(d, s, select_tiling_model(d, s)).total_s;
+    const double oracle =
+        tdc_core_cost(d, s, select_tiling_oracle(d, s)).total_s;
+    EXPECT_LE(oracle, model * (1.0 + 1e-9)) << s.to_string();
+  }
+}
+
+TEST(Selection, ModelWithinFactorTwoOfOracle) {
+  // Paper §5.5: the analytical model costs ~25 % over the oracle; assert a
+  // generous envelope so the property survives recalibration.
+  const DeviceSpec d = make_a100();
+  for (const ConvShape& s :
+       {ConvShape::same(32, 32, 28, 3), ConvShape::same(64, 64, 56, 3),
+        ConvShape::same(96, 64, 7, 3)}) {
+    const double model =
+        tdc_core_cost(d, s, select_tiling_model(d, s)).total_s;
+    const double oracle =
+        tdc_core_cost(d, s, select_tiling_oracle(d, s)).total_s;
+    EXPECT_LE(model, oracle * 2.0) << s.to_string();
+  }
+}
+
+TEST(Selection, DispatchEnum) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(32, 32, 14, 3);
+  EXPECT_EQ(select_tiling(TilingSelector::kModel, d, s),
+            select_tiling_model(d, s));
+  EXPECT_EQ(select_tiling(TilingSelector::kOracle, d, s),
+            select_tiling_oracle(d, s));
+}
+
+TEST(Selection, CacheReturnsSameTiling) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(48, 32, 14, 3);
+  const TdcTiling first = select_tiling_oracle(d, s);
+  const TdcTiling second = select_tiling_oracle(d, s);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/check.h"
+#include "tensor/layout.h"
+#include "tensor/tensor.h"
+
+namespace tdc {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.rank(), 3);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t({2, 3, 4});
+  t(1, 2, 3) = 5.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 5.0f);
+  t(0, 0, 1) = 7.0f;
+  EXPECT_EQ(t[1], 7.0f);
+}
+
+TEST(Tensor, FourDimIndexing) {
+  Tensor t({2, 3, 4, 5});
+  t(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 2});
+  const std::array<std::int64_t, 2> bad = {2, 0};
+  EXPECT_THROW(t.at(bad), Error);
+  const std::array<std::int64_t, 1> wrong_rank = {0};
+  EXPECT_THROW(t.at(wrong_rank), Error);
+}
+
+TEST(Tensor, InvalidDimsThrow) {
+  EXPECT_THROW(Tensor({2, 0}), Error);
+  EXPECT_THROW(Tensor({-1}), Error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Rng rng(1);
+  const Tensor t = Tensor::random_uniform({3, 8}, rng);
+  const Tensor r = t.reshaped({4, 6});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], r[i]);
+  }
+  EXPECT_THROW(t.reshaped({5, 5}), Error);
+}
+
+TEST(Tensor, TransposeMatrix) {
+  Tensor t({2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  constexpr std::array<int, 2> perm = {1, 0};
+  const Tensor tt = t.transposed(perm);
+  EXPECT_EQ(tt.dim(0), 3);
+  EXPECT_EQ(tt.dim(1), 2);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(t(i, j), tt(j, i));
+    }
+  }
+}
+
+TEST(Tensor, TransposeRoundTrip4d) {
+  Rng rng(3);
+  const Tensor t = Tensor::random_uniform({2, 3, 4, 5}, rng);
+  constexpr std::array<int, 4> perm = {2, 0, 3, 1};
+  constexpr std::array<int, 4> inverse = {1, 3, 0, 2};
+  const Tensor back = t.transposed(perm).transposed(inverse);
+  EXPECT_EQ(Tensor::max_abs_diff(t, back), 0.0);
+}
+
+TEST(Tensor, TransposeRejectsInvalidPermutation) {
+  Tensor t({2, 3});
+  constexpr std::array<int, 2> dup = {0, 0};
+  EXPECT_THROW(t.transposed(dup), Error);
+}
+
+TEST(Tensor, AddAndScale) {
+  Tensor a = Tensor::full({4}, 2.0f);
+  Tensor b = Tensor::full({4}, 0.5f);
+  a.add_(b);
+  a.scale_(2.0f);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(a[i], 5.0f);
+  }
+  Tensor c({5});
+  EXPECT_THROW(a.add_(c), Error);
+}
+
+TEST(Tensor, FrobeniusNorm) {
+  Tensor t({2, 2});
+  t(0, 0) = 3.0f;
+  t(1, 1) = 4.0f;
+  EXPECT_DOUBLE_EQ(t.frobenius_norm(), 5.0);
+}
+
+TEST(Tensor, RelError) {
+  Tensor a = Tensor::full({10}, 1.01f);
+  Tensor b = Tensor::full({10}, 1.0f);
+  EXPECT_NEAR(Tensor::rel_error(a, b), 0.01, 1e-6);
+}
+
+TEST(Tensor, RandomUniformRespectsBounds) {
+  Rng rng(5);
+  const Tensor t = Tensor::random_uniform({1000}, rng, -0.5f, 0.25f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -0.5f);
+    EXPECT_LT(t[i], 0.25f);
+  }
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).shape_string(), "[2, 3]");
+}
+
+TEST(Layout, ChwHwcRoundTrip) {
+  Rng rng(7);
+  const Tensor x = Tensor::random_uniform({3, 4, 5}, rng);
+  const Tensor back = hwc_to_chw(chw_to_hwc(x));
+  EXPECT_EQ(Tensor::max_abs_diff(x, back), 0.0);
+}
+
+TEST(Layout, ChwToHwcElementMapping) {
+  Tensor x({2, 3, 4});
+  x(1, 2, 3) = 42.0f;
+  const Tensor hwc = chw_to_hwc(x);
+  EXPECT_EQ(hwc(2, 3, 1), 42.0f);
+}
+
+TEST(Layout, CnrsCrsnRoundTrip) {
+  Rng rng(9);
+  const Tensor k = Tensor::random_uniform({3, 4, 5, 6}, rng);
+  const Tensor back = crsn_to_cnrs(cnrs_to_crsn(k));
+  EXPECT_EQ(Tensor::max_abs_diff(k, back), 0.0);
+}
+
+TEST(Layout, CnrsToCrsnElementMapping) {
+  Tensor k({2, 3, 4, 5});  // C N R S
+  k(1, 2, 3, 4) = 8.0f;
+  const Tensor crsn = cnrs_to_crsn(k);
+  EXPECT_EQ(crsn(1, 3, 4, 2), 8.0f);  // C R S N
+}
+
+TEST(Layout, CnrsNcrsRoundTrip) {
+  Rng rng(11);
+  const Tensor k = Tensor::random_uniform({3, 4, 2, 2}, rng);
+  const Tensor back = ncrs_to_cnrs(cnrs_to_ncrs(k));
+  EXPECT_EQ(Tensor::max_abs_diff(k, back), 0.0);
+}
+
+TEST(Layout, RankChecks) {
+  Tensor bad({2, 2});
+  EXPECT_THROW(chw_to_hwc(bad), Error);
+  EXPECT_THROW(cnrs_to_crsn(bad), Error);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "train/admm.h"
+#include "train/synthetic.h"
+#include "train/trainer.h"
+#include "train/zoo.h"
+#include "tucker/flops.h"
+
+namespace tdc {
+namespace {
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec spec;
+  spec.classes = 4;
+  spec.channels = 2;
+  spec.hw = 8;
+  spec.train_size = 192;
+  spec.test_size = 96;
+  spec.noise = 0.25;
+  return spec;
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  const SyntheticData a = make_synthetic_data(tiny_spec());
+  const SyntheticData b = make_synthetic_data(tiny_spec());
+  EXPECT_EQ(Tensor::max_abs_diff(a.train.images, b.train.images), 0.0);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, LabelsInRangeAndAllClassesPresent) {
+  const SyntheticData d = make_synthetic_data(tiny_spec());
+  std::vector<int> counts(4, 0);
+  for (const auto l : d.train.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 4);
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 10);
+  }
+}
+
+TEST(Synthetic, GatherBatch) {
+  const SyntheticData d = make_synthetic_data(tiny_spec());
+  const std::vector<std::size_t> idx = {5, 0, 17};
+  const Dataset batch = gather_batch(d.train, idx);
+  EXPECT_EQ(batch.size(), 3);
+  EXPECT_EQ(batch.labels[1], d.train.labels[0]);
+  const std::int64_t elems = 2 * 8 * 8;
+  for (std::int64_t e = 0; e < elems; ++e) {
+    EXPECT_EQ(batch.images[elems + e], d.train.images[e]);
+  }
+}
+
+TEST(Zoo, MiniCnnShapes) {
+  Rng rng(301);
+  TrainableModel m = make_mini_cnn(8, 2, 4, 6, rng);
+  const Tensor x = Tensor::random_uniform({3, 2, 8, 8}, rng);
+  const Tensor y = m.net->forward(x, true);
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_EQ(y.dim(1), 4);
+  EXPECT_EQ(m.spatial_convs.size(), 3u);
+}
+
+TEST(Zoo, MiniResnetShapes) {
+  Rng rng(303);
+  MiniResNetSpec spec;
+  spec.input_hw = 16;
+  spec.stage_widths = {4, 8};
+  TrainableModel m = make_mini_resnet(spec, rng);
+  const Tensor x = Tensor::random_uniform({2, 3, 16, 16}, rng);
+  const Tensor y = m.net->forward(x, true);
+  EXPECT_EQ(y.dim(1), 10);
+  // stem + 2 convs per block × 2 blocks.
+  EXPECT_EQ(m.spatial_convs.size(), 5u);
+}
+
+TEST(Zoo, TuckerizePreservesFunctionAtFullRank) {
+  Rng rng(305);
+  TrainableModel m = make_mini_cnn(8, 2, 4, 6, rng);
+  const Tensor x = Tensor::random_uniform({2, 2, 8, 8}, rng);
+  const Tensor before = m.net->forward(x, false);
+
+  std::vector<TuckerRanks> full_ranks;
+  for (const auto& slot : m.spatial_convs) {
+    full_ranks.push_back({slot.conv->geometry().c, slot.conv->geometry().n});
+  }
+  tuckerize_model(&m, full_ranks);
+  const Tensor after = m.net->forward(x, false);
+  EXPECT_LT(Tensor::rel_error(after, before), 1e-3);
+}
+
+TEST(Zoo, TuckerizeReducesFlops) {
+  Rng rng(307);
+  TrainableModel m = make_mini_cnn(8, 4, 4, 8, rng);
+  const double before = model_forward_flops(m);
+  std::vector<TuckerRanks> ranks(m.spatial_convs.size(), TuckerRanks{2, 2});
+  ranks[0] = {2, 2};
+  tuckerize_model(&m, ranks);
+  const double after = model_forward_flops(m);
+  EXPECT_LT(after, before * 0.8);
+}
+
+TEST(Zoo, TuckerizedModelStillTrains) {
+  Rng rng(309);
+  TrainableModel m = make_mini_cnn(8, 2, 4, 6, rng);
+  std::vector<TuckerRanks> ranks;
+  for (const auto& slot : m.spatial_convs) {
+    ranks.push_back({std::min<std::int64_t>(3, slot.conv->geometry().c),
+                     std::min<std::int64_t>(3, slot.conv->geometry().n)});
+  }
+  tuckerize_model(&m, ranks);
+  const Tensor x = Tensor::random_uniform({2, 2, 8, 8}, rng);
+  const Tensor y = m.net->forward(x, true);
+  EXPECT_NO_THROW(m.net->backward(Tensor(y.dims())));
+  EXPECT_FALSE(m.net->params().empty());
+}
+
+TEST(Zoo, RankValidationInSurgery) {
+  Rng rng(311);
+  TrainableModel m = make_mini_cnn(8, 2, 4, 6, rng);
+  EXPECT_THROW(tuckerize_slot(m.spatial_convs[0], {99, 2}), Error);
+}
+
+TEST(Trainer, LossDecreasesOnTinyTask) {
+  Rng rng(313);
+  const SyntheticData data = make_synthetic_data(tiny_spec());
+  TrainableModel m = make_mini_cnn(8, 2, 4, 8, rng);
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 32;
+  opts.sgd.lr = 0.05;
+  const auto stats = train_model(m.net.get(), data, opts);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_LT(stats.back().loss, stats.front().loss);
+}
+
+TEST(Trainer, BeatsChanceAccuracy) {
+  Rng rng(315);
+  const SyntheticData data = make_synthetic_data(tiny_spec());
+  TrainableModel m = make_mini_cnn(8, 2, 4, 8, rng);
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.batch_size = 32;
+  opts.sgd.lr = 0.05;
+  const auto stats = train_model(m.net.get(), data, opts);
+  EXPECT_GT(stats.back().test_accuracy, 0.45);  // chance = 0.25
+}
+
+TEST(Admm, PenaltyGradientPullsTowardProjection) {
+  Rng rng(317);
+  TrainableModel m = make_mini_cnn(8, 2, 4, 6, rng);
+  Conv2d* conv = m.spatial_convs[1].conv;
+  AdmmState admm({{conv, {2, 2}}}, {/*rho=*/1.0});
+
+  conv->kernel().zero_grad();
+  admm.dual_step();  // K̂ ← proj(K), M ← K − K̂
+  admm.add_penalty_gradients();
+  // Gradient should be nonzero (kernel is not exactly low rank) and equal to
+  // ρ(K − K̂ + M) = 2ρ(K − K̂) after the first dual step.
+  double norm = 0.0;
+  for (std::int64_t i = 0; i < conv->kernel().grad.numel(); ++i) {
+    norm += std::abs(conv->kernel().grad[i]);
+  }
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(Admm, ResidualDrivenDownByTraining) {
+  Rng rng(319);
+  const SyntheticData data = make_synthetic_data(tiny_spec());
+  TrainableModel m = make_mini_cnn(8, 2, 4, 8, rng);
+  std::vector<AdmmTarget> targets;
+  for (const auto& slot : m.spatial_convs) {
+    targets.push_back(
+        {slot.conv,
+         {std::max<std::int64_t>(2, slot.conv->geometry().c / 2),
+          std::max<std::int64_t>(2, slot.conv->geometry().n / 2)}});
+  }
+  // ρ must be strong enough relative to the per-epoch step count for the
+  // proximal pull to outpace the dual accumulation.
+  AdmmState admm(targets, {/*rho=*/1.0});
+
+  TrainOptions opts;
+  opts.epochs = 8;
+  opts.batch_size = 16;
+  opts.sgd.lr = 0.05;
+  const auto stats = train_model(m.net.get(), data, opts, &admm);
+  EXPECT_LT(stats.back().admm_residual, stats.front().admm_residual);
+  EXPECT_LT(stats.back().admm_residual, 0.35);
+}
+
+TEST(Admm, ProjectedModelLosesLittleAccuracyAfterAdmm) {
+  // The end-to-end property behind Table 2: after ADMM training, hard
+  // truncation to the target ranks barely changes the kernels.
+  Rng rng(321);
+  const SyntheticData data = make_synthetic_data(tiny_spec());
+  TrainableModel m = make_mini_cnn(8, 2, 4, 8, rng);
+  std::vector<AdmmTarget> targets;
+  std::vector<TuckerRanks> ranks;
+  for (const auto& slot : m.spatial_convs) {
+    const TuckerRanks r{std::max<std::int64_t>(2, slot.conv->geometry().c / 2),
+                        std::max<std::int64_t>(2, slot.conv->geometry().n / 2)};
+    targets.push_back({slot.conv, r});
+    ranks.push_back(r);
+  }
+  AdmmState admm(targets, {/*rho=*/1.0});
+  TrainOptions opts;
+  opts.epochs = 8;
+  opts.batch_size = 16;
+  opts.sgd.lr = 0.05;
+  train_model(m.net.get(), data, opts, &admm);
+
+  const double acc_before = evaluate_accuracy(m.net.get(), data.test);
+  tuckerize_model(&m, ranks);
+  const double acc_after = evaluate_accuracy(m.net.get(), data.test);
+  EXPECT_GT(acc_after, acc_before - 0.12);
+}
+
+TEST(Admm, ValidatesTargets) {
+  Rng rng(323);
+  TrainableModel m = make_mini_cnn(8, 2, 4, 6, rng);
+  EXPECT_THROW(AdmmState({}, {}), Error);
+  EXPECT_THROW(AdmmState({{m.spatial_convs[0].conv, {0, 1}}}, {}), Error);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "linalg/gemm.h"
+#include "tensor/unfold.h"
+#include "tucker/flops.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+namespace {
+
+TEST(Tucker, FactorShapes) {
+  Rng rng(71);
+  const Tensor k = Tensor::random_uniform({8, 6, 3, 3}, rng);
+  const TuckerFactors f = tucker_decompose(k, {4, 3});
+  EXPECT_EQ(f.u1.dim(0), 8);
+  EXPECT_EQ(f.u1.dim(1), 4);
+  EXPECT_EQ(f.u2.dim(0), 6);
+  EXPECT_EQ(f.u2.dim(1), 3);
+  EXPECT_EQ(f.core.dim(0), 4);
+  EXPECT_EQ(f.core.dim(1), 3);
+  EXPECT_EQ(f.core.dim(2), 3);
+  EXPECT_EQ(f.core.dim(3), 3);
+  EXPECT_EQ(f.ranks(), (TuckerRanks{4, 3}));
+}
+
+TEST(Tucker, FullRankReconstructionIsExact) {
+  Rng rng(73);
+  const Tensor k = Tensor::random_uniform({6, 5, 3, 3}, rng);
+  const Tensor recon = tucker_project(k, {6, 5});
+  EXPECT_LT(Tensor::rel_error(recon, k), 1e-4);
+}
+
+TEST(Tucker, ExactlyRecoversLowRankTensor) {
+  // Build a kernel that is exactly Tucker-rank (2, 3); projecting at those
+  // ranks must be lossless.
+  Rng rng(75);
+  TuckerFactors f;
+  f.core = Tensor::random_uniform({2, 3, 3, 3}, rng);
+  f.u1 = Tensor::random_uniform({8, 2}, rng);
+  f.u2 = Tensor::random_uniform({6, 3}, rng);
+  const Tensor k = tucker_reconstruct(f);
+  EXPECT_LT(tucker_projection_error(k, {2, 3}), 1e-4);
+}
+
+TEST(Tucker, ErrorDecreasesMonotonicallyWithRank) {
+  Rng rng(77);
+  const Tensor k = Tensor::random_uniform({12, 10, 3, 3}, rng);
+  double prev = 1e9;
+  for (std::int64_t r = 2; r <= 12; r += 2) {
+    const double err =
+        tucker_projection_error(k, {r, std::min<std::int64_t>(r, 10)});
+    EXPECT_LE(err, prev + 1e-6) << "rank " << r;
+    prev = err;
+  }
+}
+
+TEST(Tucker, ProjectionIsIdempotent) {
+  Rng rng(79);
+  const Tensor k = Tensor::random_uniform({8, 8, 3, 3}, rng);
+  const Tensor once = tucker_project(k, {3, 4});
+  const Tensor twice = tucker_project(once, {3, 4});
+  EXPECT_LT(Tensor::rel_error(twice, once), 1e-3);
+}
+
+TEST(Tucker, FactorsAreOrthonormal) {
+  Rng rng(81);
+  const Tensor k = Tensor::random_uniform({10, 8, 3, 3}, rng);
+  const TuckerFactors f = tucker_decompose(k, {5, 4});
+  const Tensor g1 = matmul(transpose2d(f.u1), f.u1);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(g1(i, j), i == j ? 1.0f : 0.0f, 1e-4);
+    }
+  }
+}
+
+TEST(Tucker, LatentRanksOfSyntheticLowRank) {
+  Rng rng(83);
+  TuckerFactors f;
+  f.core = Tensor::random_uniform({3, 4, 3, 3}, rng);
+  f.u1 = Tensor::random_uniform({9, 3}, rng);
+  f.u2 = Tensor::random_uniform({8, 4}, rng);
+  const Tensor k = tucker_reconstruct(f);
+  // Gram-route singular values carry O(sqrt(eps_f32)) relative noise; the
+  // rank gap of this synthetic tensor is far above 1e-2.
+  const TuckerRanks r = tucker_latent_ranks(k, 1e-2);
+  EXPECT_EQ(r.d1, 3);
+  EXPECT_EQ(r.d2, 4);
+}
+
+TEST(Tucker, RankValidation) {
+  Rng rng(85);
+  const Tensor k = Tensor::random_uniform({4, 4, 3, 3}, rng);
+  EXPECT_THROW(tucker_decompose(k, {0, 2}), Error);
+  EXPECT_THROW(tucker_decompose(k, {5, 2}), Error);
+  EXPECT_THROW(tucker_decompose(k, {2, 5}), Error);
+}
+
+TEST(Tucker, ReconstructMatchesEquationOne) {
+  // Check Eq. (1) entrywise against mode products.
+  Rng rng(87);
+  TuckerFactors f;
+  f.core = Tensor::random_uniform({2, 2, 2, 2}, rng);
+  f.u1 = Tensor::random_uniform({3, 2}, rng);
+  f.u2 = Tensor::random_uniform({4, 2}, rng);
+  const Tensor k = tucker_reconstruct(f);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t r = 0; r < 2; ++r) {
+        for (std::int64_t s = 0; s < 2; ++s) {
+          double expected = 0.0;
+          for (std::int64_t d1 = 0; d1 < 2; ++d1) {
+            for (std::int64_t d2 = 0; d2 < 2; ++d2) {
+              expected += static_cast<double>(f.core(d1, d2, r, s)) *
+                          f.u1(c, d1) * f.u2(n, d2);
+            }
+          }
+          EXPECT_NEAR(k(c, n, r, s), expected, 1e-5);
+        }
+      }
+    }
+  }
+}
+
+// --- Eqs. (5)/(6): parameter and FLOPs accounting ---
+
+TEST(TuckerFlops, ParamsFormula) {
+  const ConvShape shape = ConvShape::valid_conv(64, 128, 28, 28, 3, 3);
+  const TuckerRanks ranks{16, 32};
+  // C·D1 + R·S·D1·D2 + N·D2
+  EXPECT_DOUBLE_EQ(tucker_params(shape, ranks),
+                   64.0 * 16 + 9.0 * 16 * 32 + 128.0 * 32);
+  EXPECT_DOUBLE_EQ(params_reduction_ratio(shape, ranks),
+                   (64.0 * 128 * 9) / (64.0 * 16 + 9.0 * 16 * 32 + 128.0 * 32));
+}
+
+TEST(TuckerFlops, FlopsFormulaValidConv) {
+  const ConvShape shape = ConvShape::valid_conv(64, 128, 28, 28, 3, 3);
+  const TuckerRanks ranks{16, 32};
+  const double oh = 26, ow = 26;
+  const double expected = 2.0 * (28.0 * 28 * 64 * 16) +
+                          2.0 * (oh * ow * 9 * 16 * 32) +
+                          2.0 * (oh * ow * 128 * 32);
+  EXPECT_DOUBLE_EQ(tucker_flops(shape, ranks), expected);
+}
+
+TEST(TuckerFlops, ReductionRatioAboveOneForSmallRanks) {
+  const ConvShape shape = ConvShape::same(256, 256, 14, 3);
+  EXPECT_GT(flops_reduction_ratio(shape, {64, 64}), 2.0);
+  EXPECT_GT(params_reduction_ratio(shape, {64, 64}), 2.0);
+}
+
+TEST(TuckerFlops, FullRanksGiveRatioBelowOne) {
+  // Decomposing at full ranks adds the two 1×1 stages: more FLOPs, γF < 1.
+  const ConvShape shape = ConvShape::same(64, 64, 28, 3);
+  EXPECT_LT(flops_reduction_ratio(shape, {64, 64}), 1.0);
+}
+
+TEST(TuckerFlops, StageShapes) {
+  const ConvShape shape = ConvShape::same(64, 128, 28, 3, 2);
+  const TuckerRanks ranks{16, 32};
+  const ConvShape pw1 = first_pointwise_shape(shape, ranks);
+  EXPECT_EQ(pw1.c, 64);
+  EXPECT_EQ(pw1.n, 16);
+  EXPECT_EQ(pw1.h, 28);
+  EXPECT_EQ(pw1.stride_h, 1);
+  const ConvShape core = core_conv_shape(shape, ranks);
+  EXPECT_EQ(core.c, 16);
+  EXPECT_EQ(core.n, 32);
+  EXPECT_EQ(core.stride_h, 2);
+  EXPECT_EQ(core.out_h(), shape.out_h());
+  const ConvShape pw2 = last_pointwise_shape(shape, ranks);
+  EXPECT_EQ(pw2.c, 32);
+  EXPECT_EQ(pw2.n, 128);
+  EXPECT_EQ(pw2.h, shape.out_h());
+}
+
+TEST(TuckerFlops, PipelineFlopsSplitAcrossStages) {
+  const ConvShape shape = ConvShape::same(32, 32, 14, 3);
+  const TuckerRanks ranks{8, 8};
+  const double sum = first_pointwise_shape(shape, ranks).flops() +
+                     core_conv_shape(shape, ranks).flops() +
+                     last_pointwise_shape(shape, ranks).flops();
+  EXPECT_DOUBLE_EQ(tucker_flops(shape, ranks), sum);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "conv/conv.h"
+#include "core/tvm_scheme.h"
+
+namespace tdc {
+namespace {
+
+TEST(TvmTiling, Feasibility) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  EXPECT_TRUE(tvm_tiling_feasible(d, s, {8, 8, 8}));
+  EXPECT_FALSE(tvm_tiling_feasible(d, s, {64, 8, 8}));  // th > OH
+  EXPECT_FALSE(tvm_tiling_feasible(d, s, {8, 8, 64}));  // n_grid > N
+  EXPECT_FALSE(tvm_tiling_feasible(d, s, {0, 8, 8}));
+}
+
+TEST(TvmTiling, ChannelChunking) {
+  const ConvShape s = ConvShape::same(64, 48, 28, 3);
+  EXPECT_EQ(tvm_n_chunk(s, {4, 4, 1}), 48);
+  EXPECT_EQ(tvm_n_chunk(s, {4, 4, 8}), 6);
+  EXPECT_EQ(tvm_n_chunk(s, {4, 4, 48}), 1);
+}
+
+TEST(TvmLaunch, GridCoversHwAndN) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  const KernelLaunch l = tvm_scheme_launch(d, s, {7, 7, 8});
+  EXPECT_EQ(l.num_blocks, 4 * 4 * 8);
+  EXPECT_EQ(l.block.threads, 49);
+}
+
+TEST(TvmLaunch, NoInputChannelSplit) {
+  // The defining limitation (paper §5.1): the grid never grows with C; the
+  // whole C extent is a serial in-block loop guarded by barriers.
+  const DeviceSpec d = make_a100();
+  const TvmTiling t{7, 7, 4};
+  const KernelLaunch small_c =
+      tvm_scheme_launch(d, ConvShape::same(32, 32, 28, 3), t);
+  const KernelLaunch big_c =
+      tvm_scheme_launch(d, ConvShape::same(256, 32, 28, 3), t);
+  EXPECT_EQ(small_c.num_blocks, big_c.num_blocks);
+  EXPECT_GT(big_c.sync_count, small_c.sync_count);
+}
+
+TEST(TvmLaunch, TwoBarriersPerChannelIteration) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(64, 32, 28, 3);
+  const KernelLaunch l = tvm_scheme_launch(d, s, {7, 7, 8});
+  EXPECT_EQ(l.sync_count, 2 * 64);  // Listing 1 lines 1–2
+}
+
+TEST(TvmFunctional, MatchesReference) {
+  Rng rng(141);
+  for (const ConvShape& s :
+       {ConvShape::same(8, 8, 12, 3), ConvShape::valid_conv(6, 4, 10, 10, 3, 3),
+        ConvShape::same(8, 16, 14, 3, 2), ConvShape::same(5, 7, 9, 5)}) {
+    const Tensor x = Tensor::random_uniform({s.c, s.h, s.w}, rng);
+    const Tensor k = Tensor::random_uniform({s.c, s.n, s.r, s.s}, rng);
+    const Tensor ref = conv2d_reference(x, k, s);
+    const Tensor out = tvm_scheme_conv(x, k, s, {4, 4, 4});
+    EXPECT_LT(Tensor::rel_error(out, ref), 1e-4) << s.to_string();
+  }
+}
+
+TEST(TvmFunctional, RaggedTiles) {
+  Rng rng(143);
+  const ConvShape s = ConvShape::same(4, 4, 11, 3);
+  const Tensor x = Tensor::random_uniform({4, 11, 11}, rng);
+  const Tensor k = Tensor::random_uniform({4, 4, 3, 3}, rng);
+  const Tensor ref = conv2d_reference(x, k, s);
+  EXPECT_LT(Tensor::rel_error(tvm_scheme_conv(x, k, s, {4, 3, 2}), ref), 1e-4);
+}
+
+TEST(TvmTuning, SelectedTilingIsFeasibleAndBest) {
+  const DeviceSpec d = make_rtx2080ti();
+  const ConvShape s = ConvShape::same(32, 32, 28, 3);
+  const TvmTiling best = select_tvm_tiling(d, s);
+  EXPECT_TRUE(tvm_tiling_feasible(d, s, best));
+  const double best_latency = tvm_scheme_cost(d, s, best).total_s;
+  // Probe a few other tilings — none may beat the tuner's pick.
+  for (const TvmTiling& probe :
+       {TvmTiling{1, 1, 1}, {4, 4, 4}, {8, 8, 8}, {14, 14, 16}}) {
+    if (tvm_tiling_feasible(d, s, probe)) {
+      EXPECT_GE(tvm_scheme_cost(d, s, probe).total_s, best_latency * 0.999);
+    }
+  }
+}
+
+TEST(TvmCost, MoreSyncsSlowerWithMoreChannels) {
+  const DeviceSpec d = make_a100();
+  const TvmTiling t{7, 7, 8};
+  const double c64 =
+      tvm_scheme_cost(d, ConvShape::same(64, 32, 28, 3), t).total_s;
+  const double c256 =
+      tvm_scheme_cost(d, ConvShape::same(256, 32, 28, 3), t).total_s;
+  EXPECT_GT(c256, c64);
+}
+
+TEST(TvmCost, BestCostMatchesSelectedTiling) {
+  const DeviceSpec d = make_a100();
+  const ConvShape s = ConvShape::same(96, 64, 28, 3);
+  EXPECT_DOUBLE_EQ(tvm_best_cost(d, s).total_s,
+                   tvm_scheme_cost(d, s, select_tvm_tiling(d, s)).total_s);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "linalg/gemm.h"
+#include "tensor/unfold.h"
+
+namespace tdc {
+namespace {
+
+TEST(Unfold, ShapesAreModeByRest) {
+  Tensor t({3, 4, 5, 6});
+  for (int mode = 0; mode < 4; ++mode) {
+    const Tensor m = unfold_mode(t, mode);
+    EXPECT_EQ(m.dim(0), t.dim(mode));
+    EXPECT_EQ(m.dim(1), t.numel() / t.dim(mode));
+  }
+}
+
+TEST(Unfold, FoldInvertsUnfoldAllModes) {
+  Rng rng(21);
+  const Tensor t = Tensor::random_uniform({3, 4, 2, 5}, rng);
+  for (int mode = 0; mode < 4; ++mode) {
+    const Tensor back = fold_mode(unfold_mode(t, mode), mode, t.dims());
+    EXPECT_EQ(Tensor::max_abs_diff(t, back), 0.0) << "mode " << mode;
+  }
+}
+
+TEST(Unfold, Mode0RowsAreContiguousSlices) {
+  // For mode 0 of a row-major tensor, row i must equal the i-th slab.
+  Rng rng(23);
+  const Tensor t = Tensor::random_uniform({3, 4, 5}, rng);
+  const Tensor m = unfold_mode(t, 0);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 20; ++j) {
+      EXPECT_EQ(m(i, j), t[i * 20 + j]);
+    }
+  }
+}
+
+TEST(Unfold, InvalidModeThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(unfold_mode(t, 2), Error);
+  EXPECT_THROW(unfold_mode(t, -1), Error);
+}
+
+TEST(Unfold, FoldValidatesShapes) {
+  Tensor m({3, 8});
+  EXPECT_THROW(fold_mode(m, 0, {4, 6}), Error);   // row mismatch
+  EXPECT_THROW(fold_mode(m, 0, {3, 9}), Error);   // count mismatch
+}
+
+TEST(ModeProduct, MatchesUnfoldGemmFold) {
+  Rng rng(25);
+  const Tensor t = Tensor::random_uniform({3, 4, 5}, rng);
+  const Tensor a = Tensor::random_uniform({4, 7}, rng);
+  const Tensor direct = mode_product(t, a, 1);
+
+  // Reference: unfold along mode 1, multiply A^T · M, fold back.
+  const Tensor m = unfold_mode(t, 1);          // [4, 15]
+  const Tensor prod = matmul(transpose2d(a), m);  // [7, 15]
+  const Tensor expected = fold_mode(prod, 1, {3, 7, 5});
+  EXPECT_LT(Tensor::max_abs_diff(direct, expected), 1e-5);
+}
+
+TEST(ModeProduct, IdentityMatrixIsNoop) {
+  Rng rng(27);
+  const Tensor t = Tensor::random_uniform({2, 3, 4}, rng);
+  Tensor eye({3, 3});
+  for (std::int64_t i = 0; i < 3; ++i) {
+    eye(i, i) = 1.0f;
+  }
+  const Tensor out = mode_product(t, eye, 1);
+  EXPECT_LT(Tensor::max_abs_diff(t, out), 1e-6);
+}
+
+TEST(ModeProduct, ChangesOnlyTargetMode) {
+  Rng rng(29);
+  const Tensor t = Tensor::random_uniform({2, 3, 4}, rng);
+  const Tensor a = Tensor::random_uniform({4, 9}, rng);
+  const Tensor out = mode_product(t, a, 2);
+  EXPECT_EQ(out.dim(0), 2);
+  EXPECT_EQ(out.dim(1), 3);
+  EXPECT_EQ(out.dim(2), 9);
+}
+
+TEST(ModeProduct, CommutesAcrossDistinctModes) {
+  // (T ×_0 A) ×_1 B == (T ×_1 B) ×_0 A — the property HOSVD relies on.
+  Rng rng(31);
+  const Tensor t = Tensor::random_uniform({3, 4, 2, 2}, rng);
+  const Tensor a = Tensor::random_uniform({3, 5}, rng);
+  const Tensor b = Tensor::random_uniform({4, 6}, rng);
+  const Tensor ab = mode_product(mode_product(t, a, 0), b, 1);
+  const Tensor ba = mode_product(mode_product(t, b, 1), a, 0);
+  EXPECT_LT(Tensor::max_abs_diff(ab, ba), 1e-5);
+}
+
+TEST(ModeProduct, InnerDimMismatchThrows) {
+  Tensor t({2, 3});
+  Tensor a({4, 2});
+  EXPECT_THROW(mode_product(t, a, 1), Error);
+}
+
+}  // namespace
+}  // namespace tdc
