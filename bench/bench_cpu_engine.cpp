@@ -1,0 +1,191 @@
+// CPU execution-engine benchmark: packed-SIMD GEMM vs. the legacy blocked
+// GEMM, and the fused/batched Tucker pipeline vs. the staged one, on
+// ResNet-18 layer shapes. Emits BENCH_cpu_engine.json alongside the table so
+// CI and the paper-comparison notes can track the numbers.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "conv/tucker_conv.h"
+#include "linalg/gemm.h"
+#include "tucker/tucker.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <class F>
+double best_of(int reps, const F& f) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    f();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+struct GemmRow {
+  std::int64_t size;
+  double blocked_s;
+  double packed_s;
+};
+
+struct TuckerRow {
+  std::string layer;
+  tdc::ConvShape shape;
+  tdc::TuckerRanks ranks;
+  double staged_s;
+  double fused_s;
+  double batched_staged_s;  // per image, batch kBatch
+  double batched_fused_s;   // per image, batch kBatch
+};
+
+constexpr std::int64_t kBatch = 8;
+
+}  // namespace
+
+int main() {
+  using namespace tdc;
+  Rng rng(20230225);  // PPoPP'23
+
+  // ---- packed vs. blocked GEMM ------------------------------------------
+  std::vector<GemmRow> gemm_rows;
+  for (const std::int64_t n : {std::int64_t{256}, std::int64_t{512}}) {
+    std::vector<float> a(static_cast<std::size_t>(n * n));
+    std::vector<float> b(static_cast<std::size_t>(n * n));
+    std::vector<float> c(static_cast<std::size_t>(n * n));
+    for (float& v : a) {
+      v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    for (float& v : b) {
+      v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    const int reps = n <= 256 ? 20 : 10;
+    GemmRow row;
+    row.size = n;
+    row.blocked_s = best_of(reps, [&] { gemm_blocked(n, n, n, a, b, c); });
+    row.packed_s = best_of(reps, [&] { gemm(n, n, n, a, b, c); });
+    gemm_rows.push_back(row);
+  }
+
+  // ---- staged vs. fused Tucker on ResNet-18 layers ----------------------
+  struct Layer {
+    const char* name;
+    ConvShape shape;
+  };
+  const Layer layers[] = {
+      {"conv2_x", ConvShape::same(64, 64, 56, 3)},
+      {"conv3_1", ConvShape::same(64, 128, 56, 3, 2)},
+      {"conv3_x", ConvShape::same(128, 128, 28, 3)},
+      {"conv4_x", ConvShape::same(256, 256, 14, 3)},
+      {"conv5_x", ConvShape::same(512, 512, 7, 3)},
+  };
+
+  std::vector<TuckerRow> tucker_rows;
+  for (const Layer& layer : layers) {
+    const ConvShape& s = layer.shape;
+    // Paper-style 4× channel compression on both modes.
+    const TuckerRanks ranks{std::max<std::int64_t>(s.c / 4, 1),
+                            std::max<std::int64_t>(s.n / 4, 1)};
+    const Tensor k = Tensor::random_uniform({s.c, s.n, s.r, s.s}, rng);
+    const TuckerFactors f = tucker_decompose(k, ranks);
+    const Tensor x = Tensor::random_uniform({s.c, s.h, s.w}, rng);
+    const Tensor xb = Tensor::random_uniform({kBatch, s.c, s.h, s.w}, rng);
+
+    TuckerRow row;
+    row.layer = layer.name;
+    row.shape = s;
+    row.ranks = ranks;
+    row.staged_s = best_of(10, [&] { tucker_conv(x, f, s); });
+    row.fused_s = best_of(10, [&] { tucker_conv_fused(x, f, s); });
+    row.batched_staged_s =
+        best_of(5, [&] { tucker_conv_batched(xb, f, s, /*fused=*/false); }) /
+        kBatch;
+    row.batched_fused_s =
+        best_of(5, [&] { tucker_conv_batched(xb, f, s, /*fused=*/true); }) /
+        kBatch;
+    tucker_rows.push_back(row);
+  }
+
+  // ---- table ------------------------------------------------------------
+  bench::print_title("CPU execution engine — packed GEMM vs. legacy blocked");
+  std::printf("%-10s %12s %12s %12s %10s\n", "size", "blocked", "packed",
+              "GFLOP/s", "speedup");
+  for (const GemmRow& r : gemm_rows) {
+    const double flops = 2.0 * static_cast<double>(r.size) *
+                         static_cast<double>(r.size) *
+                         static_cast<double>(r.size);
+    std::printf("%-10lld %10sms %10sms %12.2f %10s\n",
+                static_cast<long long>(r.size), bench::ms(r.blocked_s).c_str(),
+                bench::ms(r.packed_s).c_str(), flops / r.packed_s * 1e-9,
+                bench::ratio(r.blocked_s / r.packed_s).c_str());
+  }
+
+  bench::print_title(
+      "Tucker pipeline (ResNet-18 layers, ranks C/4) — staged vs. fused");
+  std::printf("%-10s %-22s %12s %12s %10s %14s %14s\n", "layer", "shape",
+              "staged", "fused", "speedup", "batch-staged", "batch-fused");
+  for (const TuckerRow& r : tucker_rows) {
+    std::printf("%-10s %-22s %10sms %10sms %10s %12sms %12sms\n",
+                r.layer.c_str(), bench::shape_label(r.shape).c_str(),
+                bench::ms(r.staged_s).c_str(), bench::ms(r.fused_s).c_str(),
+                bench::ratio(r.staged_s / r.fused_s).c_str(),
+                bench::ms(r.batched_staged_s).c_str(),
+                bench::ms(r.batched_fused_s).c_str());
+  }
+  std::printf("\nthreads: %d (override with TDC_NUM_THREADS)\n", num_threads());
+
+  // ---- JSON -------------------------------------------------------------
+  FILE* json = std::fopen("BENCH_cpu_engine.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_cpu_engine.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"cpu_engine\",\n  \"threads\": %d,\n",
+               num_threads());
+  std::fprintf(json, "  \"gemm\": [\n");
+  for (std::size_t i = 0; i < gemm_rows.size(); ++i) {
+    const GemmRow& r = gemm_rows[i];
+    const double flops = 2.0 * static_cast<double>(r.size) *
+                         static_cast<double>(r.size) *
+                         static_cast<double>(r.size);
+    std::fprintf(json,
+                 "    {\"m\": %lld, \"n\": %lld, \"k\": %lld, "
+                 "\"blocked_ms\": %.4f, \"packed_ms\": %.4f, "
+                 "\"packed_gflops\": %.2f, \"speedup\": %.3f}%s\n",
+                 static_cast<long long>(r.size), static_cast<long long>(r.size),
+                 static_cast<long long>(r.size), r.blocked_s * 1e3,
+                 r.packed_s * 1e3, flops / r.packed_s * 1e-9,
+                 r.blocked_s / r.packed_s,
+                 i + 1 < gemm_rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"tucker\": [\n");
+  for (std::size_t i = 0; i < tucker_rows.size(); ++i) {
+    const TuckerRow& r = tucker_rows[i];
+    std::fprintf(
+        json,
+        "    {\"layer\": \"%s\", \"c\": %lld, \"n\": %lld, \"hw\": %lld, "
+        "\"stride\": %lld, \"d1\": %lld, \"d2\": %lld, "
+        "\"staged_ms\": %.4f, \"fused_ms\": %.4f, \"speedup\": %.3f, "
+        "\"batch\": %lld, \"batched_staged_ms_per_image\": %.4f, "
+        "\"batched_fused_ms_per_image\": %.4f}%s\n",
+        r.layer.c_str(), static_cast<long long>(r.shape.c),
+        static_cast<long long>(r.shape.n), static_cast<long long>(r.shape.h),
+        static_cast<long long>(r.shape.stride_h),
+        static_cast<long long>(r.ranks.d1), static_cast<long long>(r.ranks.d2),
+        r.staged_s * 1e3, r.fused_s * 1e3, r.staged_s / r.fused_s,
+        static_cast<long long>(kBatch), r.batched_staged_s * 1e3,
+        r.batched_fused_s * 1e3, i + 1 < tucker_rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_cpu_engine.json\n");
+  return 0;
+}

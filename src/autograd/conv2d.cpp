@@ -3,27 +3,13 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "conv/conv.h"
 #include "linalg/gemm.h"
 
 namespace tdc {
 
 namespace {
-
-// Weight matrix A[N, C·R·S] in the row order im2col produces.
-Tensor kernel_matrix(const Tensor& kernel_cnrs, const ConvShape& g) {
-  Tensor a({g.n, g.c * g.r * g.s});
-  for (std::int64_t c = 0; c < g.c; ++c) {
-    for (std::int64_t n = 0; n < g.n; ++n) {
-      for (std::int64_t r = 0; r < g.r; ++r) {
-        for (std::int64_t s = 0; s < g.s; ++s) {
-          a(n, (c * g.r + r) * g.s + s) = kernel_cnrs(c, n, r, s);
-        }
-      }
-    }
-  }
-  return a;
-}
 
 // Scatter the [C·R·S, OH·OW] column-gradient matrix back onto an image.
 void col2im_accumulate(const Tensor& cols, const ConvShape& g, Tensor* image) {
@@ -106,31 +92,28 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   const std::int64_t batch = x.dim(0);
   const std::int64_t oh = geometry_.out_h();
   const std::int64_t ow = geometry_.out_w();
-  const Tensor a = kernel_matrix(kernel_.value, geometry_);
+  // The weight-matrix reshape is shared by every image in the batch.
+  const Im2colPlan plan = make_im2col_plan(kernel_.value, geometry_);
   Tensor y({batch, geometry_.n, oh, ow});
 
-#ifdef TDC_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::int64_t b = 0; b < batch; ++b) {
-    const Tensor xb =
-        slice_sample(x, b, {geometry_.c, geometry_.h, geometry_.w});
-    const Tensor cols = im2col(xb, geometry_);
-    Tensor yb({geometry_.n, oh, ow});
-    gemm(geometry_.n, oh * ow, geometry_.c * geometry_.r * geometry_.s,
-         a.data(), cols.data(), yb.data());
-    float* dst = y.raw() + b * yb.numel();
-    if (bias_.has_value()) {
-      for (std::int64_t n = 0; n < geometry_.n; ++n) {
-        const float bv = bias_->value(n);
-        for (std::int64_t i = 0; i < oh * ow; ++i) {
-          dst[n * oh * ow + i] = yb[n * oh * ow + i] + bv;
+  parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const Tensor xb =
+          slice_sample(x, b, {geometry_.c, geometry_.h, geometry_.w});
+      const Tensor yb = conv2d_im2col(plan, xb);
+      float* dst = y.raw() + b * yb.numel();
+      if (bias_.has_value()) {
+        for (std::int64_t n = 0; n < geometry_.n; ++n) {
+          const float bv = bias_->value(n);
+          for (std::int64_t i = 0; i < oh * ow; ++i) {
+            dst[n * oh * ow + i] = yb[n * oh * ow + i] + bv;
+          }
         }
+      } else {
+        std::copy(yb.raw(), yb.raw() + yb.numel(), dst);
       }
-    } else {
-      std::copy(yb.raw(), yb.raw() + yb.numel(), dst);
     }
-  }
+  });
   return y;
 }
 
@@ -145,7 +128,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                     grad_out.dim(2) == oh && grad_out.dim(3) == ow,
                 "grad_out shape mismatch");
 
-  const Tensor a = kernel_matrix(kernel_.value, geometry_);
+  const Tensor a = make_im2col_plan(kernel_.value, geometry_).weights;
   Tensor grad_a({geometry_.n, k});
   Tensor grad_in(cached_input_.dims());
 

@@ -1,0 +1,257 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace tdc {
+
+namespace {
+
+thread_local bool t_in_parallel = false;
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int env_num_threads() {
+  const char* env = std::getenv("TDC_NUM_THREADS");
+  if (env == nullptr) {
+    return 0;
+  }
+  const long v = std::strtol(env, nullptr, 10);
+  return v >= 1 ? static_cast<int>(v) : 0;
+}
+
+int initial_num_threads() {
+  const int env = env_num_threads();
+  return env >= 1 ? env : hardware_threads();
+}
+
+// Persistent fork/join pool. The calling thread participates in every
+// parallel region, so the pool owns num_threads()-1 workers. Chunk indices
+// are handed out through an atomic counter; a generation number wakes the
+// workers. run() does not return until every chunk has executed AND no
+// worker is still inside the region, so the function object can never
+// dangle across regions.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+
+  void run(std::int64_t num_chunks,
+           const std::function<void(std::int64_t)>& fn) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      fn_ = &fn;
+      total_chunks_ = num_chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      done_chunks_ = 0;
+      first_error_ = nullptr;
+      ++generation_;
+    }
+    work_ready_.notify_all();
+
+    drain(fn);  // the caller is worker 0
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] {
+      return done_chunks_ >= total_chunks_ && active_workers_ == 0;
+    });
+    fn_ = nullptr;
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  // Pulls chunk indices until the region is exhausted. Called with the
+  // region's function object; completion is recorded under the mutex.
+  void drain(const std::function<void(std::int64_t)>& fn) {
+    std::int64_t executed = 0;
+    std::exception_ptr error;
+    std::int64_t chunk;
+    while ((chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed)) <
+           total_chunks_) {
+      t_in_parallel = true;
+      try {
+        fn(chunk);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+      t_in_parallel = false;
+      ++executed;
+    }
+    if (executed > 0 || error) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_chunks_ += executed;
+      if (error && !first_error_) {
+        first_error_ = error;
+      }
+      if (done_chunks_ >= total_chunks_) {
+        all_done_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(std::int64_t)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [&] {
+          return stop_ || generation_ != seen_generation;
+        });
+        if (stop_) {
+          return;
+        }
+        seen_generation = generation_;
+        fn = fn_;
+        ++active_workers_;
+      }
+      if (fn != nullptr) {
+        drain(*fn);
+      }
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        --active_workers_;
+        if (active_workers_ == 0 && done_chunks_ >= total_chunks_) {
+          all_done_.notify_all();
+        }
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(std::int64_t)>* fn_ = nullptr;
+  std::int64_t total_chunks_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::int64_t done_chunks_ = 0;
+  int active_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr first_error_ = nullptr;
+  bool stop_ = false;
+};
+
+std::mutex g_pool_mutex;
+// Held for the whole of one fork/join region: the pool supports a single
+// active region at a time, so a second top-level caller falls back to
+// inline execution instead of corrupting the active region's state.
+std::mutex g_region_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<int> g_num_threads{0};  // 0 = not yet resolved
+
+int resolve_num_threads_locked() {
+  int nt = g_num_threads.load(std::memory_order_relaxed);
+  if (nt == 0) {
+    nt = initial_num_threads();
+    g_num_threads.store(nt, std::memory_order_relaxed);
+  }
+  return nt;
+}
+
+void run_inline(std::int64_t num_chunks,
+                const std::function<void(std::int64_t)>& fn) {
+  t_in_parallel = true;
+  try {
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      fn(c);
+    }
+  } catch (...) {
+    t_in_parallel = false;
+    throw;
+  }
+  t_in_parallel = false;
+}
+
+}  // namespace
+
+int num_threads() {
+  const int nt = g_num_threads.load(std::memory_order_relaxed);
+  if (nt != 0) {
+    return nt;
+  }
+  std::unique_lock<std::mutex> lock(g_pool_mutex);
+  return resolve_num_threads_locked();
+}
+
+void set_num_threads(int n) {
+  const int clamped = n < 1 ? 1 : n;
+  // Take the region lock too so a resize never destroys a pool mid-region.
+  std::unique_lock<std::mutex> region(g_region_mutex);
+  std::unique_lock<std::mutex> lock(g_pool_mutex);
+  if (clamped != g_num_threads.load(std::memory_order_relaxed)) {
+    g_pool.reset();  // rebuilt lazily at the new size
+    g_num_threads.store(clamped, std::memory_order_relaxed);
+  }
+}
+
+bool in_parallel_region() { return t_in_parallel; }
+
+namespace detail {
+
+void run_chunked(std::int64_t num_chunks,
+                 const std::function<void(std::int64_t)>& fn) {
+  if (num_chunks <= 0) {
+    return;
+  }
+  if (num_chunks == 1) {
+    run_inline(num_chunks, fn);
+    return;
+  }
+  // One fork/join region at a time; a concurrent top-level caller simply
+  // runs its range inline on its own thread.
+  std::unique_lock<std::mutex> region(g_region_mutex, std::try_to_lock);
+  if (!region.owns_lock()) {
+    run_inline(num_chunks, fn);
+    return;
+  }
+  ThreadPool* pool = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(g_pool_mutex);
+    const int nt = resolve_num_threads_locked();
+    if (nt > 1 && !g_pool) {
+      g_pool = std::make_unique<ThreadPool>(nt - 1);
+    }
+    pool = g_pool.get();
+  }
+  if (pool == nullptr) {
+    region.unlock();
+    run_inline(num_chunks, fn);
+    return;
+  }
+  pool->run(num_chunks, fn);
+}
+
+}  // namespace detail
+
+}  // namespace tdc

@@ -1,0 +1,134 @@
+// Shared CPU parallel runtime.
+//
+// A persistent thread pool behind ATen-style parallel_for / parallel_reduce
+// primitives. Every multi-threaded hot path in the library (GEMM, the
+// convolution executors, the TDC core kernel interpreter, autograd batching)
+// funnels through this header instead of carrying its own OpenMP pragmas, so
+// thread count, grain-size policy and nested-parallelism behavior are
+// consistent everywhere.
+//
+// Thread count resolution order:
+//   1. set_num_threads(n) — explicit programmatic override;
+//   2. TDC_NUM_THREADS    — environment override, read once at first use;
+//   3. std::thread::hardware_concurrency().
+//
+// Chunks are split statically; a call from inside a parallel region runs
+// serially (no nested fan-out), and when two application threads open
+// top-level regions concurrently, the second runs inline on its own thread —
+// both configurations are correct, just without extra fan-out. Exceptions
+// thrown by the body are captured and rethrown on the calling thread.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tdc {
+
+/// Current worker count (>= 1).
+int num_threads();
+
+/// Override the worker count (clamped to >= 1). Takes effect on the next
+/// parallel_for; safe to call between parallel regions only.
+void set_num_threads(int n);
+
+/// True when called from inside a parallel_for body.
+bool in_parallel_region();
+
+/// Default minimum iterations per chunk before a loop is worth splitting.
+inline constexpr std::int64_t kDefaultGrainSize = 1;
+
+namespace detail {
+
+inline std::int64_t divup(std::int64_t x, std::int64_t y) {
+  return (x + y - 1) / y;
+}
+
+/// Runs fn(chunk_id) for chunk_id in [0, num_chunks) across the pool,
+/// including the calling thread; blocks until every chunk finished.
+void run_chunked(std::int64_t num_chunks,
+                 const std::function<void(std::int64_t)>& fn);
+
+}  // namespace detail
+
+/// Calls f(sub_begin, sub_end) over a static partition of [begin, end).
+/// Ranges shorter than grain_size (or any call made with one thread, or from
+/// inside another parallel region) run inline on the caller.
+template <class F>
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  std::int64_t grain_size, const F& f) {
+  if (begin >= end) {
+    return;
+  }
+  // The thread-local nested-region test comes first: it keeps nested calls
+  // (every GEMM inside an already-parallel loop) off the runtime's shared
+  // state entirely.
+  if (in_parallel_region()) {
+    f(begin, end);
+    return;
+  }
+  const std::int64_t range = end - begin;
+  const std::int64_t grain = std::max<std::int64_t>(grain_size, 1);
+  if (range <= grain) {
+    f(begin, end);
+    return;
+  }
+  const int nt = num_threads();
+  if (nt == 1) {
+    f(begin, end);
+    return;
+  }
+  const std::int64_t chunks =
+      std::min<std::int64_t>(nt, detail::divup(range, grain));
+  const std::int64_t chunk_size = detail::divup(range, chunks);
+  detail::run_chunked(chunks, [&](std::int64_t chunk) {
+    const std::int64_t b = begin + chunk * chunk_size;
+    const std::int64_t e = std::min(b + chunk_size, end);
+    if (b < e) {
+      f(b, e);
+    }
+  });
+}
+
+/// Reduction over [begin, end): acc = f(sub_begin, sub_end, ident) per chunk,
+/// then left-fold of the partials with combine. The fold order is fixed by
+/// chunk index, so results are deterministic for a given thread count.
+template <class T, class F, class Combine>
+T parallel_reduce(std::int64_t begin, std::int64_t end,
+                  std::int64_t grain_size, T ident, const F& f,
+                  const Combine& combine) {
+  if (begin >= end) {
+    return ident;
+  }
+  if (in_parallel_region()) {
+    return f(begin, end, ident);
+  }
+  const std::int64_t range = end - begin;
+  const std::int64_t grain = std::max<std::int64_t>(grain_size, 1);
+  if (range <= grain) {
+    return f(begin, end, ident);
+  }
+  const int nt = num_threads();
+  if (nt == 1) {
+    return f(begin, end, ident);
+  }
+  const std::int64_t chunks =
+      std::min<std::int64_t>(nt, detail::divup(range, grain));
+  const std::int64_t chunk_size = detail::divup(range, chunks);
+  std::vector<T> partial(static_cast<std::size_t>(chunks), ident);
+  detail::run_chunked(chunks, [&](std::int64_t chunk) {
+    const std::int64_t b = begin + chunk * chunk_size;
+    const std::int64_t e = std::min(b + chunk_size, end);
+    if (b < e) {
+      partial[static_cast<std::size_t>(chunk)] = f(b, e, ident);
+    }
+  });
+  T acc = ident;
+  for (const T& p : partial) {
+    acc = combine(acc, p);
+  }
+  return acc;
+}
+
+}  // namespace tdc

@@ -30,6 +30,20 @@ Tensor conv2d_reference(const Tensor& x, const Tensor& kernel_cnrs,
 Tensor conv2d_im2col(const Tensor& x, const Tensor& kernel_cnrs,
                      const ConvShape& shape);
 
+/// Precomputed state of the im2col path. The [N, C·R·S] weight-matrix
+/// reshape is a per-layer invariant; building it once and replaying the plan
+/// over many images (serving, batched autograd) removes it from the per-image
+/// cost.
+struct Im2colPlan {
+  ConvShape shape;
+  Tensor weights;  ///< [N, C·R·S], rows flattened in im2col's (c, r, s) order
+};
+
+Im2colPlan make_im2col_plan(const Tensor& kernel_cnrs, const ConvShape& shape);
+
+/// im2col + GEMM using a prebuilt plan.
+Tensor conv2d_im2col(const Im2colPlan& plan, const Tensor& x);
+
 /// Winograd F(2×2, 3×3). Requires r == s == 3 and stride 1 (throws otherwise).
 Tensor conv2d_winograd(const Tensor& x, const Tensor& kernel_cnrs,
                        const ConvShape& shape);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "conv/conv.h"
 #include "fft/fft.h"
 
@@ -36,53 +37,52 @@ Tensor conv2d_fft(const Tensor& x, const Tensor& kernel_cnrs,
 
   // Forward transforms of all input channels.
   std::vector<std::vector<Cpx>> fx(static_cast<std::size_t>(shape.c));
-#ifdef TDC_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::int64_t c = 0; c < shape.c; ++c) {
-    auto& buf = fx[static_cast<std::size_t>(c)];
-    buf.assign(static_cast<std::size_t>(plane), Cpx{});
-    for (std::int64_t i = 0; i < h; ++i) {
-      for (std::int64_t j = 0; j < w; ++j) {
-        buf[static_cast<std::size_t>(i * fw + j)] =
-            Cpx(static_cast<double>(xp(c, i, j)), 0.0);
+  parallel_for(0, shape.c, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      auto& buf = fx[static_cast<std::size_t>(c)];
+      buf.assign(static_cast<std::size_t>(plane), Cpx{});
+      for (std::int64_t i = 0; i < h; ++i) {
+        for (std::int64_t j = 0; j < w; ++j) {
+          buf[static_cast<std::size_t>(i * fw + j)] =
+              Cpx(static_cast<double>(xp(c, i, j)), 0.0);
+        }
       }
+      fft2d_inplace(buf, fh, fw, /*inverse=*/false);
     }
-    fft2d_inplace(buf, fh, fw, /*inverse=*/false);
-  }
+  });
 
   Tensor y({shape.n, oh, ow});
 
-#ifdef TDC_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::int64_t n = 0; n < shape.n; ++n) {
-    std::vector<Cpx> acc(static_cast<std::size_t>(plane), Cpx{});
+  parallel_for(0, shape.n, 1, [&](std::int64_t n0, std::int64_t n1) {
+    std::vector<Cpx> acc(static_cast<std::size_t>(plane));
     std::vector<Cpx> fk(static_cast<std::size_t>(plane));
-    for (std::int64_t c = 0; c < shape.c; ++c) {
-      std::fill(fk.begin(), fk.end(), Cpx{});
-      for (std::int64_t r = 0; r < shape.r; ++r) {
-        for (std::int64_t s = 0; s < shape.s; ++s) {
-          fk[static_cast<std::size_t>(r * fw + s)] =
-              Cpx(static_cast<double>(kernel_cnrs(c, n, r, s)), 0.0);
+    for (std::int64_t n = n0; n < n1; ++n) {
+      std::fill(acc.begin(), acc.end(), Cpx{});
+      for (std::int64_t c = 0; c < shape.c; ++c) {
+        std::fill(fk.begin(), fk.end(), Cpx{});
+        for (std::int64_t r = 0; r < shape.r; ++r) {
+          for (std::int64_t s = 0; s < shape.s; ++s) {
+            fk[static_cast<std::size_t>(r * fw + s)] =
+                Cpx(static_cast<double>(kernel_cnrs(c, n, r, s)), 0.0);
+          }
+        }
+        fft2d_inplace(fk, fh, fw, /*inverse=*/false);
+        const auto& fxc = fx[static_cast<std::size_t>(c)];
+        for (std::int64_t i = 0; i < plane; ++i) {
+          acc[static_cast<std::size_t>(i)] +=
+              fxc[static_cast<std::size_t>(i)] *
+              std::conj(fk[static_cast<std::size_t>(i)]);
         }
       }
-      fft2d_inplace(fk, fh, fw, /*inverse=*/false);
-      const auto& fxc = fx[static_cast<std::size_t>(c)];
-      for (std::int64_t i = 0; i < plane; ++i) {
-        acc[static_cast<std::size_t>(i)] +=
-            fxc[static_cast<std::size_t>(i)] *
-            std::conj(fk[static_cast<std::size_t>(i)]);
+      fft2d_inplace(acc, fh, fw, /*inverse=*/true);
+      for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
+        for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+          y(n, o_h, o_w) = static_cast<float>(
+              acc[static_cast<std::size_t>(o_h * fw + o_w)].real());
+        }
       }
     }
-    fft2d_inplace(acc, fh, fw, /*inverse=*/true);
-    for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
-      for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
-        y(n, o_h, o_w) = static_cast<float>(
-            acc[static_cast<std::size_t>(o_h * fw + o_w)].real());
-      }
-    }
-  }
+  });
   return y;
 }
 

@@ -1,4 +1,7 @@
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/parallel.h"
 #include "conv/conv.h"
 #include "linalg/gemm.h"
 
@@ -9,48 +12,77 @@ Tensor im2col(const Tensor& x, const ConvShape& shape) {
   const std::int64_t oh = shape.out_h();
   const std::int64_t ow = shape.out_w();
   Tensor cols({shape.c * shape.r * shape.s, oh * ow});
-  for (std::int64_t c = 0; c < shape.c; ++c) {
-    for (std::int64_t r = 0; r < shape.r; ++r) {
-      for (std::int64_t s = 0; s < shape.s; ++s) {
-        const std::int64_t row = (c * shape.r + r) * shape.s + s;
-        for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
-          const std::int64_t ih = o_h * shape.stride_h - shape.pad_h + r;
-          for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
-            const std::int64_t iw = o_w * shape.stride_w - shape.pad_w + s;
-            const bool inside = ih >= 0 && ih < shape.h && iw >= 0 && iw < shape.w;
-            cols(row, o_h * ow + o_w) = inside ? x(c, ih, iw) : 0.0f;
-          }
+  const float* src = x.raw();
+  float* dst = cols.raw();
+
+  // Each (c, r, s) patch row is independent; parallelize over the flattened
+  // row index.
+  parallel_for(0, shape.c * shape.r * shape.s, 1,
+               [&](std::int64_t row0, std::int64_t row1) {
+    for (std::int64_t row = row0; row < row1; ++row) {
+      const std::int64_t c = row / (shape.r * shape.s);
+      const std::int64_t r = (row / shape.s) % shape.r;
+      const std::int64_t s = row % shape.s;
+      const float* plane = src + c * shape.h * shape.w;
+      float* out_row = dst + row * oh * ow;
+      for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
+        const std::int64_t ih = o_h * shape.stride_h - shape.pad_h + r;
+        float* out = out_row + o_h * ow;
+        if (ih < 0 || ih >= shape.h) {
+          std::fill(out, out + ow, 0.0f);
+          continue;
+        }
+        const float* in_row = plane + ih * shape.w;
+        for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+          const std::int64_t iw = o_w * shape.stride_w - shape.pad_w + s;
+          out[o_w] = (iw >= 0 && iw < shape.w) ? in_row[iw] : 0.0f;
+        }
+      }
+    }
+  });
+  return cols;
+}
+
+Im2colPlan make_im2col_plan(const Tensor& kernel_cnrs, const ConvShape& shape) {
+  TDC_CHECK_MSG(kernel_cnrs.rank() == 4, "kernel must be [C,N,R,S]");
+  TDC_CHECK_MSG(kernel_cnrs.dim(0) == shape.c && kernel_cnrs.dim(1) == shape.n &&
+                    kernel_cnrs.dim(2) == shape.r && kernel_cnrs.dim(3) == shape.s,
+                "kernel tensor does not match shape descriptor");
+  Im2colPlan plan;
+  plan.shape = shape;
+  // Weight matrix A: [N, C·R·S] with the same (c, r, s) row flattening that
+  // im2col uses for its patch rows.
+  plan.weights = Tensor({shape.n, shape.c * shape.r * shape.s});
+  for (std::int64_t n = 0; n < shape.n; ++n) {
+    for (std::int64_t c = 0; c < shape.c; ++c) {
+      for (std::int64_t r = 0; r < shape.r; ++r) {
+        for (std::int64_t s = 0; s < shape.s; ++s) {
+          plan.weights(n, (c * shape.r + r) * shape.s + s) =
+              kernel_cnrs(c, n, r, s);
         }
       }
     }
   }
-  return cols;
+  return plan;
+}
+
+Tensor conv2d_im2col(const Im2colPlan& plan, const Tensor& x) {
+  const ConvShape& shape = plan.shape;
+  TDC_CHECK_MSG(x.rank() == 3, "input must be [C,H,W]");
+  TDC_CHECK_MSG(x.dim(0) == shape.c && x.dim(1) == shape.h && x.dim(2) == shape.w,
+                "input tensor does not match plan shape");
+  const std::int64_t oh = shape.out_h();
+  const std::int64_t ow = shape.out_w();
+  const Tensor cols = im2col(x, shape);
+  Tensor y({shape.n, oh, ow});
+  gemm(shape.n, oh * ow, shape.c * shape.r * shape.s, plan.weights.data(),
+       cols.data(), y.data());
+  return y;
 }
 
 Tensor conv2d_im2col(const Tensor& x, const Tensor& kernel_cnrs,
                      const ConvShape& shape) {
-  TDC_CHECK_MSG(kernel_cnrs.rank() == 4, "kernel must be [C,N,R,S]");
-  const std::int64_t oh = shape.out_h();
-  const std::int64_t ow = shape.out_w();
-
-  // Weight matrix A: [N, C·R·S] with the same (c, r, s) row flattening that
-  // im2col uses for its patch rows.
-  Tensor a({shape.n, shape.c * shape.r * shape.s});
-  for (std::int64_t c = 0; c < shape.c; ++c) {
-    for (std::int64_t n = 0; n < shape.n; ++n) {
-      for (std::int64_t r = 0; r < shape.r; ++r) {
-        for (std::int64_t s = 0; s < shape.s; ++s) {
-          a(n, (c * shape.r + r) * shape.s + s) = kernel_cnrs(c, n, r, s);
-        }
-      }
-    }
-  }
-
-  const Tensor cols = im2col(x, shape);
-  Tensor y({shape.n, oh, ow});
-  gemm(shape.n, oh * ow, shape.c * shape.r * shape.s, a.data(), cols.data(),
-       y.data());
-  return y;
+  return conv2d_im2col(make_im2col_plan(kernel_cnrs, shape), x);
 }
 
 }  // namespace tdc

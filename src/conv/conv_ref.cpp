@@ -1,4 +1,7 @@
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/parallel.h"
 #include "conv/conv.h"
 
 namespace tdc {
@@ -55,12 +58,15 @@ Tensor pad_chw(const Tensor& x, std::int64_t pad_h, std::int64_t pad_w) {
   const std::int64_t c = x.dim(0);
   const std::int64_t h = x.dim(1);
   const std::int64_t w = x.dim(2);
-  Tensor out({c, h + 2 * pad_h, w + 2 * pad_w});
+  const std::int64_t pw = w + 2 * pad_w;
+  const std::int64_t ph = h + 2 * pad_h;
+  Tensor out({c, ph, pw});
+  const float* src = x.raw();
+  float* dst = out.raw();
   for (std::int64_t ci = 0; ci < c; ++ci) {
     for (std::int64_t hi = 0; hi < h; ++hi) {
-      for (std::int64_t wi = 0; wi < w; ++wi) {
-        out(ci, hi + pad_h, wi + pad_w) = x(ci, hi, wi);
-      }
+      const float* row = src + (ci * h + hi) * w;
+      std::copy(row, row + w, dst + (ci * ph + hi + pad_h) * pw + pad_w);
     }
   }
   return out;
@@ -92,33 +98,32 @@ Tensor conv2d_reference(const Tensor& x, const Tensor& kernel_cnrs,
   const std::int64_t ow = shape.out_w();
   Tensor y({shape.n, oh, ow});
 
-#ifdef TDC_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::int64_t n = 0; n < shape.n; ++n) {
-    for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
-      for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
-        double acc = 0.0;
-        for (std::int64_t c = 0; c < shape.c; ++c) {
-          for (std::int64_t r = 0; r < shape.r; ++r) {
-            const std::int64_t ih = o_h * shape.stride_h - shape.pad_h + r;
-            if (ih < 0 || ih >= shape.h) {
-              continue;
-            }
-            for (std::int64_t s = 0; s < shape.s; ++s) {
-              const std::int64_t iw = o_w * shape.stride_w - shape.pad_w + s;
-              if (iw < 0 || iw >= shape.w) {
+  parallel_for(0, shape.n, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
+        for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+          double acc = 0.0;
+          for (std::int64_t c = 0; c < shape.c; ++c) {
+            for (std::int64_t r = 0; r < shape.r; ++r) {
+              const std::int64_t ih = o_h * shape.stride_h - shape.pad_h + r;
+              if (ih < 0 || ih >= shape.h) {
                 continue;
               }
-              acc += static_cast<double>(x(c, ih, iw)) *
-                     static_cast<double>(kernel_cnrs(c, n, r, s));
+              for (std::int64_t s = 0; s < shape.s; ++s) {
+                const std::int64_t iw = o_w * shape.stride_w - shape.pad_w + s;
+                if (iw < 0 || iw >= shape.w) {
+                  continue;
+                }
+                acc += static_cast<double>(x(c, ih, iw)) *
+                       static_cast<double>(kernel_cnrs(c, n, r, s));
+              }
             }
           }
+          y(n, o_h, o_w) = static_cast<float>(acc);
         }
-        y(n, o_h, o_w) = static_cast<float>(acc);
       }
     }
-  }
+  });
   return y;
 }
 

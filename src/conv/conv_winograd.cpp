@@ -7,8 +7,10 @@
 // domain, which is where the arithmetic saving (2.25× fewer multiplies)
 // comes from.
 #include <array>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "conv/conv.h"
 
 namespace tdc {
@@ -108,11 +110,13 @@ Tensor conv2d_winograd(const Tensor& x, const Tensor& kernel_cnrs,
 
   Tensor y({shape.n, oh, ow});
 
-#ifdef TDC_HAVE_OPENMP
-#pragma omp parallel for collapse(2) schedule(static)
-#endif
-  for (std::int64_t th = 0; th < tiles_h; ++th) {
-    for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
+  // Flattened (th, tw) tile index; every tile writes a disjoint 2×2 output
+  // patch, so the loop is embarrassingly parallel.
+  parallel_for(0, tiles_h * tiles_w, 1,
+               [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t tile_id = t0; tile_id < t1; ++tile_id) {
+      const std::int64_t th = tile_id / tiles_w;
+      const std::int64_t tw = tile_id % tiles_w;
       // Transform the C input tiles for this spatial position once.
       std::vector<Tile4> ux(static_cast<std::size_t>(shape.c));
       for (std::int64_t c = 0; c < shape.c; ++c) {
@@ -154,7 +158,7 @@ Tensor conv2d_winograd(const Tensor& x, const Tensor& kernel_cnrs,
         }
       }
     }
-  }
+  });
   return y;
 }
 

@@ -25,4 +25,21 @@ Tensor tucker_conv_stage1(const Tensor& x, const TuckerFactors& factors);
 /// Stage-3 output Y = Z2 ×_{D2} U2^T (Eq. 4).
 Tensor tucker_conv_stage3(const Tensor& z2, const TuckerFactors& factors);
 
+/// Fused three-stage pipeline: instead of materializing the full Z1/Z2
+/// intermediates, output rows are processed in bands — per band the stage-1
+/// pointwise runs only over the input rows the core convolution will touch,
+/// the core R×S GEMM consumes the band's patch matrix, and the stage-3
+/// pointwise commits straight to the output. All intermediates live in
+/// per-band scratch buffers sized to stay cache-resident. `row_tile` is the
+/// output-row band height (0 picks one automatically). Numerically identical
+/// to the staged pipeline with the im2col core.
+Tensor tucker_conv_fused(const Tensor& x, const TuckerFactors& factors,
+                         const ConvShape& shape, std::int64_t row_tile = 0);
+
+/// Batched serving entry point: x is [B, C, H, W], returns [B, N, H', W'].
+/// Images fan out across the parallel runtime; each runs the fused
+/// single-image pipeline (or the staged one when fused == false).
+Tensor tucker_conv_batched(const Tensor& x, const TuckerFactors& factors,
+                           const ConvShape& shape, bool fused = true);
+
 }  // namespace tdc

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace tdc {
 
@@ -163,7 +164,6 @@ Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
   const std::int64_t blocks_c = ceil_div(shape.c, t.tc);
   const std::int64_t tile_h = tdc_tile_in_h(shape, t);
   const std::int64_t tile_w = tdc_tile_in_w(shape, t);
-  const std::int64_t num_blocks = blocks_h * blocks_w * blocks_c;
 
   Tensor y({shape.n, oh, ow});
   float* ydata = y.raw();
@@ -247,30 +247,29 @@ Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
           if (gw >= ow) {
             break;
           }
-          float* slot = &ydata[(n * oh + gh) * ow + gw];
-          const float add = temp[static_cast<std::size_t>(th * t.tw + tw)];
-#ifdef TDC_HAVE_OPENMP
-#pragma omp atomic
-          *slot += add;
-#else
-          *slot += add;
-#endif
+          ydata[(n * oh + gh) * ow + gw] +=
+              temp[static_cast<std::size_t>(th * t.tw + tw)];
         }
       }
     }
   };
 
+  // Channel partitions of one spatial tile accumulate into the same output
+  // patch (the GPU kernel's atomicAdd); running them serially inside the
+  // spatial-tile loop keeps the executor race-free and deterministic while
+  // the disjoint spatial tiles fan out across threads.
+  const std::int64_t spatial_blocks = blocks_h * blocks_w;
+  auto run_spatial = [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t s = s0; s < s1; ++s) {
+      for (std::int64_t bc = 0; bc < blocks_c; ++bc) {
+        run_block(bc * spatial_blocks + s);
+      }
+    }
+  };
   if (parallel) {
-#ifdef TDC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-    for (std::int64_t b = 0; b < num_blocks; ++b) {
-      run_block(b);
-    }
+    parallel_for(0, spatial_blocks, 1, run_spatial);
   } else {
-    for (std::int64_t b = 0; b < num_blocks; ++b) {
-      run_block(b);
-    }
+    run_spatial(0, spatial_blocks);
   }
   return y;
 }

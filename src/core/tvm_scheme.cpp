@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace tdc {
 
@@ -216,10 +217,10 @@ Tensor tvm_scheme_conv(const Tensor& x, const Tensor& kernel_cnrs,
 
   Tensor y({shape.n, oh, ow});
 
-#ifdef TDC_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (std::int64_t block_id = 0; block_id < num_blocks; ++block_id) {
+  // Every block owns a disjoint (n-chunk × spatial-tile) slab of y, so the
+  // flattened block loop parallelizes without synchronization.
+  parallel_for(0, num_blocks, 1, [&](std::int64_t blk0, std::int64_t blk1) {
+  for (std::int64_t block_id = blk0; block_id < blk1; ++block_id) {
     const std::int64_t bn = block_id / (blocks_h * blocks_w);
     const std::int64_t rest = block_id % (blocks_h * blocks_w);
     const std::int64_t bh = rest / blocks_w;
@@ -263,6 +264,7 @@ Tensor tvm_scheme_conv(const Tensor& x, const Tensor& kernel_cnrs,
       }
     }
   }
+  });
   return y;
 }
 

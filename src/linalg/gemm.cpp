@@ -3,16 +3,196 @@
 #include <algorithm>
 #include <vector>
 
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace tdc {
 
 namespace {
 
-// Cache-blocking parameters; modest sizes that fit L1/L2 on typical x86.
+// Cache-blocking parameters of the legacy saxpy-style kernel; modest sizes
+// that fit L1/L2 on typical x86.
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockN = 64;
 constexpr std::int64_t kBlockK = 256;
+
+// BLIS-style packed micro-kernel geometry: MR×NR register tile, MC×KC packed
+// A panel (L2-resident), KC×NC packed B panel (L3-resident).
+constexpr std::int64_t kMr = 6;
+constexpr std::int64_t kNr = 16;
+constexpr std::int64_t kMc = 120;   // multiple of kMr
+constexpr std::int64_t kKc = 256;
+constexpr std::int64_t kNc = 1024;  // multiple of kNr
+
+// C[MR×NR] += alpha · Ap·Bp where Ap is a packed MR×kc sliver (column-major
+// slices of MR) and Bp a packed kc×NR sliver (row slices of NR).
+#if defined(__AVX2__) && defined(__FMA__)
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                  float alpha, float* c, std::int64_t ldc) {
+  __m256 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(bp);
+    const __m256 b1 = _mm256_loadu_ps(bp + 8);
+    bp += kNr;
+    for (int r = 0; r < kMr; ++r) {
+      const __m256 a = _mm256_broadcast_ss(ap + r);
+      acc[r][0] = _mm256_fmadd_ps(a, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(a, b1, acc[r][1]);
+    }
+    ap += kMr;
+  }
+  const __m256 va = _mm256_set1_ps(alpha);
+  for (int r = 0; r < kMr; ++r) {
+    float* crow = c + r * ldc;
+    _mm256_storeu_ps(crow,
+                     _mm256_fmadd_ps(acc[r][0], va, _mm256_loadu_ps(crow)));
+    _mm256_storeu_ps(
+        crow + 8, _mm256_fmadd_ps(acc[r][1], va, _mm256_loadu_ps(crow + 8)));
+  }
+}
+#else
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                  float alpha, float* c, std::int64_t ldc) {
+  float acc[kMr][kNr] = {};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    for (int r = 0; r < kMr; ++r) {
+      const float a = ap[r];
+      for (int j = 0; j < kNr; ++j) {
+        acc[r][j] += a * bp[j];
+      }
+    }
+    ap += kMr;
+    bp += kNr;
+  }
+  for (int r = 0; r < kMr; ++r) {
+    float* crow = c + r * ldc;
+    for (int j = 0; j < kNr; ++j) {
+      crow[j] += alpha * acc[r][j];
+    }
+  }
+}
+#endif
+
+// Packs A(ic0+0..mc, pc0+0..kc) into MR-row slivers, zero-padding the ragged
+// final sliver. Transposition is folded into the (rs, cs) strides.
+void pack_a(std::int64_t mc, std::int64_t kc, const float* a,
+            std::int64_t rs, std::int64_t cs, float* dst) {
+  for (std::int64_t i0 = 0; i0 < mc; i0 += kMr) {
+    const std::int64_t rows = std::min<std::int64_t>(kMr, mc - i0);
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      const float* col = a + i0 * rs + kk * cs;
+      std::int64_t r = 0;
+      for (; r < rows; ++r) {
+        *dst++ = col[r * rs];
+      }
+      for (; r < kMr; ++r) {
+        *dst++ = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs B(pc0+0..kc, jc0+0..nc) into NR-column slivers, zero-padded.
+void pack_b(std::int64_t kc, std::int64_t nc, const float* b,
+            std::int64_t rs, std::int64_t cs, float* dst) {
+  for (std::int64_t j0 = 0; j0 < nc; j0 += kNr) {
+    const std::int64_t cols = std::min<std::int64_t>(kNr, nc - j0);
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      const float* row = b + kk * rs + j0 * cs;
+      std::int64_t j = 0;
+      for (; j < cols; ++j) {
+        *dst++ = row[j * cs];
+      }
+      for (; j < kNr; ++j) {
+        *dst++ = 0.0f;
+      }
+    }
+  }
+}
+
+void scale_c(std::int64_t m, std::int64_t n, float* c, std::int64_t ldc,
+             float beta) {
+  if (beta == 1.0f) {
+    return;
+  }
+  parallel_for(0, m, 64, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      float* row = c + i * ldc;
+      if (beta == 0.0f) {
+        std::fill(row, row + n, 0.0f);
+      } else {
+        for (std::int64_t j = 0; j < n; ++j) {
+          row[j] *= beta;
+        }
+      }
+    }
+  });
+}
+
+// Shared driver: C[M,N] = alpha·op(A)·op(B) + beta·C with op folded into the
+// packing strides — A(i,kk) = a[i·a_rs + kk·a_cs], B(kk,j) = b[kk·b_rs + j·b_cs] —
+// and a C row stride for writing into a band of a larger matrix.
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, std::int64_t a_rs, std::int64_t a_cs,
+                 const float* b, std::int64_t b_rs, std::int64_t b_cs,
+                 float* cp, std::int64_t ldc, float alpha, float beta) {
+  scale_c(m, n, cp, ldc, beta);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) {
+    return;
+  }
+
+  std::vector<float> bbuf(static_cast<std::size_t>(
+      kKc * std::min<std::int64_t>(detail::divup(n, kNr) * kNr, kNc)));
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min<std::int64_t>(kNc, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t kc = std::min<std::int64_t>(kKc, k - pc);
+      pack_b(kc, nc, b + pc * b_rs + jc * b_cs, b_rs, b_cs, bbuf.data());
+
+      // One chunk per MC panel of rows; each worker packs its own A panel.
+      const std::int64_t num_panels = detail::divup(m, kMc);
+      parallel_for(0, num_panels, 1, [&](std::int64_t p0, std::int64_t p1) {
+        thread_local std::vector<float> abuf;
+        abuf.resize(static_cast<std::size_t>(kMc * kKc));
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t ic = p * kMc;
+          const std::int64_t mc = std::min<std::int64_t>(kMc, m - ic);
+          pack_a(mc, kc, a + ic * a_rs + pc * a_cs, a_rs, a_cs, abuf.data());
+          for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+            const std::int64_t nr = std::min<std::int64_t>(kNr, nc - jr);
+            const float* bp = bbuf.data() + (jr / kNr) * kc * kNr;
+            for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+              const std::int64_t mr = std::min<std::int64_t>(kMr, mc - ir);
+              const float* ap = abuf.data() + (ir / kMr) * kc * kMr;
+              float* ctile = cp + (ic + ir) * ldc + jc + jr;
+              if (mr == kMr && nr == kNr) {
+                micro_kernel(kc, ap, bp, alpha, ctile, ldc);
+              } else {
+                // Ragged edge: run the kernel on a zeroed MR×NR scratch tile
+                // and accumulate only the live entries.
+                float tmp[kMr * kNr] = {};
+                micro_kernel(kc, ap, bp, alpha, tmp, kNr);
+                for (std::int64_t i = 0; i < mr; ++i) {
+                  for (std::int64_t j = 0; j < nr; ++j) {
+                    ctile[i * ldc + j] += tmp[i * kNr + j];
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
 
 }  // namespace
 
@@ -22,65 +202,71 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
   TDC_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
   TDC_CHECK(static_cast<std::int64_t>(b.size()) >= k * n);
   TDC_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
-
-  if (beta == 0.0f) {
-    std::fill(c.begin(), c.begin() + static_cast<std::size_t>(m * n), 0.0f);
-  } else if (beta != 1.0f) {
-    for (std::int64_t i = 0; i < m * n; ++i) {
-      c[static_cast<std::size_t>(i)] *= beta;
-    }
-  }
-
-#ifdef TDC_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t i_max = std::min(i0 + kBlockM, m);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::int64_t k_max = std::min(k0 + kBlockK, k);
-      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::int64_t j_max = std::min(j0 + kBlockN, n);
-        for (std::int64_t i = i0; i < i_max; ++i) {
-          for (std::int64_t kk = k0; kk < k_max; ++kk) {
-            const float aik = alpha * a[static_cast<std::size_t>(i * k + kk)];
-            const float* brow = &b[static_cast<std::size_t>(kk * n)];
-            float* crow = &c[static_cast<std::size_t>(i * n)];
-            for (std::int64_t j = j0; j < j_max; ++j) {
-              crow[j] += aik * brow[j];
-            }
-          }
-        }
-      }
-    }
-  }
+  gemm_packed(m, n, k, a.data(), k, 1, b.data(), n, 1, c.data(), n, alpha,
+              beta);
 }
 
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c, float alpha, float beta) {
-  // Materialize A^T once; the extra copy is cheap next to the O(mnk) work and
-  // keeps the inner loops contiguous.
-  std::vector<float> at(static_cast<std::size_t>(m * k));
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      at[static_cast<std::size_t>(i * k + kk)] =
-          a[static_cast<std::size_t>(kk * m + i)];
-    }
-  }
-  gemm(m, n, k, at, b, c, alpha, beta);
+  TDC_CHECK(static_cast<std::int64_t>(a.size()) >= k * m);
+  TDC_CHECK(static_cast<std::int64_t>(b.size()) >= k * n);
+  TDC_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
+  // A is stored [K, M]; reading it as A^T is a stride swap in the packing.
+  gemm_packed(m, n, k, a.data(), 1, m, b.data(), n, 1, c.data(), n, alpha,
+              beta);
 }
 
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c, float alpha, float beta) {
-  std::vector<float> bt(static_cast<std::size_t>(k * n));
-  for (std::int64_t j = 0; j < n; ++j) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      bt[static_cast<std::size_t>(kk * n + j)] =
-          b[static_cast<std::size_t>(j * k + kk)];
+  TDC_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
+  TDC_CHECK(static_cast<std::int64_t>(b.size()) >= n * k);
+  TDC_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
+  // B is stored [N, K]; reading it as B^T is a stride swap in the packing.
+  gemm_packed(m, n, k, a.data(), k, 1, b.data(), 1, k, c.data(), n, alpha,
+              beta);
+}
+
+void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const float* a, std::int64_t a_rs, std::int64_t a_cs,
+                  const float* b, std::int64_t b_rs, std::int64_t b_cs,
+                  float* c, std::int64_t ldc, float alpha, float beta) {
+  gemm_packed(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c, ldc, alpha, beta);
+}
+
+void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                  std::span<const float> a, std::span<const float> b,
+                  std::span<float> c, float alpha, float beta) {
+  TDC_CHECK(static_cast<std::int64_t>(a.size()) >= m * k);
+  TDC_CHECK(static_cast<std::int64_t>(b.size()) >= k * n);
+  TDC_CHECK(static_cast<std::int64_t>(c.size()) >= m * n);
+
+  scale_c(m, n, c.data(), n, beta);
+
+  parallel_for(0, detail::divup(m, kBlockM), 1,
+               [&](std::int64_t blk0, std::int64_t blk1) {
+    for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+      const std::int64_t i0 = blk * kBlockM;
+      const std::int64_t i_max = std::min(i0 + kBlockM, m);
+      for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t k_max = std::min(k0 + kBlockK, k);
+        for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const std::int64_t j_max = std::min(j0 + kBlockN, n);
+          for (std::int64_t i = i0; i < i_max; ++i) {
+            for (std::int64_t kk = k0; kk < k_max; ++kk) {
+              const float aik = alpha * a[static_cast<std::size_t>(i * k + kk)];
+              const float* brow = &b[static_cast<std::size_t>(kk * n)];
+              float* crow = &c[static_cast<std::size_t>(i * n)];
+              for (std::int64_t j = j0; j < j_max; ++j) {
+                crow[j] += aik * brow[j];
+              }
+            }
+          }
+        }
+      }
     }
-  }
-  gemm(m, n, k, a, bt, c, alpha, beta);
+  });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -93,10 +279,21 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
 Tensor transpose2d(const Tensor& a) {
   TDC_CHECK_MSG(a.rank() == 2, "transpose2d expects a matrix");
-  Tensor out({a.dim(1), a.dim(0)});
-  for (std::int64_t i = 0; i < a.dim(0); ++i) {
-    for (std::int64_t j = 0; j < a.dim(1); ++j) {
-      out(j, i) = a(i, j);
+  constexpr std::int64_t kTile = 32;
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  Tensor out({cols, rows});
+  const float* src = a.raw();
+  float* dst = out.raw();
+  for (std::int64_t i0 = 0; i0 < rows; i0 += kTile) {
+    const std::int64_t i_max = std::min(i0 + kTile, rows);
+    for (std::int64_t j0 = 0; j0 < cols; j0 += kTile) {
+      const std::int64_t j_max = std::min(j0 + kTile, cols);
+      for (std::int64_t i = i0; i < i_max; ++i) {
+        for (std::int64_t j = j0; j < j_max; ++j) {
+          dst[j * rows + i] = src[i * cols + j];
+        }
+      }
     }
   }
   return out;

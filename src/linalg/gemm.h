@@ -1,8 +1,14 @@
-// Blocked, OpenMP-parallel single-precision GEMM.
+// Packed, register-tiled single-precision GEMM.
 //
 // This is the workhorse behind the im2col convolution path (the stand-in for
 // cuDNN IMPLICIT_GEMM), the pointwise 1×1 convolutions of the Tucker
 // pipeline, and the fully-connected layers in the training substrate.
+//
+// The implementation packs A into MR-row and B into NR-column panels and
+// drives a 6×16 FMA micro-kernel (AVX2 when available, an autovectorizable
+// scalar tile otherwise), parallelized over row panels through the shared
+// runtime in common/parallel.h. The transposed variants fold the transpose
+// into the packing strides — no operand copies are materialized.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,26 @@ void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k,
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c, float alpha = 1.0f, float beta = 0.0f);
+
+/// Fully general strided entry point of the packed kernel:
+///   C[i·ldc + j] = alpha · Σ_k A(i,k)·B(k,j) + beta · C[i·ldc + j]
+/// with A(i,k) = a[i·a_rs + k·a_cs] and B(k,j) = b[k·b_rs + j·b_cs].
+/// Transposes and in-place row/column views (e.g. writing a row band of a
+/// larger output, or reading a row slab of a CHW image) are all stride
+/// choices — no operand is ever copied. The caller guarantees the strides
+/// stay in bounds.
+void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const float* a, std::int64_t a_rs, std::int64_t a_cs,
+                  const float* b, std::int64_t b_rs, std::int64_t b_cs,
+                  float* c, std::int64_t ldc, float alpha = 1.0f,
+                  float beta = 0.0f);
+
+/// The pre-engine cache-blocked saxpy-style GEMM, kept as the baseline the
+/// packed kernel is benchmarked against (bench_cpu_engine) and as a second
+/// oracle in the tests.
+void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                  std::span<const float> a, std::span<const float> b,
+                  std::span<float> c, float alpha = 1.0f, float beta = 0.0f);
 
 /// Tensor convenience wrapper: returns A·B for rank-2 tensors.
 Tensor matmul(const Tensor& a, const Tensor& b);

@@ -1,0 +1,275 @@
+// Tests for the CPU execution engine: the packed-panel GEMM against a naive
+// triple-loop oracle, the fused Tucker pipeline against the staged one, and
+// determinism of both across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "conv/conv.h"
+#include "conv/tucker_conv.h"
+#include "linalg/gemm.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+namespace {
+
+// Exact-order naive oracle: C = alpha·op(A)·op(B) + beta·C.
+void gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k,
+                const std::vector<float>& a, bool trans_a,
+                const std::vector<float>& b, bool trans_b,
+                std::vector<float>* c, float alpha, float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? a[static_cast<std::size_t>(kk * m + i)]
+                                 : a[static_cast<std::size_t>(i * k + kk)];
+        const float bv = trans_b ? b[static_cast<std::size_t>(j * k + kk)]
+                                 : b[static_cast<std::size_t>(kk * n + j)];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      float& slot = (*c)[static_cast<std::size_t>(i * n + j)];
+      slot = static_cast<float>(alpha * acc + beta * slot);
+    }
+  }
+}
+
+std::vector<float> random_vec(std::size_t size, Rng& rng) {
+  std::vector<float> v(size);
+  for (float& x : v) {
+    x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return v;
+}
+
+double max_abs_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  return m;
+}
+
+struct GemmSize {
+  std::int64_t m, n, k;
+};
+
+// Odd, prime, sub-tile and multi-panel sizes: every ragged-edge path of the
+// packed kernel (MR=6, NR=16, MC=120, KC=256) gets exercised.
+const GemmSize kSizes[] = {
+    {1, 1, 1},   {2, 3, 4},    {5, 7, 3},     {6, 16, 8},  {7, 17, 19},
+    {13, 1, 31}, {1, 37, 2},   {23, 29, 31},  {64, 64, 64}, {97, 101, 103},
+    {6, 16, 256}, {12, 32, 257}, {121, 17, 5}, {130, 40, 300},
+};
+
+const float kAlphaBeta[][2] = {{1.0f, 0.0f}, {2.0f, 0.0f}, {0.5f, 1.0f},
+                               {-1.5f, 0.75f}, {0.0f, 2.0f}};
+
+TEST(PackedGemm, MatchesNaiveOracle) {
+  Rng rng(1234);
+  for (const GemmSize& sz : kSizes) {
+    for (const auto& ab : kAlphaBeta) {
+      const auto a = random_vec(static_cast<std::size_t>(sz.m * sz.k), rng);
+      const auto b = random_vec(static_cast<std::size_t>(sz.k * sz.n), rng);
+      auto c = random_vec(static_cast<std::size_t>(sz.m * sz.n), rng);
+      auto expected = c;
+      gemm_naive(sz.m, sz.n, sz.k, a, false, b, false, &expected, ab[0], ab[1]);
+      gemm(sz.m, sz.n, sz.k, a, b, c, ab[0], ab[1]);
+      EXPECT_LT(max_abs_diff(c, expected), 1e-3)
+          << "m=" << sz.m << " n=" << sz.n << " k=" << sz.k
+          << " alpha=" << ab[0] << " beta=" << ab[1];
+    }
+  }
+}
+
+TEST(PackedGemm, TransAMatchesNaiveOracle) {
+  Rng rng(2345);
+  for (const GemmSize& sz : kSizes) {
+    for (const auto& ab : kAlphaBeta) {
+      const auto a = random_vec(static_cast<std::size_t>(sz.k * sz.m), rng);
+      const auto b = random_vec(static_cast<std::size_t>(sz.k * sz.n), rng);
+      auto c = random_vec(static_cast<std::size_t>(sz.m * sz.n), rng);
+      auto expected = c;
+      gemm_naive(sz.m, sz.n, sz.k, a, true, b, false, &expected, ab[0], ab[1]);
+      gemm_at(sz.m, sz.n, sz.k, a, b, c, ab[0], ab[1]);
+      EXPECT_LT(max_abs_diff(c, expected), 1e-3)
+          << "m=" << sz.m << " n=" << sz.n << " k=" << sz.k;
+    }
+  }
+}
+
+TEST(PackedGemm, TransBMatchesNaiveOracle) {
+  Rng rng(3456);
+  for (const GemmSize& sz : kSizes) {
+    for (const auto& ab : kAlphaBeta) {
+      const auto a = random_vec(static_cast<std::size_t>(sz.m * sz.k), rng);
+      const auto b = random_vec(static_cast<std::size_t>(sz.n * sz.k), rng);
+      auto c = random_vec(static_cast<std::size_t>(sz.m * sz.n), rng);
+      auto expected = c;
+      gemm_naive(sz.m, sz.n, sz.k, a, false, b, true, &expected, ab[0], ab[1]);
+      gemm_bt(sz.m, sz.n, sz.k, a, b, c, ab[0], ab[1]);
+      EXPECT_LT(max_abs_diff(c, expected), 1e-3)
+          << "m=" << sz.m << " n=" << sz.n << " k=" << sz.k;
+    }
+  }
+}
+
+TEST(PackedGemm, AgreesWithLegacyBlockedGemm) {
+  Rng rng(4567);
+  const std::int64_t m = 130, n = 85, k = 300;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), rng);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> c_packed(static_cast<std::size_t>(m * n));
+  std::vector<float> c_blocked(static_cast<std::size_t>(m * n));
+  gemm(m, n, k, a, b, c_packed);
+  gemm_blocked(m, n, k, a, b, c_blocked);
+  EXPECT_LT(max_abs_diff(c_packed, c_blocked), 1e-3);
+}
+
+TEST(PackedGemm, DeterministicAcrossThreadCounts) {
+  const int saved = num_threads();
+  Rng rng(5678);
+  const std::int64_t m = 250, n = 90, k = 300;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), rng);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), rng);
+  auto run = [&](int nt) {
+    set_num_threads(nt);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    gemm(m, n, k, a, b, c);
+    return c;
+  };
+  const auto serial = run(1);
+  const auto threaded = run(6);
+  set_num_threads(saved);
+  EXPECT_EQ(serial, threaded);  // chunking is per row panel — bitwise equal
+}
+
+TEST(Transpose2d, BlockedTransposeIsExact) {
+  Rng rng(6789);
+  const std::vector<std::pair<std::int64_t, std::int64_t>> sizes = {
+      {1, 1}, {3, 5}, {31, 33}, {32, 32}, {64, 100}, {101, 67}};
+  for (const auto& [rows, cols] : sizes) {
+    const Tensor a = Tensor::random_uniform({rows, cols}, rng);
+    const Tensor t = transpose2d(a);
+    ASSERT_EQ(t.dim(0), cols);
+    ASSERT_EQ(t.dim(1), rows);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        ASSERT_EQ(t(j, i), a(i, j)) << rows << "x" << cols;
+      }
+    }
+  }
+}
+
+TEST(Im2colPlan, PlanPathMatchesAdHocPath) {
+  Rng rng(7890);
+  const ConvShape shape = ConvShape::same(6, 8, 11, 3, 2);
+  const Tensor x = Tensor::random_uniform({shape.c, shape.h, shape.w}, rng);
+  const Tensor k =
+      Tensor::random_uniform({shape.c, shape.n, shape.r, shape.s}, rng);
+  const Im2colPlan plan = make_im2col_plan(k, shape);
+  const Tensor via_plan = conv2d_im2col(plan, x);
+  const Tensor via_adhoc = conv2d_im2col(x, k, shape);
+  EXPECT_EQ(Tensor::max_abs_diff(via_plan, via_adhoc), 0.0);
+}
+
+struct FusedCase {
+  ConvShape shape;
+  TuckerRanks ranks;
+  const char* label;
+};
+
+class FusedTuckerConv : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(FusedTuckerConv, BitLevelParityWithStagedPipeline) {
+  const auto& p = GetParam();
+  Rng rng(1000);
+  const Tensor x =
+      Tensor::random_uniform({p.shape.c, p.shape.h, p.shape.w}, rng);
+  const Tensor k = Tensor::random_uniform(
+      {p.shape.c, p.shape.n, p.shape.r, p.shape.s}, rng);
+  const TuckerFactors f = tucker_decompose(k, p.ranks);
+  const Tensor staged = tucker_conv(x, f, p.shape, ConvAlgo::kIm2col);
+  const Tensor fused = tucker_conv_fused(x, f, p.shape);
+  // The fused pipeline reorders no accumulation relative to the staged
+  // im2col path, so the match is bit-level, not just within tolerance.
+  EXPECT_EQ(Tensor::max_abs_diff(fused, staged), 0.0) << p.label;
+}
+
+TEST_P(FusedTuckerConv, RowTileChoiceDoesNotChangeResults) {
+  const auto& p = GetParam();
+  Rng rng(2000);
+  const Tensor x =
+      Tensor::random_uniform({p.shape.c, p.shape.h, p.shape.w}, rng);
+  const Tensor k = Tensor::random_uniform(
+      {p.shape.c, p.shape.n, p.shape.r, p.shape.s}, rng);
+  const TuckerFactors f = tucker_decompose(k, p.ranks);
+  const Tensor whole = tucker_conv_fused(x, f, p.shape, p.shape.out_h());
+  for (const std::int64_t tile : {std::int64_t{1}, std::int64_t{2},
+                                  std::int64_t{3}}) {
+    const Tensor tiled = tucker_conv_fused(x, f, p.shape, tile);
+    EXPECT_EQ(Tensor::max_abs_diff(tiled, whole), 0.0)
+        << p.label << " row_tile=" << tile;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FusedTuckerConv,
+    ::testing::Values(
+        FusedCase{ConvShape::same(8, 6, 10, 3), {4, 3}, "same3x3"},
+        FusedCase{ConvShape::same(8, 8, 12, 3, 2), {5, 5}, "strided3x3"},
+        FusedCase{ConvShape::valid_conv(5, 7, 9, 11, 2, 4), {3, 4}, "asym"},
+        FusedCase{ConvShape::same(16, 16, 14, 5), {6, 7}, "same5x5"},
+        FusedCase{ConvShape::same(6, 4, 7, 1), {3, 2}, "pointwise_core"},
+        FusedCase{ConvShape::same(12, 10, 16, 7, 2), {5, 4}, "strided7x7"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(BatchedTuckerConv, MatchesPerImageStagedPipeline) {
+  Rng rng(3000);
+  const ConvShape shape = ConvShape::same(8, 8, 12, 3);
+  const std::int64_t batch = 5;
+  const Tensor x =
+      Tensor::random_uniform({batch, shape.c, shape.h, shape.w}, rng);
+  const Tensor k =
+      Tensor::random_uniform({shape.c, shape.n, shape.r, shape.s}, rng);
+  const TuckerFactors f = tucker_decompose(k, {4, 4});
+
+  const Tensor fused = tucker_conv_batched(x, f, shape, /*fused=*/true);
+  const Tensor staged = tucker_conv_batched(x, f, shape, /*fused=*/false);
+  ASSERT_EQ(fused.dims(), staged.dims());
+  EXPECT_EQ(Tensor::max_abs_diff(fused, staged), 0.0);
+
+  // Batched output must equal the single-image pipeline slice by slice.
+  const std::int64_t x_stride = shape.c * shape.h * shape.w;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    Tensor xb({shape.c, shape.h, shape.w});
+    std::copy(x.raw() + b * x_stride, x.raw() + (b + 1) * x_stride, xb.raw());
+    const Tensor yb = tucker_conv(xb, f, shape);
+    const std::int64_t y_stride = yb.numel();
+    for (std::int64_t i = 0; i < y_stride; ++i) {
+      ASSERT_EQ(fused[b * y_stride + i], yb[i]) << "image " << b;
+    }
+  }
+}
+
+TEST(BatchedTuckerConv, DeterministicAcrossThreadCounts) {
+  const int saved = num_threads();
+  Rng rng(4000);
+  const ConvShape shape = ConvShape::same(6, 6, 10, 3);
+  const Tensor x = Tensor::random_uniform({4, shape.c, shape.h, shape.w}, rng);
+  const Tensor k =
+      Tensor::random_uniform({shape.c, shape.n, shape.r, shape.s}, rng);
+  const TuckerFactors f = tucker_decompose(k, {3, 3});
+  set_num_threads(1);
+  const Tensor serial = tucker_conv_batched(x, f, shape);
+  set_num_threads(4);
+  const Tensor threaded = tucker_conv_batched(x, f, shape);
+  set_num_threads(saved);
+  EXPECT_EQ(Tensor::max_abs_diff(serial, threaded), 0.0);
+}
+
+}  // namespace
+}  // namespace tdc

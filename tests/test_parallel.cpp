@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace tdc {
+namespace {
+
+// Restores the ambient thread count after each test so suites don't leak
+// configuration into each other.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = num_threads(); }
+  void TearDown() override { set_num_threads(saved_threads_); }
+  int saved_threads_ = 1;
+};
+
+TEST_F(ParallelTest, NumThreadsIsPositive) { EXPECT_GE(num_threads(), 1); }
+
+TEST_F(ParallelTest, SetNumThreadsClampsToOne) {
+  set_num_threads(0);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(-3);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+}
+
+TEST_F(ParallelTest, CoversRangeExactlyOnce) {
+  for (const int nt : {1, 2, 4, 7}) {
+    set_num_threads(nt);
+    constexpr std::int64_t kN = 10'007;  // prime, uneven chunking
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(0, kN, 1, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST_F(ParallelTest, EmptyRangeDoesNothing) {
+  bool called = false;
+  parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { called = true; });
+  parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_F(ParallelTest, GrainSizeKeepsSmallRangesInline) {
+  set_num_threads(4);
+  int calls = 0;  // safe only because the range must stay on one thread
+  parallel_for(0, 100, 1000, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 100);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelTest, DeterministicAcrossThreadCounts) {
+  constexpr std::int64_t kN = 4'096;
+  auto run = [&](int nt) {
+    set_num_threads(nt);
+    std::vector<float> out(kN);
+    parallel_for(0, kN, 1, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        out[static_cast<std::size_t>(i)] =
+            static_cast<float>(i) * 0.25f + 1.0f;
+      }
+    });
+    return out;
+  };
+  const std::vector<float> serial = run(1);
+  const std::vector<float> threaded = run(8);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST_F(ParallelTest, ReduceMatchesSerialSum) {
+  constexpr std::int64_t kN = 123'457;
+  const auto body = [](std::int64_t b, std::int64_t e, std::int64_t acc) {
+    for (std::int64_t i = b; i < e; ++i) {
+      acc += i;
+    }
+    return acc;
+  };
+  const auto combine = [](std::int64_t a, std::int64_t b) { return a + b; };
+  set_num_threads(1);
+  const std::int64_t serial =
+      parallel_reduce(0, kN, 1, std::int64_t{0}, body, combine);
+  set_num_threads(5);
+  const std::int64_t threaded =
+      parallel_reduce(0, kN, 1, std::int64_t{0}, body, combine);
+  EXPECT_EQ(serial, kN * (kN - 1) / 2);
+  EXPECT_EQ(threaded, serial);
+}
+
+TEST_F(ParallelTest, NestedCallsRunInline) {
+  set_num_threads(4);
+  std::atomic<int> inner_calls{0};
+  parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_TRUE(in_parallel_region());
+    // A nested region must not fan out again; it runs inline on this thread.
+    parallel_for(0, 100, 1, [&](std::int64_t ib, std::int64_t ie) {
+      EXPECT_EQ(ib, 0);
+      EXPECT_EQ(ie, 100);
+      inner_calls.fetch_add(1);
+    });
+    (void)b;
+    (void)e;
+  });
+  EXPECT_FALSE(in_parallel_region());
+  EXPECT_GE(inner_calls.load(), 1);
+}
+
+TEST_F(ParallelTest, ConcurrentTopLevelCallersStayCorrect) {
+  // Two application threads opening top-level regions at once: one gets the
+  // pool, the other falls back to inline execution — both must cover their
+  // own range exactly.
+  set_num_threads(4);
+  constexpr std::int64_t kN = 50'000;
+  auto fill = [&](std::vector<std::int64_t>& out) {
+    parallel_for(0, kN, 1, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        out[static_cast<std::size_t>(i)] = i * 3 + 1;
+      }
+    });
+  };
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::int64_t> a(kN, -1);
+    std::vector<std::int64_t> b(kN, -1);
+    std::thread other([&] { fill(b); });
+    fill(a);
+    other.join();
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(a[static_cast<std::size_t>(i)], i * 3 + 1) << "a @" << i;
+      ASSERT_EQ(b[static_cast<std::size_t>(i)], i * 3 + 1) << "b @" << i;
+    }
+  }
+}
+
+TEST_F(ParallelTest, ExceptionsPropagateToCaller) {
+  for (const int nt : {1, 4}) {
+    set_num_threads(nt);
+    EXPECT_THROW(
+        parallel_for(0, 64, 1,
+                     [&](std::int64_t b, std::int64_t) {
+                       if (b >= 0) {
+                         throw std::runtime_error("boom");
+                       }
+                     }),
+        std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<std::int64_t> sum{0};
+    parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+      sum.fetch_add(e - b);
+    });
+    EXPECT_EQ(sum.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace tdc
