@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "conv/conv.h"
+#include "exec/conv_plan.h"
 #include "linalg/gemm.h"
 
 namespace tdc {
@@ -92,28 +93,29 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   const std::int64_t batch = x.dim(0);
   const std::int64_t oh = geometry_.out_h();
   const std::int64_t ow = geometry_.out_w();
-  // The weight-matrix reshape is shared by every image in the batch.
-  const Im2colPlan plan = make_im2col_plan(kernel_.value, geometry_);
+  // One compiled plan per step: the weight reshape and GEMM panel pack are
+  // shared by every image in the batch through the plan's run_batched.
+  ConvDescriptor desc;
+  desc.shape = geometry_;
+  desc.algo = ConvAlgo::kIm2col;
+  const auto plan = compile_conv_plan(desc, kernel_.value);
   Tensor y({batch, geometry_.n, oh, ow});
+  std::vector<float> workspace(static_cast<std::size_t>(
+      plan->batched_workspace_bytes(batch) / sizeof(float)));
+  plan->run_batched(x, &y, workspace);
 
-  parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
-    for (std::int64_t b = b0; b < b1; ++b) {
-      const Tensor xb =
-          slice_sample(x, b, {geometry_.c, geometry_.h, geometry_.w});
-      const Tensor yb = conv2d_im2col(plan, xb);
-      float* dst = y.raw() + b * yb.numel();
-      if (bias_.has_value()) {
-        for (std::int64_t n = 0; n < geometry_.n; ++n) {
-          const float bv = bias_->value(n);
-          for (std::int64_t i = 0; i < oh * ow; ++i) {
-            dst[n * oh * ow + i] = yb[n * oh * ow + i] + bv;
-          }
+  if (bias_.has_value()) {
+    parallel_for(0, batch * geometry_.n, 1,
+                 [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float bv = bias_->value(i % geometry_.n);
+        float* dst = y.raw() + i * oh * ow;
+        for (std::int64_t j = 0; j < oh * ow; ++j) {
+          dst[j] += bv;
         }
-      } else {
-        std::copy(yb.raw(), yb.raw() + yb.numel(), dst);
       }
-    }
-  });
+    });
+  }
   return y;
 }
 
@@ -128,7 +130,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
                     grad_out.dim(2) == oh && grad_out.dim(3) == ow,
                 "grad_out shape mismatch");
 
-  const Tensor a = make_im2col_plan(kernel_.value, geometry_).weights;
+  const Tensor a = conv_weight_matrix(kernel_.value, geometry_);
   Tensor grad_a({geometry_.n, k});
   Tensor grad_in(cached_input_.dims());
 

@@ -7,6 +7,11 @@
 // plus the exact reference used as the correctness oracle for every other
 // kernel in the repository (including the TDC core kernel in src/core).
 //
+// Every free function here is a thin single-shot wrapper over the
+// plan/execute API in exec/conv_plan.h: it compiles a ConvPlan for the
+// problem, allocates the output and workspace, runs once, and throws the
+// plan away. Serving loops should build the plan once and replay it.
+//
 // All functions compute cross-correlation (the CNN convention):
 //   Y(n, oh, ow) = Σ_{c,r,s} X(c, oh·stride − pad + r, ow·stride − pad + s) · K(c,n,r,s)
 #pragma once
@@ -17,7 +22,12 @@
 namespace tdc {
 
 /// Identifiers for dispatching a core-convolution implementation.
-enum class ConvAlgo { kReference, kIm2col, kWinograd, kFft };
+///  * kReference/kIm2col/kWinograd/kFft — the library baselines;
+///  * kTdcCore — the paper's core kernel scheme (functional executor);
+///  * kAuto    — resolved at plan-compile time by the selector in
+///               exec/conv_plan.h, which consults conv_algo_supports and the
+///               gpusim/library cost models.
+enum class ConvAlgo { kReference, kIm2col, kWinograd, kFft, kTdcCore, kAuto };
 
 const char* conv_algo_name(ConvAlgo algo);
 
@@ -26,22 +36,34 @@ const char* conv_algo_name(ConvAlgo algo);
 Tensor conv2d_reference(const Tensor& x, const Tensor& kernel_cnrs,
                         const ConvShape& shape);
 
+/// Reference convolution into a caller-provided [N, H', W'] buffer (every
+/// element is written). Operands are not shape-checked; used by the plan
+/// layer after it has validated them once at compile time.
+void conv2d_reference_into(const float* x, const Tensor& kernel_cnrs,
+                           const ConvShape& shape, float* y);
+
 /// im2col + GEMM convolution.
 Tensor conv2d_im2col(const Tensor& x, const Tensor& kernel_cnrs,
                      const ConvShape& shape);
 
-/// Precomputed state of the im2col path. The [N, C·R·S] weight-matrix
-/// reshape is a per-layer invariant; building it once and replaying the plan
-/// over many images (serving, batched autograd) removes it from the per-image
-/// cost.
+/// The [N, C·R·S] weight-matrix reshape shared by the im2col path and the
+/// fused Tucker pipeline: row n holds kernel(., n, ., .) flattened in
+/// im2col's (c, r, s) patch-row order.
+Tensor conv_weight_matrix(const Tensor& kernel_cnrs, const ConvShape& shape);
+
+/// DEPRECATED — superseded by exec/conv_plan.h. Kept as a compatibility
+/// alias: a ConvPlan for ConvAlgo::kIm2col owns the same weight reshape
+/// (prepacked into GEMM panels) plus the workspace contract. The struct and
+/// its helpers remain so existing callers keep compiling.
 struct Im2colPlan {
   ConvShape shape;
   Tensor weights;  ///< [N, C·R·S], rows flattened in im2col's (c, r, s) order
 };
 
+/// DEPRECATED — use compile_conv_plan (exec/conv_plan.h).
 Im2colPlan make_im2col_plan(const Tensor& kernel_cnrs, const ConvShape& shape);
 
-/// im2col + GEMM using a prebuilt plan.
+/// DEPRECATED — use ConvPlan::run. im2col + GEMM using a prebuilt plan.
 Tensor conv2d_im2col(const Im2colPlan& plan, const Tensor& x);
 
 /// Winograd F(2×2, 3×3). Requires r == s == 3 and stride 1 (throws otherwise).
@@ -53,12 +75,14 @@ Tensor conv2d_winograd(const Tensor& x, const Tensor& kernel_cnrs,
 Tensor conv2d_fft(const Tensor& x, const Tensor& kernel_cnrs,
                   const ConvShape& shape);
 
-/// Dispatch by algorithm id. Algorithms with shape restrictions throw on
+/// Dispatch by algorithm id (kAuto picks the cheapest supported algorithm on
+/// the default device). Algorithms with shape restrictions throw on
 /// unsupported shapes; use conv_algo_supports to pre-check.
 Tensor conv2d(ConvAlgo algo, const Tensor& x, const Tensor& kernel_cnrs,
               const ConvShape& shape);
 
-/// Whether `algo` supports `shape` (Winograd: 3×3 stride-1; FFT: stride-1).
+/// Whether `algo` supports `shape` (Winograd: 3×3 stride-1; FFT: stride-1;
+/// reference/im2col/TDC-core/auto: any valid shape).
 bool conv_algo_supports(ConvAlgo algo, const ConvShape& shape);
 
 /// Zero-pad a CHW image by (pad_h, pad_w) on each border.
@@ -66,5 +90,9 @@ Tensor pad_chw(const Tensor& x, std::int64_t pad_h, std::int64_t pad_w);
 
 /// im2col buffer: [C·R·S, H'·W'] patch matrix for the given problem.
 Tensor im2col(const Tensor& x, const ConvShape& shape);
+
+/// im2col into a caller-provided [C·R·S, H'·W'] buffer (every element is
+/// written); `x` is a flat [C, H, W] image.
+void im2col_into(const float* x, const ConvShape& shape, float* cols);
 
 }  // namespace tdc

@@ -7,13 +7,9 @@
 
 namespace tdc {
 
-Tensor im2col(const Tensor& x, const ConvShape& shape) {
-  TDC_CHECK_MSG(x.rank() == 3, "im2col expects [C,H,W]");
+void im2col_into(const float* x, const ConvShape& shape, float* cols) {
   const std::int64_t oh = shape.out_h();
   const std::int64_t ow = shape.out_w();
-  Tensor cols({shape.c * shape.r * shape.s, oh * ow});
-  const float* src = x.raw();
-  float* dst = cols.raw();
 
   // Each (c, r, s) patch row is independent; parallelize over the flattened
   // row index.
@@ -23,8 +19,8 @@ Tensor im2col(const Tensor& x, const ConvShape& shape) {
       const std::int64_t c = row / (shape.r * shape.s);
       const std::int64_t r = (row / shape.s) % shape.r;
       const std::int64_t s = row % shape.s;
-      const float* plane = src + c * shape.h * shape.w;
-      float* out_row = dst + row * oh * ow;
+      const float* plane = x + c * shape.h * shape.w;
+      float* out_row = cols + row * oh * ow;
       for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
         const std::int64_t ih = o_h * shape.stride_h - shape.pad_h + r;
         float* out = out_row + o_h * ow;
@@ -40,29 +36,39 @@ Tensor im2col(const Tensor& x, const ConvShape& shape) {
       }
     }
   });
+}
+
+Tensor im2col(const Tensor& x, const ConvShape& shape) {
+  TDC_CHECK_MSG(x.rank() == 3, "im2col expects [C,H,W]");
+  Tensor cols({shape.c * shape.r * shape.s, shape.out_h() * shape.out_w()});
+  im2col_into(x.raw(), shape, cols.raw());
   return cols;
 }
 
-Im2colPlan make_im2col_plan(const Tensor& kernel_cnrs, const ConvShape& shape) {
+Tensor conv_weight_matrix(const Tensor& kernel_cnrs, const ConvShape& shape) {
   TDC_CHECK_MSG(kernel_cnrs.rank() == 4, "kernel must be [C,N,R,S]");
   TDC_CHECK_MSG(kernel_cnrs.dim(0) == shape.c && kernel_cnrs.dim(1) == shape.n &&
                     kernel_cnrs.dim(2) == shape.r && kernel_cnrs.dim(3) == shape.s,
                 "kernel tensor does not match shape descriptor");
-  Im2colPlan plan;
-  plan.shape = shape;
   // Weight matrix A: [N, C·R·S] with the same (c, r, s) row flattening that
   // im2col uses for its patch rows.
-  plan.weights = Tensor({shape.n, shape.c * shape.r * shape.s});
+  Tensor weights({shape.n, shape.c * shape.r * shape.s});
   for (std::int64_t n = 0; n < shape.n; ++n) {
     for (std::int64_t c = 0; c < shape.c; ++c) {
       for (std::int64_t r = 0; r < shape.r; ++r) {
         for (std::int64_t s = 0; s < shape.s; ++s) {
-          plan.weights(n, (c * shape.r + r) * shape.s + s) =
-              kernel_cnrs(c, n, r, s);
+          weights(n, (c * shape.r + r) * shape.s + s) = kernel_cnrs(c, n, r, s);
         }
       }
     }
   }
+  return weights;
+}
+
+Im2colPlan make_im2col_plan(const Tensor& kernel_cnrs, const ConvShape& shape) {
+  Im2colPlan plan;
+  plan.shape = shape;
+  plan.weights = conv_weight_matrix(kernel_cnrs, shape);
   return plan;
 }
 
@@ -78,11 +84,6 @@ Tensor conv2d_im2col(const Im2colPlan& plan, const Tensor& x) {
   gemm(shape.n, oh * ow, shape.c * shape.r * shape.s, plan.weights.data(),
        cols.data(), y.data());
   return y;
-}
-
-Tensor conv2d_im2col(const Tensor& x, const Tensor& kernel_cnrs,
-                     const ConvShape& shape) {
-  return conv2d_im2col(make_im2col_plan(kernel_cnrs, shape), x);
 }
 
 }  // namespace tdc

@@ -16,6 +16,10 @@ const char* conv_algo_name(ConvAlgo algo) {
       return "winograd";
     case ConvAlgo::kFft:
       return "fft";
+    case ConvAlgo::kTdcCore:
+      return "tdc-core";
+    case ConvAlgo::kAuto:
+      return "auto";
   }
   return "unknown";
 }
@@ -24,6 +28,8 @@ bool conv_algo_supports(ConvAlgo algo, const ConvShape& shape) {
   switch (algo) {
     case ConvAlgo::kReference:
     case ConvAlgo::kIm2col:
+    case ConvAlgo::kTdcCore:
+    case ConvAlgo::kAuto:
       return shape.valid();
     case ConvAlgo::kWinograd:
       return shape.valid() && shape.r == 3 && shape.s == 3 &&
@@ -32,21 +38,6 @@ bool conv_algo_supports(ConvAlgo algo, const ConvShape& shape) {
       return shape.valid() && shape.stride_h == 1 && shape.stride_w == 1;
   }
   return false;
-}
-
-Tensor conv2d(ConvAlgo algo, const Tensor& x, const Tensor& kernel_cnrs,
-              const ConvShape& shape) {
-  switch (algo) {
-    case ConvAlgo::kReference:
-      return conv2d_reference(x, kernel_cnrs, shape);
-    case ConvAlgo::kIm2col:
-      return conv2d_im2col(x, kernel_cnrs, shape);
-    case ConvAlgo::kWinograd:
-      return conv2d_winograd(x, kernel_cnrs, shape);
-    case ConvAlgo::kFft:
-      return conv2d_fft(x, kernel_cnrs, shape);
-  }
-  TDC_CHECK_MSG(false, "unknown convolution algorithm");
 }
 
 Tensor pad_chw(const Tensor& x, std::int64_t pad_h, std::int64_t pad_w) {
@@ -91,12 +82,10 @@ void check_conv_inputs(const Tensor& x, const Tensor& kernel_cnrs,
 
 }  // namespace
 
-Tensor conv2d_reference(const Tensor& x, const Tensor& kernel_cnrs,
-                        const ConvShape& shape) {
-  check_conv_inputs(x, kernel_cnrs, shape);
+void conv2d_reference_into(const float* x, const Tensor& kernel_cnrs,
+                           const ConvShape& shape, float* y) {
   const std::int64_t oh = shape.out_h();
   const std::int64_t ow = shape.out_w();
-  Tensor y({shape.n, oh, ow});
 
   parallel_for(0, shape.n, 1, [&](std::int64_t n0, std::int64_t n1) {
     for (std::int64_t n = n0; n < n1; ++n) {
@@ -114,16 +103,23 @@ Tensor conv2d_reference(const Tensor& x, const Tensor& kernel_cnrs,
                 if (iw < 0 || iw >= shape.w) {
                   continue;
                 }
-                acc += static_cast<double>(x(c, ih, iw)) *
+                acc += static_cast<double>(x[(c * shape.h + ih) * shape.w + iw]) *
                        static_cast<double>(kernel_cnrs(c, n, r, s));
               }
             }
           }
-          y(n, o_h, o_w) = static_cast<float>(acc);
+          y[(n * oh + o_h) * ow + o_w] = static_cast<float>(acc);
         }
       }
     }
   });
+}
+
+Tensor conv2d_reference(const Tensor& x, const Tensor& kernel_cnrs,
+                        const ConvShape& shape) {
+  check_conv_inputs(x, kernel_cnrs, shape);
+  Tensor y({shape.n, shape.out_h(), shape.out_w()});
+  conv2d_reference_into(x.raw(), kernel_cnrs, shape, y.raw());
   return y;
 }
 

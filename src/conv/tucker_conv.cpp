@@ -1,10 +1,6 @@
 #include "conv/tucker_conv.h"
 
-#include <algorithm>
-#include <vector>
-
 #include "common/check.h"
-#include "common/parallel.h"
 #include "conv/pointwise.h"
 #include "linalg/gemm.h"
 
@@ -32,167 +28,6 @@ Tensor tucker_conv(const Tensor& x, const TuckerFactors& factors,
   const Tensor z1 = tucker_conv_stage1(x, factors);
   const Tensor z2 = conv2d(core_algo, z1, factors.core, core);
   return tucker_conv_stage3(z2, factors);
-}
-
-namespace {
-
-// Reusable per-image workspace of the fused pipeline; every buffer is
-// band-sized, never plane-sized.
-struct FusedScratch {
-  std::vector<float> z1_slab;  // [D1, slab_h·W] stage-1 band
-  std::vector<float> cols;     // [D1·R·S, band_oh·OW] core patch matrix
-  std::vector<float> z2_band;  // [D2, band_oh·OW]
-};
-
-// Output-row band height targeting a cache-resident patch matrix
-// (the largest scratch buffer) of at most ~1 MiB.
-std::int64_t auto_row_tile(const ConvShape& core, std::int64_t oh) {
-  const std::int64_t patch_row_bytes = core.c * core.r * core.s * core.out_w() * 4;
-  const std::int64_t budget = std::int64_t{1} << 20;
-  return std::clamp<std::int64_t>(budget / std::max<std::int64_t>(patch_row_bytes, 1),
-                                  1, oh);
-}
-
-// One image: x ([C, H, W] flat) → y ([N, OH, OW] flat).
-void fused_image(const float* x, const TuckerFactors& factors,
-                 const ConvShape& shape, const ConvShape& core,
-                 std::span<const float> core_weights, std::int64_t row_tile,
-                 float* y, FusedScratch& scratch) {
-  const TuckerRanks ranks = factors.ranks();
-  const std::int64_t oh = shape.out_h();
-  const std::int64_t ow = shape.out_w();
-  const std::int64_t w = shape.w;
-  const std::int64_t crs = ranks.d1 * core.r * core.s;
-
-  for (std::int64_t oh0 = 0; oh0 < oh; oh0 += row_tile) {
-    const std::int64_t band_oh = std::min(row_tile, oh - oh0);
-    const std::int64_t hw_band = band_oh * ow;
-    // Input rows the core convolution touches for this band; rows outside
-    // [0, H) are the zero padding of the core stage, and the stage-1
-    // pointwise maps zero rows to zero rows.
-    const std::int64_t ih0 = oh0 * core.stride_h - core.pad_h;
-    const std::int64_t slab_h = (band_oh - 1) * core.stride_h + core.r;
-    const std::int64_t slab_hw = slab_h * w;
-    const std::int64_t valid_lo = std::max<std::int64_t>(ih0, 0);
-    const std::int64_t valid_hi = std::min(ih0 + slab_h, shape.h);
-    const std::int64_t pad_lo = (valid_lo - ih0) * w;   // leading zero cols
-    const std::int64_t pad_hi =
-        (ih0 + slab_h - std::max(valid_hi, valid_lo)) * w;  // trailing
-
-    // Stage 1 on the slab only: Z1[D1, slab] = U1^T · X[C, slab]. The input
-    // row slab is read in place through the channel stride H·W; only the
-    // padding rows are filled by hand.
-    scratch.z1_slab.resize(static_cast<std::size_t>(ranks.d1 * slab_hw));
-    for (std::int64_t d1 = 0; d1 < ranks.d1; ++d1) {
-      float* row = scratch.z1_slab.data() + d1 * slab_hw;
-      std::fill(row, row + pad_lo, 0.0f);
-      std::fill(row + slab_hw - pad_hi, row + slab_hw, 0.0f);
-    }
-    if (valid_hi > valid_lo) {
-      gemm_strided(ranks.d1, (valid_hi - valid_lo) * w, shape.c,
-                   /*a=*/factors.u1.raw(), /*a_rs=*/1, /*a_cs=*/ranks.d1,
-                   /*b=*/x + valid_lo * w, /*b_rs=*/shape.h * w, /*b_cs=*/1,
-                   /*c=*/scratch.z1_slab.data() + pad_lo, /*ldc=*/slab_hw);
-    }
-
-    // Patch matrix of the band (im2col over the slab; pad_h is already
-    // folded into the slab's zero rows, pad_w is applied here).
-    scratch.cols.resize(static_cast<std::size_t>(crs * hw_band));
-    for (std::int64_t row = 0; row < crs; ++row) {
-      const std::int64_t d1 = row / (core.r * core.s);
-      const std::int64_t r = (row / core.s) % core.r;
-      const std::int64_t s = row % core.s;
-      const float* plane = scratch.z1_slab.data() + d1 * slab_hw;
-      float* out_row = scratch.cols.data() + row * hw_band;
-      for (std::int64_t b_h = 0; b_h < band_oh; ++b_h) {
-        const std::int64_t lh = b_h * core.stride_h + r;
-        const float* in_row = plane + lh * w;
-        float* out = out_row + b_h * ow;
-        for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
-          const std::int64_t iw = o_w * core.stride_w - core.pad_w + s;
-          out[o_w] = (iw >= 0 && iw < w) ? in_row[iw] : 0.0f;
-        }
-      }
-    }
-
-    // Core stage: Z2[D2, band] = Wcore[D2, D1·R·S] · cols.
-    scratch.z2_band.resize(static_cast<std::size_t>(ranks.d2 * hw_band));
-    gemm(ranks.d2, hw_band, crs, core_weights, scratch.cols, scratch.z2_band);
-
-    // Stage 3: Y[N, band] = U2[N, D2] · Z2, committed straight into the
-    // output's row band through the plane stride OH·OW.
-    gemm_strided(shape.n, hw_band, ranks.d2,
-                 /*a=*/factors.u2.raw(), /*a_rs=*/ranks.d2, /*a_cs=*/1,
-                 /*b=*/scratch.z2_band.data(), /*b_rs=*/hw_band, /*b_cs=*/1,
-                 /*c=*/y + oh0 * ow, /*ldc=*/oh * ow);
-  }
-}
-
-void check_tucker_inputs(const Tensor& x, const TuckerFactors& factors,
-                         const ConvShape& shape, int expect_rank) {
-  TDC_CHECK_MSG(x.rank() == expect_rank,
-                expect_rank == 3 ? "tucker_conv_fused expects [C,H,W]"
-                                 : "tucker_conv_batched expects [B,C,H,W]");
-  const int off = expect_rank - 3;
-  TDC_CHECK_MSG(x.dim(off) == shape.c && x.dim(off + 1) == shape.h &&
-                    x.dim(off + 2) == shape.w,
-                "input tensor does not match shape descriptor");
-  TDC_CHECK_MSG(factors.u1.dim(0) == shape.c, "U1 row count != C");
-  TDC_CHECK_MSG(factors.u2.dim(0) == shape.n, "U2 row count != N");
-  TDC_CHECK_MSG(shape.valid(), "invalid convolution shape " + shape.to_string());
-}
-
-}  // namespace
-
-Tensor tucker_conv_fused(const Tensor& x, const TuckerFactors& factors,
-                         const ConvShape& shape, std::int64_t row_tile) {
-  check_tucker_inputs(x, factors, shape, 3);
-  const ConvShape core = core_conv_shape(shape, factors.ranks());
-  const Tensor core_w = make_im2col_plan(factors.core, core).weights;
-  const std::int64_t tile =
-      row_tile > 0 ? std::min(row_tile, shape.out_h())
-                   : auto_row_tile(core, shape.out_h());
-
-  Tensor y({shape.n, shape.out_h(), shape.out_w()});
-  FusedScratch scratch;
-  fused_image(x.raw(), factors, shape, core, core_w.data(), tile, y.raw(),
-              scratch);
-  return y;
-}
-
-Tensor tucker_conv_batched(const Tensor& x, const TuckerFactors& factors,
-                           const ConvShape& shape, bool fused) {
-  check_tucker_inputs(x, factors, shape, 4);
-  const std::int64_t batch = x.dim(0);
-  const std::int64_t oh = shape.out_h();
-  const std::int64_t ow = shape.out_w();
-  const ConvShape core = core_conv_shape(shape, factors.ranks());
-  // The core-weight reshape and band height are invariants shared by every
-  // image; the staged fallback rebuilds its own state per image instead.
-  const Tensor core_w =
-      fused ? make_im2col_plan(factors.core, core).weights : Tensor();
-  const std::int64_t tile = fused ? auto_row_tile(core, oh) : 0;
-
-  Tensor y({batch, shape.n, oh, ow});
-  const std::int64_t x_stride = shape.c * shape.h * shape.w;
-  const std::int64_t y_stride = shape.n * oh * ow;
-
-  parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
-    FusedScratch scratch;
-    for (std::int64_t b = b0; b < b1; ++b) {
-      if (fused) {
-        fused_image(x.raw() + b * x_stride, factors, shape, core,
-                    core_w.data(), tile, y.raw() + b * y_stride, scratch);
-      } else {
-        Tensor xb({shape.c, shape.h, shape.w});
-        std::copy(x.raw() + b * x_stride, x.raw() + (b + 1) * x_stride,
-                  xb.raw());
-        const Tensor yb = tucker_conv(xb, factors, shape);
-        std::copy(yb.raw(), yb.raw() + y_stride, y.raw() + b * y_stride);
-      }
-    }
-  });
-  return y;
 }
 
 }  // namespace tdc

@@ -33,12 +33,16 @@ Tensor tucker_conv_stage3(const Tensor& z2, const TuckerFactors& factors);
 /// per-band scratch buffers sized to stay cache-resident. `row_tile` is the
 /// output-row band height (0 picks one automatically). Numerically identical
 /// to the staged pipeline with the im2col core.
+///
+/// Single-shot wrapper over a TuckerExec::kFused plan (exec/conv_plan.h);
+/// serving loops should compile the plan once and replay it.
 Tensor tucker_conv_fused(const Tensor& x, const TuckerFactors& factors,
                          const ConvShape& shape, std::int64_t row_tile = 0);
 
 /// Batched serving entry point: x is [B, C, H, W], returns [B, N, H', W'].
 /// Images fan out across the parallel runtime; each runs the fused
-/// single-image pipeline (or the staged one when fused == false).
+/// single-image pipeline (or the staged one when fused == false). Wrapper
+/// over ConvPlan::run_batched with an internally allocated workspace.
 Tensor tucker_conv_batched(const Tensor& x, const TuckerFactors& factors,
                            const ConvShape& shape, bool fused = true);
 

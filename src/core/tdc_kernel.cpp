@@ -142,20 +142,45 @@ LatencyBreakdown tdc_core_cost(const DeviceSpec& device, const ConvShape& shape,
   return simulate_latency(device, tdc_core_launch(device, shape, t, layout));
 }
 
-Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
-                     const ConvShape& shape, const TdcTiling& t,
-                     bool parallel) {
-  TDC_CHECK_MSG(x.rank() == 3, "input must be [C,H,W]");
-  TDC_CHECK_MSG(kernel_crsn.rank() == 4, "kernel must be CRSN [C,R,S,N]");
-  TDC_CHECK_MSG(x.dim(0) == shape.c && x.dim(1) == shape.h && x.dim(2) == shape.w,
-                "input does not match shape");
-  TDC_CHECK_MSG(kernel_crsn.dim(0) == shape.c && kernel_crsn.dim(1) == shape.r &&
-                    kernel_crsn.dim(2) == shape.s && kernel_crsn.dim(3) == shape.n,
-                "kernel does not match shape");
-  TDC_CHECK_MSG(shape.batch == 1,
-                "the functional executor is single-image; batched shapes are "
-                "for the cost models");
+namespace {
+
+// Fixed fan-out of the block interpreter: spatial tiles are strided across
+// this many workspace slots, so the scratch footprint (and therefore
+// tdc_core_workspace_floats) is independent of the machine's thread count.
+constexpr std::int64_t kTdcMaxSlots = 64;
+
+std::int64_t tdc_slot_floats(const ConvShape& shape, const TdcTiling& t) {
+  return t.tc * tdc_tile_in_h(shape, t) * tdc_tile_in_w(shape, t) +
+         t.th * t.tw;
+}
+
+std::int64_t tdc_num_slots(const ConvShape& shape, const TdcTiling& t) {
+  const std::int64_t spatial =
+      ceil_div(shape.out_h(), t.th) * ceil_div(shape.out_w(), t.tw);
+  return std::min<std::int64_t>(spatial, kTdcMaxSlots);
+}
+
+std::int64_t tdc_core_workspace_floats_impl(const ConvShape& shape,
+                                            const TdcTiling& t) {
+  return tdc_num_slots(shape, t) * tdc_slot_floats(shape, t);
+}
+
+}  // namespace
+
+std::int64_t tdc_core_workspace_floats(const ConvShape& shape,
+                                       const TdcTiling& t) {
   TDC_CHECK(t.th >= 1 && t.tw >= 1 && t.tc >= 1);
+  return tdc_core_workspace_floats_impl(shape, t);
+}
+
+void tdc_core_conv_into(const float* xdata, const Tensor& kernel_crsn,
+                        const ConvShape& shape, const TdcTiling& t,
+                        float* ydata, std::span<float> workspace,
+                        bool parallel) {
+  TDC_CHECK(t.th >= 1 && t.tw >= 1 && t.tc >= 1);
+  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) >=
+                    tdc_core_workspace_floats_impl(shape, t),
+                "tdc_core_conv workspace too small");
 
   const std::int64_t oh = shape.out_h();
   const std::int64_t ow = shape.out_w();
@@ -165,11 +190,12 @@ Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
   const std::int64_t tile_h = tdc_tile_in_h(shape, t);
   const std::int64_t tile_w = tdc_tile_in_w(shape, t);
 
-  Tensor y({shape.n, oh, ow});
-  float* ydata = y.raw();
+  std::fill(ydata, ydata + shape.n * oh * ow, 0.0f);
 
-  // One iteration of this loop interprets one thread block of Listing 2.
-  auto run_block = [&](std::int64_t block_id) {
+  // One invocation of this lambda interprets one thread block of Listing 2;
+  // `tile` is the block's shared-memory stage, `temp` the per-thread TH×TW
+  // register accumulator.
+  auto run_block = [&](std::int64_t block_id, float* tile, float* temp) {
     const std::int64_t bc = block_id / (blocks_h * blocks_w);
     const std::int64_t rest = block_id % (blocks_h * blocks_w);
     const std::int64_t bh = rest / blocks_w;
@@ -184,8 +210,6 @@ Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
     const std::int64_t iw0 = ow0 * shape.stride_w - shape.pad_w;
 
     // copy(input_tile, X): cooperative load with zero fill at the borders.
-    std::vector<float> tile(
-        static_cast<std::size_t>((c1 - c0) * tile_h * tile_w));
     for (std::int64_t lc = 0; lc < c1 - c0; ++lc) {
       for (std::int64_t lh = 0; lh < tile_h; ++lh) {
         const std::int64_t ih = ih0 + lh;
@@ -193,17 +217,16 @@ Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
           const std::int64_t iw = iw0 + lw;
           const bool inside =
               ih >= 0 && ih < shape.h && iw >= 0 && iw < shape.w;
-          tile[static_cast<std::size_t>((lc * tile_h + lh) * tile_w + lw)] =
-              inside ? x(c0 + lc, ih, iw) : 0.0f;
+          tile[(lc * tile_h + lh) * tile_w + lw] =
+              inside ? xdata[((c0 + lc) * shape.h + ih) * shape.w + iw] : 0.0f;
         }
       }
     }
     // __syncthreads() boundary is implicit here.
 
     // Each "thread" n owns one output channel.
-    std::vector<float> temp(static_cast<std::size_t>(t.th * t.tw));
     for (std::int64_t n = 0; n < shape.n; ++n) {
-      std::fill(temp.begin(), temp.end(), 0.0f);
+      std::fill(temp, temp + t.th * t.tw, 0.0f);
       for (std::int64_t lc = 0; lc < c1 - c0; ++lc) {
         const std::int64_t c = c0 + lc;
         // copy(kernel, K, n, c): the thread's R×S weight slice (CRSN reads).
@@ -257,20 +280,50 @@ Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
   // Channel partitions of one spatial tile accumulate into the same output
   // patch (the GPU kernel's atomicAdd); running them serially inside the
   // spatial-tile loop keeps the executor race-free and deterministic while
-  // the disjoint spatial tiles fan out across threads.
+  // the disjoint spatial tiles fan out across workspace slots. Spatial tiles
+  // are strided over the slots so the scratch footprint stays fixed at
+  // tdc_core_workspace_floats no matter how many threads the runtime has.
   const std::int64_t spatial_blocks = blocks_h * blocks_w;
-  auto run_spatial = [&](std::int64_t s0, std::int64_t s1) {
-    for (std::int64_t s = s0; s < s1; ++s) {
-      for (std::int64_t bc = 0; bc < blocks_c; ++bc) {
-        run_block(bc * spatial_blocks + s);
+  const std::int64_t slots = tdc_num_slots(shape, t);
+  const std::int64_t slot_floats = tdc_slot_floats(shape, t);
+  auto run_slots = [&](std::int64_t slot0, std::int64_t slot1) {
+    for (std::int64_t slot = slot0; slot < slot1; ++slot) {
+      float* tile = workspace.data() + slot * slot_floats;
+      float* temp = tile + t.tc * tile_h * tile_w;
+      for (std::int64_t s = slot; s < spatial_blocks; s += slots) {
+        for (std::int64_t bc = 0; bc < blocks_c; ++bc) {
+          run_block(bc * spatial_blocks + s, tile, temp);
+        }
       }
     }
   };
   if (parallel) {
-    parallel_for(0, spatial_blocks, 1, run_spatial);
+    parallel_for(0, slots, 1, run_slots);
   } else {
-    run_spatial(0, spatial_blocks);
+    run_slots(0, slots);
   }
+}
+
+Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
+                     const ConvShape& shape, const TdcTiling& t,
+                     bool parallel) {
+  TDC_CHECK_MSG(x.rank() == 3, "input must be [C,H,W]");
+  TDC_CHECK_MSG(kernel_crsn.rank() == 4, "kernel must be CRSN [C,R,S,N]");
+  TDC_CHECK_MSG(x.dim(0) == shape.c && x.dim(1) == shape.h && x.dim(2) == shape.w,
+                "input does not match shape");
+  TDC_CHECK_MSG(kernel_crsn.dim(0) == shape.c && kernel_crsn.dim(1) == shape.r &&
+                    kernel_crsn.dim(2) == shape.s && kernel_crsn.dim(3) == shape.n,
+                "kernel does not match shape");
+  TDC_CHECK_MSG(shape.batch == 1,
+                "the functional executor is single-image; batched shapes are "
+                "for the cost models");
+  TDC_CHECK(t.th >= 1 && t.tw >= 1 && t.tc >= 1);
+
+  Tensor y({shape.n, shape.out_h(), shape.out_w()});
+  std::vector<float> workspace(
+      static_cast<std::size_t>(tdc_core_workspace_floats_impl(shape, t)));
+  tdc_core_conv_into(x.raw(), kernel_crsn, shape, t, y.raw(), workspace,
+                     parallel);
   return y;
 }
 

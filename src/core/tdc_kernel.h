@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "conv/conv_shape.h"
@@ -67,5 +68,22 @@ LatencyBreakdown tdc_core_cost(const DeviceSpec& device, const ConvShape& shape,
 Tensor tdc_core_conv(const Tensor& x, const Tensor& kernel_crsn,
                      const ConvShape& shape, const TdcTiling& t,
                      bool parallel = true);
+
+/// Exact workspace (in floats) one tdc_core_conv_into call needs: the
+/// interpreter stages each block's shared-memory input tile and register
+/// accumulator in per-slot scratch instead of allocating.
+std::int64_t tdc_core_workspace_floats(const ConvShape& shape,
+                                       const TdcTiling& t);
+
+/// Functional execution into a caller-provided flat [N, OH, OW] buffer
+/// (zeroed by the call; blocks accumulate into it) using caller-provided
+/// scratch of at least tdc_core_workspace_floats entries. Operands are not
+/// shape-checked; the plan layer validates them once at compile time.
+/// Results are bit-identical for any thread count and either `parallel`
+/// mode: spatial tiles write disjoint outputs and the channel partitions of
+/// a tile run serially in a fixed order.
+void tdc_core_conv_into(const float* x, const Tensor& kernel_crsn,
+                        const ConvShape& shape, const TdcTiling& t, float* y,
+                        std::span<float> workspace, bool parallel = true);
 
 }  // namespace tdc

@@ -1,0 +1,91 @@
+// Compiled end-to-end inference over a co-design decision list.
+//
+// The co-design pass (core/codesign.h, paper Algorithm 1) decides per layer
+// whether to decompose and at which ranks. CompiledModel turns that decision
+// list plus the layers' weights into an executable chain of ConvPlans — the
+// deployment artifact of the plan/execute API:
+//
+//   CodesignResult result = run_codesign(device, shapes, opts);
+//   CompiledModel model = CompiledModel::compile(device, result.layers,
+//                                                kernels);
+//   std::vector<float> ws(model.workspace_bytes() / 4);
+//   Tensor y({model.output_shape().n, ...});
+//   for (const Tensor& x : requests) model.run(x, &y, ws);
+//
+// Decomposed layers are Tucker-decomposed at the decided ranks and compiled
+// into fused-pipeline plans; kept layers become dense plans (kAuto by
+// default). Intermediate activations ping-pong through the caller's
+// workspace, so the steady-state serving loop performs no allocation at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/codesign.h"
+#include "exec/conv_plan.h"
+
+namespace tdc {
+
+struct CompiledModelOptions {
+  /// Execution of decomposed layers (fused is the deployment default).
+  TuckerExec tucker_exec = TuckerExec::kFused;
+  /// Algorithm for layers the θ rule kept dense.
+  ConvAlgo dense_algo = ConvAlgo::kAuto;
+  /// Core-stage algorithm of staged Tucker layers.
+  ConvAlgo tucker_core_algo = ConvAlgo::kIm2col;
+};
+
+class CompiledModel {
+ public:
+  /// Build the plan chain. `kernels_cnrs[i]` is layer i's full CNRS weight
+  /// tensor matching decisions[i].shape; decomposed layers are
+  /// Tucker-decomposed here at the decided ranks. Layers must chain:
+  /// layer i+1's (C, H, W) equals layer i's (N, OH, OW).
+  static CompiledModel compile(const DeviceSpec& device,
+                               const std::vector<LayerDecision>& decisions,
+                               const std::vector<Tensor>& kernels_cnrs,
+                               const CompiledModelOptions& options = {});
+
+  std::int64_t num_layers() const {
+    return static_cast<std::int64_t>(layers_.size());
+  }
+  const ConvPlan& plan(std::int64_t i) const { return *layers_[i]; }
+  bool decomposed(std::int64_t i) const { return layers_[i]->decomposed(); }
+  /// Geometry of the final layer (its [N, OH, OW] is the model output).
+  const ConvShape& output_shape() const;
+  const ConvShape& input_shape() const;
+
+  /// Exact scratch bytes one run() touches: two ping-pong activation
+  /// buffers plus the largest per-layer plan workspace.
+  std::int64_t workspace_bytes() const;
+  /// Scratch for run_batched over `batch` images.
+  std::int64_t batched_workspace_bytes(std::int64_t batch) const;
+
+  /// x [C, H, W] of the first layer → y preallocated [N, OH, OW] of the
+  /// last. Allocation-free; bit-identical across calls and thread counts.
+  void run(const Tensor& x, Tensor* y, std::span<float> workspace) const;
+
+  /// Single-shot convenience: allocates output and workspace.
+  Tensor run(const Tensor& x) const;
+
+  /// Batched serving: x [B, C, H, W] → y preallocated [B, N, OH, OW];
+  /// images fan out across the parallel runtime, one full plan chain per
+  /// workspace slot.
+  void run_batched(const Tensor& x, Tensor* y,
+                   std::span<float> workspace) const;
+
+ private:
+  CompiledModel() = default;
+
+  void run_chain(const float* x, float* y, std::span<float> workspace) const;
+  std::int64_t batch_slots(std::int64_t batch) const;
+
+  std::vector<std::unique_ptr<ConvPlan>> layers_;
+  std::int64_t act_floats_ = 0;      ///< largest intermediate activation
+  std::int64_t plan_ws_floats_ = 0;  ///< largest per-layer plan workspace
+  std::int64_t max_slots_ = 1;
+};
+
+}  // namespace tdc

@@ -1,0 +1,80 @@
+// Single-shot wrappers: the historical free functions of conv/conv.h and
+// conv/tucker_conv.h, each implemented as compile-plan → run-once →
+// discard. They keep the one-call API (and its exact numerics) while the
+// plan layer owns all algorithm state; serving loops should hold the plan.
+#include "common/check.h"
+#include "conv/conv.h"
+#include "conv/tucker_conv.h"
+#include "exec/conv_plan.h"
+
+namespace tdc {
+
+namespace {
+
+Tensor run_single_shot(const ConvDescriptor& desc, const Tensor& kernel,
+                       const Tensor& x) {
+  TDC_CHECK_MSG(x.rank() == 3, "input must be [C,H,W]");
+  return compile_conv_plan(desc, kernel)->run(x);
+}
+
+}  // namespace
+
+Tensor conv2d(ConvAlgo algo, const Tensor& x, const Tensor& kernel_cnrs,
+              const ConvShape& shape) {
+  ConvDescriptor desc;
+  desc.shape = shape;
+  desc.algo = algo;
+  return run_single_shot(desc, kernel_cnrs, x);
+}
+
+Tensor conv2d_im2col(const Tensor& x, const Tensor& kernel_cnrs,
+                     const ConvShape& shape) {
+  ConvDescriptor desc;
+  desc.shape = shape;
+  desc.algo = ConvAlgo::kIm2col;
+  return run_single_shot(desc, kernel_cnrs, x);
+}
+
+Tensor conv2d_winograd(const Tensor& x, const Tensor& kernel_cnrs,
+                       const ConvShape& shape) {
+  ConvDescriptor desc;
+  desc.shape = shape;
+  desc.algo = ConvAlgo::kWinograd;
+  return run_single_shot(desc, kernel_cnrs, x);
+}
+
+Tensor conv2d_fft(const Tensor& x, const Tensor& kernel_cnrs,
+                  const ConvShape& shape) {
+  ConvDescriptor desc;
+  desc.shape = shape;
+  desc.algo = ConvAlgo::kFft;
+  return run_single_shot(desc, kernel_cnrs, x);
+}
+
+Tensor tucker_conv_fused(const Tensor& x, const TuckerFactors& factors,
+                         const ConvShape& shape, std::int64_t row_tile) {
+  TDC_CHECK_MSG(x.rank() == 3, "tucker_conv_fused expects [C,H,W]");
+  TuckerDescriptor desc;
+  desc.shape = shape;
+  desc.exec = TuckerExec::kFused;
+  desc.row_tile = row_tile;
+  return compile_tucker_plan(desc, factors)->run(x);
+}
+
+Tensor tucker_conv_batched(const Tensor& x, const TuckerFactors& factors,
+                           const ConvShape& shape, bool fused) {
+  TDC_CHECK_MSG(x.rank() == 4, "tucker_conv_batched expects [B,C,H,W]");
+  TuckerDescriptor desc;
+  desc.shape = shape;
+  desc.exec = fused ? TuckerExec::kFused : TuckerExec::kStaged;
+  const std::unique_ptr<ConvPlan> plan = compile_tucker_plan(desc, factors);
+
+  const std::int64_t batch = x.dim(0);
+  Tensor y({batch, shape.n, shape.out_h(), shape.out_w()});
+  std::vector<float> workspace(static_cast<std::size_t>(
+      plan->batched_workspace_bytes(batch) / sizeof(float)));
+  plan->run_batched(x, &y, workspace);
+  return y;
+}
+
+}  // namespace tdc

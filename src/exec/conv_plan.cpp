@@ -1,0 +1,281 @@
+#include "exec/conv_plan.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "core/tdc_model.h"
+#include "exec/plan_impl.h"
+#include "gpusim/library_cost.h"
+#include "linalg/gemm.h"
+
+namespace tdc {
+
+namespace detail {
+
+std::int64_t batch_slots(std::int64_t batch, std::int64_t max_slots) {
+  return std::max<std::int64_t>(std::min(batch, max_slots), 1);
+}
+
+void run_slotted(std::int64_t batch, std::int64_t slots,
+                 std::span<float> workspace, std::int64_t ws_floats,
+                 const std::function<void(std::int64_t, std::span<float>)>&
+                     run_one) {
+  const std::int64_t per_slot = divup(batch, slots);
+  parallel_for(0, slots, 1, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t slot = s0; slot < s1; ++slot) {
+      std::span<float> slot_ws =
+          workspace.subspan(static_cast<std::size_t>(slot * ws_floats),
+                            static_cast<std::size_t>(ws_floats));
+      const std::int64_t b_end = std::min(batch, (slot + 1) * per_slot);
+      for (std::int64_t b = slot * per_slot; b < b_end; ++b) {
+        run_one(b, slot_ws);
+      }
+    }
+  });
+}
+
+}  // namespace detail
+
+ConvPlan::ConvPlan(const ConvShape& shape, ConvAlgo algo)
+    : shape_(shape), algo_(algo), max_slots_(std::max(num_threads(), 1)) {}
+
+std::int64_t ConvPlan::batch_slots(std::int64_t batch) const {
+  return detail::batch_slots(batch, max_slots_);
+}
+
+std::int64_t ConvPlan::batched_workspace_bytes(std::int64_t batch) const {
+  TDC_CHECK(batch >= 1);
+  return batch_slots(batch) * workspace_bytes();
+}
+
+void ConvPlan::run(const Tensor& x, Tensor* y,
+                   std::span<float> workspace) const {
+  TDC_CHECK_MSG(x.rank() == 3 && x.dim(0) == shape_.c &&
+                    x.dim(1) == shape_.h && x.dim(2) == shape_.w,
+                "plan input does not match " + shape_.to_string());
+  TDC_CHECK_MSG(y != nullptr && y->rank() == 3 && y->dim(0) == shape_.n &&
+                    y->dim(1) == shape_.out_h() && y->dim(2) == shape_.out_w(),
+                "plan output must be a preallocated [N, OH, OW] tensor");
+  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
+                        static_cast<std::int64_t>(sizeof(float)) >=
+                    workspace_bytes(),
+                "plan workspace too small: need " +
+                    std::to_string(workspace_bytes()) + " bytes");
+  run_image(x.raw(), y->raw(), workspace.first(
+      static_cast<std::size_t>(workspace_bytes() / sizeof(float))));
+}
+
+Tensor ConvPlan::run(const Tensor& x) const {
+  Tensor y({shape_.n, shape_.out_h(), shape_.out_w()});
+  std::vector<float> workspace(
+      static_cast<std::size_t>(workspace_bytes() / sizeof(float)));
+  run(x, &y, workspace);
+  return y;
+}
+
+void ConvPlan::run_batched(const Tensor& x, Tensor* y,
+                           std::span<float> workspace) const {
+  TDC_CHECK_MSG(x.rank() == 4 && x.dim(1) == shape_.c &&
+                    x.dim(2) == shape_.h && x.dim(3) == shape_.w,
+                "batched plan input must be [B, C, H, W]");
+  const std::int64_t batch = x.dim(0);
+  TDC_CHECK_MSG(y != nullptr && y->rank() == 4 && y->dim(0) == batch &&
+                    y->dim(1) == shape_.n && y->dim(2) == shape_.out_h() &&
+                    y->dim(3) == shape_.out_w(),
+                "batched plan output must be a preallocated [B, N, OH, OW] "
+                "tensor");
+  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
+                        static_cast<std::int64_t>(sizeof(float)) >=
+                    batched_workspace_bytes(batch),
+                "batched plan workspace too small");
+
+  const std::int64_t x_stride = shape_.c * shape_.h * shape_.w;
+  const std::int64_t y_stride = shape_.n * shape_.out_h() * shape_.out_w();
+  detail::run_slotted(
+      batch, batch_slots(batch), workspace, workspace_bytes() / sizeof(float),
+      [&](std::int64_t b, std::span<float> slot_ws) {
+        run_image(x.raw() + b * x_stride, y->raw() + b * y_stride, slot_ws);
+      });
+}
+
+namespace {
+
+Tensor normalize_kernel_layout(const Tensor& kernel, KernelLayout layout) {
+  switch (layout) {
+    case KernelLayout::kCNRS:
+      return kernel;
+    case KernelLayout::kCRSN:
+      return crsn_to_cnrs(kernel);
+    case KernelLayout::kNCRS:
+      return ncrs_to_cnrs(kernel);
+  }
+  TDC_CHECK_MSG(false, "unknown kernel layout");
+}
+
+// ---------------------------------------------------------------------------
+// Reference: the oracle as a plan. No invariants beyond the kernel copy.
+class ReferencePlanImpl final : public ConvPlan {
+ public:
+  ReferencePlanImpl(const ConvShape& shape, Tensor kernel_cnrs)
+      : ConvPlan(shape, ConvAlgo::kReference),
+        kernel_(std::move(kernel_cnrs)) {}
+
+  std::int64_t workspace_bytes() const override { return 0; }
+
+ protected:
+  void run_image(const float* x, float* y,
+                 std::span<float> /*workspace*/) const override {
+    conv2d_reference_into(x, kernel_, shape_, y);
+  }
+
+ private:
+  Tensor kernel_;
+};
+
+// ---------------------------------------------------------------------------
+// im2col + GEMM with the [N, C·R·S] weight matrix packed into micro-kernel
+// panels at compile time; the workspace holds the patch matrix.
+class Im2colPlanImpl final : public ConvPlan {
+ public:
+  Im2colPlanImpl(const ConvShape& shape, const Tensor& kernel_cnrs)
+      : ConvPlan(shape, ConvAlgo::kIm2col) {
+    const Tensor weights = conv_weight_matrix(kernel_cnrs, shape);
+    packed_weights_ = pack_gemm_a(shape.n, shape.c * shape.r * shape.s,
+                                  weights.raw(),
+                                  shape.c * shape.r * shape.s, 1);
+  }
+
+  std::int64_t workspace_bytes() const override {
+    return shape_.c * shape_.r * shape_.s * shape_.out_h() * shape_.out_w() *
+           static_cast<std::int64_t>(sizeof(float));
+  }
+
+ protected:
+  void run_image(const float* x, float* y,
+                 std::span<float> workspace) const override {
+    const std::int64_t ohw = shape_.out_h() * shape_.out_w();
+    im2col_into(x, shape_, workspace.data());
+    gemm_prepacked(packed_weights_, ohw, workspace.data(), ohw, 1, y, ohw);
+  }
+
+ private:
+  PackedGemmA packed_weights_;
+};
+
+// ---------------------------------------------------------------------------
+// The TDC core kernel scheme at a fixed tiling; scratch is the interpreter's
+// per-slot shared-memory stage + register tile.
+class TdcCorePlanImpl final : public ConvPlan {
+ public:
+  TdcCorePlanImpl(const ConvShape& shape, const Tensor& kernel_cnrs,
+                  const TdcTiling& tiling)
+      : ConvPlan(shape, ConvAlgo::kTdcCore),
+        kernel_crsn_(cnrs_to_crsn(kernel_cnrs)),
+        tiling_(tiling) {}
+
+  std::int64_t workspace_bytes() const override {
+    return tdc_core_workspace_floats(shape_, tiling_) *
+           static_cast<std::int64_t>(sizeof(float));
+  }
+
+  const TdcTiling& tiling() const { return tiling_; }
+
+ protected:
+  void run_image(const float* x, float* y,
+                 std::span<float> workspace) const override {
+    tdc_core_conv_into(x, kernel_crsn_, shape_, tiling_, y, workspace);
+  }
+
+ private:
+  Tensor kernel_crsn_;
+  TdcTiling tiling_;
+};
+
+TdcTiling resolve_tdc_tiling(const DeviceSpec& device, const ConvShape& shape,
+                             const TdcTiling& requested) {
+  if (requested.th >= 1 && requested.tw >= 1 && requested.tc >= 1) {
+    return requested;
+  }
+  // The analytical-model tiling is the paper's deployment choice; shapes the
+  // device cannot launch at all (e.g. N beyond the block-thread limit) still
+  // execute functionally at the smallest tile.
+  try {
+    return select_tiling_model(device, shape);
+  } catch (const Error&) {
+    return TdcTiling{1, 1, 1};
+  }
+}
+
+}  // namespace
+
+ConvAlgo resolve_conv_algo(const DeviceSpec& device, const ConvShape& shape) {
+  TDC_CHECK_MSG(shape.valid(), "invalid shape " + shape.to_string());
+  ConvAlgo best = ConvAlgo::kIm2col;
+  double best_s = library_conv_cost(ConvAlgo::kIm2col, device, shape).total_s;
+  for (const ConvAlgo algo : {ConvAlgo::kWinograd, ConvAlgo::kFft}) {
+    if (!conv_algo_supports(algo, shape)) {
+      continue;
+    }
+    const double s = library_conv_cost(algo, device, shape).total_s;
+    if (s < best_s) {
+      best_s = s;
+      best = algo;
+    }
+  }
+  // The TDC kernel competes only where the device can actually launch it.
+  try {
+    const TdcTiling t = select_tiling_model(device, shape);
+    const double s = tdc_core_cost(device, shape, t).total_s;
+    if (s < best_s) {
+      best_s = s;
+      best = ConvAlgo::kTdcCore;
+    }
+  } catch (const Error&) {
+  }
+  return best;
+}
+
+std::unique_ptr<ConvPlan> compile_conv_plan(const ConvDescriptor& desc,
+                                            const Tensor& kernel) {
+  TDC_CHECK_MSG(desc.shape.valid(),
+                "invalid convolution shape " + desc.shape.to_string());
+  TDC_CHECK_MSG(desc.shape.batch == 1,
+                "descriptors are single-image; batching happens in "
+                "run_batched");
+  TDC_CHECK_MSG(kernel.rank() == 4, "kernel must be a rank-4 tensor");
+  const Tensor kernel_cnrs = normalize_kernel_layout(kernel, desc.weight_layout);
+  TDC_CHECK_MSG(kernel_cnrs.dim(0) == desc.shape.c &&
+                    kernel_cnrs.dim(1) == desc.shape.n &&
+                    kernel_cnrs.dim(2) == desc.shape.r &&
+                    kernel_cnrs.dim(3) == desc.shape.s,
+                "kernel tensor does not match shape descriptor");
+
+  const ConvAlgo algo = desc.algo == ConvAlgo::kAuto
+                            ? resolve_conv_algo(desc.device, desc.shape)
+                            : desc.algo;
+  TDC_CHECK_MSG(conv_algo_supports(algo, desc.shape),
+                std::string(conv_algo_name(algo)) + " does not support " +
+                    desc.shape.to_string());
+
+  switch (algo) {
+    case ConvAlgo::kReference:
+      return std::make_unique<ReferencePlanImpl>(desc.shape, kernel_cnrs);
+    case ConvAlgo::kIm2col:
+      return std::make_unique<Im2colPlanImpl>(desc.shape, kernel_cnrs);
+    case ConvAlgo::kWinograd:
+      return detail::make_winograd_plan(desc.shape, kernel_cnrs);
+    case ConvAlgo::kFft:
+      return detail::make_fft_plan(desc.shape, kernel_cnrs);
+    case ConvAlgo::kTdcCore:
+      return std::make_unique<TdcCorePlanImpl>(
+          desc.shape, kernel_cnrs,
+          resolve_tdc_tiling(desc.device, desc.shape, desc.tiling));
+    case ConvAlgo::kAuto:
+      break;  // resolved above
+  }
+  TDC_CHECK_MSG(false, "unreachable: unresolved algorithm");
+}
+
+}  // namespace tdc

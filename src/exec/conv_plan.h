@@ -1,0 +1,145 @@
+// Plan/execute convolution API — the deployment-facing layer.
+//
+// The paper's serving story is cuDNN-style: pick an algorithm (and, for the
+// TDC kernel, a tiling) per layer once, then replay that decision over a
+// stream of inference requests. This header is that lifecycle:
+//
+//   ConvDescriptor desc{.shape = layer, .algo = ConvAlgo::kAuto};
+//   auto plan = compile_conv_plan(desc, kernel);        // once per layer
+//   std::vector<float> ws(plan->workspace_bytes() / 4);
+//   Tensor y({layer.n, layer.out_h(), layer.out_w()});
+//   for (const Tensor& x : requests) plan->run(x, &y, ws);   // steady state
+//
+// A plan owns every per-layer invariant: the resolved algorithm, reshaped
+// and GEMM-prepacked weights, precomputed Winograd/FFT transforms, the
+// chosen TDC tiling or Tucker row band. run() touches only the caller's
+// output and workspace — no allocation, no hidden state — so the steady
+// state is allocation-free and bit-reproducible across calls and thread
+// counts. The free functions in conv/conv.h are single-shot wrappers over
+// these plans.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "conv/conv.h"
+#include "core/tdc_kernel.h"
+#include "gpusim/device.h"
+#include "tensor/layout.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+
+/// Everything needed to compile a dense-convolution plan. `algo` may be
+/// ConvAlgo::kAuto, resolved by resolve_conv_algo against `device`;
+/// `weight_layout` names the storage order of the kernel tensor handed to
+/// compile_conv_plan; `tiling` pins the TDC core tiling (any field < 1
+/// selects the analytical-model tiling, falling back to the smallest tile
+/// when the device has no feasible launch for the shape).
+struct ConvDescriptor {
+  ConvShape shape;
+  ConvAlgo algo = ConvAlgo::kAuto;
+  KernelLayout weight_layout = KernelLayout::kCNRS;
+  DeviceSpec device = make_a100();
+  TdcTiling tiling{0, 0, 0};
+};
+
+/// How a Tucker-pipeline plan executes the three stages.
+enum class TuckerExec {
+  kFused,   ///< row-band streaming, all three stages per band (fastest)
+  kStaged,  ///< materialized Z1/Z2 with a selectable core-stage plan
+};
+
+/// Compile request for the decomposed pipeline. `core_algo` picks the plan
+/// of the staged middle convolution (kAuto allowed); the fused executor
+/// always uses the banded im2col core. `row_tile` is the fused band height
+/// (0 picks the cache-sizing default).
+struct TuckerDescriptor {
+  ConvShape shape;
+  TuckerExec exec = TuckerExec::kFused;
+  ConvAlgo core_algo = ConvAlgo::kIm2col;
+  std::int64_t row_tile = 0;
+  DeviceSpec device = make_a100();
+};
+
+/// A compiled convolution: per-layer invariants + an allocation-free run.
+class ConvPlan {
+ public:
+  virtual ~ConvPlan() = default;
+
+  /// The original problem geometry (for Tucker plans, the full C → N layer).
+  const ConvShape& shape() const { return shape_; }
+  /// Resolved algorithm (never kAuto). For Tucker-pipeline plans this is the
+  /// core-stage algorithm; check decomposed() to tell the pipelines apart.
+  ConvAlgo algo() const { return algo_; }
+  const char* algo_name() const { return conv_algo_name(algo_); }
+  /// True for Tucker-pipeline plans (compile_tucker_plan).
+  virtual bool decomposed() const { return false; }
+
+  /// Exact scratch bytes one run() call touches (0 is possible). The plan
+  /// never reads or writes workspace memory past this size.
+  virtual std::int64_t workspace_bytes() const = 0;
+
+  /// Scratch bytes a run_batched() call over `batch` images touches: one
+  /// single-image workspace per concurrency slot.
+  std::int64_t batched_workspace_bytes(std::int64_t batch) const;
+
+  /// Y = conv(X) with X [C, H, W], Y a preallocated [N, OH, OW] tensor and
+  /// `workspace` at least workspace_bytes() bytes of float storage. Every
+  /// output element is written; results are bit-identical across repeated
+  /// calls and thread counts.
+  void run(const Tensor& x, Tensor* y, std::span<float> workspace) const;
+
+  /// Single-shot convenience: allocates output and workspace, runs once.
+  Tensor run(const Tensor& x) const;
+
+  /// Batched serving entry point: x [B, C, H, W] → y [B, N, OH, OW], images
+  /// fanned across the parallel runtime with per-slot workspace slices;
+  /// `workspace` needs batched_workspace_bytes(B). Weights stay packed in
+  /// the plan, so nothing is re-derived per image or per band.
+  void run_batched(const Tensor& x, Tensor* y,
+                   std::span<float> workspace) const;
+
+  /// Expert entry point over flat buffers (x [C·H·W], y [N·OH·OW], operands
+  /// already validated): what run() calls after checking shapes, and what
+  /// CompiledModel uses to chain plans through workspace activations.
+  void run_unchecked(const float* x, float* y,
+                     std::span<float> workspace) const {
+    run_image(x, y, workspace);
+  }
+
+ protected:
+  ConvPlan(const ConvShape& shape, ConvAlgo algo);
+
+  virtual void run_image(const float* x, float* y,
+                         std::span<float> workspace) const = 0;
+
+  /// Concurrency slots a batched run fans out over (frozen at compile time
+  /// from the runtime's thread count, so later set_num_threads calls never
+  /// outgrow a sized workspace).
+  std::int64_t batch_slots(std::int64_t batch) const;
+
+  ConvShape shape_;
+  ConvAlgo algo_;
+  std::int64_t max_slots_;
+};
+
+/// Algorithm selection for ConvAlgo::kAuto: among the algorithms that
+/// support the shape (conv_algo_supports), pick the one with the cheapest
+/// simulated latency on `device` — the library adapters price the cuDNN
+/// stand-ins and tdc_core_cost prices the TDC kernel at its model-selected
+/// tiling. Never returns kReference (the oracle is not a deployment path).
+ConvAlgo resolve_conv_algo(const DeviceSpec& device, const ConvShape& shape);
+
+/// Compile a dense plan. The kernel tensor is given in desc.weight_layout
+/// order ([C,N,R,S] for kCNRS etc.) and is copied/reshaped into the plan.
+std::unique_ptr<ConvPlan> compile_conv_plan(const ConvDescriptor& desc,
+                                            const Tensor& kernel);
+
+/// Compile a Tucker-pipeline plan from decomposed factors. plan->shape() is
+/// the full layer; the plan owns prepacked U1ᵀ/core/U2 panels.
+std::unique_ptr<ConvPlan> compile_tucker_plan(const TuckerDescriptor& desc,
+                                              const TuckerFactors& factors);
+
+}  // namespace tdc

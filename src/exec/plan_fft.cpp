@@ -1,0 +1,169 @@
+// FFT convolution as a compiled plan — the cuDNN FFT structure in FP32.
+//
+// Cross-correlation via the correlation theorem: with the image and each
+// filter zero-padded to a common power-of-two plane P_h×P_w,
+//   corr(x, k)(o) = IFFT( FFT(x) · conj(FFT(k)) )(o)   for o ≤ P − R,
+// so the valid outputs are wrap-free as long as P_h ≥ H and P_w ≥ W. Channel
+// accumulation happens in the frequency domain. The per-layer invariant is
+// the filter spectra: when the C·N planes fit the plan's memory budget they
+// are transformed once at compile time (conjugated, ready to multiply);
+// otherwise each run transforms filters into per-slot workspace, which keeps
+// workspace_bytes exact either way.
+#include <complex>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "exec/plan_impl.h"
+#include "fft/fft.h"
+
+namespace tdc::detail {
+
+namespace {
+
+using Cpx = std::complex<float>;
+
+// Precomputed filter spectra are capped so conv5-sized layers (512×512
+// filters on a padded plane) do not balloon the plan; past the cap the
+// filters are transformed per run instead.
+constexpr std::int64_t kFilterSpectraBudgetBytes = 64ll << 20;
+
+class FftPlanImpl final : public ConvPlan {
+ public:
+  FftPlanImpl(const ConvShape& shape, const Tensor& kernel_cnrs)
+      : ConvPlan(shape, ConvAlgo::kFft),
+        fh_(next_pow2(shape.h + 2 * shape.pad_h)),
+        fw_(next_pow2(shape.w + 2 * shape.pad_w)) {
+    const std::int64_t plane = fh_ * fw_;
+    const std::int64_t spectra_bytes =
+        shape.c * shape.n * plane * static_cast<std::int64_t>(sizeof(Cpx));
+    if (spectra_bytes <= kFilterSpectraBudgetBytes) {
+      spectra_.resize(static_cast<std::size_t>(shape.c * shape.n * plane));
+      parallel_for(0, shape.c * shape.n, 1,
+                   [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const std::int64_t c = i / shape.n;
+          const std::int64_t n = i % shape.n;
+          Cpx* fk = spectra_.data() + i * plane;
+          std::fill(fk, fk + plane, Cpx{});
+          for (std::int64_t r = 0; r < shape.r; ++r) {
+            for (std::int64_t s = 0; s < shape.s; ++s) {
+              fk[r * fw_ + s] = Cpx(kernel_cnrs(c, n, r, s), 0.0f);
+            }
+          }
+          fft2d_inplace(fk, fh_, fw_, /*inverse=*/false);
+          for (std::int64_t j = 0; j < plane; ++j) {
+            fk[j] = std::conj(fk[j]);
+          }
+        }
+      });
+    } else {
+      kernel_ = kernel_cnrs;
+    }
+  }
+
+  std::int64_t workspace_bytes() const override {
+    const std::int64_t plane = fh_ * fw_;
+    // Input spectra [C, plane] + per-slot accumulator (+ per-slot filter
+    // scratch when spectra are not precomputed); complex = 2 floats.
+    const std::int64_t per_slot = plane * (spectra_.empty() ? 2 : 1);
+    return (shape_.c * plane + n_slots() * per_slot) * 2 *
+           static_cast<std::int64_t>(sizeof(float));
+  }
+
+ protected:
+  void run_image(const float* x, float* y,
+                 std::span<float> workspace) const override {
+    const std::int64_t c = shape_.c;
+    const std::int64_t n = shape_.n;
+    const std::int64_t oh = shape_.out_h();
+    const std::int64_t ow = shape_.out_w();
+    const std::int64_t plane = fh_ * fw_;
+    const bool precomputed = !spectra_.empty();
+
+    // std::complex<float> is layout-compatible with float[2], so the float
+    // workspace doubles as the complex scratch.
+    Cpx* fx = reinterpret_cast<Cpx*>(workspace.data());
+    Cpx* slot_base = fx + c * plane;
+
+    // Forward transforms of all input channels; the conv padding is an
+    // index offset into the zero-filled plane.
+    parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+      for (std::int64_t ci = c0; ci < c1; ++ci) {
+        Cpx* buf = fx + ci * plane;
+        std::fill(buf, buf + plane, Cpx{});
+        const float* plane_in = x + ci * shape_.h * shape_.w;
+        for (std::int64_t i = 0; i < shape_.h; ++i) {
+          Cpx* row = buf + (i + shape_.pad_h) * fw_ + shape_.pad_w;
+          for (std::int64_t j = 0; j < shape_.w; ++j) {
+            row[j] = Cpx(plane_in[i * shape_.w + j], 0.0f);
+          }
+        }
+        fft2d_inplace(buf, fh_, fw_, /*inverse=*/false);
+      }
+    });
+
+    // Frequency-domain accumulate + inverse transform, one output channel at
+    // a time; output channels are strided across the fixed workspace slots.
+    const std::int64_t slots = n_slots();
+    const std::int64_t slot_floats = plane * (precomputed ? 1 : 2);
+    const std::int64_t per_slot = detail::divup(n, slots);
+    parallel_for(0, slots, 1, [&](std::int64_t s0, std::int64_t s1) {
+      for (std::int64_t slot = s0; slot < s1; ++slot) {
+        Cpx* acc = slot_base + slot * slot_floats;
+        Cpx* fk = precomputed ? nullptr : acc + plane;
+        const std::int64_t n_end = std::min(n, (slot + 1) * per_slot);
+        for (std::int64_t ni = slot * per_slot; ni < n_end; ++ni) {
+          std::fill(acc, acc + plane, Cpx{});
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            const Cpx* fxc = fx + ci * plane;
+            if (precomputed) {
+              const Cpx* spec = spectra_.data() + (ci * n + ni) * plane;
+              for (std::int64_t j = 0; j < plane; ++j) {
+                acc[j] += fxc[j] * spec[j];
+              }
+            } else {
+              std::fill(fk, fk + plane, Cpx{});
+              for (std::int64_t r = 0; r < shape_.r; ++r) {
+                for (std::int64_t s = 0; s < shape_.s; ++s) {
+                  fk[r * fw_ + s] = Cpx(kernel_(ci, ni, r, s), 0.0f);
+                }
+              }
+              fft2d_inplace(fk, fh_, fw_, /*inverse=*/false);
+              for (std::int64_t j = 0; j < plane; ++j) {
+                acc[j] += fxc[j] * std::conj(fk[j]);
+              }
+            }
+          }
+          fft2d_inplace(acc, fh_, fw_, /*inverse=*/true);
+          for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
+            for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+              y[(ni * oh + o_h) * ow + o_w] = acc[o_h * fw_ + o_w].real();
+            }
+          }
+        }
+      }
+    });
+  }
+
+ private:
+  std::int64_t n_slots() const { return batch_slots(shape_.n); }
+
+  std::int64_t fh_;
+  std::int64_t fw_;
+  std::vector<Cpx> spectra_;  ///< conj(FFT(K(c,n))) per (c, n), or empty
+  Tensor kernel_;             ///< CNRS copy when spectra are per-run
+};
+
+}  // namespace
+
+std::unique_ptr<ConvPlan> make_fft_plan(const ConvShape& shape,
+                                        const Tensor& kernel_cnrs) {
+  TDC_CHECK_MSG(conv_algo_supports(ConvAlgo::kFft, shape),
+                "fft conv requires stride 1: " + shape.to_string());
+  return std::make_unique<FftPlanImpl>(shape, kernel_cnrs);
+}
+
+}  // namespace tdc::detail

@@ -1,0 +1,39 @@
+// Internal factories of the per-algorithm ConvPlan implementations.
+//
+// compile_conv_plan (conv_plan.cpp) normalizes the kernel layout to CNRS and
+// resolves kAuto, then hands off here; each factory lives next to its
+// algorithm's tile math (plan_winograd.cpp, plan_fft.cpp) so the exec layer
+// stays one algorithm per translation unit.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "exec/conv_plan.h"
+
+namespace tdc::detail {
+
+std::unique_ptr<ConvPlan> make_winograd_plan(const ConvShape& shape,
+                                             const Tensor& kernel_cnrs);
+
+std::unique_ptr<ConvPlan> make_fft_plan(const ConvShape& shape,
+                                        const Tensor& kernel_cnrs);
+
+// Shared batching machinery of ConvPlan::run_batched and
+// CompiledModel::run_batched, so the slot policy lives in one place.
+
+/// Concurrency slots a batched run fans out over: `max_slots` is frozen at
+/// compile time from the runtime's thread count, so later set_num_threads
+/// calls never outgrow a sized workspace.
+std::int64_t batch_slots(std::int64_t batch, std::int64_t max_slots);
+
+/// Fans items [0, batch) across `slots` workspace slices of `ws_floats`
+/// floats each: contiguous item ranges per slot, run_one(item, slot_ws).
+/// Bit-identical at any thread count — each item runs the same single-item
+/// code against its slot's slice.
+void run_slotted(std::int64_t batch, std::int64_t slots,
+                 std::span<float> workspace, std::int64_t ws_floats,
+                 const std::function<void(std::int64_t, std::span<float>)>&
+                     run_one);
+
+}  // namespace tdc::detail

@@ -1,0 +1,232 @@
+// Tucker-pipeline plans (paper Eqs. 2–4, Figure 3).
+//
+// Both executors own every per-layer invariant of the decomposed pipeline:
+// U1ᵀ, the [D2, D1·R·S] core-weight reshape, and U2 are packed into GEMM
+// panels once at compile time, so a batched run packs nothing per image or
+// per band (the ROADMAP multi-image-fusion item: the per-band panel packs of
+// the old fused path are gone entirely).
+//
+//  * kFused — the row-band streamer: per output-row band the stage-1
+//    pointwise runs only over the input rows the core convolution touches,
+//    the core R×S GEMM consumes the band's patch matrix, and the stage-3
+//    pointwise commits straight into the output. All intermediates live in
+//    band-sized workspace. Numerically identical to the staged pipeline
+//    with the im2col core.
+//  * kStaged — materializes Z1/Z2 in workspace and runs the middle
+//    convolution through a nested ConvPlan, so every core algorithm
+//    (reference, im2col, Winograd, FFT, TDC core, auto) composes with the
+//    decomposition.
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "exec/conv_plan.h"
+#include "linalg/gemm.h"
+#include "tucker/flops.h"
+
+namespace tdc {
+
+namespace {
+
+// Output-row band height targeting a cache-resident patch matrix
+// (the largest scratch buffer) of at most ~1 MiB.
+std::int64_t auto_row_tile(const ConvShape& core, std::int64_t oh) {
+  const std::int64_t patch_row_bytes = core.c * core.r * core.s * core.out_w() * 4;
+  const std::int64_t budget = std::int64_t{1} << 20;
+  return std::clamp<std::int64_t>(budget / std::max<std::int64_t>(patch_row_bytes, 1),
+                                  1, oh);
+}
+
+class FusedTuckerPlanImpl final : public ConvPlan {
+ public:
+  FusedTuckerPlanImpl(const ConvShape& shape, const TuckerFactors& factors,
+                      std::int64_t row_tile)
+      : ConvPlan(shape, ConvAlgo::kIm2col),
+        ranks_(factors.ranks()),
+        core_(core_conv_shape(shape, ranks_)) {
+    const std::int64_t crs = ranks_.d1 * core_.r * core_.s;
+    const Tensor core_w = conv_weight_matrix(factors.core, core_);
+    packed_core_ = pack_gemm_a(ranks_.d2, crs, core_w.raw(), crs, 1);
+    // U1 is stored [C, D1]; stage 1 reads it as U1ᵀ (stride swap).
+    packed_u1_ = pack_gemm_a(ranks_.d1, shape.c, factors.u1.raw(), 1,
+                             ranks_.d1);
+    packed_u2_ = pack_gemm_a(shape.n, ranks_.d2, factors.u2.raw(), ranks_.d2,
+                             1);
+    row_tile_ = row_tile > 0 ? std::min(row_tile, shape.out_h())
+                             : auto_row_tile(core_, shape.out_h());
+  }
+
+  bool decomposed() const override { return true; }
+
+  std::int64_t workspace_bytes() const override {
+    const std::int64_t ow = shape_.out_w();
+    const std::int64_t slab_h = (row_tile_ - 1) * core_.stride_h + core_.r;
+    const std::int64_t crs = ranks_.d1 * core_.r * core_.s;
+    const std::int64_t floats = ranks_.d1 * slab_h * shape_.w +  // Z1 slab
+                                crs * row_tile_ * ow +           // patch matrix
+                                ranks_.d2 * row_tile_ * ow;      // Z2 band
+    return floats * static_cast<std::int64_t>(sizeof(float));
+  }
+
+ protected:
+  void run_image(const float* x, float* y,
+                 std::span<float> workspace) const override {
+    const std::int64_t oh = shape_.out_h();
+    const std::int64_t ow = shape_.out_w();
+    const std::int64_t w = shape_.w;
+    const std::int64_t crs = ranks_.d1 * core_.r * core_.s;
+    const std::int64_t slab_h_max = (row_tile_ - 1) * core_.stride_h + core_.r;
+
+    float* z1_slab = workspace.data();
+    float* cols = z1_slab + ranks_.d1 * slab_h_max * w;
+    float* z2_band = cols + crs * row_tile_ * ow;
+
+    for (std::int64_t oh0 = 0; oh0 < oh; oh0 += row_tile_) {
+      const std::int64_t band_oh = std::min(row_tile_, oh - oh0);
+      const std::int64_t hw_band = band_oh * ow;
+      // Input rows the core convolution touches for this band; rows outside
+      // [0, H) are the zero padding of the core stage, and the stage-1
+      // pointwise maps zero rows to zero rows.
+      const std::int64_t ih0 = oh0 * core_.stride_h - core_.pad_h;
+      const std::int64_t slab_h = (band_oh - 1) * core_.stride_h + core_.r;
+      const std::int64_t slab_hw = slab_h * w;
+      const std::int64_t valid_lo = std::max<std::int64_t>(ih0, 0);
+      const std::int64_t valid_hi = std::min(ih0 + slab_h, shape_.h);
+      const std::int64_t pad_lo = (valid_lo - ih0) * w;   // leading zero cols
+      const std::int64_t pad_hi =
+          (ih0 + slab_h - std::max(valid_hi, valid_lo)) * w;  // trailing
+
+      // Stage 1 on the slab only: Z1[D1, slab] = U1ᵀ · X[C, slab]. The input
+      // row slab is read in place through the channel stride H·W; only the
+      // padding rows are filled by hand.
+      for (std::int64_t d1 = 0; d1 < ranks_.d1; ++d1) {
+        float* row = z1_slab + d1 * slab_hw;
+        std::fill(row, row + pad_lo, 0.0f);
+        std::fill(row + slab_hw - pad_hi, row + slab_hw, 0.0f);
+      }
+      if (valid_hi > valid_lo) {
+        gemm_prepacked(packed_u1_, (valid_hi - valid_lo) * w,
+                       /*b=*/x + valid_lo * w, /*b_rs=*/shape_.h * w,
+                       /*b_cs=*/1, /*c=*/z1_slab + pad_lo, /*ldc=*/slab_hw);
+      }
+
+      // Patch matrix of the band (im2col over the slab; pad_h is already
+      // folded into the slab's zero rows, pad_w is applied here).
+      for (std::int64_t row = 0; row < crs; ++row) {
+        const std::int64_t d1 = row / (core_.r * core_.s);
+        const std::int64_t r = (row / core_.s) % core_.r;
+        const std::int64_t s = row % core_.s;
+        const float* plane = z1_slab + d1 * slab_hw;
+        float* out_row = cols + row * hw_band;
+        for (std::int64_t b_h = 0; b_h < band_oh; ++b_h) {
+          const std::int64_t lh = b_h * core_.stride_h + r;
+          const float* in_row = plane + lh * w;
+          float* out = out_row + b_h * ow;
+          for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+            const std::int64_t iw = o_w * core_.stride_w - core_.pad_w + s;
+            out[o_w] = (iw >= 0 && iw < w) ? in_row[iw] : 0.0f;
+          }
+        }
+      }
+
+      // Core stage: Z2[D2, band] = Wcore[D2, D1·R·S] · cols.
+      gemm_prepacked(packed_core_, hw_band, cols, hw_band, 1, z2_band,
+                     hw_band);
+
+      // Stage 3: Y[N, band] = U2[N, D2] · Z2, committed straight into the
+      // output's row band through the plane stride OH·OW.
+      gemm_prepacked(packed_u2_, hw_band, z2_band, hw_band, 1,
+                     /*c=*/y + oh0 * ow, /*ldc=*/oh * ow);
+    }
+  }
+
+ private:
+  TuckerRanks ranks_;
+  ConvShape core_;
+  PackedGemmA packed_core_;
+  PackedGemmA packed_u1_;
+  PackedGemmA packed_u2_;
+  std::int64_t row_tile_ = 1;
+};
+
+class StagedTuckerPlanImpl final : public ConvPlan {
+ public:
+  StagedTuckerPlanImpl(const ConvShape& shape, const TuckerFactors& factors,
+                       std::unique_ptr<ConvPlan> core_plan)
+      : ConvPlan(shape, core_plan->algo()),
+        ranks_(factors.ranks()),
+        core_plan_(std::move(core_plan)) {
+    packed_u1_ = pack_gemm_a(ranks_.d1, shape.c, factors.u1.raw(), 1,
+                             ranks_.d1);
+    packed_u2_ = pack_gemm_a(shape.n, ranks_.d2, factors.u2.raw(), ranks_.d2,
+                             1);
+  }
+
+  bool decomposed() const override { return true; }
+
+  std::int64_t workspace_bytes() const override {
+    const std::int64_t z1 = ranks_.d1 * shape_.h * shape_.w;
+    const std::int64_t z2 = ranks_.d2 * shape_.out_h() * shape_.out_w();
+    return (z1 + z2) * static_cast<std::int64_t>(sizeof(float)) +
+           core_plan_->workspace_bytes();
+  }
+
+ protected:
+  void run_image(const float* x, float* y,
+                 std::span<float> workspace) const override {
+    const std::int64_t hw = shape_.h * shape_.w;
+    const std::int64_t ohw = shape_.out_h() * shape_.out_w();
+    float* z1 = workspace.data();
+    float* z2 = z1 + ranks_.d1 * hw;
+    std::span<float> core_ws = workspace.subspan(
+        static_cast<std::size_t>(ranks_.d1 * hw + ranks_.d2 * ohw));
+
+    // Stage 1 (Eq. 2): Z1[D1, HW] = U1ᵀ · X.
+    gemm_prepacked(packed_u1_, hw, x, hw, 1, z1, hw);
+    // Core stage through the nested plan.
+    core_plan_->run_unchecked(z1, z2, core_ws);
+    // Stage 3 (Eq. 4): Y[N, OHW] = U2 · Z2.
+    gemm_prepacked(packed_u2_, ohw, z2, ohw, 1, y, ohw);
+  }
+
+ private:
+  TuckerRanks ranks_;
+  std::unique_ptr<ConvPlan> core_plan_;
+  PackedGemmA packed_u1_;
+  PackedGemmA packed_u2_;
+};
+
+}  // namespace
+
+std::unique_ptr<ConvPlan> compile_tucker_plan(const TuckerDescriptor& desc,
+                                              const TuckerFactors& factors) {
+  TDC_CHECK_MSG(desc.shape.valid(),
+                "invalid convolution shape " + desc.shape.to_string());
+  TDC_CHECK_MSG(desc.shape.batch == 1,
+                "descriptors are single-image; batching happens in "
+                "run_batched");
+  TDC_CHECK_MSG(factors.u1.rank() == 2 && factors.u1.dim(0) == desc.shape.c,
+                "U1 row count != C");
+  TDC_CHECK_MSG(factors.u2.rank() == 2 && factors.u2.dim(0) == desc.shape.n,
+                "U2 row count != N");
+  const TuckerRanks ranks = factors.ranks();
+  TDC_CHECK_MSG(factors.core.rank() == 4 &&
+                    factors.core.dim(0) == ranks.d1 &&
+                    factors.core.dim(1) == ranks.d2 &&
+                    factors.core.dim(2) == desc.shape.r &&
+                    factors.core.dim(3) == desc.shape.s,
+                "core tensor does not match factors/shape");
+
+  if (desc.exec == TuckerExec::kFused) {
+    return std::make_unique<FusedTuckerPlanImpl>(desc.shape, factors,
+                                                 desc.row_tile);
+  }
+  ConvDescriptor core_desc;
+  core_desc.shape = core_conv_shape(desc.shape, ranks);
+  core_desc.algo = desc.core_algo;
+  core_desc.device = desc.device;
+  return std::make_unique<StagedTuckerPlanImpl>(
+      desc.shape, factors, compile_conv_plan(core_desc, factors.core));
+}
+
+}  // namespace tdc

@@ -1,0 +1,215 @@
+// Winograd F(2×2, 3×3) as a compiled plan — the cuDNN non-fused WINOGRAD
+// structure: input transform, 16 transform-domain GEMMs, output transform.
+//
+// Standard minimal-filtering formulation (Lavin & Gray, 2016):
+//   Y_tile = A^T [ (G g G^T) ⊙ (B^T d B) ] A
+// with 4×4 input tiles d, 3×3 filters g, 2×2 output tiles, and the classic
+// constant matrices B, G, A. Channel accumulation happens per transform
+// point as a [N, C] × [C, P] GEMM over the P = tiles_h·tiles_w tile columns,
+// which is where the engine's packed micro-kernel (and the per-plan filter
+// transform + weight packing) replaces the seed's per-tile double-precision
+// scalar loops.
+#include <array>
+#include <memory>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "exec/plan_impl.h"
+#include "linalg/gemm.h"
+
+namespace tdc::detail {
+
+namespace {
+
+using Tile4 = std::array<std::array<float, 4>, 4>;
+
+// B^T d B for a 4×4 data tile.
+// B^T = [1  0 -1  0; 0  1  1  0; 0 -1  1  0; 0  1  0 -1]
+Tile4 input_transform(const Tile4& d) {
+  Tile4 t{};  // t = B^T d
+  for (int j = 0; j < 4; ++j) {
+    t[0][j] = d[0][j] - d[2][j];
+    t[1][j] = d[1][j] + d[2][j];
+    t[2][j] = d[2][j] - d[1][j];
+    t[3][j] = d[1][j] - d[3][j];
+  }
+  Tile4 u{};  // u = t B
+  for (int i = 0; i < 4; ++i) {
+    u[i][0] = t[i][0] - t[i][2];
+    u[i][1] = t[i][1] + t[i][2];
+    u[i][2] = t[i][2] - t[i][1];
+    u[i][3] = t[i][1] - t[i][3];
+  }
+  return u;
+}
+
+// G g G^T for a 3×3 filter.
+// G = [1 0 0; 1/2 1/2 1/2; 1/2 -1/2 1/2; 0 0 1]
+Tile4 filter_transform(const std::array<std::array<float, 3>, 3>& g) {
+  std::array<std::array<float, 3>, 4> t{};  // t = G g
+  for (int j = 0; j < 3; ++j) {
+    t[0][j] = g[0][j];
+    t[1][j] = 0.5f * (g[0][j] + g[1][j] + g[2][j]);
+    t[2][j] = 0.5f * (g[0][j] - g[1][j] + g[2][j]);
+    t[3][j] = g[2][j];
+  }
+  Tile4 u{};  // u = t G^T
+  for (int i = 0; i < 4; ++i) {
+    u[i][0] = t[i][0];
+    u[i][1] = 0.5f * (t[i][0] + t[i][1] + t[i][2]);
+    u[i][2] = 0.5f * (t[i][0] - t[i][1] + t[i][2]);
+    u[i][3] = t[i][2];
+  }
+  return u;
+}
+
+// A^T m A for the accumulated 4×4 transform-domain tile → 2×2 output.
+// A^T = [1 1 1 0; 0 1 -1 -1]
+std::array<std::array<float, 2>, 2> output_transform(const float m[16]) {
+  std::array<std::array<float, 4>, 2> t{};  // t = A^T m
+  for (int j = 0; j < 4; ++j) {
+    t[0][j] = m[0 * 4 + j] + m[1 * 4 + j] + m[2 * 4 + j];
+    t[1][j] = m[1 * 4 + j] - m[2 * 4 + j] - m[3 * 4 + j];
+  }
+  std::array<std::array<float, 2>, 2> y{};
+  for (int i = 0; i < 2; ++i) {
+    y[i][0] = t[i][0] + t[i][1] + t[i][2];
+    y[i][1] = t[i][1] - t[i][2] - t[i][3];
+  }
+  return y;
+}
+
+class WinogradPlanImpl final : public ConvPlan {
+ public:
+  WinogradPlanImpl(const ConvShape& shape, const Tensor& kernel_cnrs)
+      : ConvPlan(shape, ConvAlgo::kWinograd),
+        tiles_h_((shape.out_h() + 1) / 2),
+        tiles_w_((shape.out_w() + 1) / 2) {
+    // Per-layer invariant: the 16 transform-domain weight matrices
+    // U_k ∈ [N, C], each prepacked into GEMM panels.
+    const std::int64_t c = shape.c;
+    const std::int64_t n = shape.n;
+    Tensor uk({16, n, c});
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      for (std::int64_t ni = 0; ni < n; ++ni) {
+        std::array<std::array<float, 3>, 3> g{};
+        for (int r = 0; r < 3; ++r) {
+          for (int s = 0; s < 3; ++s) {
+            g[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)] =
+                kernel_cnrs(ci, ni, r, s);
+          }
+        }
+        const Tile4 u = filter_transform(g);
+        for (int k = 0; k < 16; ++k) {
+          uk(k, ni, ci) = u[static_cast<std::size_t>(k / 4)]
+                           [static_cast<std::size_t>(k % 4)];
+        }
+      }
+    }
+    for (int k = 0; k < 16; ++k) {
+      packed_u_[static_cast<std::size_t>(k)] =
+          pack_gemm_a(n, c, uk.raw() + k * n * c, c, 1);
+    }
+  }
+
+  std::int64_t workspace_bytes() const override {
+    const std::int64_t p = tiles_h_ * tiles_w_;
+    // V [16, C, P] input transforms + M [16, N, P] transform-domain outputs.
+    return 16 * (shape_.c + shape_.n) * p *
+           static_cast<std::int64_t>(sizeof(float));
+  }
+
+ protected:
+  void run_image(const float* x, float* y,
+                 std::span<float> workspace) const override {
+    const std::int64_t c = shape_.c;
+    const std::int64_t n = shape_.n;
+    const std::int64_t oh = shape_.out_h();
+    const std::int64_t ow = shape_.out_w();
+    const std::int64_t p = tiles_h_ * tiles_w_;
+    float* v = workspace.data();           // [16, C, P]
+    float* m = v + 16 * c * p;             // [16, N, P]
+
+    // Input transform: each (c, tile) gathers its 4×4 patch (zero outside
+    // the image; conv padding is an index offset) and scatters the 16
+    // transform points down V's k-major layout.
+    parallel_for(0, p, 1, [&](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t tile_id = t0; tile_id < t1; ++tile_id) {
+        const std::int64_t th = tile_id / tiles_w_;
+        const std::int64_t tw = tile_id % tiles_w_;
+        for (std::int64_t ci = 0; ci < c; ++ci) {
+          const float* plane = x + ci * shape_.h * shape_.w;
+          Tile4 d{};
+          for (int i = 0; i < 4; ++i) {
+            const std::int64_t ih = th * 2 + i - shape_.pad_h;
+            for (int j = 0; j < 4; ++j) {
+              const std::int64_t iw = tw * 2 + j - shape_.pad_w;
+              d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                  (ih >= 0 && ih < shape_.h && iw >= 0 && iw < shape_.w)
+                      ? plane[ih * shape_.w + iw]
+                      : 0.0f;
+            }
+          }
+          const Tile4 u = input_transform(d);
+          for (int k = 0; k < 16; ++k) {
+            v[(k * c + ci) * p + tile_id] =
+                u[static_cast<std::size_t>(k / 4)]
+                 [static_cast<std::size_t>(k % 4)];
+          }
+        }
+      }
+    });
+
+    // 16 transform-domain GEMMs: M_k[N, P] = U_k[N, C] · V_k[C, P].
+    for (int k = 0; k < 16; ++k) {
+      gemm_prepacked(packed_u_[static_cast<std::size_t>(k)], p, v + k * c * p,
+                     p, 1, m + k * n * p, p);
+    }
+
+    // Output transform: every tile owns a disjoint 2×2 output patch.
+    parallel_for(0, p, 1, [&](std::int64_t t0, std::int64_t t1) {
+      for (std::int64_t tile_id = t0; tile_id < t1; ++tile_id) {
+        const std::int64_t th = tile_id / tiles_w_;
+        const std::int64_t tw = tile_id % tiles_w_;
+        for (std::int64_t ni = 0; ni < n; ++ni) {
+          float acc[16];
+          for (int k = 0; k < 16; ++k) {
+            acc[k] = m[(k * n + ni) * p + tile_id];
+          }
+          const auto out = output_transform(acc);
+          for (int i = 0; i < 2; ++i) {
+            const std::int64_t o_h = th * 2 + i;
+            if (o_h >= oh) {
+              break;
+            }
+            for (int j = 0; j < 2; ++j) {
+              const std::int64_t o_w = tw * 2 + j;
+              if (o_w >= ow) {
+                break;
+              }
+              y[(ni * oh + o_h) * ow + o_w] =
+                  out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+            }
+          }
+        }
+      }
+    });
+  }
+
+ private:
+  std::int64_t tiles_h_;
+  std::int64_t tiles_w_;
+  std::array<PackedGemmA, 16> packed_u_;
+};
+
+}  // namespace
+
+std::unique_ptr<ConvPlan> make_winograd_plan(const ConvShape& shape,
+                                             const Tensor& kernel_cnrs) {
+  TDC_CHECK_MSG(conv_algo_supports(ConvAlgo::kWinograd, shape),
+                "winograd requires a 3x3 stride-1 problem: " +
+                    shape.to_string());
+  return std::make_unique<WinogradPlanImpl>(shape, kernel_cnrs);
+}
+
+}  // namespace tdc::detail

@@ -11,19 +11,11 @@ namespace {
 
 bool is_pow2(std::int64_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 
-}  // namespace
-
-std::int64_t next_pow2(std::int64_t n) {
-  TDC_CHECK(n >= 1);
-  std::int64_t p = 1;
-  while (p < n) {
-    p <<= 1;
-  }
-  return p;
-}
-
-void fft_inplace(std::vector<std::complex<double>>& x, bool inverse) {
-  const std::int64_t n = static_cast<std::int64_t>(x.size());
+// Shared radix-2 core over either precision. The twiddle recurrence runs in
+// double regardless of T so the float transform only pays single precision
+// in the butterflies, not in accumulated twiddle drift.
+template <class T>
+void fft_core(std::complex<T>* x, std::int64_t n, bool inverse) {
   TDC_CHECK_MSG(is_pow2(n), "fft length must be a power of two");
   if (n == 1) {
     return;
@@ -37,7 +29,7 @@ void fft_inplace(std::vector<std::complex<double>>& x, bool inverse) {
     }
     j ^= bit;
     if (i < j) {
-      std::swap(x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(j)]);
+      std::swap(x[i], x[j]);
     }
   }
 
@@ -48,52 +40,77 @@ void fft_inplace(std::vector<std::complex<double>>& x, bool inverse) {
     for (std::int64_t i = 0; i < n; i += len) {
       std::complex<double> w(1.0, 0.0);
       for (std::int64_t j = 0; j < len / 2; ++j) {
-        const auto u = x[static_cast<std::size_t>(i + j)];
-        const auto v = x[static_cast<std::size_t>(i + j + len / 2)] * w;
-        x[static_cast<std::size_t>(i + j)] = u + v;
-        x[static_cast<std::size_t>(i + j + len / 2)] = u - v;
+        const std::complex<T> wt(static_cast<T>(w.real()),
+                                 static_cast<T>(w.imag()));
+        const auto u = x[i + j];
+        const auto v = x[i + j + len / 2] * wt;
+        x[i + j] = u + v;
+        x[i + j + len / 2] = u - v;
         w *= wlen;
       }
     }
   }
 
   if (inverse) {
-    const double inv_n = 1.0 / static_cast<double>(n);
-    for (auto& v : x) {
-      v *= inv_n;
+    const T inv_n = static_cast<T>(1.0 / static_cast<double>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      x[i] *= inv_n;
     }
   }
+}
+
+template <class T>
+void fft2d_core(std::complex<T>* x, std::int64_t rows, std::int64_t cols,
+                bool inverse) {
+  TDC_CHECK_MSG(is_pow2(rows) && is_pow2(cols),
+                "fft2d dims must be powers of two");
+
+  // Transform rows (contiguous, in place).
+  for (std::int64_t r = 0; r < rows; ++r) {
+    fft_core(x + r * cols, cols, inverse);
+  }
+
+  // Transform columns through a gather/scatter buffer.
+  std::vector<std::complex<T>> buf(static_cast<std::size_t>(rows));
+  for (std::int64_t c = 0; c < cols; ++c) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      buf[static_cast<std::size_t>(r)] = x[r * cols + c];
+    }
+    fft_core(buf.data(), rows, inverse);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      x[r * cols + c] = buf[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t next_pow2(std::int64_t n) {
+  TDC_CHECK(n >= 1);
+  std::int64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& x, bool inverse) {
+  fft_core(x.data(), static_cast<std::int64_t>(x.size()), inverse);
 }
 
 void fft2d_inplace(std::vector<std::complex<double>>& x, std::int64_t rows,
                    std::int64_t cols, bool inverse) {
   TDC_CHECK(static_cast<std::int64_t>(x.size()) == rows * cols);
-  TDC_CHECK_MSG(is_pow2(rows) && is_pow2(cols),
-                "fft2d dims must be powers of two");
+  fft2d_core(x.data(), rows, cols, inverse);
+}
 
-  // Transform rows.
-  std::vector<std::complex<double>> buf(static_cast<std::size_t>(cols));
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t c = 0; c < cols; ++c) {
-      buf[static_cast<std::size_t>(c)] = x[static_cast<std::size_t>(r * cols + c)];
-    }
-    fft_inplace(buf, inverse);
-    for (std::int64_t c = 0; c < cols; ++c) {
-      x[static_cast<std::size_t>(r * cols + c)] = buf[static_cast<std::size_t>(c)];
-    }
-  }
+void fft_inplace(std::complex<float>* x, std::int64_t n, bool inverse) {
+  fft_core(x, n, inverse);
+}
 
-  // Transform columns.
-  buf.assign(static_cast<std::size_t>(rows), {});
-  for (std::int64_t c = 0; c < cols; ++c) {
-    for (std::int64_t r = 0; r < rows; ++r) {
-      buf[static_cast<std::size_t>(r)] = x[static_cast<std::size_t>(r * cols + c)];
-    }
-    fft_inplace(buf, inverse);
-    for (std::int64_t r = 0; r < rows; ++r) {
-      x[static_cast<std::size_t>(r * cols + c)] = buf[static_cast<std::size_t>(r)];
-    }
-  }
+void fft2d_inplace(std::complex<float>* x, std::int64_t rows,
+                   std::int64_t cols, bool inverse) {
+  fft2d_core(x, rows, cols, inverse);
 }
 
 }  // namespace tdc

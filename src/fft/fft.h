@@ -25,4 +25,13 @@ std::int64_t next_pow2(std::int64_t n);
 void fft2d_inplace(std::vector<std::complex<double>>& x, std::int64_t rows,
                    std::int64_t cols, bool inverse);
 
+/// Single-precision variants over raw buffers, used by the FFT convolution
+/// plan: they run on caller-provided workspace memory (a std::complex<float>
+/// view of a float span) instead of allocating, and keep the whole conv
+/// pipeline in the engine's FP32. Twiddle factors are still generated in
+/// double so the float path loses no accuracy to twiddle drift.
+void fft_inplace(std::complex<float>* x, std::int64_t n, bool inverse);
+void fft2d_inplace(std::complex<float>* x, std::int64_t rows,
+                   std::int64_t cols, bool inverse);
+
 }  // namespace tdc

@@ -273,6 +273,15 @@ LatencyBreakdown library_conv_cost(ConvAlgo algo, const DeviceSpec& device,
       return cudnn_winograd_cost(device, shape);
     case ConvAlgo::kFft:
       return cudnn_fft_cost(device, shape);
+    case ConvAlgo::kTdcCore:
+      TDC_CHECK_MSG(false,
+                    "the TDC core kernel is priced by tdc_core_cost, not the "
+                    "library adapters");
+      break;
+    case ConvAlgo::kAuto:
+      TDC_CHECK_MSG(false,
+                    "resolve kAuto (exec/conv_plan.h) before pricing");
+      break;
   }
   TDC_CHECK_MSG(false, "unknown algorithm");
 }

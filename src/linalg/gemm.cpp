@@ -137,18 +137,29 @@ void scale_c(std::int64_t m, std::int64_t n, float* c, std::int64_t ldc,
   });
 }
 
+// Padded row count of the packed-A format: every MR sliver is zero-filled to
+// MR rows, and MC panel boundaries are MR-aligned, so the total is one
+// round-up regardless of how panels split.
+std::int64_t packed_a_rows(std::int64_t m) {
+  return detail::divup(m, kMr) * kMr;
+}
+
 // Shared driver: C[M,N] = alpha·op(A)·op(B) + beta·C with op folded into the
 // packing strides — A(i,kk) = a[i·a_rs + kk·a_cs], B(kk,j) = b[kk·b_rs + j·b_cs] —
-// and a C row stride for writing into a band of a larger matrix.
+// and a C row stride for writing into a band of a larger matrix. When
+// `prepacked_a` is non-null it holds the pack_a output for every (pc, ic)
+// block (the PackedGemmA layout) and the per-panel pack is skipped.
 void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
                  const float* a, std::int64_t a_rs, std::int64_t a_cs,
                  const float* b, std::int64_t b_rs, std::int64_t b_cs,
-                 float* cp, std::int64_t ldc, float alpha, float beta) {
+                 float* cp, std::int64_t ldc, float alpha, float beta,
+                 const float* prepacked_a = nullptr) {
   scale_c(m, n, cp, ldc, beta);
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) {
     return;
   }
 
+  const std::int64_t pm = packed_a_rows(m);
   std::vector<float> bbuf(static_cast<std::size_t>(
       kKc * std::min<std::int64_t>(detail::divup(n, kNr) * kNr, kNc)));
   for (std::int64_t jc = 0; jc < n; jc += kNc) {
@@ -157,21 +168,28 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
       const std::int64_t kc = std::min<std::int64_t>(kKc, k - pc);
       pack_b(kc, nc, b + pc * b_rs + jc * b_cs, b_rs, b_cs, bbuf.data());
 
-      // One chunk per MC panel of rows; each worker packs its own A panel.
+      // One chunk per MC panel of rows; each worker packs its own A panel
+      // (or reads the plan-time pack when one is supplied).
       const std::int64_t num_panels = detail::divup(m, kMc);
       parallel_for(0, num_panels, 1, [&](std::int64_t p0, std::int64_t p1) {
         thread_local std::vector<float> abuf;
-        abuf.resize(static_cast<std::size_t>(kMc * kKc));
         for (std::int64_t p = p0; p < p1; ++p) {
           const std::int64_t ic = p * kMc;
           const std::int64_t mc = std::min<std::int64_t>(kMc, m - ic);
-          pack_a(mc, kc, a + ic * a_rs + pc * a_cs, a_rs, a_cs, abuf.data());
+          const float* apanel;
+          if (prepacked_a != nullptr) {
+            apanel = prepacked_a + pm * pc + ic * kc;
+          } else {
+            abuf.resize(static_cast<std::size_t>(kMc * kKc));
+            pack_a(mc, kc, a + ic * a_rs + pc * a_cs, a_rs, a_cs, abuf.data());
+            apanel = abuf.data();
+          }
           for (std::int64_t jr = 0; jr < nc; jr += kNr) {
             const std::int64_t nr = std::min<std::int64_t>(kNr, nc - jr);
             const float* bp = bbuf.data() + (jr / kNr) * kc * kNr;
             for (std::int64_t ir = 0; ir < mc; ir += kMr) {
               const std::int64_t mr = std::min<std::int64_t>(kMr, mc - ir);
-              const float* ap = abuf.data() + (ir / kMr) * kc * kMr;
+              const float* ap = apanel + (ir / kMr) * kc * kMr;
               float* ctile = cp + (ic + ir) * ldc + jc + jr;
               if (mr == kMr && nr == kNr) {
                 micro_kernel(kc, ap, bp, alpha, ctile, ldc);
@@ -233,6 +251,35 @@ void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k,
                   const float* b, std::int64_t b_rs, std::int64_t b_cs,
                   float* c, std::int64_t ldc, float alpha, float beta) {
   gemm_packed(m, n, k, a, a_rs, a_cs, b, b_rs, b_cs, c, ldc, alpha, beta);
+}
+
+PackedGemmA pack_gemm_a(std::int64_t m, std::int64_t k, const float* a,
+                        std::int64_t a_rs, std::int64_t a_cs) {
+  TDC_CHECK(m >= 1 && k >= 1);
+  PackedGemmA packed;
+  packed.m_ = m;
+  packed.k_ = k;
+  const std::int64_t pm = packed_a_rows(m);
+  packed.panels_.resize(static_cast<std::size_t>(pm * k));
+  // Same (pc, ic) block walk as the driver, so offsets line up exactly:
+  // the panel for K-block pc and row panel ic starts at pm·pc + ic·kc.
+  for (std::int64_t pc = 0; pc < k; pc += kKc) {
+    const std::int64_t kc = std::min<std::int64_t>(kKc, k - pc);
+    for (std::int64_t ic = 0; ic < m; ic += kMc) {
+      const std::int64_t mc = std::min<std::int64_t>(kMc, m - ic);
+      pack_a(mc, kc, a + ic * a_rs + pc * a_cs, a_rs, a_cs,
+             packed.panels_.data() + pm * pc + ic * kc);
+    }
+  }
+  return packed;
+}
+
+void gemm_prepacked(const PackedGemmA& a, std::int64_t n, const float* b,
+                    std::int64_t b_rs, std::int64_t b_cs, float* c,
+                    std::int64_t ldc, float alpha, float beta) {
+  TDC_CHECK_MSG(!a.empty(), "gemm_prepacked on an empty PackedGemmA");
+  gemm_packed(a.m_, n, a.k_, /*a=*/nullptr, 0, 0, b, b_rs, b_cs, c, ldc,
+              alpha, beta, a.panels_.data());
 }
 
 void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -45,6 +46,46 @@ void gemm_strided(std::int64_t m, std::int64_t n, std::int64_t k,
                   const float* b, std::int64_t b_rs, std::int64_t b_cs,
                   float* c, std::int64_t ldc, float alpha = 1.0f,
                   float beta = 0.0f);
+
+/// A-operand panels packed once into the micro-kernel's sliver format.
+///
+/// Packing the left operand is the per-call cost the plan/execute API hoists
+/// out of the serving loop: a convolution plan packs its weight matrix at
+/// compile time and every subsequent gemm_prepacked call skips the pack
+/// entirely. The layout mirrors what the driver produces internally — for
+/// each KC-deep slab of the K dimension, MR-row slivers covering all M rows
+/// (zero-padded at the ragged edge) — so the micro-kernel consumes identical
+/// bytes and the result is bit-identical to the pack-on-the-fly path.
+class PackedGemmA {
+ public:
+  PackedGemmA() = default;
+  std::int64_t rows() const { return m_; }
+  std::int64_t depth() const { return k_; }
+  bool empty() const { return panels_.empty(); }
+
+ private:
+  friend PackedGemmA pack_gemm_a(std::int64_t m, std::int64_t k,
+                                 const float* a, std::int64_t a_rs,
+                                 std::int64_t a_cs);
+  friend void gemm_prepacked(const PackedGemmA& a, std::int64_t n,
+                             const float* b, std::int64_t b_rs,
+                             std::int64_t b_cs, float* c, std::int64_t ldc,
+                             float alpha, float beta);
+  std::int64_t m_ = 0;
+  std::int64_t k_ = 0;
+  std::vector<float> panels_;
+};
+
+/// Packs A (A(i,kk) = a[i·a_rs + kk·a_cs], so transposes are stride swaps)
+/// for reuse across many gemm_prepacked calls.
+PackedGemmA pack_gemm_a(std::int64_t m, std::int64_t k, const float* a,
+                        std::int64_t a_rs, std::int64_t a_cs);
+
+/// C[i·ldc + j] = alpha · Σ_k A(i,k)·B(k,j) + beta · C[i·ldc + j] with a
+/// prepacked A; bit-identical to gemm_strided on the same operands.
+void gemm_prepacked(const PackedGemmA& a, std::int64_t n, const float* b,
+                    std::int64_t b_rs, std::int64_t b_cs, float* c,
+                    std::int64_t ldc, float alpha = 1.0f, float beta = 0.0f);
 
 /// The pre-engine cache-blocked saxpy-style GEMM, kept as the baseline the
 /// packed kernel is benchmarked against (bench_cpu_engine) and as a second

@@ -1,0 +1,173 @@
+// Tests for CompiledModel (exec/compiled_model.h): the compiled plan chain
+// against a manually staged oracle, chain validation, workspace exactness,
+// and batched serving parity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "conv/tucker_conv.h"
+#include "exec/compiled_model.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+namespace {
+
+// A chainable three-layer net with a decomposed middle layer: the decision
+// list is hand-built (the structs are plain data), exactly what a codesign
+// pass emits.
+struct SmallNet {
+  std::vector<LayerDecision> decisions;
+  std::vector<Tensor> kernels;
+};
+
+SmallNet make_small_net(Rng& rng) {
+  SmallNet net;
+  const ConvShape l0 = ConvShape::same(4, 8, 12, 3);       // kept dense
+  const ConvShape l1 = ConvShape::same(8, 8, 12, 3, 2);    // decomposed
+  const ConvShape l2 = ConvShape::same(8, 6, 6, 3);        // kept dense
+
+  LayerDecision d0;
+  d0.shape = l0;
+  LayerDecision d1;
+  d1.shape = l1;
+  d1.decomposed = true;
+  d1.ranks = {4, 4};
+  LayerDecision d2;
+  d2.shape = l2;
+  net.decisions = {d0, d1, d2};
+  for (const ConvShape& s : {l0, l1, l2}) {
+    net.kernels.push_back(Tensor::random_uniform({s.c, s.n, s.r, s.s}, rng));
+  }
+  return net;
+}
+
+TEST(CompiledModel, MatchesManuallyStagedChainBitwise) {
+  Rng rng(601);
+  SmallNet net = make_small_net(rng);
+
+  CompiledModelOptions options;
+  options.dense_algo = ConvAlgo::kIm2col;  // pin so the oracle can match it
+  const CompiledModel model = CompiledModel::compile(
+      make_a100(), net.decisions, net.kernels, options);
+  ASSERT_EQ(model.num_layers(), 3);
+  EXPECT_FALSE(model.decomposed(0));
+  EXPECT_TRUE(model.decomposed(1));
+
+  const ConvShape& in = model.input_shape();
+  const Tensor x = Tensor::random_uniform({in.c, in.h, in.w}, rng);
+
+  // Oracle: the same chain through the free functions. The fused Tucker
+  // plan is bit-identical to the staged im2col pipeline, and the dense
+  // layers are im2col, so the whole chain must match bitwise.
+  const Tensor a0 = conv2d_im2col(x, net.kernels[0], net.decisions[0].shape);
+  const TuckerFactors f =
+      tucker_decompose(net.kernels[1], net.decisions[1].ranks);
+  const Tensor a1 = tucker_conv(a0, f, net.decisions[1].shape,
+                                ConvAlgo::kIm2col);
+  const Tensor expected =
+      conv2d_im2col(a1, net.kernels[2], net.decisions[2].shape);
+
+  const Tensor y = model.run(x);
+  ASSERT_EQ(y.dims(), expected.dims());
+  EXPECT_EQ(Tensor::max_abs_diff(y, expected), 0.0);
+}
+
+TEST(CompiledModel, WorkspaceIsExactUnderPoisonAndGuards) {
+  Rng rng(602);
+  SmallNet net = make_small_net(rng);
+  const CompiledModel model =
+      CompiledModel::compile(make_a100(), net.decisions, net.kernels);
+
+  const ConvShape& in = model.input_shape();
+  const ConvShape& out = model.output_shape();
+  const Tensor x = Tensor::random_uniform({in.c, in.h, in.w}, rng);
+
+  const std::int64_t floats =
+      model.workspace_bytes() / static_cast<std::int64_t>(sizeof(float));
+  constexpr std::int64_t kGuardFloats = 64;
+  constexpr float kGuard = 9876.5f;
+  std::vector<float> buf(static_cast<std::size_t>(floats + 2 * kGuardFloats),
+                         kGuard);
+  std::fill(buf.begin() + kGuardFloats, buf.begin() + kGuardFloats + floats,
+            std::numeric_limits<float>::quiet_NaN());
+
+  Tensor y({out.n, out.out_h(), out.out_w()});
+  model.run(x, &y,
+            std::span<float>(buf).subspan(kGuardFloats,
+                                          static_cast<std::size_t>(floats)));
+  for (std::int64_t i = 0; i < kGuardFloats; ++i) {
+    ASSERT_EQ(buf[static_cast<std::size_t>(i)], kGuard);
+    ASSERT_EQ(buf[buf.size() - 1 - static_cast<std::size_t>(i)], kGuard);
+  }
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(y[i]));
+  }
+
+  std::vector<float> small(static_cast<std::size_t>(floats - 1));
+  EXPECT_THROW(model.run(x, &y, small), Error);
+}
+
+TEST(CompiledModel, BatchedRunMatchesPerImageAcrossThreadCounts) {
+  const int saved = num_threads();
+  Rng rng(603);
+  SmallNet net = make_small_net(rng);
+  const CompiledModel model =
+      CompiledModel::compile(make_a100(), net.decisions, net.kernels);
+
+  const ConvShape& in = model.input_shape();
+  const ConvShape& out = model.output_shape();
+  const std::int64_t batch = 6;
+  const Tensor x = Tensor::random_uniform({batch, in.c, in.h, in.w}, rng);
+
+  Tensor y({batch, out.n, out.out_h(), out.out_w()});
+  std::vector<float> ws(static_cast<std::size_t>(
+      model.batched_workspace_bytes(batch) / sizeof(float)));
+  model.run_batched(x, &y, ws);
+
+  const std::int64_t x_stride = in.c * in.h * in.w;
+  const std::int64_t y_stride = out.n * out.out_h() * out.out_w();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    Tensor xb({in.c, in.h, in.w});
+    std::copy(x.raw() + b * x_stride, x.raw() + (b + 1) * x_stride, xb.raw());
+    const Tensor yb = model.run(xb);
+    for (std::int64_t i = 0; i < y_stride; ++i) {
+      ASSERT_EQ(y[b * y_stride + i], yb[i]) << "image " << b;
+    }
+  }
+
+  for (const int nt : {1, 4}) {
+    set_num_threads(nt);
+    Tensor again({batch, out.n, out.out_h(), out.out_w()});
+    model.run_batched(x, &again, ws);
+    EXPECT_EQ(Tensor::max_abs_diff(y, again), 0.0) << "threads=" << nt;
+  }
+  set_num_threads(saved);
+}
+
+TEST(CompiledModel, NonChainingLayersThrow) {
+  Rng rng(604);
+  LayerDecision d0;
+  d0.shape = ConvShape::same(4, 8, 12, 3);
+  LayerDecision d1;
+  d1.shape = ConvShape::same(16, 8, 12, 3);  // C != previous N
+  std::vector<Tensor> kernels;
+  for (const ConvShape& s : {d0.shape, d1.shape}) {
+    kernels.push_back(Tensor::random_uniform({s.c, s.n, s.r, s.s}, rng));
+  }
+  EXPECT_THROW(
+      CompiledModel::compile(make_a100(), {d0, d1}, kernels), Error);
+}
+
+TEST(CompiledModel, KernelCountMismatchThrows) {
+  LayerDecision d0;
+  d0.shape = ConvShape::same(4, 8, 12, 3);
+  EXPECT_THROW(CompiledModel::compile(make_a100(), {d0}, {}), Error);
+}
+
+}  // namespace
+}  // namespace tdc

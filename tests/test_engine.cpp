@@ -147,6 +147,34 @@ TEST(PackedGemm, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial, threaded);  // chunking is per row panel — bitwise equal
 }
 
+TEST(PackedGemm, PrepackedAIsBitIdenticalToPackOnTheFly) {
+  Rng rng(6780);
+  for (const GemmSize& sz : kSizes) {
+    const auto a = random_vec(static_cast<std::size_t>(sz.m * sz.k), rng);
+    const auto b = random_vec(static_cast<std::size_t>(sz.k * sz.n), rng);
+    std::vector<float> c_ref(static_cast<std::size_t>(sz.m * sz.n));
+    std::vector<float> c_pre(static_cast<std::size_t>(sz.m * sz.n));
+    gemm(sz.m, sz.n, sz.k, a, b, c_ref);
+    const PackedGemmA packed = pack_gemm_a(sz.m, sz.k, a.data(), sz.k, 1);
+    gemm_prepacked(packed, sz.n, b.data(), sz.n, 1, c_pre.data(), sz.n);
+    EXPECT_EQ(c_ref, c_pre) << "m=" << sz.m << " n=" << sz.n << " k=" << sz.k;
+  }
+}
+
+TEST(PackedGemm, PrepackedTransposedAMatchesGemmAt) {
+  Rng rng(6781);
+  const std::int64_t m = 37, n = 53, k = 130;
+  const auto a = random_vec(static_cast<std::size_t>(k * m), rng);  // [K, M]
+  const auto b = random_vec(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> c_at(static_cast<std::size_t>(m * n));
+  std::vector<float> c_pre(static_cast<std::size_t>(m * n));
+  gemm_at(m, n, k, a, b, c_at);
+  // Reading the [K, M] array as A^T is the (1, m) stride pair.
+  const PackedGemmA packed = pack_gemm_a(m, k, a.data(), 1, m);
+  gemm_prepacked(packed, n, b.data(), n, 1, c_pre.data(), n);
+  EXPECT_EQ(c_at, c_pre);
+}
+
 TEST(Transpose2d, BlockedTransposeIsExact) {
   Rng rng(6789);
   const std::vector<std::pair<std::int64_t, std::int64_t>> sizes = {

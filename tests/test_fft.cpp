@@ -154,6 +154,42 @@ TEST(Fft2d, SeparabilityMatchesRowColumnTransforms) {
   }
 }
 
+TEST(Fft2d, FloatVariantTracksDoubleTransform) {
+  Rng rng(71);
+  constexpr std::int64_t rows = 16, cols = 16;
+  std::vector<Cpx> xd(rows * cols);
+  std::vector<std::complex<float>> xf(rows * cols);
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    const double v = rng.uniform(-1, 1);
+    xd[i] = Cpx(v, 0.0);
+    xf[i] = std::complex<float>(static_cast<float>(v), 0.0f);
+  }
+  fft2d_inplace(xd, rows, cols, false);
+  fft2d_inplace(xf.data(), rows, cols, false);
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    EXPECT_NEAR(xf[i].real(), xd[i].real(), 1e-4);
+    EXPECT_NEAR(xf[i].imag(), xd[i].imag(), 1e-4);
+  }
+}
+
+TEST(Fft, FloatRoundTrip) {
+  Rng rng(73);
+  constexpr std::int64_t n = 64;
+  std::vector<std::complex<float>> x(n);
+  for (auto& v : x) {
+    v = std::complex<float>(static_cast<float>(rng.uniform(-1, 1)),
+                            static_cast<float>(rng.uniform(-1, 1)));
+  }
+  std::vector<std::complex<float>> y = x;
+  fft_inplace(y.data(), n, false);
+  fft_inplace(y.data(), n, true);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y[static_cast<std::size_t>(i)] -
+                         x[static_cast<std::size_t>(i)]),
+                0.0, 1e-5);
+  }
+}
+
 TEST(Fft2d, SizeValidation) {
   std::vector<Cpx> x(12);
   EXPECT_THROW(fft2d_inplace(x, 3, 4, false), Error);
