@@ -51,21 +51,6 @@ Tensor conv2d_im2col(const Tensor& x, const Tensor& kernel_cnrs,
 /// im2col's (c, r, s) patch-row order.
 Tensor conv_weight_matrix(const Tensor& kernel_cnrs, const ConvShape& shape);
 
-/// DEPRECATED — superseded by exec/conv_plan.h. Kept as a compatibility
-/// alias: a ConvPlan for ConvAlgo::kIm2col owns the same weight reshape
-/// (prepacked into GEMM panels) plus the workspace contract. The struct and
-/// its helpers remain so existing callers keep compiling.
-struct Im2colPlan {
-  ConvShape shape;
-  Tensor weights;  ///< [N, C·R·S], rows flattened in im2col's (c, r, s) order
-};
-
-/// DEPRECATED — use compile_conv_plan (exec/conv_plan.h).
-Im2colPlan make_im2col_plan(const Tensor& kernel_cnrs, const ConvShape& shape);
-
-/// DEPRECATED — use ConvPlan::run. im2col + GEMM using a prebuilt plan.
-Tensor conv2d_im2col(const Im2colPlan& plan, const Tensor& x);
-
 /// Winograd F(2×2, 3×3). Requires r == s == 3 and stride 1 (throws otherwise).
 Tensor conv2d_winograd(const Tensor& x, const Tensor& kernel_cnrs,
                        const ConvShape& shape);

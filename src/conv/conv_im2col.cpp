@@ -3,7 +3,6 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "conv/conv.h"
-#include "linalg/gemm.h"
 
 namespace tdc {
 
@@ -63,27 +62,6 @@ Tensor conv_weight_matrix(const Tensor& kernel_cnrs, const ConvShape& shape) {
     }
   }
   return weights;
-}
-
-Im2colPlan make_im2col_plan(const Tensor& kernel_cnrs, const ConvShape& shape) {
-  Im2colPlan plan;
-  plan.shape = shape;
-  plan.weights = conv_weight_matrix(kernel_cnrs, shape);
-  return plan;
-}
-
-Tensor conv2d_im2col(const Im2colPlan& plan, const Tensor& x) {
-  const ConvShape& shape = plan.shape;
-  TDC_CHECK_MSG(x.rank() == 3, "input must be [C,H,W]");
-  TDC_CHECK_MSG(x.dim(0) == shape.c && x.dim(1) == shape.h && x.dim(2) == shape.w,
-                "input tensor does not match plan shape");
-  const std::int64_t oh = shape.out_h();
-  const std::int64_t ow = shape.out_w();
-  const Tensor cols = im2col(x, shape);
-  Tensor y({shape.n, oh, ow});
-  gemm(shape.n, oh * ow, shape.c * shape.r * shape.s, plan.weights.data(),
-       cols.data(), y.data());
-  return y;
 }
 
 }  // namespace tdc

@@ -17,4 +17,9 @@ Tensor pointwise_conv(const Tensor& x, const Tensor& u) {
   return z;
 }
 
+void pointwise_conv_prepacked(const PackedGemmA& packed, const float* x,
+                              std::int64_t hw, float* z) {
+  gemm_prepacked(packed, hw, x, hw, 1, z, hw);
+}
+
 }  // namespace tdc

@@ -5,6 +5,7 @@
 // reduce to one GEMM: Z[C_out, H·W] = U^T · X[C_in, H·W].
 #pragma once
 
+#include "linalg/gemm.h"
 #include "tensor/tensor.h"
 
 namespace tdc {
@@ -12,5 +13,13 @@ namespace tdc {
 /// Z(d, h, w) = Σ_c X(c, h, w) · U(c, d). X is [C, H, W], u is [C, D];
 /// returns [D, H, W].
 Tensor pointwise_conv(const Tensor& x, const Tensor& u);
+
+/// Allocation-free channel mix with a GEMM-prepacked factor:
+/// Z[D, HW] = A · X[C, HW] where `packed` holds the [D, C] mix matrix
+/// (pack Uᵀ for the Tucker stages, the [N, C] weight matrix for a 1×1
+/// convolution plan). `x` and `z` are flat row-major [C, HW] / [D, HW]
+/// buffers; bit-identical to the pack-on-the-fly GEMM.
+void pointwise_conv_prepacked(const PackedGemmA& packed, const float* x,
+                              std::int64_t hw, float* z);
 
 }  // namespace tdc

@@ -1,11 +1,6 @@
 #include "exec/compiled_model.h"
 
-#include <algorithm>
-
 #include "common/check.h"
-#include "common/parallel.h"
-#include "exec/plan_impl.h"
-#include "tucker/tucker.h"
 
 namespace tdc {
 
@@ -17,144 +12,41 @@ CompiledModel CompiledModel::compile(const DeviceSpec& device,
   TDC_CHECK_MSG(decisions.size() == kernels_cnrs.size(),
                 "need one kernel tensor per layer decision");
 
-  CompiledModel model;
-  model.max_slots_ = std::max(num_threads(), 1);
+  // Synthesize the convolution-only inventory the decision list describes
+  // and let the graph compiler do the rest (chaining checks, arena
+  // planning, plan-cache sharing).
+  ModelSpec spec;
+  spec.name = "conv-chain";
+  std::vector<LayerWeights> weights(decisions.size());
   for (std::size_t i = 0; i < decisions.size(); ++i) {
-    const LayerDecision& dec = decisions[i];
-    TDC_CHECK_MSG(dec.shape.valid(),
-                  "invalid layer shape " + dec.shape.to_string());
-    if (i > 0) {
-      const ConvShape& prev = decisions[i - 1].shape;
-      TDC_CHECK_MSG(dec.shape.c == prev.n && dec.shape.h == prev.out_h() &&
-                        dec.shape.w == prev.out_w(),
-                    "layer " + std::to_string(i) + " does not chain: " +
-                        dec.shape.to_string() + " after " + prev.to_string());
-    }
-
-    std::unique_ptr<ConvPlan> plan;
-    if (dec.decomposed) {
-      const TuckerFactors factors =
-          tucker_decompose(kernels_cnrs[i], dec.ranks);
-      TuckerDescriptor desc;
-      desc.shape = dec.shape;
-      desc.exec = options.tucker_exec;
-      desc.core_algo = options.tucker_core_algo;
-      desc.device = device;
-      plan = compile_tucker_plan(desc, factors);
-    } else {
-      ConvDescriptor desc;
-      desc.shape = dec.shape;
-      desc.algo = options.dense_algo;
-      desc.device = device;
-      plan = compile_conv_plan(desc, kernels_cnrs[i]);
-    }
-    model.plan_ws_floats_ = std::max<std::int64_t>(
-        model.plan_ws_floats_,
-        plan->workspace_bytes() / static_cast<std::int64_t>(sizeof(float)));
-    model.layers_.push_back(std::move(plan));
-
-    // Intermediate activations only — the last layer writes the caller's y.
-    if (i + 1 < decisions.size()) {
-      const std::int64_t out_floats =
-          dec.shape.n * dec.shape.out_h() * dec.shape.out_w();
-      model.act_floats_ = std::max(model.act_floats_, out_floats);
-    }
+    TDC_CHECK_MSG(decisions[i].shape.valid(),
+                  "invalid layer shape " + decisions[i].shape.to_string());
+    spec.layers.push_back(LayerSpec::make_conv("layer" + std::to_string(i),
+                                               decisions[i].shape));
+    weights[i].conv_kernel = kernels_cnrs[i];
   }
+
+  SessionOptions session_options;
+  session_options.tucker_exec = options.tucker_exec;
+  session_options.dense_algo = options.dense_algo;
+  session_options.tucker_core_algo = options.tucker_core_algo;
+  session_options.use_plan_cache = options.use_plan_cache;
+
+  CompiledModel model;
+  model.session_ =
+      InferenceSession::compile(device, spec, weights, decisions,
+                                session_options);
   return model;
 }
 
+const ConvPlan& CompiledModel::plan(std::int64_t i) const {
+  return dynamic_cast<const ConvPlan&>(session_.op(i));
+}
+
 const ConvShape& CompiledModel::output_shape() const {
-  return layers_.back()->shape();
+  return plan(num_layers() - 1).shape();
 }
 
-const ConvShape& CompiledModel::input_shape() const {
-  return layers_.front()->shape();
-}
-
-std::int64_t CompiledModel::workspace_bytes() const {
-  return (2 * act_floats_ + plan_ws_floats_) *
-         static_cast<std::int64_t>(sizeof(float));
-}
-
-std::int64_t CompiledModel::batch_slots(std::int64_t batch) const {
-  return detail::batch_slots(batch, max_slots_);
-}
-
-std::int64_t CompiledModel::batched_workspace_bytes(std::int64_t batch) const {
-  TDC_CHECK(batch >= 1);
-  return batch_slots(batch) * workspace_bytes();
-}
-
-void CompiledModel::run_chain(const float* x, float* y,
-                              std::span<float> workspace) const {
-  float* act_a = workspace.data();
-  float* act_b = act_a + act_floats_;
-  std::span<float> plan_ws = workspace.subspan(
-      static_cast<std::size_t>(2 * act_floats_),
-      static_cast<std::size_t>(plan_ws_floats_));
-
-  const float* cur = x;
-  const std::int64_t last = num_layers() - 1;
-  for (std::int64_t i = 0; i <= last; ++i) {
-    float* out = i == last ? y : (i % 2 == 0 ? act_a : act_b);
-    layers_[i]->run_unchecked(cur, out, plan_ws);
-    cur = out;
-  }
-}
-
-void CompiledModel::run(const Tensor& x, Tensor* y,
-                        std::span<float> workspace) const {
-  const ConvShape& in = input_shape();
-  const ConvShape& out = output_shape();
-  TDC_CHECK_MSG(x.rank() == 3 && x.dim(0) == in.c && x.dim(1) == in.h &&
-                    x.dim(2) == in.w,
-                "model input does not match " + in.to_string());
-  TDC_CHECK_MSG(y != nullptr && y->rank() == 3 && y->dim(0) == out.n &&
-                    y->dim(1) == out.out_h() && y->dim(2) == out.out_w(),
-                "model output must be a preallocated [N, OH, OW] tensor");
-  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
-                        static_cast<std::int64_t>(sizeof(float)) >=
-                    workspace_bytes(),
-                "model workspace too small");
-  run_chain(x.raw(), y->raw(),
-            workspace.first(static_cast<std::size_t>(
-                workspace_bytes() / sizeof(float))));
-}
-
-Tensor CompiledModel::run(const Tensor& x) const {
-  const ConvShape& out = output_shape();
-  Tensor y({out.n, out.out_h(), out.out_w()});
-  std::vector<float> workspace(
-      static_cast<std::size_t>(workspace_bytes() / sizeof(float)));
-  run(x, &y, workspace);
-  return y;
-}
-
-void CompiledModel::run_batched(const Tensor& x, Tensor* y,
-                                std::span<float> workspace) const {
-  const ConvShape& in = input_shape();
-  const ConvShape& out = output_shape();
-  TDC_CHECK_MSG(x.rank() == 4 && x.dim(1) == in.c && x.dim(2) == in.h &&
-                    x.dim(3) == in.w,
-                "batched model input must be [B, C, H, W]");
-  const std::int64_t batch = x.dim(0);
-  TDC_CHECK_MSG(y != nullptr && y->rank() == 4 && y->dim(0) == batch &&
-                    y->dim(1) == out.n && y->dim(2) == out.out_h() &&
-                    y->dim(3) == out.out_w(),
-                "batched model output must be [B, N, OH, OW]");
-  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
-                        static_cast<std::int64_t>(sizeof(float)) >=
-                    batched_workspace_bytes(batch),
-                "batched model workspace too small");
-
-  const std::int64_t x_stride = in.c * in.h * in.w;
-  const std::int64_t y_stride = out.n * out.out_h() * out.out_w();
-  detail::run_slotted(
-      batch, batch_slots(batch), workspace,
-      workspace_bytes() / static_cast<std::int64_t>(sizeof(float)),
-      [&](std::int64_t b, std::span<float> slot_ws) {
-        run_chain(x.raw() + b * x_stride, y->raw() + b * y_stride, slot_ws);
-      });
-}
+const ConvShape& CompiledModel::input_shape() const { return plan(0).shape(); }
 
 }  // namespace tdc

@@ -2,8 +2,7 @@
 //
 // The co-design pass (core/codesign.h, paper Algorithm 1) decides per layer
 // whether to decompose and at which ranks. CompiledModel turns that decision
-// list plus the layers' weights into an executable chain of ConvPlans — the
-// deployment artifact of the plan/execute API:
+// list plus the layers' weights into an executable chain of ConvPlans:
 //
 //   CodesignResult result = run_codesign(device, shapes, opts);
 //   CompiledModel model = CompiledModel::compile(device, result.layers,
@@ -12,19 +11,21 @@
 //   Tensor y({model.output_shape().n, ...});
 //   for (const Tensor& x : requests) model.run(x, &y, ws);
 //
-// Decomposed layers are Tucker-decomposed at the decided ranks and compiled
-// into fused-pipeline plans; kept layers become dense plans (kAuto by
-// default). Intermediate activations ping-pong through the caller's
-// workspace, so the steady-state serving loop performs no allocation at all.
+// Since the graph-level API landed, CompiledModel is a thin wrapper: it
+// synthesizes a convolution-only ModelSpec from the decision list and
+// compiles it through InferenceSession (exec/graph_plan.h), which plans the
+// activation arena and shares conv plans through the process-wide PlanCache.
+// Whole inventories — pooling, BN, residual adds, the classifier head — go
+// through InferenceSession directly; this class remains the convenient
+// entry point for pure convolution trunks.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/codesign.h"
-#include "exec/conv_plan.h"
+#include "exec/graph_plan.h"
 
 namespace tdc {
 
@@ -35,6 +36,8 @@ struct CompiledModelOptions {
   ConvAlgo dense_algo = ConvAlgo::kAuto;
   /// Core-stage algorithm of staged Tucker layers.
   ConvAlgo tucker_core_algo = ConvAlgo::kIm2col;
+  /// Share plans through the process-wide PlanCache (exec/plan_cache.h).
+  bool use_plan_cache = true;
 };
 
 class CompiledModel {
@@ -48,44 +51,45 @@ class CompiledModel {
                                const std::vector<Tensor>& kernels_cnrs,
                                const CompiledModelOptions& options = {});
 
-  std::int64_t num_layers() const {
-    return static_cast<std::int64_t>(layers_.size());
-  }
-  const ConvPlan& plan(std::int64_t i) const { return *layers_[i]; }
-  bool decomposed(std::int64_t i) const { return layers_[i]->decomposed(); }
+  std::int64_t num_layers() const { return session_.num_ops(); }
+  const ConvPlan& plan(std::int64_t i) const;
+  bool decomposed(std::int64_t i) const { return plan(i).decomposed(); }
   /// Geometry of the final layer (its [N, OH, OW] is the model output).
   const ConvShape& output_shape() const;
   const ConvShape& input_shape() const;
 
-  /// Exact scratch bytes one run() touches: two ping-pong activation
-  /// buffers plus the largest per-layer plan workspace.
-  std::int64_t workspace_bytes() const;
+  /// The underlying graph session (arena introspection, op access).
+  const InferenceSession& session() const { return session_; }
+
+  /// Exact scratch bytes one run() touches: the liveness-planned activation
+  /// arena plus the largest per-layer plan workspace.
+  std::int64_t workspace_bytes() const { return session_.workspace_bytes(); }
   /// Scratch for run_batched over `batch` images.
-  std::int64_t batched_workspace_bytes(std::int64_t batch) const;
+  std::int64_t batched_workspace_bytes(std::int64_t batch) const {
+    return session_.batched_workspace_bytes(batch);
+  }
 
   /// x [C, H, W] of the first layer → y preallocated [N, OH, OW] of the
   /// last. Allocation-free; bit-identical across calls and thread counts.
-  void run(const Tensor& x, Tensor* y, std::span<float> workspace) const;
+  void run(const Tensor& x, Tensor* y, std::span<float> workspace) const {
+    session_.run(x, y, workspace);
+  }
 
   /// Single-shot convenience: allocates output and workspace.
-  Tensor run(const Tensor& x) const;
+  Tensor run(const Tensor& x) const { return session_.run(x); }
 
   /// Batched serving: x [B, C, H, W] → y preallocated [B, N, OH, OW];
   /// images fan out across the parallel runtime, one full plan chain per
   /// workspace slot.
   void run_batched(const Tensor& x, Tensor* y,
-                   std::span<float> workspace) const;
+                   std::span<float> workspace) const {
+    session_.run_batched(x, y, workspace);
+  }
 
  private:
   CompiledModel() = default;
 
-  void run_chain(const float* x, float* y, std::span<float> workspace) const;
-  std::int64_t batch_slots(std::int64_t batch) const;
-
-  std::vector<std::unique_ptr<ConvPlan>> layers_;
-  std::int64_t act_floats_ = 0;      ///< largest intermediate activation
-  std::int64_t plan_ws_floats_ = 0;  ///< largest per-layer plan workspace
-  std::int64_t max_slots_ = 1;
+  InferenceSession session_;
 };
 
 }  // namespace tdc

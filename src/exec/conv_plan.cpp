@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "conv/pointwise.h"
 #include "core/tdc_model.h"
 #include "exec/plan_impl.h"
 #include "gpusim/library_cost.h"
@@ -39,66 +40,10 @@ void run_slotted(std::int64_t batch, std::int64_t slots,
 }  // namespace detail
 
 ConvPlan::ConvPlan(const ConvShape& shape, ConvAlgo algo)
-    : shape_(shape), algo_(algo), max_slots_(std::max(num_threads(), 1)) {}
-
-std::int64_t ConvPlan::batch_slots(std::int64_t batch) const {
-  return detail::batch_slots(batch, max_slots_);
-}
-
-std::int64_t ConvPlan::batched_workspace_bytes(std::int64_t batch) const {
-  TDC_CHECK(batch >= 1);
-  return batch_slots(batch) * workspace_bytes();
-}
-
-void ConvPlan::run(const Tensor& x, Tensor* y,
-                   std::span<float> workspace) const {
-  TDC_CHECK_MSG(x.rank() == 3 && x.dim(0) == shape_.c &&
-                    x.dim(1) == shape_.h && x.dim(2) == shape_.w,
-                "plan input does not match " + shape_.to_string());
-  TDC_CHECK_MSG(y != nullptr && y->rank() == 3 && y->dim(0) == shape_.n &&
-                    y->dim(1) == shape_.out_h() && y->dim(2) == shape_.out_w(),
-                "plan output must be a preallocated [N, OH, OW] tensor");
-  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
-                        static_cast<std::int64_t>(sizeof(float)) >=
-                    workspace_bytes(),
-                "plan workspace too small: need " +
-                    std::to_string(workspace_bytes()) + " bytes");
-  run_image(x.raw(), y->raw(), workspace.first(
-      static_cast<std::size_t>(workspace_bytes() / sizeof(float))));
-}
-
-Tensor ConvPlan::run(const Tensor& x) const {
-  Tensor y({shape_.n, shape_.out_h(), shape_.out_w()});
-  std::vector<float> workspace(
-      static_cast<std::size_t>(workspace_bytes() / sizeof(float)));
-  run(x, &y, workspace);
-  return y;
-}
-
-void ConvPlan::run_batched(const Tensor& x, Tensor* y,
-                           std::span<float> workspace) const {
-  TDC_CHECK_MSG(x.rank() == 4 && x.dim(1) == shape_.c &&
-                    x.dim(2) == shape_.h && x.dim(3) == shape_.w,
-                "batched plan input must be [B, C, H, W]");
-  const std::int64_t batch = x.dim(0);
-  TDC_CHECK_MSG(y != nullptr && y->rank() == 4 && y->dim(0) == batch &&
-                    y->dim(1) == shape_.n && y->dim(2) == shape_.out_h() &&
-                    y->dim(3) == shape_.out_w(),
-                "batched plan output must be a preallocated [B, N, OH, OW] "
-                "tensor");
-  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
-                        static_cast<std::int64_t>(sizeof(float)) >=
-                    batched_workspace_bytes(batch),
-                "batched plan workspace too small");
-
-  const std::int64_t x_stride = shape_.c * shape_.h * shape_.w;
-  const std::int64_t y_stride = shape_.n * shape_.out_h() * shape_.out_w();
-  detail::run_slotted(
-      batch, batch_slots(batch), workspace, workspace_bytes() / sizeof(float),
-      [&](std::int64_t b, std::span<float> slot_ws) {
-        run_image(x.raw() + b * x_stride, y->raw() + b * y_stride, slot_ws);
-      });
-}
+    : OpPlan({OpShape{shape.c, shape.h, shape.w}},
+             OpShape{shape.n, shape.out_h(), shape.out_w()}),
+      shape_(shape),
+      algo_(algo) {}
 
 namespace {
 
@@ -136,11 +81,18 @@ class ReferencePlanImpl final : public ConvPlan {
 
 // ---------------------------------------------------------------------------
 // im2col + GEMM with the [N, C·R·S] weight matrix packed into micro-kernel
-// panels at compile time; the workspace holds the patch matrix.
+// panels at compile time; the workspace holds the patch matrix. Unit-stride
+// unpadded 1×1 layers (the pointwise convolutions of bottleneck and
+// downsample paths) skip the patch copy entirely — their im2col buffer would
+// be the input image verbatim, so the GEMM reads X in place and the
+// workspace is zero.
 class Im2colPlanImpl final : public ConvPlan {
  public:
   Im2colPlanImpl(const ConvShape& shape, const Tensor& kernel_cnrs)
-      : ConvPlan(shape, ConvAlgo::kIm2col) {
+      : ConvPlan(shape, ConvAlgo::kIm2col),
+        pointwise_(shape.r == 1 && shape.s == 1 && shape.stride_h == 1 &&
+                   shape.stride_w == 1 && shape.pad_h == 0 &&
+                   shape.pad_w == 0) {
     const Tensor weights = conv_weight_matrix(kernel_cnrs, shape);
     packed_weights_ = pack_gemm_a(shape.n, shape.c * shape.r * shape.s,
                                   weights.raw(),
@@ -148,6 +100,9 @@ class Im2colPlanImpl final : public ConvPlan {
   }
 
   std::int64_t workspace_bytes() const override {
+    if (pointwise_) {
+      return 0;
+    }
     return shape_.c * shape_.r * shape_.s * shape_.out_h() * shape_.out_w() *
            static_cast<std::int64_t>(sizeof(float));
   }
@@ -156,12 +111,17 @@ class Im2colPlanImpl final : public ConvPlan {
   void run_image(const float* x, float* y,
                  std::span<float> workspace) const override {
     const std::int64_t ohw = shape_.out_h() * shape_.out_w();
+    if (pointwise_) {
+      pointwise_conv_prepacked(packed_weights_, x, ohw, y);
+      return;
+    }
     im2col_into(x, shape_, workspace.data());
     gemm_prepacked(packed_weights_, ohw, workspace.data(), ohw, 1, y, ohw);
   }
 
  private:
   PackedGemmA packed_weights_;
+  bool pointwise_;
 };
 
 // ---------------------------------------------------------------------------
@@ -214,8 +174,13 @@ ConvAlgo resolve_conv_algo(const DeviceSpec& device, const ConvShape& shape) {
   TDC_CHECK_MSG(shape.valid(), "invalid shape " + shape.to_string());
   ConvAlgo best = ConvAlgo::kIm2col;
   double best_s = library_conv_cost(ConvAlgo::kIm2col, device, shape).total_s;
+  // A 1×1 layer is already a bare channel-mix GEMM: the transform-domain
+  // algorithms only add forward/inverse transform launches around the same
+  // GEMM, so they are excluded outright instead of trusting the FFT cost
+  // model's padded-plane arithmetic on degenerate filters.
+  const bool pointwise = shape.r == 1 && shape.s == 1;
   for (const ConvAlgo algo : {ConvAlgo::kWinograd, ConvAlgo::kFft}) {
-    if (!conv_algo_supports(algo, shape)) {
+    if (pointwise || !conv_algo_supports(algo, shape)) {
       continue;
     }
     const double s = library_conv_cost(algo, device, shape).total_s;

@@ -25,6 +25,7 @@
 
 #include "conv/conv.h"
 #include "core/tdc_kernel.h"
+#include "exec/op_plan.h"
 #include "gpusim/device.h"
 #include "tensor/layout.h"
 #include "tucker/tucker.h"
@@ -64,10 +65,11 @@ struct TuckerDescriptor {
 };
 
 /// A compiled convolution: per-layer invariants + an allocation-free run.
-class ConvPlan {
+/// One OpPlan implementation among several (exec/op_plan.h): input is the
+/// layer's [C, H, W], output its [N, OH, OW]; run/run_batched/workspace
+/// semantics are the shared OpPlan contract.
+class ConvPlan : public OpPlan {
  public:
-  virtual ~ConvPlan() = default;
-
   /// The original problem geometry (for Tucker plans, the full C → N layer).
   const ConvShape& shape() const { return shape_; }
   /// Resolved algorithm (never kAuto). For Tucker-pipeline plans this is the
@@ -77,52 +79,19 @@ class ConvPlan {
   /// True for Tucker-pipeline plans (compile_tucker_plan).
   virtual bool decomposed() const { return false; }
 
-  /// Exact scratch bytes one run() call touches (0 is possible). The plan
-  /// never reads or writes workspace memory past this size.
-  virtual std::int64_t workspace_bytes() const = 0;
-
-  /// Scratch bytes a run_batched() call over `batch` images touches: one
-  /// single-image workspace per concurrency slot.
-  std::int64_t batched_workspace_bytes(std::int64_t batch) const;
-
-  /// Y = conv(X) with X [C, H, W], Y a preallocated [N, OH, OW] tensor and
-  /// `workspace` at least workspace_bytes() bytes of float storage. Every
-  /// output element is written; results are bit-identical across repeated
-  /// calls and thread counts.
-  void run(const Tensor& x, Tensor* y, std::span<float> workspace) const;
-
-  /// Single-shot convenience: allocates output and workspace, runs once.
-  Tensor run(const Tensor& x) const;
-
-  /// Batched serving entry point: x [B, C, H, W] → y [B, N, OH, OW], images
-  /// fanned across the parallel runtime with per-slot workspace slices;
-  /// `workspace` needs batched_workspace_bytes(B). Weights stay packed in
-  /// the plan, so nothing is re-derived per image or per band.
-  void run_batched(const Tensor& x, Tensor* y,
-                   std::span<float> workspace) const;
-
-  /// Expert entry point over flat buffers (x [C·H·W], y [N·OH·OW], operands
-  /// already validated): what run() calls after checking shapes, and what
-  /// CompiledModel uses to chain plans through workspace activations.
-  void run_unchecked(const float* x, float* y,
-                     std::span<float> workspace) const {
-    run_image(x, y, workspace);
-  }
-
  protected:
   ConvPlan(const ConvShape& shape, ConvAlgo algo);
 
   virtual void run_image(const float* x, float* y,
                          std::span<float> workspace) const = 0;
 
-  /// Concurrency slots a batched run fans out over (frozen at compile time
-  /// from the runtime's thread count, so later set_num_threads calls never
-  /// outgrow a sized workspace).
-  std::int64_t batch_slots(std::int64_t batch) const;
+  void run_node(std::span<const float* const> inputs, float* y,
+                std::span<float> workspace) const final {
+    run_image(inputs[0], y, workspace);
+  }
 
   ConvShape shape_;
   ConvAlgo algo_;
-  std::int64_t max_slots_;
 };
 
 /// Algorithm selection for ConvAlgo::kAuto: among the algorithms that
@@ -130,6 +99,10 @@ class ConvPlan {
 /// simulated latency on `device` — the library adapters price the cuDNN
 /// stand-ins and tdc_core_cost prices the TDC kernel at its model-selected
 /// tiling. Never returns kReference (the oracle is not a deployment path).
+/// Transform-domain algorithms are never selected for pointwise (1×1)
+/// filters: a 1×1 convolution is a plain channel-mix GEMM, and the
+/// transform overhead cannot pay for itself no matter what the padded-plane
+/// cost model says.
 ConvAlgo resolve_conv_algo(const DeviceSpec& device, const ConvShape& shape);
 
 /// Compile a dense plan. The kernel tensor is given in desc.weight_layout

@@ -1,0 +1,483 @@
+#include "exec/graph_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "exec/op_plans.h"
+#include "exec/plan_cache.h"
+#include "exec/plan_impl.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+
+namespace {
+
+// Graph-walk pointer fan-in cap: input pointers are gathered on the stack so
+// the steady state stays allocation-free. Far above any real concat arity.
+constexpr std::int64_t kMaxNodeInputs = 64;
+
+OpShape conv_input_shape(const ConvShape& s) {
+  return OpShape{s.c, s.h, s.w};
+}
+
+PoolDescriptor pool_descriptor(const LayerSpec& layer, const OpShape& in) {
+  TDC_CHECK_MSG(layer.pool.window >= 1,
+                "pool layer '" + layer.name + "' needs a window size");
+  PoolDescriptor d;
+  d.in = in;
+  d.window_h = layer.pool.window;
+  d.window_w = layer.pool.window;
+  d.stride_h = layer.pool.stride;
+  d.stride_w = layer.pool.stride;
+  d.pad_h = layer.pool.pad;
+  d.pad_w = layer.pool.pad;
+  d.kind = layer.pool.max_pool ? PoolKind::kMax : PoolKind::kAvg;
+  return d;
+}
+
+/// Resolved producer edges of layer i (the linear default when the spec
+/// lists none; kModelInput = -1 for layer 0).
+std::vector<std::int64_t> resolve_edges(const ModelSpec& model,
+                                        std::int64_t i) {
+  const LayerSpec& layer = model.layers[static_cast<std::size_t>(i)];
+  if (layer.inputs.empty()) {
+    return {i - 1};  // -1 is the model input
+  }
+  for (const std::int64_t j : layer.inputs) {
+    TDC_CHECK_MSG(j >= 0 && j < i,
+                  "layer '" + layer.name +
+                      "' must reference earlier layers; got input " +
+                      std::to_string(j));
+  }
+  TDC_CHECK_MSG(static_cast<std::int64_t>(layer.inputs.size()) <=
+                    kMaxNodeInputs,
+                "layer '" + layer.name + "' exceeds the fan-in cap");
+  return layer.inputs;
+}
+
+/// Graph-wide shape propagation and validation — the single source of truth
+/// for every per-kind geometry rule (chaining, concat planes, add shape
+/// agreement, FC feature counts, fan-in arity). Both random_model_weights
+/// (which needs channel counts before any weights exist) and
+/// InferenceSession::compile consume it; plan compilation re-derives nothing.
+std::vector<OpShape> infer_output_shapes(const ModelSpec& model) {
+  TDC_CHECK_MSG(!model.layers.empty(), "empty model");
+  TDC_CHECK_MSG(model.layers.front().kind == LayerKind::kConv,
+                "the first layer must be a convolution (it defines the model "
+                "input shape)");
+  const OpShape model_in = conv_input_shape(model.layers.front().conv);
+  std::vector<OpShape> out;
+  out.reserve(model.layers.size());
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    const LayerSpec& layer = model.layers[i];
+    const std::vector<std::int64_t> edges =
+        resolve_edges(model, static_cast<std::int64_t>(i));
+    auto in_shape = [&](std::size_t k) -> const OpShape& {
+      const std::int64_t j = edges[k];
+      return j < 0 ? model_in : out[static_cast<std::size_t>(j)];
+    };
+    const bool multi_input =
+        layer.kind == LayerKind::kElementwise &&
+        (layer.elt == EltOp::kAdd || layer.elt == EltOp::kAddRelu ||
+         layer.elt == EltOp::kConcat);
+    TDC_CHECK_MSG(multi_input || edges.size() == 1,
+                  "layer '" + layer.name + "' takes one input, got " +
+                      std::to_string(edges.size()));
+    switch (layer.kind) {
+      case LayerKind::kConv:
+        TDC_CHECK_MSG(in_shape(0) == conv_input_shape(layer.conv),
+                      "layer '" + layer.name + "' does not chain: input " +
+                          in_shape(0).to_string() + " vs " +
+                          layer.conv.to_string());
+        out.push_back(OpShape{layer.conv.n, layer.conv.out_h(),
+                              layer.conv.out_w()});
+        break;
+      case LayerKind::kPool: {
+        const PoolDescriptor d = pool_descriptor(layer, in_shape(0));
+        TDC_CHECK_MSG(d.valid(), "layer '" + layer.name +
+                                     "' has invalid pooling geometry");
+        out.push_back(OpShape{d.in.c, d.out_h(), d.out_w()});
+        break;
+      }
+      case LayerKind::kGlobalPool:
+        out.push_back(OpShape{in_shape(0).c, 1, 1});
+        break;
+      case LayerKind::kElementwise:
+        if (layer.elt == EltOp::kConcat) {
+          TDC_CHECK_MSG(edges.size() >= 2, "layer '" + layer.name +
+                                               "' concat needs >= 2 inputs");
+          OpShape s = in_shape(0);
+          for (std::size_t k = 1; k < edges.size(); ++k) {
+            TDC_CHECK_MSG(in_shape(k).h == s.h && in_shape(k).w == s.w,
+                          "layer '" + layer.name +
+                              "' concat inputs must share the plane");
+            s.c += in_shape(k).c;
+          }
+          out.push_back(s);
+        } else if (layer.elt == EltOp::kAdd || layer.elt == EltOp::kAddRelu) {
+          TDC_CHECK_MSG(edges.size() >= 2, "layer '" + layer.name +
+                                               "' add needs >= 2 inputs");
+          for (std::size_t k = 1; k < edges.size(); ++k) {
+            TDC_CHECK_MSG(in_shape(k) == in_shape(0),
+                          "layer '" + layer.name +
+                              "' add inputs must share one shape");
+          }
+          out.push_back(in_shape(0));
+        } else {
+          out.push_back(in_shape(0));
+        }
+        break;
+      case LayerKind::kFullyConnected:
+        TDC_CHECK_MSG(in_shape(0).floats() == layer.fc_in,
+                      "layer '" + layer.name + "' expects " +
+                          std::to_string(layer.fc_in) + " input features, " +
+                          "producer yields " +
+                          std::to_string(in_shape(0).floats()));
+        out.push_back(OpShape{layer.fc_out, 1, 1});
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LayerWeights> random_model_weights(const ModelSpec& model,
+                                               std::uint64_t seed) {
+  const std::vector<OpShape> shapes = infer_output_shapes(model);
+  Rng rng(seed);
+  std::vector<LayerWeights> weights(model.layers.size());
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    const LayerSpec& layer = model.layers[i];
+    LayerWeights& w = weights[i];
+    switch (layer.kind) {
+      case LayerKind::kConv: {
+        const ConvShape& s = layer.conv;
+        const float a = static_cast<float>(
+            std::sqrt(6.0 / static_cast<double>(s.c * s.r * s.s)));
+        w.conv_kernel =
+            Tensor::random_uniform({s.c, s.n, s.r, s.s}, rng, -a, a);
+        break;
+      }
+      case LayerKind::kElementwise:
+        if (layer.elt == EltOp::kBatchNorm) {
+          const std::int64_t c = shapes[i].c;
+          w.bn_scale = Tensor::random_uniform({c}, rng, 0.7f, 1.3f);
+          w.bn_shift = Tensor::random_uniform({c}, rng, -0.1f, 0.1f);
+        }
+        break;
+      case LayerKind::kFullyConnected: {
+        const float a = static_cast<float>(
+            std::sqrt(6.0 / static_cast<double>(layer.fc_in)));
+        w.fc_weight =
+            Tensor::random_uniform({layer.fc_out, layer.fc_in}, rng, -a, a);
+        w.fc_bias = Tensor::random_uniform({layer.fc_out}, rng, -0.05f, 0.05f);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return weights;
+}
+
+InferenceSession InferenceSession::compile(
+    const DeviceSpec& device, const ModelSpec& model,
+    const std::vector<LayerWeights>& weights,
+    const std::vector<LayerDecision>& decisions,
+    const SessionOptions& options) {
+  TDC_CHECK_MSG(!model.layers.empty(), "empty model");
+  TDC_CHECK_MSG(weights.size() == model.layers.size(),
+                "need one LayerWeights entry per model layer");
+  TDC_CHECK_MSG(model.layers.front().kind == LayerKind::kConv,
+                "the first layer must be a convolution (it defines the model "
+                "input shape)");
+
+  // Align the decision list: one entry per convolution, or one per
+  // decomposable (spatial-filter) convolution — run_codesign's natural
+  // output for model.decomposable_conv_shapes().
+  std::vector<const LayerDecision*> dec_for(model.layers.size(), nullptr);
+  if (!decisions.empty()) {
+    std::vector<std::size_t> conv_idx;
+    std::vector<std::size_t> decomposable_idx;
+    for (std::size_t i = 0; i < model.layers.size(); ++i) {
+      const LayerSpec& l = model.layers[i];
+      if (l.kind != LayerKind::kConv) {
+        continue;
+      }
+      conv_idx.push_back(i);
+      if (l.conv.r > 1 || l.conv.s > 1) {
+        decomposable_idx.push_back(i);
+      }
+    }
+    const std::vector<std::size_t>* target = nullptr;
+    if (decisions.size() == conv_idx.size()) {
+      target = &conv_idx;
+    } else if (decisions.size() == decomposable_idx.size()) {
+      target = &decomposable_idx;
+    }
+    TDC_CHECK_MSG(target != nullptr,
+                  "decision list must cover every convolution (" +
+                      std::to_string(conv_idx.size()) +
+                      ") or every decomposable convolution (" +
+                      std::to_string(decomposable_idx.size()) + "); got " +
+                      std::to_string(decisions.size()));
+    for (std::size_t k = 0; k < decisions.size(); ++k) {
+      const LayerSpec& l = model.layers[(*target)[k]];
+      TDC_CHECK_MSG(decisions[k].shape == l.conv,
+                    "decision " + std::to_string(k) +
+                        " does not match layer '" + l.name + "': " +
+                        decisions[k].shape.to_string() + " vs " +
+                        l.conv.to_string());
+      dec_for[(*target)[k]] = &decisions[k];
+    }
+  }
+
+  // One validation pass over the whole graph (edges, arity, chaining,
+  // concat/add/FC geometry); plan compilation below only adds the
+  // weight-tensor checks.
+  const std::vector<OpShape> shapes = infer_output_shapes(model);
+
+  InferenceSession s;
+  s.max_slots_ = std::max(num_threads(), 1);
+  s.input_shape_ = conv_input_shape(model.layers.front().conv);
+
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    const LayerSpec& layer = model.layers[i];
+    Node node;
+    node.name = layer.name;
+    node.inputs = resolve_edges(model, static_cast<std::int64_t>(i));
+    std::vector<OpShape> ins;
+    ins.reserve(node.inputs.size());
+    for (const std::int64_t j : node.inputs) {
+      ins.push_back(j == kModelInput
+                        ? s.input_shape_
+                        : shapes[static_cast<std::size_t>(j)]);
+    }
+
+    switch (layer.kind) {
+      case LayerKind::kConv: {
+        const Tensor& kernel = weights[i].conv_kernel;
+        TDC_CHECK_MSG(kernel.rank() == 4 && kernel.dim(0) == layer.conv.c &&
+                          kernel.dim(1) == layer.conv.n &&
+                          kernel.dim(2) == layer.conv.r &&
+                          kernel.dim(3) == layer.conv.s,
+                      "layer '" + layer.name +
+                          "' needs a CNRS kernel matching " +
+                          layer.conv.to_string());
+        const LayerDecision* dec = dec_for[i];
+        if (dec != nullptr && dec->decomposed) {
+          TuckerDescriptor desc;
+          desc.shape = layer.conv;
+          desc.exec = options.tucker_exec;
+          desc.core_algo = options.tucker_core_algo;
+          desc.device = device;
+          if (options.use_plan_cache) {
+            node.plan = PlanCache::instance().get_or_compile_tucker(
+                desc, kernel, dec->ranks);
+          } else {
+            node.plan = compile_tucker_plan(
+                desc, tucker_decompose(kernel, dec->ranks));
+          }
+        } else {
+          ConvDescriptor desc;
+          desc.shape = layer.conv;
+          desc.algo = options.dense_algo;
+          desc.device = device;
+          if (options.use_plan_cache) {
+            node.plan = PlanCache::instance().get_or_compile(desc, kernel);
+          } else {
+            node.plan = compile_conv_plan(desc, kernel);
+          }
+        }
+        break;
+      }
+      case LayerKind::kPool:
+        node.plan = compile_pool_plan(pool_descriptor(layer, ins[0]));
+        break;
+      case LayerKind::kGlobalPool:
+        node.plan = compile_global_pool_plan(
+            ins[0], layer.pool.max_pool ? PoolKind::kMax : PoolKind::kAvg);
+        break;
+      case LayerKind::kElementwise:
+        switch (layer.elt) {
+          case EltOp::kRelu:
+            node.plan = compile_relu_plan(ins[0]);
+            break;
+          case EltOp::kBatchNorm:
+            TDC_CHECK_MSG(!weights[i].bn_scale.empty() &&
+                              !weights[i].bn_shift.empty(),
+                          "layer '" + layer.name +
+                              "' needs folded bn_scale/bn_shift weights");
+            node.plan = compile_batchnorm_plan(ins[0], weights[i].bn_scale,
+                                               weights[i].bn_shift);
+            break;
+          case EltOp::kAdd:
+          case EltOp::kAddRelu:
+            node.plan = compile_add_plan(
+                ins[0], static_cast<std::int64_t>(ins.size()),
+                layer.elt == EltOp::kAddRelu);
+            break;
+          case EltOp::kConcat:
+            node.plan = compile_concat_plan(ins);
+            break;
+        }
+        break;
+      case LayerKind::kFullyConnected: {
+        const Tensor& w = weights[i].fc_weight;
+        TDC_CHECK_MSG(w.rank() == 2 && w.dim(0) == layer.fc_out &&
+                          w.dim(1) == layer.fc_in,
+                      "layer '" + layer.name + "' needs an [out, in] weight");
+        node.plan = compile_fc_plan(w, weights[i].fc_bias);
+        break;
+      }
+    }
+
+    TDC_CHECK_MSG(node.plan->output_shape() == shapes[i],
+                  "layer '" + layer.name +
+                      "' plan geometry diverged from shape propagation");
+    s.plan_ws_floats_ = std::max(
+        s.plan_ws_floats_,
+        node.plan->workspace_bytes() /
+            static_cast<std::int64_t>(sizeof(float)));
+    s.nodes_.push_back(std::move(node));
+  }
+  s.output_shape_ = s.nodes_.back().plan->output_shape();
+
+  // Liveness-planned activation arena: node i's output occupies a block of
+  // the arena for exactly [i, last consumer]; first-fit placement over the
+  // blocks still live keeps skips and branches resident without the arena
+  // growing to the sum of all activations. The final node writes the
+  // caller's output directly.
+  const std::int64_t n = s.num_ops();
+  std::vector<std::int64_t> last_use(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    last_use[static_cast<std::size_t>(i)] = i;
+    for (const std::int64_t j : s.nodes_[static_cast<std::size_t>(i)].inputs) {
+      if (j != kModelInput) {
+        last_use[static_cast<std::size_t>(j)] = i;
+      }
+    }
+  }
+  struct Block {
+    std::int64_t offset;
+    std::int64_t floats;
+    std::int64_t last_use;
+  };
+  std::vector<Block> live;  // sorted by offset
+  for (std::int64_t i = 0; i + 1 < n; ++i) {
+    std::erase_if(live, [&](const Block& b) { return b.last_use < i; });
+    const std::int64_t size =
+        s.nodes_[static_cast<std::size_t>(i)].plan->output_shape().floats();
+    std::int64_t offset = 0;
+    for (const Block& b : live) {
+      if (offset + size <= b.offset) {
+        break;  // fits in the gap before this block
+      }
+      offset = std::max(offset, b.offset + b.floats);
+    }
+    const Block placed{offset, size, last_use[static_cast<std::size_t>(i)]};
+    live.insert(std::upper_bound(live.begin(), live.end(), placed,
+                                 [](const Block& a, const Block& b) {
+                                   return a.offset < b.offset;
+                                 }),
+                placed);
+    s.nodes_[static_cast<std::size_t>(i)].arena_offset = offset;
+    s.arena_floats_ = std::max(s.arena_floats_, offset + size);
+  }
+  return s;
+}
+
+std::int64_t InferenceSession::workspace_bytes() const {
+  return (arena_floats_ + plan_ws_floats_) *
+         static_cast<std::int64_t>(sizeof(float));
+}
+
+std::int64_t InferenceSession::batch_slots(std::int64_t batch) const {
+  return detail::batch_slots(batch, max_slots_);
+}
+
+std::int64_t InferenceSession::batched_workspace_bytes(
+    std::int64_t batch) const {
+  TDC_CHECK(batch >= 1);
+  return batch_slots(batch) * workspace_bytes();
+}
+
+void InferenceSession::run_graph(const float* x, float* y,
+                                 std::span<float> workspace) const {
+  float* arena = workspace.data();
+  const std::span<float> plan_ws = workspace.subspan(
+      static_cast<std::size_t>(arena_floats_),
+      static_cast<std::size_t>(plan_ws_floats_));
+  const float* ptrs[kMaxNodeInputs];
+  const std::int64_t last = num_ops() - 1;
+  for (std::int64_t i = 0; i <= last; ++i) {
+    const Node& node = nodes_[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+      const std::int64_t j = node.inputs[k];
+      ptrs[k] = j == kModelInput
+                    ? x
+                    : arena + nodes_[static_cast<std::size_t>(j)].arena_offset;
+    }
+    float* out = i == last ? y : arena + node.arena_offset;
+    node.plan->run_inputs(
+        std::span<const float* const>(ptrs, node.inputs.size()), out,
+        plan_ws);
+  }
+}
+
+void InferenceSession::run(const Tensor& x, Tensor* y,
+                           std::span<float> workspace) const {
+  TDC_CHECK_MSG(operand_matches(x, input_shape_),
+                "session input does not match " + input_shape_.to_string());
+  TDC_CHECK_MSG(y != nullptr && operand_matches(*y, output_shape_),
+                "session output must be a preallocated " +
+                    output_shape_.to_string() + " tensor");
+  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
+                        static_cast<std::int64_t>(sizeof(float)) >=
+                    workspace_bytes(),
+                "session workspace too small: need " +
+                    std::to_string(workspace_bytes()) + " bytes");
+  run_graph(x.raw(), y->raw(),
+            workspace.first(static_cast<std::size_t>(workspace_bytes() /
+                                                     sizeof(float))));
+}
+
+Tensor InferenceSession::run(const Tensor& x) const {
+  Tensor y({output_shape_.c, output_shape_.h, output_shape_.w});
+  std::vector<float> workspace(
+      static_cast<std::size_t>(workspace_bytes() / sizeof(float)));
+  run(x, &y, workspace);
+  return y;
+}
+
+void InferenceSession::run_batched(const Tensor& x, Tensor* y,
+                                   std::span<float> workspace) const {
+  TDC_CHECK_MSG(x.rank() == 4 && x.dim(1) == input_shape_.c &&
+                    x.dim(2) == input_shape_.h && x.dim(3) == input_shape_.w,
+                "batched session input must be [B, C, H, W]");
+  const std::int64_t batch = x.dim(0);
+  TDC_CHECK_MSG(y != nullptr && y->rank() == 4 && y->dim(0) == batch &&
+                    y->dim(1) == output_shape_.c &&
+                    y->dim(2) == output_shape_.h &&
+                    y->dim(3) == output_shape_.w,
+                "batched session output must be [B, C', H', W']");
+  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
+                        static_cast<std::int64_t>(sizeof(float)) >=
+                    batched_workspace_bytes(batch),
+                "batched session workspace too small");
+
+  const std::int64_t x_stride = input_shape_.floats();
+  const std::int64_t y_stride = output_shape_.floats();
+  detail::run_slotted(
+      batch, batch_slots(batch), workspace,
+      workspace_bytes() / static_cast<std::int64_t>(sizeof(float)),
+      [&](std::int64_t b, std::span<float> slot_ws) {
+        run_graph(x.raw() + b * x_stride, y->raw() + b * y_stride, slot_ws);
+      });
+}
+
+}  // namespace tdc

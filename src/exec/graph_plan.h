@@ -1,0 +1,152 @@
+// Graph-level compilation: a whole ModelSpec as one serving artifact.
+//
+// The paper's end-to-end numbers (Figures 8–9) are measured over full
+// networks, where pooling, inference BN/ReLU, residual adds, concats and the
+// classifier head sit between the convolutions the codesign pass optimizes.
+// InferenceSession compiles that entire inventory — a ModelSpec plus a
+// codesign decision list plus the layer weights — into a DAG of OpPlans:
+//
+//   ModelSpec resnet = make_resnet18();
+//   CodesignResult cd = run_codesign(device,
+//                                    resnet.decomposable_conv_shapes(), opts);
+//   auto weights = random_model_weights(resnet, seed);   // or trained ones
+//   InferenceSession session = InferenceSession::compile(
+//       device, resnet, weights, cd.layers);
+//   std::vector<float> ws(session.workspace_bytes() / 4);
+//   Tensor y({1000, 1, 1});
+//   for (const Tensor& x : requests) session.run(x, &y, ws);
+//
+// Activations live in one arena planned by liveness analysis: every node
+// output gets an offset for exactly the interval between its production and
+// its last consumer, so residual skips and concat branches coexist without
+// the arena growing to the sum of all activations, and the steady state
+// performs no allocation at all. Convolution plans go through the
+// process-wide PlanCache (exec/plan_cache.h), so recompiling a session for
+// a repeated layer shape reuses packed weights, transforms and Tucker
+// factorizations. Runs are bit-identical across thread counts and across
+// cached vs cold compiles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/codesign.h"
+#include "exec/conv_plan.h"
+#include "exec/op_plan.h"
+#include "nn/layer.h"
+
+namespace tdc {
+
+/// Per-layer parameters, aligned with ModelSpec::layers. Only the fields the
+/// layer kind needs are read; the rest stay empty.
+struct LayerWeights {
+  Tensor conv_kernel;  ///< kConv: CNRS [C, N, R, S]
+  Tensor bn_scale;     ///< kElementwise/kBatchNorm: folded per-channel scale
+  Tensor bn_shift;     ///< kElementwise/kBatchNorm: folded per-channel shift
+  Tensor fc_weight;    ///< kFullyConnected: [out, in]
+  Tensor fc_bias;      ///< kFullyConnected: [out], optional (may stay empty)
+};
+
+/// Deterministic synthetic weights for a model inventory (tests, benches,
+/// serving smoke runs): He-scaled conv/FC weights and near-identity BN
+/// affines, so activations stay O(1) through arbitrarily deep inventories.
+std::vector<LayerWeights> random_model_weights(const ModelSpec& model,
+                                               std::uint64_t seed);
+
+struct SessionOptions {
+  /// Execution of decomposed layers (fused is the deployment default).
+  TuckerExec tucker_exec = TuckerExec::kFused;
+  /// Algorithm for convolutions the θ rule kept dense.
+  ConvAlgo dense_algo = ConvAlgo::kAuto;
+  /// Core-stage algorithm of staged Tucker layers.
+  ConvAlgo tucker_core_algo = ConvAlgo::kIm2col;
+  /// Compile convolution plans through the process-wide PlanCache. Off, every
+  /// plan is compiled privately (no sharing, no cache pollution).
+  bool use_plan_cache = true;
+};
+
+class InferenceSession {
+ public:
+  /// An empty session (no ops); assign from compile() before use.
+  InferenceSession() = default;
+
+  /// Compile the model into an executable DAG. `weights[i]` carries layer
+  /// i's parameters. `decisions` is the codesign output: one entry per
+  /// decomposable convolution (run_codesign over
+  /// model.decomposable_conv_shapes()), or one per convolution layer; each
+  /// entry's shape must match its layer, decomposed entries are compiled as
+  /// Tucker pipelines at the decided ranks. Empty keeps every convolution
+  /// dense.
+  static InferenceSession compile(const DeviceSpec& device,
+                                  const ModelSpec& model,
+                                  const std::vector<LayerWeights>& weights,
+                                  const std::vector<LayerDecision>& decisions = {},
+                                  const SessionOptions& options = {});
+
+  /// Producer id meaning "the model input" in op_inputs().
+  static constexpr std::int64_t kModelInput = -1;
+
+  std::int64_t num_ops() const {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
+  const OpPlan& op(std::int64_t i) const {
+    return *nodes_[static_cast<std::size_t>(i)].plan;
+  }
+  const std::string& op_name(std::int64_t i) const {
+    return nodes_[static_cast<std::size_t>(i)].name;
+  }
+  /// Resolved producer edges of op i (kModelInput for the session input).
+  std::span<const std::int64_t> op_inputs(std::int64_t i) const {
+    return nodes_[static_cast<std::size_t>(i)].inputs;
+  }
+
+  const OpShape& input_shape() const { return input_shape_; }
+  const OpShape& output_shape() const { return output_shape_; }
+
+  /// Floats of the liveness-planned activation arena (diagnostics: compare
+  /// against the sum of all intermediate activations to see the reuse).
+  std::int64_t arena_floats() const { return arena_floats_; }
+
+  /// Exact scratch bytes one run() touches: the activation arena plus the
+  /// largest per-op plan workspace.
+  std::int64_t workspace_bytes() const;
+  /// Scratch for run_batched over `batch` images.
+  std::int64_t batched_workspace_bytes(std::int64_t batch) const;
+
+  /// x (input_shape() floats) → y preallocated (output_shape() floats).
+  /// Allocation-free; every output element written; bit-identical across
+  /// calls and thread counts.
+  void run(const Tensor& x, Tensor* y, std::span<float> workspace) const;
+
+  /// Single-shot convenience: allocates output and workspace.
+  Tensor run(const Tensor& x) const;
+
+  /// Batched serving: x [B, C, H, W] → y preallocated [B, C', H', W'];
+  /// images fan out across the parallel runtime, one full graph walk per
+  /// workspace slot.
+  void run_batched(const Tensor& x, Tensor* y,
+                   std::span<float> workspace) const;
+
+ private:
+  struct Node {
+    std::shared_ptr<const OpPlan> plan;
+    std::string name;
+    std::vector<std::int64_t> inputs;  ///< producer node ids or kModelInput
+    std::int64_t arena_offset = 0;     ///< output placement, in floats
+  };
+
+  void run_graph(const float* x, float* y, std::span<float> workspace) const;
+  std::int64_t batch_slots(std::int64_t batch) const;
+
+  std::vector<Node> nodes_;
+  OpShape input_shape_;
+  OpShape output_shape_;
+  std::int64_t arena_floats_ = 0;
+  std::int64_t plan_ws_floats_ = 0;
+  std::int64_t max_slots_ = 1;
+};
+
+}  // namespace tdc

@@ -1,0 +1,177 @@
+#include "exec/plan_cache.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "tucker/tucker.h"
+
+namespace tdc {
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void append_shape(std::string* key, const ConvShape& s) {
+  for (const std::int64_t v : {s.c, s.n, s.h, s.w, s.r, s.s, s.pad_h, s.pad_w,
+                               s.stride_h, s.stride_w, s.batch}) {
+    *key += std::to_string(v);
+    *key += ',';
+  }
+}
+
+void append_u64(std::string* key, std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  *key += buf;
+}
+
+// The device enters the key as its name plus a digest of every numeric
+// field: kAuto resolution and the TDC tiling depend on the full DeviceSpec,
+// so two same-named specs with different parameters must not alias.
+void append_device(std::string* key, const DeviceSpec& d) {
+  *key += d.name;
+  *key += ',';
+  std::uint64_t h = 14695981039346656037ULL;
+  const double fields[] = {static_cast<double>(d.sms),
+                           static_cast<double>(d.max_threads_per_sm),
+                           static_cast<double>(d.max_threads_per_block),
+                           static_cast<double>(d.max_blocks_per_sm),
+                           static_cast<double>(d.shared_mem_per_sm),
+                           static_cast<double>(d.shared_mem_per_block),
+                           static_cast<double>(d.regs_per_sm),
+                           static_cast<double>(d.max_regs_per_thread),
+                           d.peak_flops,
+                           d.mem_bandwidth,
+                           d.l2_bandwidth,
+                           static_cast<double>(d.l2_capacity_bytes),
+                           static_cast<double>(d.warp_size),
+                           d.launch_overhead_s,
+                           d.saturation_streams,
+                           d.warps_for_issue,
+                           d.warps_to_saturate_bw,
+                           d.sync_latency_s,
+                           d.load_stall_s,
+                           d.atomic_penalty,
+                           d.model_top_fraction};
+  h = fnv1a(fields, sizeof(fields), h);
+  append_u64(key, h);
+}
+
+}  // namespace
+
+std::uint64_t tensor_fingerprint(const Tensor& t) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::int64_t d : t.dims()) {
+    h = fnv1a(&d, sizeof(d), h);
+  }
+  // FNV-1a folded over 8-byte blocks (cached compiles fingerprint every
+  // weight tensor of a model, so byte-at-a-time hashing would dominate the
+  // cache-hit path); the ragged tail goes through the byte variant.
+  const auto* p = reinterpret_cast<const unsigned char*>(t.raw());
+  std::size_t bytes = static_cast<std::size_t>(t.numel()) * sizeof(float);
+  while (bytes >= sizeof(std::uint64_t)) {
+    std::uint64_t block;
+    __builtin_memcpy(&block, p, sizeof(block));
+    h ^= block;
+    h *= 1099511628211ULL;
+    p += sizeof(block);
+    bytes -= sizeof(block);
+  }
+  return fnv1a(p, bytes, h);
+}
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const ConvPlan> PlanCache::lookup_or_insert(
+    const std::string& key,
+    const std::function<std::unique_ptr<ConvPlan>()>& compile) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Compile outside the lock so concurrent sessions compiling different
+  // layers don't serialize; on a race the first insert wins and both callers
+  // share it.
+  std::shared_ptr<const ConvPlan> plan = compile();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = plans_.emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::shared_ptr<const ConvPlan> PlanCache::get_or_compile(
+    const ConvDescriptor& desc, const Tensor& kernel) {
+  std::string key = "conv|";
+  append_shape(&key, desc.shape);
+  key += '|';
+  key += std::to_string(static_cast<int>(desc.algo));
+  key += '|';
+  key += std::to_string(static_cast<int>(desc.weight_layout));
+  key += '|';
+  for (const std::int64_t v : {desc.tiling.th, desc.tiling.tw,
+                               desc.tiling.tc}) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  key += '|';
+  append_device(&key, desc.device);
+  key += '|';
+  append_u64(&key, tensor_fingerprint(kernel));
+  return lookup_or_insert(key,
+                          [&] { return compile_conv_plan(desc, kernel); });
+}
+
+std::shared_ptr<const ConvPlan> PlanCache::get_or_compile_tucker(
+    const TuckerDescriptor& desc, const Tensor& kernel_cnrs,
+    const TuckerRanks& ranks) {
+  std::string key = "tucker|";
+  append_shape(&key, desc.shape);
+  key += '|';
+  key += std::to_string(static_cast<int>(desc.exec));
+  key += ',';
+  key += std::to_string(static_cast<int>(desc.core_algo));
+  key += ',';
+  key += std::to_string(desc.row_tile);
+  key += '|';
+  key += std::to_string(ranks.d1);
+  key += ',';
+  key += std::to_string(ranks.d2);
+  key += '|';
+  append_device(&key, desc.device);
+  key += '|';
+  append_u64(&key, tensor_fingerprint(kernel_cnrs));
+  return lookup_or_insert(key, [&] {
+    const TuckerFactors factors = tucker_decompose(kernel_cnrs, ranks);
+    return compile_tucker_plan(desc, factors);
+  });
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_,
+               static_cast<std::int64_t>(plans_.size())};
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace tdc

@@ -1,0 +1,85 @@
+// Process-wide compiled-plan cache, keyed by canonicalized descriptors.
+//
+// CNN inventories repeat layer shapes heavily (every ResNet stage reuses one
+// geometry, serving fleets recompile the same model on every replica
+// process), and plan compilation is the expensive half of the lifecycle:
+// GEMM weight packing, Winograd/FFT filter transforms, Tucker decomposition.
+// The cache makes recompilation of an identical layer free — cuDNN-style —
+// by keying plans on everything that determines the compiled artifact:
+//
+//   shape ⊕ algorithm request ⊕ tiling ⊕ device ⊕ weight fingerprint
+//
+// The weight fingerprint (FNV-1a over the kernel bytes and dims) keeps two
+// same-shape layers with different weights from aliasing; kAuto requests are
+// cacheable before resolution because resolution is a pure function of
+// (device, shape), both of which are in the key.
+//
+// Cached plans are shared as shared_ptr<const ConvPlan>: running a plan is
+// const and touches only caller-owned output/workspace, so one compiled
+// artifact can serve any number of sessions and threads concurrently. One
+// caveat for *direct* plan users: a plan freezes its batched fan-out slot
+// count from the runtime thread count at first compile, so a cache hit
+// taken under a higher set_num_threads() setting serves run_batched at the
+// original concurrency (correct, just narrower; sessions size their own
+// slots at session compile and are unaffected). The cache never evicts;
+// clear() exists for tests and cold-compile benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exec/conv_plan.h"
+
+namespace tdc {
+
+/// 64-bit FNV-1a over a tensor's dims and payload bytes — the weight
+/// identity used in cache keys.
+std::uint64_t tensor_fingerprint(const Tensor& t);
+
+class PlanCache {
+ public:
+  /// The process-wide instance every compile funnels through.
+  static PlanCache& instance();
+
+  /// Dense-plan lookup: returns the cached plan for an identical descriptor
+  /// and kernel, or compiles (compile_conv_plan) and inserts on miss.
+  std::shared_ptr<const ConvPlan> get_or_compile(const ConvDescriptor& desc,
+                                                 const Tensor& kernel);
+
+  /// Decomposed-layer lookup, keyed on the *original* kernel and the decided
+  /// ranks: a hit skips both the Tucker decomposition and plan compilation.
+  /// On miss, decomposes kernel_cnrs at `ranks` and compiles a Tucker
+  /// pipeline plan.
+  std::shared_ptr<const ConvPlan> get_or_compile_tucker(
+      const TuckerDescriptor& desc, const Tensor& kernel_cnrs,
+      const TuckerRanks& ranks);
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t entries = 0;
+  };
+  Stats stats() const;
+
+  /// Drops every entry and resets the counters (plans already handed out
+  /// stay alive through their shared_ptrs).
+  void clear();
+
+ private:
+  PlanCache() = default;
+
+  std::shared_ptr<const ConvPlan> lookup_or_insert(
+      const std::string& key,
+      const std::function<std::unique_ptr<ConvPlan>()>& compile);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const ConvPlan>> plans_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace tdc

@@ -23,6 +23,26 @@ enum class LayerKind {
   kFullyConnected,
 };
 
+/// What a kElementwise layer computes (graph execution; the latency walks
+/// price every variant identically as one pass over the elements).
+enum class EltOp {
+  kRelu,
+  kBatchNorm,  ///< inference-mode per-channel affine
+  kAdd,        ///< residual join
+  kAddRelu,    ///< residual join + activation (ResNet's fused add_relu)
+  kConcat,     ///< channel concatenation (Inception, DenseNet)
+};
+
+/// kPool/kGlobalPool window geometry. `window == 0` means global (the whole
+/// plane); padding taps are excluded (max ignores them, avg divides by the
+/// in-bounds count).
+struct PoolGeom {
+  std::int64_t window = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  bool max_pool = true;
+};
+
 struct LayerSpec {
   LayerKind kind = LayerKind::kElementwise;
   std::string name;
@@ -37,6 +57,18 @@ struct LayerSpec {
   /// kFullyConnected.
   std::int64_t fc_in = 0;
   std::int64_t fc_out = 0;
+
+  /// Producer layers this layer reads, by index into ModelSpec::layers.
+  /// Empty means "the previous layer" (the model input for layer 0) — the
+  /// linear default every chain layer uses. Residual adds list
+  /// {main, shortcut}, concats list the branches in channel order.
+  std::vector<std::int64_t> inputs;
+
+  /// kElementwise: the operator (graph execution only).
+  EltOp elt = EltOp::kRelu;
+
+  /// kPool / kGlobalPool: window geometry (graph execution only).
+  PoolGeom pool;
 
   double flops() const {
     switch (kind) {
@@ -56,20 +88,26 @@ struct LayerSpec {
     l.conv = shape;
     return l;
   }
-  static LayerSpec make_pool(std::string name, double in, double out) {
+  static LayerSpec make_pool(std::string name, double in, double out,
+                             PoolGeom geom = PoolGeom{2, 2, 0, true}) {
     LayerSpec l;
     l.kind = LayerKind::kPool;
     l.name = std::move(name);
     l.elems_in = in;
     l.elems_out = out;
+    l.pool = geom;
     return l;
   }
-  static LayerSpec make_elementwise(std::string name, double elems) {
+  static LayerSpec make_elementwise(std::string name, double elems,
+                                    EltOp op = EltOp::kRelu,
+                                    std::vector<std::int64_t> inputs = {}) {
     LayerSpec l;
     l.kind = LayerKind::kElementwise;
     l.name = std::move(name);
     l.elems_in = elems;
     l.elems_out = elems;
+    l.elt = op;
+    l.inputs = std::move(inputs);
     return l;
   }
   static LayerSpec make_global_pool(std::string name, double in, double out) {
@@ -78,6 +116,7 @@ struct LayerSpec {
     l.name = std::move(name);
     l.elems_in = in;
     l.elems_out = out;
+    l.pool = PoolGeom{0, 1, 0, /*max_pool=*/false};
     return l;
   }
   static LayerSpec make_fc(std::string name, std::int64_t in, std::int64_t out) {

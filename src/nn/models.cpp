@@ -7,13 +7,19 @@ namespace tdc {
 namespace {
 
 // Convolution with BN + ReLU bookkeeping layers appended, torchvision style.
+// `conv_inputs` names the conv's producer layers when it branches off the
+// linear chain (a downsample path); BN and ReLU always follow their conv.
 void push_conv_bn_relu(ModelSpec& m, const std::string& name,
-                       const ConvShape& shape, bool relu = true) {
-  m.layers.push_back(LayerSpec::make_conv(name, shape));
+                       const ConvShape& shape, bool relu = true,
+                       std::vector<std::int64_t> conv_inputs = {}) {
+  LayerSpec conv = LayerSpec::make_conv(name, shape);
+  conv.inputs = std::move(conv_inputs);
+  m.layers.push_back(std::move(conv));
   const double out_elems = static_cast<double>(shape.out_h()) *
                            static_cast<double>(shape.out_w()) *
                            static_cast<double>(shape.n);
-  m.layers.push_back(LayerSpec::make_elementwise(name + ".bn", out_elems));
+  m.layers.push_back(
+      LayerSpec::make_elementwise(name + ".bn", out_elems, EltOp::kBatchNorm));
   if (relu) {
     m.layers.push_back(LayerSpec::make_elementwise(name + ".relu", out_elems));
   }
@@ -58,25 +64,34 @@ ModelSpec make_vgg16() {
 namespace {
 
 // Basic residual block (two 3×3 convolutions) at spatial size `hw_out`.
+// The add_relu joins the main path's BN output with the skip (the block's
+// input, or the projection BN when the block downsamples).
 void push_basic_block(ModelSpec& m, const std::string& name, std::int64_t in,
                       std::int64_t out, std::int64_t hw_in, std::int64_t stride) {
+  const std::int64_t block_in = static_cast<std::int64_t>(m.layers.size()) - 1;
   const std::int64_t hw_out = hw_in / stride;
   push_conv_bn_relu(m, name + ".conv1",
                     ConvShape::same(in, out, hw_in, 3, stride));
   push_conv_bn_relu(m, name + ".conv2", ConvShape::same(out, out, hw_out, 3),
                     /*relu=*/false);
+  const std::int64_t main_out = static_cast<std::int64_t>(m.layers.size()) - 1;
+  std::int64_t skip = block_in;
   if (stride != 1 || in != out) {
     push_conv_bn_relu(m, name + ".downsample",
                       ConvShape::same(in, out, hw_in, 1, stride),
-                      /*relu=*/false);
+                      /*relu=*/false, {block_in});
+    skip = static_cast<std::int64_t>(m.layers.size()) - 1;
   }
-  m.layers.push_back(
-      LayerSpec::make_elementwise(name + ".add_relu", plane(out, hw_out)));
+  m.layers.push_back(LayerSpec::make_elementwise(name + ".add_relu",
+                                                 plane(out, hw_out),
+                                                 EltOp::kAddRelu,
+                                                 {main_out, skip}));
 }
 
 // Bottleneck block (1×1 reduce, 3×3, 1×1 expand ×4).
 void push_bottleneck(ModelSpec& m, const std::string& name, std::int64_t in,
                      std::int64_t mid, std::int64_t hw_in, std::int64_t stride) {
+  const std::int64_t block_in = static_cast<std::int64_t>(m.layers.size()) - 1;
   const std::int64_t out = mid * 4;
   const std::int64_t hw_out = hw_in / stride;
   push_conv_bn_relu(m, name + ".conv1", ConvShape::same(in, mid, hw_in, 1));
@@ -84,13 +99,18 @@ void push_bottleneck(ModelSpec& m, const std::string& name, std::int64_t in,
                     ConvShape::same(mid, mid, hw_in, 3, stride));
   push_conv_bn_relu(m, name + ".conv3", ConvShape::same(mid, out, hw_out, 1),
                     /*relu=*/false);
+  const std::int64_t main_out = static_cast<std::int64_t>(m.layers.size()) - 1;
+  std::int64_t skip = block_in;
   if (stride != 1 || in != out) {
     push_conv_bn_relu(m, name + ".downsample",
                       ConvShape::same(in, out, hw_in, 1, stride),
-                      /*relu=*/false);
+                      /*relu=*/false, {block_in});
+    skip = static_cast<std::int64_t>(m.layers.size()) - 1;
   }
-  m.layers.push_back(
-      LayerSpec::make_elementwise(name + ".add_relu", plane(out, hw_out)));
+  m.layers.push_back(LayerSpec::make_elementwise(name + ".add_relu",
+                                                 plane(out, hw_out),
+                                                 EltOp::kAddRelu,
+                                                 {main_out, skip}));
 }
 
 }  // namespace
@@ -99,8 +119,8 @@ ModelSpec make_resnet18() {
   ModelSpec m;
   m.name = "resnet18";
   push_conv_bn_relu(m, "conv1", ConvShape::same(3, 64, 224, 7, 2));
-  m.layers.push_back(
-      LayerSpec::make_pool("maxpool", plane(64, 112), plane(64, 56)));
+  m.layers.push_back(LayerSpec::make_pool("maxpool", plane(64, 112),
+                                          plane(64, 56), PoolGeom{3, 2, 1}));
   const struct {
     std::int64_t in, out, hw, stride;
   } stages[] = {{64, 64, 56, 1}, {64, 128, 56, 2}, {128, 256, 28, 2},
@@ -122,8 +142,8 @@ ModelSpec make_resnet50() {
   ModelSpec m;
   m.name = "resnet50";
   push_conv_bn_relu(m, "conv1", ConvShape::same(3, 64, 224, 7, 2));
-  m.layers.push_back(
-      LayerSpec::make_pool("maxpool", plane(64, 112), plane(64, 56)));
+  m.layers.push_back(LayerSpec::make_pool("maxpool", plane(64, 112),
+                                          plane(64, 56), PoolGeom{3, 2, 1}));
   const struct {
     std::int64_t blocks, mid, hw, stride;
   } stages[] = {{3, 64, 56, 1}, {4, 128, 56, 2}, {6, 256, 28, 2},
@@ -156,8 +176,8 @@ ModelSpec make_densenet(const std::string& name,
   ModelSpec m;
   m.name = name;
   push_conv_bn_relu(m, "conv0", ConvShape::same(3, 64, 224, 7, 2));
-  m.layers.push_back(
-      LayerSpec::make_pool("pool0", plane(64, 112), plane(64, 56)));
+  m.layers.push_back(LayerSpec::make_pool("pool0", plane(64, 112),
+                                          plane(64, 56), PoolGeom{3, 2, 1}));
 
   std::int64_t channels = 64;
   std::int64_t hw = 56;
@@ -165,13 +185,17 @@ ModelSpec make_densenet(const std::string& name,
     for (std::int64_t li = 0; li < block_config[bi]; ++li) {
       const std::string lname = "denseblock" + std::to_string(bi + 1) +
                                 ".layer" + std::to_string(li + 1);
+      const std::int64_t block_in =
+          static_cast<std::int64_t>(m.layers.size()) - 1;
       push_conv_bn_relu(m, lname + ".conv1",
                         ConvShape::same(channels, kBnSize * kGrowth, hw, 1));
       push_conv_bn_relu(m, lname + ".conv2",
                         ConvShape::same(kBnSize * kGrowth, kGrowth, hw, 3));
-      // Feature concatenation (memory copy of the new features).
-      m.layers.push_back(LayerSpec::make_elementwise(lname + ".concat",
-                                                     plane(kGrowth, hw)));
+      // Feature concatenation (memory copy of the new features): carried
+      // features first, then this layer's growth channels.
+      m.layers.push_back(LayerSpec::make_elementwise(
+          lname + ".concat", plane(kGrowth, hw), EltOp::kConcat,
+          {block_in, static_cast<std::int64_t>(m.layers.size()) - 1}));
       channels += kGrowth;
     }
     if (bi + 1 < block_config.size()) {
@@ -180,11 +204,13 @@ ModelSpec make_densenet(const std::string& name,
                         ConvShape::same(channels, channels / 2, hw, 1));
       channels /= 2;
       m.layers.push_back(LayerSpec::make_pool(
-          tname + ".pool", plane(channels, hw), plane(channels, hw / 2)));
+          tname + ".pool", plane(channels, hw), plane(channels, hw / 2),
+          PoolGeom{2, 2, 0, /*max_pool=*/false}));
       hw /= 2;
     }
   }
-  m.layers.push_back(LayerSpec::make_elementwise("norm5", plane(channels, hw)));
+  m.layers.push_back(LayerSpec::make_elementwise("norm5", plane(channels, hw),
+                                                 EltOp::kBatchNorm));
   m.layers.push_back(
       LayerSpec::make_global_pool("avgpool", plane(channels, hw),
                                   static_cast<double>(channels)));

@@ -201,6 +201,52 @@ TEST(ConvPlan, AutoResolvesToSupportedAlgorithm) {
             1e-4);
 }
 
+TEST(ConvPlan, AutoNeverSelectsTransformAlgosForPointwise) {
+  // Regression: a 1×1 convolution is a bare channel-mix GEMM. Winograd is
+  // shape-rejected anyway, but FFT functionally supports stride-1 1×1
+  // layers, and trusting its padded-plane cost model there could hand a
+  // pointwise layer to the transform path. The resolver must exclude both.
+  const DeviceSpec device = make_a100();
+  for (const ConvShape& shape :
+       {ConvShape::same(64, 64, 56, 1), ConvShape::same(256, 64, 56, 1),
+        ConvShape::same(64, 256, 7, 1), ConvShape::same(64, 128, 56, 1, 2),
+        ConvShape::valid_conv(16, 32, 30, 30, 1, 1)}) {
+    const ConvAlgo resolved = resolve_conv_algo(device, shape);
+    EXPECT_NE(resolved, ConvAlgo::kWinograd) << shape.to_string();
+    EXPECT_NE(resolved, ConvAlgo::kFft) << shape.to_string();
+    EXPECT_TRUE(conv_algo_supports(resolved, shape)) << shape.to_string();
+  }
+}
+
+TEST(ConvPlan, PointwiseIm2colPlanIsZeroWorkspaceAndExact) {
+  // The 1×1 fast path: unit-stride unpadded pointwise plans skip the patch
+  // copy and run the GEMM straight off the input (zero workspace).
+  Rng rng(520);
+  const ConvShape shape = ConvShape::same(6, 9, 11, 1);
+  const Tensor x = Tensor::random_uniform({shape.c, shape.h, shape.w}, rng);
+  const Tensor k =
+      Tensor::random_uniform({shape.c, shape.n, shape.r, shape.s}, rng);
+  ConvDescriptor desc;
+  desc.shape = shape;
+  desc.algo = ConvAlgo::kIm2col;
+  const auto plan = compile_conv_plan(desc, k);
+  EXPECT_EQ(plan->workspace_bytes(), 0);
+  EXPECT_LT(Tensor::rel_error(plan->run(x), conv2d_reference(x, k, shape)),
+            1e-4);
+
+  // Strided 1×1 (a ResNet downsample) still needs the subsampling im2col.
+  const ConvShape strided = ConvShape::same(6, 9, 11, 1, 2);
+  const Tensor ks =
+      Tensor::random_uniform({strided.c, strided.n, strided.r, strided.s},
+                             rng);
+  desc.shape = strided;
+  const auto strided_plan = compile_conv_plan(desc, ks);
+  EXPECT_GT(strided_plan->workspace_bytes(), 0);
+  EXPECT_LT(Tensor::rel_error(strided_plan->run(x),
+                              conv2d_reference(x, ks, strided)),
+            1e-4);
+}
+
 TEST(ConvPlan, ExplicitUnsupportedAlgoThrows) {
   Rng rng(506);
   const ConvShape strided5 = ConvShape::same(2, 2, 8, 5, 2);

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "conv/conv.h"
 #include "conv/tucker_conv.h"
+#include "exec/conv_plan.h"
 #include "linalg/gemm.h"
 #include "tucker/tucker.h"
 
@@ -192,16 +193,25 @@ TEST(Transpose2d, BlockedTransposeIsExact) {
   }
 }
 
-TEST(Im2colPlan, PlanPathMatchesAdHocPath) {
+TEST(Im2colPlan, ReusedPlanMatchesSingleShotPath) {
+  // The deprecated Im2colPlan alias is gone; the equivalent invariant on the
+  // plan/execute API is that one compiled plan replayed over many inputs is
+  // bit-identical to the single-shot free function (which compiles a fresh
+  // plan per call).
   Rng rng(7890);
   const ConvShape shape = ConvShape::same(6, 8, 11, 3, 2);
-  const Tensor x = Tensor::random_uniform({shape.c, shape.h, shape.w}, rng);
   const Tensor k =
       Tensor::random_uniform({shape.c, shape.n, shape.r, shape.s}, rng);
-  const Im2colPlan plan = make_im2col_plan(k, shape);
-  const Tensor via_plan = conv2d_im2col(plan, x);
-  const Tensor via_adhoc = conv2d_im2col(x, k, shape);
-  EXPECT_EQ(Tensor::max_abs_diff(via_plan, via_adhoc), 0.0);
+  ConvDescriptor desc;
+  desc.shape = shape;
+  desc.algo = ConvAlgo::kIm2col;
+  const auto plan = compile_conv_plan(desc, k);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor x = Tensor::random_uniform({shape.c, shape.h, shape.w}, rng);
+    EXPECT_EQ(
+        Tensor::max_abs_diff(plan->run(x), conv2d_im2col(x, k, shape)), 0.0)
+        << "input " << i;
+  }
 }
 
 struct FusedCase {

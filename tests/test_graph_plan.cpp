@@ -1,0 +1,375 @@
+// Tests for the graph-level plan API (exec/graph_plan.h): whole ModelSpecs
+// compiled into one InferenceSession — per-op oracle parity (the liveness
+// arena must behave exactly like private per-op buffers), residual and
+// concat DAGs, the full ResNet-18 inventory end to end, thread-count
+// determinism, batched serving, the descriptor-keyed plan cache, and
+// decision-list validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "exec/graph_plan.h"
+#include "exec/plan_cache.h"
+#include "nn/models.h"
+
+namespace tdc {
+namespace {
+
+constexpr float kGuard = 12345.678f;
+constexpr std::int64_t kGuardFloats = 64;
+
+struct PoisonedWorkspace {
+  explicit PoisonedWorkspace(std::int64_t bytes)
+      : floats(bytes / static_cast<std::int64_t>(sizeof(float))),
+        buf(static_cast<std::size_t>(floats + 2 * kGuardFloats), kGuard) {
+    poison();
+  }
+
+  void poison() {
+    std::fill(buf.begin() + kGuardFloats, buf.begin() + kGuardFloats + floats,
+              std::numeric_limits<float>::quiet_NaN());
+  }
+
+  std::span<float> span() {
+    return std::span<float>(buf).subspan(kGuardFloats,
+                                         static_cast<std::size_t>(floats));
+  }
+
+  bool guards_intact() const {
+    for (std::int64_t i = 0; i < kGuardFloats; ++i) {
+      if (buf[static_cast<std::size_t>(i)] != kGuard ||
+          buf[buf.size() - 1 - static_cast<std::size_t>(i)] != kGuard) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::int64_t floats;
+  std::vector<float> buf;
+};
+
+bool all_finite(const Tensor& t) {
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (!std::isfinite(t[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Oracle: walk the session's DAG running every op against private,
+// per-node output buffers (no arena sharing at all). Any liveness-planning
+// bug — two live activations aliasing, a buffer freed too early — shows up
+// as a bitwise divergence from this walk.
+Tensor run_per_op_oracle(const InferenceSession& session, const Tensor& x) {
+  std::vector<Tensor> outs;
+  for (std::int64_t i = 0; i < session.num_ops(); ++i) {
+    const OpPlan& op = session.op(i);
+    std::vector<const float*> inputs;
+    for (const std::int64_t j : session.op_inputs(i)) {
+      inputs.push_back(j == InferenceSession::kModelInput
+                           ? x.raw()
+                           : outs[static_cast<std::size_t>(j)].raw());
+    }
+    Tensor y({op.output_shape().c, op.output_shape().h, op.output_shape().w});
+    std::vector<float> ws(
+        static_cast<std::size_t>(op.workspace_bytes() / sizeof(float)));
+    op.run_inputs(std::span<const float* const>(inputs.data(), inputs.size()),
+                  y.raw(), ws);
+    outs.push_back(std::move(y));
+  }
+  return outs.back();
+}
+
+TEST(InferenceSession, Resnet20SessionMatchesPerOpOracleBitwise) {
+  const ModelSpec model = make_resnet20_cifar();
+  const auto weights = random_model_weights(model, 801);
+  SessionOptions options;
+  options.dense_algo = ConvAlgo::kIm2col;
+  const InferenceSession session = InferenceSession::compile(
+      make_a100(), model, weights, {}, options);
+  ASSERT_EQ(session.num_ops(),
+            static_cast<std::int64_t>(model.layers.size()));
+
+  Rng rng(802);
+  const OpShape& in = session.input_shape();
+  const Tensor x = Tensor::random_uniform({in.c, in.h, in.w}, rng);
+
+  PoisonedWorkspace ws(session.workspace_bytes());
+  Tensor y({session.output_shape().c, session.output_shape().h,
+            session.output_shape().w});
+  session.run(x, &y, ws.span());
+  EXPECT_TRUE(ws.guards_intact());
+  EXPECT_TRUE(all_finite(y));
+
+  const Tensor oracle = run_per_op_oracle(session, x);
+  EXPECT_EQ(Tensor::max_abs_diff(y, oracle), 0.0);
+}
+
+TEST(InferenceSession, ResidualArenaIsSmallerThanPrivateBuffers) {
+  const ModelSpec model = make_resnet20_cifar();
+  const auto weights = random_model_weights(model, 803);
+  SessionOptions options;
+  options.dense_algo = ConvAlgo::kIm2col;
+  const InferenceSession session = InferenceSession::compile(
+      make_a100(), model, weights, {}, options);
+
+  std::int64_t total = 0;
+  std::int64_t largest = 0;
+  for (std::int64_t i = 0; i + 1 < session.num_ops(); ++i) {
+    total += session.op(i).output_shape().floats();
+    largest = std::max(largest, session.op(i).output_shape().floats());
+  }
+  EXPECT_GE(session.arena_floats(), largest);
+  // Liveness reuse must keep the arena a small multiple of one activation,
+  // nowhere near the sum of all of them (ResNet-20 has ~60 intermediates).
+  EXPECT_LT(session.arena_floats(), total / 10);
+}
+
+TEST(InferenceSession, LinearChainPlansPingPongAutomatically) {
+  // A uniform dense chain needs exactly two live blocks at any moment, so
+  // the liveness planner must rediscover the classic ping-pong layout.
+  ModelSpec chain;
+  chain.name = "chain";
+  const ConvShape s = ConvShape::same(6, 6, 10, 3);
+  for (int i = 0; i < 5; ++i) {
+    chain.layers.push_back(
+        LayerSpec::make_conv("conv" + std::to_string(i), s));
+  }
+  const auto weights = random_model_weights(chain, 804);
+  SessionOptions options;
+  options.dense_algo = ConvAlgo::kIm2col;
+  const InferenceSession session = InferenceSession::compile(
+      make_a100(), chain, weights, {}, options);
+  const std::int64_t act = OpShape{s.n, s.out_h(), s.out_w()}.floats();
+  EXPECT_EQ(session.arena_floats(), 2 * act);
+}
+
+TEST(InferenceSession, ConcatDagWithFanOutMatchesOracle) {
+  // conv0 feeds two branches whose outputs concat — fan-out, channel-wise
+  // join, then a ReLU tail. Exercises explicit DAG edges beyond residuals.
+  ModelSpec model;
+  model.name = "concat-dag";
+  model.layers.push_back(
+      LayerSpec::make_conv("conv0", ConvShape::same(3, 4, 8, 3)));
+  LayerSpec branch_a =
+      LayerSpec::make_conv("branch_a", ConvShape::same(4, 3, 8, 3));
+  branch_a.inputs = {0};
+  model.layers.push_back(branch_a);
+  LayerSpec branch_b =
+      LayerSpec::make_conv("branch_b", ConvShape::same(4, 2, 8, 1));
+  branch_b.inputs = {0};
+  model.layers.push_back(branch_b);
+  model.layers.push_back(LayerSpec::make_elementwise(
+      "concat", 5.0 * 8 * 8, EltOp::kConcat, {1, 2}));
+  model.layers.push_back(LayerSpec::make_elementwise("relu", 5.0 * 8 * 8));
+
+  const auto weights = random_model_weights(model, 805);
+  SessionOptions options;
+  options.dense_algo = ConvAlgo::kIm2col;
+  const InferenceSession session = InferenceSession::compile(
+      make_a100(), model, weights, {}, options);
+  ASSERT_EQ(session.output_shape(), (OpShape{5, 8, 8}));
+
+  Rng rng(806);
+  const Tensor x = Tensor::random_uniform({3, 8, 8}, rng);
+  const Tensor y = session.run(x);
+  EXPECT_EQ(Tensor::max_abs_diff(y, run_per_op_oracle(session, x)), 0.0);
+}
+
+TEST(InferenceSession, BatchedRunMatchesPerImageAcrossThreadCounts) {
+  const int saved = num_threads();
+  const ModelSpec model = make_resnet20_cifar();
+  const auto weights = random_model_weights(model, 807);
+  SessionOptions options;
+  options.dense_algo = ConvAlgo::kIm2col;
+  const InferenceSession session = InferenceSession::compile(
+      make_a100(), model, weights, {}, options);
+
+  Rng rng(808);
+  const std::int64_t batch = 3;
+  const OpShape& in = session.input_shape();
+  const OpShape& out = session.output_shape();
+  const Tensor x = Tensor::random_uniform({batch, in.c, in.h, in.w}, rng);
+  Tensor y({batch, out.c, out.h, out.w});
+  std::vector<float> ws(static_cast<std::size_t>(
+      session.batched_workspace_bytes(batch) / sizeof(float)));
+  session.run_batched(x, &y, ws);
+
+  const std::int64_t x_stride = in.floats();
+  const std::int64_t y_stride = out.floats();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    Tensor xb({in.c, in.h, in.w});
+    std::copy(x.raw() + b * x_stride, x.raw() + (b + 1) * x_stride, xb.raw());
+    const Tensor yb = session.run(xb);
+    for (std::int64_t i = 0; i < y_stride; ++i) {
+      ASSERT_EQ(y[b * y_stride + i], yb[i]) << "image " << b;
+    }
+  }
+
+  for (const int nt : {1, 4}) {
+    set_num_threads(nt);
+    Tensor again({batch, out.c, out.h, out.w});
+    session.run_batched(x, &again, ws);
+    EXPECT_EQ(Tensor::max_abs_diff(y, again), 0.0) << "threads=" << nt;
+  }
+  set_num_threads(saved);
+}
+
+TEST(InferenceSession, CachedRecompileSharesPlansAndStaysBitIdentical) {
+  const ModelSpec model = make_resnet20_cifar();
+  const auto weights = random_model_weights(model, 809);
+  SessionOptions options;
+  options.dense_algo = ConvAlgo::kIm2col;
+
+  PlanCache::instance().clear();
+  const InferenceSession cold = InferenceSession::compile(
+      make_a100(), model, weights, {}, options);
+  const PlanCache::Stats after_cold = PlanCache::instance().stats();
+  EXPECT_GT(after_cold.misses, 0);
+  EXPECT_GT(after_cold.entries, 0);
+  // Same-shape layers carry different weights, so the fingerprint must keep
+  // every one of them a distinct entry — no intra-compile aliasing.
+  EXPECT_EQ(after_cold.hits, 0);
+  EXPECT_EQ(after_cold.entries, after_cold.misses);
+
+  // Recompiling the identical model must hit on every single conv plan.
+  const InferenceSession cached = InferenceSession::compile(
+      make_a100(), model, weights, {}, options);
+  const PlanCache::Stats after_cached = PlanCache::instance().stats();
+  EXPECT_EQ(after_cached.misses, after_cold.misses);
+  EXPECT_EQ(after_cached.entries, after_cold.entries);
+  EXPECT_EQ(after_cached.hits, after_cold.misses);
+
+  Rng rng(810);
+  const OpShape& in = cold.input_shape();
+  const Tensor x = Tensor::random_uniform({in.c, in.h, in.w}, rng);
+  EXPECT_EQ(Tensor::max_abs_diff(cold.run(x), cached.run(x)), 0.0);
+
+  // Same descriptor, different weights: the fingerprint must keep the
+  // entries apart.
+  const auto other = random_model_weights(model, 811);
+  const InferenceSession different = InferenceSession::compile(
+      make_a100(), model, other, {}, options);
+  EXPECT_GT(PlanCache::instance().stats().entries, after_cached.entries);
+  EXPECT_GT(Tensor::max_abs_diff(cold.run(x), different.run(x)), 0.0);
+}
+
+TEST(InferenceSession, DecisionListValidation) {
+  const ModelSpec model = make_resnet20_cifar();
+  const auto weights = random_model_weights(model, 812);
+
+  // Wrong count: neither per-conv nor per-decomposable-conv.
+  std::vector<LayerDecision> wrong_count(3);
+  for (auto& d : wrong_count) {
+    d.shape = ConvShape::same(16, 16, 32, 3);
+  }
+  EXPECT_THROW(InferenceSession::compile(make_a100(), model, weights,
+                                         wrong_count),
+               Error);
+
+  // Right count, wrong shape at entry 0.
+  std::vector<LayerDecision> wrong_shape(
+      model.decomposable_conv_shapes().size());
+  for (std::size_t i = 0; i < wrong_shape.size(); ++i) {
+    wrong_shape[i].shape = model.decomposable_conv_shapes()[i];
+  }
+  wrong_shape[0].shape.c += 1;
+  EXPECT_THROW(InferenceSession::compile(make_a100(), model, weights,
+                                         wrong_shape),
+               Error);
+
+  // Missing BN weights throw with the layer's name in the message.
+  auto incomplete = weights;
+  for (auto& w : incomplete) {
+    w.bn_scale = Tensor();
+    w.bn_shift = Tensor();
+  }
+  EXPECT_THROW(InferenceSession::compile(make_a100(), model, incomplete),
+               Error);
+}
+
+// The acceptance walk: the full ResNet-18 inventory — 7×7 stem with its
+// maxpool, residual stages with downsample projections, global pool, FC —
+// compiled with a real codesign decision list into one session, run end to
+// end allocation-free under poison+guards, bit-identical across thread
+// counts and across cached vs cold compiles.
+TEST(InferenceSession, FullResnet18EndToEnd) {
+  const DeviceSpec device = make_a100();
+  const ModelSpec model = make_resnet18();
+  const auto weights = random_model_weights(model, 813);
+
+  CodesignOptions cd_opts;
+  cd_opts.budget = 0.65;  // paper §7.2 budget for ResNet-18
+  const CodesignResult codesign =
+      run_codesign(device, model.decomposable_conv_shapes(), cd_opts);
+  ASSERT_EQ(codesign.layers.size(), model.decomposable_conv_shapes().size());
+
+  // Keep the wide stages dense for test runtime: the Jacobi eigensolver
+  // behind tucker_decompose is O(C³)·sweeps, which makes 256/512-channel
+  // factorizations cost tens of seconds each. The graph path under test is
+  // identical either way, and the 64/128-channel stages still exercise the
+  // decomposed pipeline.
+  std::vector<LayerDecision> decisions = codesign.layers;
+  for (LayerDecision& d : decisions) {
+    if (d.shape.c > 128 || d.shape.n > 128) {
+      d.decomposed = false;
+    }
+  }
+
+  SessionOptions options;
+  options.dense_algo = ConvAlgo::kIm2col;
+
+  PlanCache::instance().clear();
+  const InferenceSession session = InferenceSession::compile(
+      device, model, weights, decisions, options);
+  ASSERT_EQ(session.num_ops(),
+            static_cast<std::int64_t>(model.layers.size()));
+  EXPECT_EQ(session.input_shape(), (OpShape{3, 224, 224}));
+  EXPECT_EQ(session.output_shape(), (OpShape{1000, 1, 1}));
+
+  // At the paper's 65% budget the codesign pass must decompose something,
+  // and the session must compile those layers as Tucker pipelines.
+  std::int64_t decomposed = 0;
+  for (std::int64_t i = 0; i < session.num_ops(); ++i) {
+    const auto* conv = dynamic_cast<const ConvPlan*>(&session.op(i));
+    decomposed += conv != nullptr && conv->decomposed() ? 1 : 0;
+  }
+  EXPECT_GT(decomposed, 0);
+
+  Rng rng(814);
+  const Tensor x = Tensor::random_uniform({3, 224, 224}, rng);
+  PoisonedWorkspace ws(session.workspace_bytes());
+  Tensor y({1000, 1, 1});
+  session.run(x, &y, ws.span());
+  EXPECT_TRUE(ws.guards_intact());
+  EXPECT_TRUE(all_finite(y));
+
+  // Bit-identical across thread counts.
+  const int saved = num_threads();
+  for (const int nt : {1, 4}) {
+    set_num_threads(nt);
+    ws.poison();
+    Tensor again({1000, 1, 1});
+    session.run(x, &again, ws.span());
+    EXPECT_EQ(Tensor::max_abs_diff(y, again), 0.0) << "threads=" << nt;
+  }
+  set_num_threads(saved);
+
+  // Bit-identical across a cached recompile.
+  const InferenceSession cached = InferenceSession::compile(
+      device, model, weights, decisions, options);
+  ws.poison();
+  Tensor y2({1000, 1, 1});
+  cached.run(x, &y2, ws.span());
+  EXPECT_EQ(Tensor::max_abs_diff(y, y2), 0.0);
+}
+
+}  // namespace
+}  // namespace tdc
