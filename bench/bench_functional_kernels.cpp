@@ -119,6 +119,10 @@ BENCHMARK(BM_ConvFft)->Args({32, 32, 28})->Args({64, 32, 14});
 BENCHMARK(BM_TdcCoreKernel)->Args({32, 32, 28})->Args({64, 32, 14})->Args({64, 64, 56});
 BENCHMARK(BM_TvmSchemeKernel)->Args({32, 32, 28})->Args({64, 32, 14});
 BENCHMARK(BM_TuckerPipeline)->Args({32, 32, 28})->Args({64, 64, 56});
-BENCHMARK(BM_TuckerDecompose)->Args({64, 64})->Args({128, 128});
+BENCHMARK(BM_TuckerDecompose)
+    ->Args({64, 64})
+    ->Args({128, 128})
+    ->Args({256, 256})
+    ->Args({512, 512});
 
 BENCHMARK_MAIN();

@@ -9,40 +9,50 @@
 
 namespace tdc {
 
-SvdLeft svd_left(const Tensor& a) {
-  TDC_CHECK_MSG(a.rank() == 2, "svd_left expects a matrix");
+namespace {
+
+/// Gram matrix G = A·A^T (m×m) through the packed engine GEMM.
+Tensor gram(const Tensor& a) {
   const std::int64_t m = a.dim(0);
-  const std::int64_t n = a.dim(1);
-
-  // Gram matrix G = A·A^T (m×m).
   Tensor g({m, m});
-  gemm_bt(m, m, n, a.data(), a.data(), g.data());
+  gemm_bt(m, m, a.dim(1), a.data(), a.data(), g.data());
+  return g;
+}
 
-  EigResult eig = eig_symmetric(g);
-
-  SvdLeft out;
-  out.u = std::move(eig.vectors);
+std::vector<double> to_singular_values(const std::vector<double>& eigvals,
+                                       std::int64_t m, std::int64_t n) {
   const std::int64_t k = std::min(m, n);
-  out.singular_values.resize(static_cast<std::size_t>(k));
+  std::vector<double> sv(static_cast<std::size_t>(k));
   for (std::int64_t i = 0; i < k; ++i) {
     // Numerical noise can push tiny eigenvalues slightly negative.
-    out.singular_values[static_cast<std::size_t>(i)] =
-        std::sqrt(std::max(0.0, eig.values[static_cast<std::size_t>(i)]));
+    sv[static_cast<std::size_t>(i)] =
+        std::sqrt(std::max(0.0, eigvals[static_cast<std::size_t>(i)]));
   }
+  return sv;
+}
+
+}  // namespace
+
+SvdLeft svd_left(const Tensor& a) {
+  TDC_CHECK_MSG(a.rank() == 2, "svd_left expects a matrix");
+  EigResult eig = eig_symmetric(gram(a));
+  SvdLeft out;
+  out.singular_values = to_singular_values(eig.values, a.dim(0), a.dim(1));
+  out.u = std::move(eig.vectors);
   return out;
 }
 
 Tensor leading_left_singular_vectors(const Tensor& a, std::int64_t k) {
+  TDC_CHECK_MSG(a.rank() == 2, "svd expects a matrix");
   TDC_CHECK_MSG(k >= 1 && k <= a.dim(0),
                 "requested more singular vectors than rows");
-  SvdLeft s = svd_left(a);
-  Tensor u({a.dim(0), k});
-  for (std::int64_t i = 0; i < a.dim(0); ++i) {
-    for (std::int64_t j = 0; j < k; ++j) {
-      u(i, j) = s.u(i, j);
-    }
-  }
-  return u;
+  return eig_symmetric_topk(gram(a), k).vectors;
+}
+
+std::vector<double> left_singular_values(const Tensor& a) {
+  TDC_CHECK_MSG(a.rank() == 2, "svd expects a matrix");
+  return to_singular_values(eig_symmetric_values(gram(a)), a.dim(0),
+                            a.dim(1));
 }
 
 }  // namespace tdc

@@ -3,7 +3,11 @@
 // For a (typically wide) matrix A ∈ R^{m×n} with m ≤ a few thousand, the left
 // singular vectors are the eigenvectors of A·A^T and the singular values the
 // square roots of its eigenvalues. This is exactly what truncated HOSVD
-// (paper Eq. 12) needs: only U and σ, never V.
+// (paper Eq. 12) needs: only U and σ, never V. The Gram matrix is built by
+// the engine's packed GEMM and handed to the tridiagonal eigensolver
+// (linalg/eig.h), so every entry point here is deterministic across thread
+// counts; leading_left_singular_vectors takes the top-k eigenpath and never
+// pays for vectors it discards.
 #pragma once
 
 #include <vector>
@@ -24,7 +28,13 @@ struct SvdLeft {
 /// Left singular vectors + singular values of a rank-2 tensor.
 SvdLeft svd_left(const Tensor& a);
 
-/// Convenience: the first `k` columns of svd_left(a).u, shape [m, k].
+/// Convenience: the first `k` columns of svd_left(a).u, shape [m, k] —
+/// computed through the top-k eigensolver, so only the k kept vectors are
+/// ever formed.
 Tensor leading_left_singular_vectors(const Tensor& a, std::int64_t k);
+
+/// Singular values only (descending, size min(m, n)): the vector-free
+/// eigenvalue pass, for rank scans that never look at U.
+std::vector<double> left_singular_values(const Tensor& a);
 
 }  // namespace tdc

@@ -1,5 +1,7 @@
 #include "tucker/tucker.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "linalg/gemm.h"
 #include "linalg/svd.h"
@@ -51,16 +53,19 @@ TuckerRanks tucker_latent_ranks(const Tensor& kernel_cnrs, double tol) {
   TDC_CHECK_MSG(kernel_cnrs.rank() == 4, "kernel must be rank-4 CNRS");
   TuckerRanks out;
   for (int mode = 0; mode < 2; ++mode) {
-    const SvdLeft s = svd_left(unfold_mode(kernel_cnrs, mode));
-    const double largest =
-        s.singular_values.empty() ? 0.0 : s.singular_values.front();
+    const std::vector<double> sv =
+        left_singular_values(unfold_mode(kernel_cnrs, mode));
+    const double largest = sv.empty() ? 0.0 : sv.front();
     std::int64_t rank = 0;
-    for (const double sv : s.singular_values) {
-      if (sv > tol * largest && largest > 0.0) {
+    for (const double s : sv) {
+      if (s > tol * largest && largest > 0.0) {
         ++rank;
       }
     }
-    (mode == 0 ? out.d1 : out.d2) = rank;
+    // An all-zero (or numerically dead) unfolding has no singular value
+    // above the threshold; clamp to 1 so the result always satisfies
+    // tucker_decompose's d1/d2 >= 1 precondition.
+    (mode == 0 ? out.d1 : out.d2) = std::max<std::int64_t>(rank, 1);
   }
   return out;
 }

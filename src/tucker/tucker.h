@@ -46,7 +46,9 @@ Tensor tucker_project(const Tensor& kernel_cnrs, TuckerRanks ranks);
 double tucker_projection_error(const Tensor& kernel_cnrs, TuckerRanks ranks);
 
 /// Latent Tucker ranks of a kernel: the number of singular values of each
-/// channel-mode unfolding above `tol` relative to the largest one.
+/// channel-mode unfolding above `tol` relative to the largest one, clamped
+/// to >= 1 (an all-zero kernel still has valid rank-(1,1) factors), so the
+/// result is always accepted by tucker_decompose.
 TuckerRanks tucker_latent_ranks(const Tensor& kernel_cnrs, double tol = 1e-6);
 
 }  // namespace tdc

@@ -89,6 +89,24 @@ TEST(Tucker, LatentRanksOfSyntheticLowRank) {
   EXPECT_EQ(r.d2, 4);
 }
 
+TEST(Tucker, LatentRanksOfDeadKernelsClampToOne) {
+  // Regression: every singular value of an all-zero (or numerically dead)
+  // kernel falls below tol·largest, which used to yield rank 0 and violate
+  // tucker_decompose's d1/d2 >= 1 precondition.
+  const Tensor zero({8, 6, 3, 3});
+  const TuckerRanks rz = tucker_latent_ranks(zero);
+  EXPECT_EQ(rz.d1, 1);
+  EXPECT_EQ(rz.d2, 1);
+  EXPECT_NO_THROW(tucker_decompose(zero, rz));
+
+  // A denormal-scale kernel must also round-trip through decompose.
+  const Tensor tiny = Tensor::full({8, 6, 3, 3}, 1e-38f);
+  const TuckerRanks rt = tucker_latent_ranks(tiny);
+  EXPECT_GE(rt.d1, 1);
+  EXPECT_GE(rt.d2, 1);
+  EXPECT_NO_THROW(tucker_decompose(tiny, rt));
+}
+
 TEST(Tucker, RankValidation) {
   Rng rng(85);
   const Tensor k = Tensor::random_uniform({4, 4, 3, 3}, rng);
