@@ -1,0 +1,255 @@
+// Host-aware algorithm selection — simulated-GPU vs host-model vs autotuned
+// kAuto on the ResNet-18 inventory, against the historical pinned-im2col
+// serving configuration.
+//
+// Two views, emitted to BENCH_algo_select.json alongside the tables:
+//   * per-layer — for every distinct dense convolution shape, the algorithm
+//     each provider resolves kAuto to, and the measured CPU runtime of that
+//     choice. This is the pathology the provider seam removes: the
+//     simulated-GPU policy prices the TDC core kernel for an A100 and hands
+//     CPU layers to its functional emulator, orders of magnitude slower
+//     than im2col.
+//   * end-to-end — the full ResNet-18 InferenceSession compiled with
+//     dense_algo = kAuto under the host and autotune providers, batched
+//     latency vs the pinned-im2col baseline. Regression bar (CI runs this
+//     binary): both must stay within 5% of the pin (they should beat it —
+//     the host model picks Winograd where it genuinely wins on CPU).
+//
+// TDC_AUTOTUNE_CACHE is honored as everywhere else; the CI smoke step sets
+// it so the run demonstrates the persisted-winners path.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "exec/autotune.h"
+#include "exec/cost_provider.h"
+#include "exec/graph_plan.h"
+#include "exec/host_cost.h"
+#include "exec/microbench.h"
+#include "exec/plan_cache.h"
+#include "nn/models.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace tdc;
+
+template <class F>
+double best_of(int reps, const F& f) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    f();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+// "64x128 3x3/2 @56x56" — compact row label (the JSON keeps to_string()).
+std::string layer_label(const ConvShape& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf),
+                "%lldx%lld %lldx%lld/%lld @%lldx%lld",
+                static_cast<long long>(s.c), static_cast<long long>(s.n),
+                static_cast<long long>(s.r), static_cast<long long>(s.s),
+                static_cast<long long>(s.stride_h),
+                static_cast<long long>(s.h), static_cast<long long>(s.w));
+  return buf;
+}
+
+// Measured single-image runtime of `algo` on `shape`, memoized — the
+// simulated provider picks the TDC emulator for most stages, and one
+// ~700 ms interpretation per distinct shape is plenty.
+double measured_ms(const ConvShape& shape, ConvAlgo algo) {
+  static std::map<std::string, double> memo;
+  const std::string key =
+      shape.to_string() + "|" + std::to_string(static_cast<int>(algo));
+  if (const auto it = memo.find(key); it != memo.end()) {
+    return it->second;
+  }
+  Rng rng(20230301);
+  const Tensor x = Tensor::random_uniform({shape.c, shape.h, shape.w}, rng);
+  const Tensor k =
+      Tensor::random_uniform({shape.c, shape.n, shape.r, shape.s}, rng);
+  ConvDescriptor desc;
+  desc.shape = shape;
+  desc.algo = algo;
+  const auto plan = compile_conv_plan(desc, k);
+  std::vector<float> ws(
+      static_cast<std::size_t>(plan->workspace_bytes() / sizeof(float)));
+  Tensor y({shape.n, shape.out_h(), shape.out_w()});
+  double s = 0.0;
+  if (algo == ConvAlgo::kTdcCore || algo == ConvAlgo::kFft) {
+    const auto t0 = Clock::now();  // no warm-up: one run tells the story
+    plan->run(x, &y, ws);
+    s = std::chrono::duration<double>(Clock::now() - t0).count();
+  } else {
+    plan->run(x, &y, ws);
+    s = best_of(3, [&] { plan->run(x, &y, ws); });
+  }
+  memo.emplace(key, s * 1e3);
+  return s * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  const DeviceSpec device = make_a100();
+  const ModelSpec model = make_resnet18();
+  const HostCalibration cal = host_calibration();
+
+  // --- per-layer: provider decisions on the distinct dense shapes ---------
+  std::vector<ConvShape> shapes;
+  for (const LayerSpec& layer : model.layers) {
+    if (layer.kind == LayerKind::kConv &&
+        std::find(shapes.begin(), shapes.end(), layer.conv) == shapes.end()) {
+      shapes.push_back(layer.conv);
+    }
+  }
+
+  struct ProviderCol {
+    const char* id;
+    const CostProvider* provider;
+  };
+  const ProviderCol cols[] = {
+      {"simgpu", &simulated_gpu_cost_provider()},
+      {"host", &host_cost_provider()},
+      {"autotune", &autotune_cost_provider()},
+  };
+
+  bench::print_title(
+      "Algorithm selection — kAuto per provider, ResNet-18 dense shapes "
+      "(measured ms per image on this host)");
+  std::printf("%-26s", "shape");
+  for (const ProviderCol& col : cols) {
+    std::printf("  %-12s %9s", col.id, "ms");
+  }
+  std::printf("\n");
+
+  struct LayerRow {
+    ConvShape shape;
+    ConvAlgo algo[3];
+    double ms[3];
+  };
+  std::vector<LayerRow> rows;
+  for (const ConvShape& shape : shapes) {
+    LayerRow row{shape, {}, {}};
+    std::printf("%-26s", layer_label(shape).c_str());
+    for (int c = 0; c < 3; ++c) {
+      row.algo[c] = cols[c].provider->resolve(device, shape);
+      row.ms[c] = measured_ms(shape, row.algo[c]);
+      std::printf("  %-12s %9.3f", conv_algo_name(row.algo[c]), row.ms[c]);
+    }
+    std::printf("\n");
+    rows.push_back(row);
+  }
+
+  // --- end-to-end: kAuto sessions vs the pinned-im2col baseline -----------
+  const auto weights = random_model_weights(model, 20230302);
+  struct E2eRow {
+    const char* id;
+    SessionOptions options;
+    double ms = 0.0;
+  };
+  std::vector<E2eRow> e2e;
+  {
+    SessionOptions pinned;
+    pinned.dense_algo = ConvAlgo::kIm2col;
+    e2e.push_back({"pinned-im2col", pinned});
+    SessionOptions host;  // dense_algo = kAuto, null provider → host
+    e2e.push_back({"host", host});
+    SessionOptions autotuned;
+    autotuned.cost_provider = &autotune_cost_provider();
+    e2e.push_back({"autotune", autotuned});
+  }
+
+  constexpr std::int64_t kBatch = 4;
+  Rng rng(20230303);
+  for (E2eRow& row : e2e) {
+    PlanCache::instance().clear();  // each configuration compiles cold
+    const InferenceSession session = InferenceSession::compile(
+        device, model, weights, /*decisions=*/{}, row.options);
+    const OpShape& in = session.input_shape();
+    const OpShape& out = session.output_shape();
+    const Tensor x = Tensor::random_uniform({kBatch, in.c, in.h, in.w}, rng);
+    Tensor y({kBatch, out.c, out.h, out.w});
+    std::vector<float> ws(static_cast<std::size_t>(
+        session.batched_workspace_bytes(kBatch) / sizeof(float)));
+    session.run_batched(x, &y, ws);  // warm-up
+    row.ms = best_of(3, [&] { session.run_batched(x, &y, ws); }) * 1e3;
+  }
+
+  const double pinned_ms = e2e[0].ms;
+  bench::print_title(
+      "End-to-end — ResNet-18 session (all-dense), batch " +
+      std::to_string(kBatch));
+  for (const E2eRow& row : e2e) {
+    std::printf("%-14s %9.3f ms/batch   vs pinned %s\n", row.id, row.ms,
+                bench::ratio(pinned_ms / row.ms).c_str());
+  }
+  const AutotuneStats at = autotune_stats();
+  std::printf("calibration: %.1f GFLOP/s, %.1f GB/s%s; autotune: %lld "
+              "entries, %lld candidates timed\n",
+              cal.gflops, cal.gbs,
+              cal.gflops_from_env || cal.gbs_from_env ? " (env-pinned)" : "",
+              static_cast<long long>(at.entries),
+              static_cast<long long>(at.timed_candidates));
+  std::printf("threads: %d (override with TDC_NUM_THREADS)\n", num_threads());
+
+  // ---- JSON ---------------------------------------------------------------
+  FILE* json = std::fopen("BENCH_algo_select.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_algo_select.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"algo_select\",\n  \"model\": \"resnet18\",\n"
+               "  \"threads\": %d,\n"
+               "  \"calibration\": {\"gflops\": %.3f, \"gbs\": %.3f},\n"
+               "  \"layers\": [\n",
+               num_threads(), cal.gflops, cal.gbs);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LayerRow& row = rows[i];
+    std::fprintf(json, "    {\"shape\": \"%s\"",
+                 row.shape.to_string().c_str());
+    for (int c = 0; c < 3; ++c) {
+      std::fprintf(json, ", \"algo_%s\": \"%s\", \"ms_%s\": %.4f",
+                   cols[c].id, conv_algo_name(row.algo[c]), cols[c].id,
+                   row.ms[c]);
+    }
+    std::fprintf(json, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"e2e\": {\"batch\": %lld, \"pinned_im2col_ms\": "
+               "%.3f, \"host_ms\": %.3f, \"autotune_ms\": %.3f},\n"
+               "  \"autotune\": {\"entries\": %lld, \"timed_candidates\": "
+               "%lld, \"table_hits\": %lld}\n}\n",
+               static_cast<long long>(kBatch), pinned_ms, e2e[1].ms,
+               e2e[2].ms, static_cast<long long>(at.entries),
+               static_cast<long long>(at.timed_candidates),
+               static_cast<long long>(at.table_hits));
+  std::fclose(json);
+  std::printf("wrote BENCH_algo_select.json\n");
+
+  // Regression bar: host-aware kAuto must serve at least as fast as the
+  // historical hand-pin, within 5% measurement slack. A failure means the
+  // host model (or the autotuner's shortlist) let a slow algorithm through.
+  bool ok = true;
+  for (std::size_t i = 1; i < e2e.size(); ++i) {
+    if (e2e[i].ms > pinned_ms * 1.05) {
+      std::fprintf(stderr,
+                   "FAIL: %s session %.3f ms/batch exceeds pinned-im2col "
+                   "%.3f ms by more than 5%%\n",
+                   e2e[i].id, e2e[i].ms, pinned_ms);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

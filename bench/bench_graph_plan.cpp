@@ -23,6 +23,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "exec/graph_plan.h"
+#include "exec/microbench.h"
 #include "exec/plan_cache.h"
 #include "nn/models.h"
 
@@ -60,8 +61,14 @@ int main() {
     decomposed += d.decomposed ? 1 : 0;
   }
 
+  // dense_algo stays at its kAuto default: sessions resolve it with the
+  // host cost provider now, so the historical kIm2col pin is no longer
+  // needed for CPU serving (the option remains for explicit overrides).
   SessionOptions options;
-  options.dense_algo = ConvAlgo::kIm2col;
+
+  // Calibrate the host cost model before the timers start — it is a
+  // once-per-process cost, not part of any compile.
+  host_calibration();
 
   // --- compile: cold (empty cache) vs cached (recompile) ------------------
   PlanCache::instance().clear();

@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "exec/graph_plan.h"
+#include "exec/microbench.h"
 #include "exec/plan_cache.h"
 #include "nn/models.h"
 
@@ -45,14 +46,16 @@ int main(int argc, char** argv) {
       run_codesign(device, model.decomposable_conv_shapes(), opts);
   const std::vector<LayerDecision>& decisions = codesign.layers;
 
-  // 2. Compile the full inventory against (here: synthetic) weights. kAuto
-  //    would pick per-layer winners under the *simulated GPU* cost model
-  //    (including the TDC core kernel, whose CPU executor is a functional
-  //    emulator); pin im2col for the dense layers so the serving loop below
-  //    reflects real CPU speed.
+  // 2. Compile the full inventory against (here: synthetic) weights. The
+  //    dense layers stay at kAuto: sessions resolve it with the host cost
+  //    provider (exec/host_cost.h), which prices candidates for this CPU —
+  //    the historical dense_algo = kIm2col pin is no longer needed (the
+  //    option remains for explicit overrides).
   SessionOptions options;
-  options.dense_algo = ConvAlgo::kIm2col;
   const auto weights = random_model_weights(model, 20230225);
+  // Calibrate the host model before the timer: a once-per-process cost that
+  // would otherwise be billed to the first compile.
+  host_calibration();
   const auto t0 = Clock::now();
   const InferenceSession session =
       InferenceSession::compile(device, model, weights, decisions, options);

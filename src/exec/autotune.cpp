@@ -1,0 +1,331 @@
+#include "exec/autotune.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "exec/conv_plan.h"
+#include "exec/host_cost.h"
+#include "exec/microbench.h"
+
+namespace tdc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Candidates the host model prices this far off its leader are not worth
+// compiling and timing — on ResNet shapes this gates the CPU FFT path and
+// the TDC emulator out before a single buffer is allocated.
+constexpr double kEstimateGate = 4.0;
+// At most this many candidates are timed per shape.
+constexpr int kMaxTimedCandidates = 3;
+
+struct TunerState {
+  std::mutex mu;
+  std::map<std::string, ConvAlgo> winners;  // ordered → stable snapshots
+  AutotuneStats stats;
+  bool env_checked = false;
+  bool save_warned = false;
+  std::string cache_path;  // empty: persistence off
+  // Bumped by autotune_clear(), the only operation after which an
+  // already-resolved shape may resolve to a different winner (loads merge
+  // with in-memory priority and inserts never overwrite). Part of
+  // cache_key(), so PlanCache entries from before a clear are never served
+  // to compiles after it.
+  std::int64_t generation = 0;
+};
+
+TunerState& state() {
+  static TunerState s;
+  return s;
+}
+
+void append_shape_token(std::string* out, const ConvShape& s) {
+  for (const std::int64_t v : {s.c, s.n, s.h, s.w, s.r, s.s, s.pad_h, s.pad_w,
+                               s.stride_h, s.stride_w, s.batch}) {
+    *out += std::to_string(v);
+    *out += ',';
+  }
+}
+
+std::string entry_key(const ConvShape& shape,
+                      const std::vector<ConvAlgo>& candidates, int threads) {
+  std::string key;
+  append_shape_token(&key, shape);
+  key += '|';
+  for (const ConvAlgo algo : candidates) {
+    key += std::to_string(static_cast<int>(algo));
+    key += ',';
+  }
+  key += "|t";
+  key += std::to_string(threads);
+  return key;
+}
+
+bool algo_from_name(const std::string& name, ConvAlgo* out) {
+  for (const ConvAlgo algo :
+       {ConvAlgo::kReference, ConvAlgo::kIm2col, ConvAlgo::kWinograd,
+        ConvAlgo::kFft, ConvAlgo::kTdcCore}) {
+    if (name == conv_algo_name(algo)) {
+      *out = algo;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Pulls the next {"key": "...", "algo": "..."} pair out of the cache file
+// contents starting at *pos. Tolerant by construction: anything that does
+// not parse is skipped, so a stale or truncated cache degrades to re-tuning
+// instead of failing the compile.
+bool next_entry(const std::string& text, std::size_t* pos, std::string* key,
+                std::string* algo) {
+  auto quoted_after = [&](const char* tag, std::size_t from,
+                          std::string* out, std::size_t* end) {
+    const std::size_t at = text.find(tag, from);
+    if (at == std::string::npos) {
+      return false;
+    }
+    const std::size_t open = text.find('"', at + std::char_traits<char>::length(tag));
+    if (open == std::string::npos) {
+      return false;
+    }
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) {
+      return false;
+    }
+    *out = text.substr(open + 1, close - open - 1);
+    *end = close + 1;
+    return true;
+  };
+  std::size_t after_key = 0;
+  if (!quoted_after("\"key\":", *pos, key, &after_key)) {
+    return false;
+  }
+  std::size_t after_algo = 0;
+  if (!quoted_after("\"algo\":", after_key, algo, &after_algo)) {
+    return false;
+  }
+  *pos = after_algo;
+  return true;
+}
+
+// Callers hold state().mu.
+bool save_locked(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "{\n  \"version\": 1,\n  \"entries\": [");
+  bool first = true;
+  for (const auto& [key, algo] : state().winners) {
+    std::fprintf(f, "%s\n    {\"key\": \"%s\", \"algo\": \"%s\"}",
+                 first ? "" : ",", key.c_str(), conv_algo_name(algo));
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+bool load_locked(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  std::size_t pos = 0;
+  std::string key;
+  std::string name;
+  while (next_entry(text, &pos, &key, &name)) {
+    ConvAlgo algo = ConvAlgo::kIm2col;
+    if (algo_from_name(name, &algo)) {
+      state().winners.emplace(key, algo);  // first (in-memory) entry wins
+    }
+  }
+  return true;
+}
+
+// Reads TDC_AUTOTUNE_CACHE once and loads the file when present. Callers
+// hold state().mu.
+void ensure_cache_loaded_locked() {
+  if (state().env_checked) {
+    return;
+  }
+  state().env_checked = true;
+  const char* path = std::getenv("TDC_AUTOTUNE_CACHE");
+  state().cache_path = path != nullptr ? path : "";
+  if (!state().cache_path.empty()) {
+    load_locked(state().cache_path);  // missing file: first run, fine
+  }
+}
+
+double time_candidate(ConvAlgo algo, const DeviceSpec& device,
+                      const ConvShape& shape) {
+  // Throwaway plan over zero-filled buffers: weights do not change the
+  // instruction stream of any executor, and 0·0 products raise no denormal
+  // stalls, so zeros time like production traffic without touching the
+  // PlanCache or any caller state.
+  ConvDescriptor desc;
+  desc.shape = shape;
+  desc.algo = algo;
+  desc.device = device;
+  const Tensor kernel({shape.c, shape.n, shape.r, shape.s});
+  const auto plan = compile_conv_plan(desc, kernel);
+  const Tensor x({shape.c, shape.h, shape.w});
+  Tensor y({shape.n, shape.out_h(), shape.out_w()});
+  std::vector<float> ws(
+      static_cast<std::size_t>(plan->workspace_bytes() / sizeof(float)));
+  plan->run(x, &y, ws);  // warm-up
+  double best_s = 1e300;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = Clock::now();
+    plan->run(x, &y, ws);
+    best_s = std::min(
+        best_s, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return best_s;
+}
+
+}  // namespace
+
+std::string AutotuneCostProvider::cache_key() const {
+  // Thread count keys the winner table directly; the host calibration
+  // steers the shortlist ranking; the generation invalidates decisions made
+  // before an autotune_clear(). All three enter the provenance so a
+  // re-calibrated or re-tuned process never hits a PlanCache entry whose
+  // plan was chosen under superseded state.
+  std::int64_t generation = 0;
+  {
+    TunerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    generation = s.generation;
+  }
+  const HostCalibration cal = host_calibration();
+  char buf[112];
+  std::snprintf(buf, sizeof(buf), "autotune;gen=%lld;t=%d;g=%.6g;b=%.6g",
+                static_cast<long long>(generation), num_threads(),
+                cal.gflops, cal.gbs);
+  return buf;
+}
+
+ConvAlgo AutotuneCostProvider::resolve(const DeviceSpec& device,
+                                       const ConvShape& shape) const {
+  const std::vector<ConvAlgo> candidates = dense_algo_candidates(shape);
+  TunerState& s = state();
+  const std::string key = entry_key(shape, candidates, num_threads());
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    ensure_cache_loaded_locked();
+    ++s.stats.resolves;
+    if (const auto it = s.winners.find(key); it != s.winners.end()) {
+      ++s.stats.table_hits;
+      return it->second;
+    }
+  }
+
+  // Rank by the host model's estimate and keep only the candidates close
+  // enough to the leader to plausibly win a measurement. Timing runs
+  // outside the lock: a concurrent resolve of a memoized shape must not
+  // stall behind hundreds of milliseconds of candidate runs.
+  std::vector<std::pair<double, ConvAlgo>> ranked;
+  for (const ConvAlgo algo : candidates) {
+    ranked.emplace_back(host_conv_cost_s(algo, shape), algo);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  const double leader_s = ranked.front().first;
+  std::vector<ConvAlgo> shortlist;
+  for (const auto& [est_s, algo] : ranked) {
+    if (static_cast<int>(shortlist.size()) == kMaxTimedCandidates ||
+        est_s > leader_s * kEstimateGate) {
+      break;
+    }
+    shortlist.push_back(algo);
+  }
+
+  ConvAlgo winner = shortlist.front();
+  std::int64_t timed = 0;
+  if (shortlist.size() > 1) {
+    double best_s = 1e300;
+    for (const ConvAlgo algo : shortlist) {
+      const double t = time_candidate(algo, device, shape);
+      ++timed;
+      if (t < best_s) {  // earlier (better-estimated) candidate wins ties
+        best_s = t;
+        winner = algo;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.stats.timed_candidates += timed;
+  // On a race the first insert wins and this measurement is discarded, so
+  // every caller still sees one winner per key.
+  const auto [it, inserted] = s.winners.emplace(key, winner);
+  s.stats.entries = static_cast<std::int64_t>(s.winners.size());
+  if (inserted && !s.cache_path.empty() && !save_locked(s.cache_path) &&
+      !s.save_warned) {
+    std::fprintf(stderr,
+                 "tdc: cannot write TDC_AUTOTUNE_CACHE file '%s'; autotune "
+                 "winners will not persist\n",
+                 s.cache_path.c_str());
+    s.save_warned = true;
+  }
+  return it->second;
+}
+
+const CostProvider& autotune_cost_provider() {
+  static const AutotuneCostProvider provider;
+  return provider;
+}
+
+AutotuneStats autotune_stats() {
+  TunerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.stats.entries = static_cast<std::int64_t>(s.winners.size());
+  return s.stats;
+}
+
+void autotune_clear() {
+  TunerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.winners.clear();
+  s.stats = AutotuneStats{};
+  s.env_checked = false;
+  s.save_warned = false;
+  s.cache_path.clear();
+  ++s.generation;
+}
+
+bool autotune_save(const std::string& path) {
+  TunerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return save_locked(path);
+}
+
+bool autotune_load(const std::string& path) {
+  TunerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return load_locked(path);
+}
+
+std::vector<std::pair<std::string, ConvAlgo>> autotune_table() {
+  TunerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return {s.winners.begin(), s.winners.end()};
+}
+
+}  // namespace tdc

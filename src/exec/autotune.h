@@ -1,0 +1,70 @@
+// Microbenchmark-calibrated auto-tuner for ConvAlgo::kAuto.
+//
+// Where the host cost model (exec/host_cost.h) estimates, the autotuner
+// measures: at plan-compile time it takes the 2–3 candidates the host model
+// ranks cheapest (anything estimated ≥4× off the leader is not worth
+// timing), compiles each as a throwaway plan over zero-filled buffers, times
+// a couple of runs, and keeps the measured winner. Winners are memoized in a
+// process-wide table keyed like the PlanCache — shape ⊕ candidate set ⊕
+// thread count — so every layer shape is tuned at most once per process and
+// resolution is deterministic within a process for a fixed TDC_NUM_THREADS.
+//
+// Optional persistence: when TDC_AUTOTUNE_CACHE=<path> is set, the table is
+// loaded from that JSON file on first use and rewritten whenever a new
+// winner lands, so cold sessions (a second replica, a restarted service)
+// skip re-tuning entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/cost_provider.h"
+
+namespace tdc {
+
+class AutotuneCostProvider final : public CostProvider {
+ public:
+  const char* name() const override { return "autotune"; }
+  /// "autotune;gen=<generation>;t=<threads>;g=<gflops>;b=<gbs>": winners
+  /// are memoized per thread count and shortlisted under the host
+  /// calibration, and the generation counter advances on autotune_clear()
+  /// — the only operation after which an already-resolved shape may get a
+  /// different winner. Within one generation the table makes resolution
+  /// stable, so the key needs no timing-dependent component.
+  std::string cache_key() const override;
+  /// Measured winner for `shape` (the DeviceSpec is ignored — candidates run
+  /// on this host). Table hit → no timing at all; single-candidate shapes
+  /// (e.g. pointwise layers, where only im2col survives the estimate gate)
+  /// are also never timed.
+  ConvAlgo resolve(const DeviceSpec& device,
+                   const ConvShape& shape) const override;
+};
+
+/// Process-wide instance (all state lives in the shared winner table).
+const CostProvider& autotune_cost_provider();
+
+struct AutotuneStats {
+  std::int64_t resolves = 0;         ///< resolve() calls
+  std::int64_t table_hits = 0;       ///< resolved from the memo table
+  std::int64_t timed_candidates = 0; ///< candidate plans actually timed
+  std::int64_t entries = 0;          ///< winner-table size
+};
+AutotuneStats autotune_stats();
+
+/// Drops the winner table, resets the stats, and forgets the cached
+/// TDC_AUTOTUNE_CACHE decision (the env is re-read — and the file re-loaded —
+/// on the next resolve). For tests and benches.
+void autotune_clear();
+
+/// Explicit persistence (the TDC_AUTOTUNE_CACHE path uses these internally).
+/// Both return false on I/O failure; load merges entries into the table.
+bool autotune_save(const std::string& path);
+bool autotune_load(const std::string& path);
+
+/// Deterministically ordered snapshot of the winner table
+/// (key → winning algorithm), for determinism tests and diagnostics.
+std::vector<std::pair<std::string, ConvAlgo>> autotune_table();
+
+}  // namespace tdc

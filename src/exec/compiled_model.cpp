@@ -30,6 +30,7 @@ CompiledModel CompiledModel::compile(const DeviceSpec& device,
   session_options.tucker_exec = options.tucker_exec;
   session_options.dense_algo = options.dense_algo;
   session_options.tucker_core_algo = options.tucker_core_algo;
+  session_options.cost_provider = options.cost_provider;
   session_options.use_plan_cache = options.use_plan_cache;
 
   CompiledModel model;

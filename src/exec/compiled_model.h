@@ -36,6 +36,9 @@ struct CompiledModelOptions {
   ConvAlgo dense_algo = ConvAlgo::kAuto;
   /// Core-stage algorithm of staged Tucker layers.
   ConvAlgo tucker_core_algo = ConvAlgo::kIm2col;
+  /// kAuto resolution policy; null = the host provider (CPU deployment
+  /// default), like SessionOptions::cost_provider.
+  const CostProvider* cost_provider = nullptr;
   /// Share plans through the process-wide PlanCache (exec/plan_cache.h).
   bool use_plan_cache = true;
 };

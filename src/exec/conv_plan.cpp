@@ -7,8 +7,8 @@
 #include "common/parallel.h"
 #include "conv/pointwise.h"
 #include "core/tdc_model.h"
+#include "exec/cost_provider.h"
 #include "exec/plan_impl.h"
-#include "gpusim/library_cost.h"
 #include "linalg/gemm.h"
 
 namespace tdc {
@@ -171,35 +171,7 @@ TdcTiling resolve_tdc_tiling(const DeviceSpec& device, const ConvShape& shape,
 }  // namespace
 
 ConvAlgo resolve_conv_algo(const DeviceSpec& device, const ConvShape& shape) {
-  TDC_CHECK_MSG(shape.valid(), "invalid shape " + shape.to_string());
-  ConvAlgo best = ConvAlgo::kIm2col;
-  double best_s = library_conv_cost(ConvAlgo::kIm2col, device, shape).total_s;
-  // A 1×1 layer is already a bare channel-mix GEMM: the transform-domain
-  // algorithms only add forward/inverse transform launches around the same
-  // GEMM, so they are excluded outright instead of trusting the FFT cost
-  // model's padded-plane arithmetic on degenerate filters.
-  const bool pointwise = shape.r == 1 && shape.s == 1;
-  for (const ConvAlgo algo : {ConvAlgo::kWinograd, ConvAlgo::kFft}) {
-    if (pointwise || !conv_algo_supports(algo, shape)) {
-      continue;
-    }
-    const double s = library_conv_cost(algo, device, shape).total_s;
-    if (s < best_s) {
-      best_s = s;
-      best = algo;
-    }
-  }
-  // The TDC kernel competes only where the device can actually launch it.
-  try {
-    const TdcTiling t = select_tiling_model(device, shape);
-    const double s = tdc_core_cost(device, shape, t).total_s;
-    if (s < best_s) {
-      best_s = s;
-      best = ConvAlgo::kTdcCore;
-    }
-  } catch (const Error&) {
-  }
-  return best;
+  return simulated_gpu_cost_provider().resolve(device, shape);
 }
 
 std::unique_ptr<ConvPlan> compile_conv_plan(const ConvDescriptor& desc,
@@ -217,9 +189,15 @@ std::unique_ptr<ConvPlan> compile_conv_plan(const ConvDescriptor& desc,
                     kernel_cnrs.dim(3) == desc.shape.s,
                 "kernel tensor does not match shape descriptor");
 
+  const CostProvider& cost =
+      desc.cost != nullptr ? *desc.cost : simulated_gpu_cost_provider();
   const ConvAlgo algo = desc.algo == ConvAlgo::kAuto
-                            ? resolve_conv_algo(desc.device, desc.shape)
+                            ? cost.resolve(desc.device, desc.shape)
                             : desc.algo;
+  TDC_CHECK_MSG(desc.algo != ConvAlgo::kAuto ||
+                    (algo != ConvAlgo::kAuto && algo != ConvAlgo::kReference),
+                std::string("cost provider '") + cost.name() +
+                    "' resolved kAuto to a non-deployable algorithm");
   TDC_CHECK_MSG(conv_algo_supports(algo, desc.shape),
                 std::string(conv_algo_name(algo)) + " does not support " +
                     desc.shape.to_string());

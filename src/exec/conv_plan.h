@@ -32,8 +32,12 @@
 
 namespace tdc {
 
+class CostProvider;  // exec/cost_provider.h
+
 /// Everything needed to compile a dense-convolution plan. `algo` may be
-/// ConvAlgo::kAuto, resolved by resolve_conv_algo against `device`;
+/// ConvAlgo::kAuto, resolved by `cost` against `device` — null selects the
+/// simulated-GPU provider (the historical resolve_conv_algo policy); CPU
+/// serving paths pass &host_cost_provider() / &autotune_cost_provider().
 /// `weight_layout` names the storage order of the kernel tensor handed to
 /// compile_conv_plan; `tiling` pins the TDC core tiling (any field < 1
 /// selects the analytical-model tiling, falling back to the smallest tile
@@ -44,6 +48,7 @@ struct ConvDescriptor {
   KernelLayout weight_layout = KernelLayout::kCNRS;
   DeviceSpec device = make_a100();
   TdcTiling tiling{0, 0, 0};
+  const CostProvider* cost = nullptr;
 };
 
 /// How a Tucker-pipeline plan executes the three stages.
@@ -53,15 +58,17 @@ enum class TuckerExec {
 };
 
 /// Compile request for the decomposed pipeline. `core_algo` picks the plan
-/// of the staged middle convolution (kAuto allowed); the fused executor
-/// always uses the banded im2col core. `row_tile` is the fused band height
-/// (0 picks the cache-sizing default).
+/// of the staged middle convolution (kAuto allowed, resolved by `cost` —
+/// null selects the simulated-GPU provider); the fused executor always uses
+/// the banded im2col core. `row_tile` is the fused band height (0 picks the
+/// cache-sizing default).
 struct TuckerDescriptor {
   ConvShape shape;
   TuckerExec exec = TuckerExec::kFused;
   ConvAlgo core_algo = ConvAlgo::kIm2col;
   std::int64_t row_tile = 0;
   DeviceSpec device = make_a100();
+  const CostProvider* cost = nullptr;
 };
 
 /// A compiled convolution: per-layer invariants + an allocation-free run.
@@ -94,15 +101,18 @@ class ConvPlan : public OpPlan {
   ConvAlgo algo_;
 };
 
-/// Algorithm selection for ConvAlgo::kAuto: among the algorithms that
-/// support the shape (conv_algo_supports), pick the one with the cheapest
-/// simulated latency on `device` — the library adapters price the cuDNN
-/// stand-ins and tdc_core_cost prices the TDC kernel at its model-selected
-/// tiling. Never returns kReference (the oracle is not a deployment path).
+/// Algorithm selection for ConvAlgo::kAuto under the *simulated-GPU* cost
+/// model — simulated_gpu_cost_provider().resolve(), kept as a free function
+/// for the paper-repro paths. Among the algorithms that support the shape
+/// (conv_algo_supports), picks the one with the cheapest simulated latency
+/// on `device` — the library adapters price the cuDNN stand-ins and
+/// tdc_core_cost prices the TDC kernel at its model-selected tiling. Never
+/// returns kReference (the oracle is not a deployment path).
 /// Transform-domain algorithms are never selected for pointwise (1×1)
 /// filters: a 1×1 convolution is a plain channel-mix GEMM, and the
 /// transform overhead cannot pay for itself no matter what the padded-plane
-/// cost model says.
+/// cost model says. Host-aware selection lives in the CostProvider
+/// implementations (exec/cost_provider.h, host_cost.h, autotune.h).
 ConvAlgo resolve_conv_algo(const DeviceSpec& device, const ConvShape& shape);
 
 /// Compile a dense plan. The kernel tensor is given in desc.weight_layout

@@ -1,0 +1,61 @@
+#include "exec/cost_provider.h"
+
+#include "common/check.h"
+#include "core/tdc_kernel.h"
+#include "core/tdc_model.h"
+#include "gpusim/library_cost.h"
+
+namespace tdc {
+
+std::vector<ConvAlgo> dense_algo_candidates(const ConvShape& shape) {
+  TDC_CHECK_MSG(shape.valid(), "invalid shape " + shape.to_string());
+  std::vector<ConvAlgo> candidates{ConvAlgo::kIm2col};
+  const bool pointwise = shape.r == 1 && shape.s == 1;
+  for (const ConvAlgo algo : {ConvAlgo::kWinograd, ConvAlgo::kFft}) {
+    if (!pointwise && conv_algo_supports(algo, shape)) {
+      candidates.push_back(algo);
+    }
+  }
+  candidates.push_back(ConvAlgo::kTdcCore);
+  return candidates;
+}
+
+ConvAlgo SimulatedGpuCostProvider::resolve(const DeviceSpec& device,
+                                           const ConvShape& shape) const {
+  TDC_CHECK_MSG(shape.valid(), "invalid shape " + shape.to_string());
+  ConvAlgo best = ConvAlgo::kIm2col;
+  double best_s = library_conv_cost(ConvAlgo::kIm2col, device, shape).total_s;
+  // A 1×1 layer is already a bare channel-mix GEMM: the transform-domain
+  // algorithms only add forward/inverse transform launches around the same
+  // GEMM, so they are excluded outright instead of trusting the FFT cost
+  // model's padded-plane arithmetic on degenerate filters.
+  const bool pointwise = shape.r == 1 && shape.s == 1;
+  for (const ConvAlgo algo : {ConvAlgo::kWinograd, ConvAlgo::kFft}) {
+    if (pointwise || !conv_algo_supports(algo, shape)) {
+      continue;
+    }
+    const double s = library_conv_cost(algo, device, shape).total_s;
+    if (s < best_s) {
+      best_s = s;
+      best = algo;
+    }
+  }
+  // The TDC kernel competes only where the device can actually launch it.
+  try {
+    const TdcTiling t = select_tiling_model(device, shape);
+    const double s = tdc_core_cost(device, shape, t).total_s;
+    if (s < best_s) {
+      best_s = s;
+      best = ConvAlgo::kTdcCore;
+    }
+  } catch (const Error&) {
+  }
+  return best;
+}
+
+const CostProvider& simulated_gpu_cost_provider() {
+  static const SimulatedGpuCostProvider provider;
+  return provider;
+}
+
+}  // namespace tdc

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "exec/host_cost.h"
 #include "exec/op_plans.h"
 #include "exec/plan_cache.h"
 #include "exec/plan_impl.h"
@@ -241,6 +242,14 @@ InferenceSession InferenceSession::compile(
   // weight-tensor checks.
   const std::vector<OpShape> shapes = infer_output_shapes(model);
 
+  // Sessions execute on the CPU engine, so kAuto defaults to the host cost
+  // provider rather than the simulated-GPU pricing of the bare descriptor
+  // API — that is what makes kAuto deployable without the historical
+  // dense_algo = kIm2col pin.
+  const CostProvider* cost = options.cost_provider != nullptr
+                                 ? options.cost_provider
+                                 : &host_cost_provider();
+
   InferenceSession s;
   s.max_slots_ = std::max(num_threads(), 1);
   s.input_shape_ = conv_input_shape(model.layers.front().conv);
@@ -275,6 +284,7 @@ InferenceSession InferenceSession::compile(
           desc.exec = options.tucker_exec;
           desc.core_algo = options.tucker_core_algo;
           desc.device = device;
+          desc.cost = cost;
           if (options.use_plan_cache) {
             node.plan = PlanCache::instance().get_or_compile_tucker(
                 desc, kernel, dec->ranks);
@@ -287,6 +297,7 @@ InferenceSession InferenceSession::compile(
           desc.shape = layer.conv;
           desc.algo = options.dense_algo;
           desc.device = device;
+          desc.cost = cost;
           if (options.use_plan_cache) {
             node.plan = PlanCache::instance().get_or_compile(desc, kernel);
           } else {

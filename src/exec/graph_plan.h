@@ -63,6 +63,13 @@ struct SessionOptions {
   ConvAlgo dense_algo = ConvAlgo::kAuto;
   /// Core-stage algorithm of staged Tucker layers.
   ConvAlgo tucker_core_algo = ConvAlgo::kIm2col;
+  /// Resolves ConvAlgo::kAuto for dense layers and staged Tucker cores.
+  /// Null selects the deployment default for where sessions actually
+  /// execute — the host provider (exec/host_cost.h), so kAuto picks
+  /// CPU-fast plans. Paper-repro paths that want selection priced for the
+  /// descriptor's simulated DeviceSpec pass &simulated_gpu_cost_provider();
+  /// &autotune_cost_provider() measures candidates instead of modeling them.
+  const CostProvider* cost_provider = nullptr;
   /// Compile convolution plans through the process-wide PlanCache. Off, every
   /// plan is compiled privately (no sharing, no cache pollution).
   bool use_plan_cache = true;

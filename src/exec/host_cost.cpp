@@ -1,0 +1,148 @@
+#include "exec/host_cost.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+#include "exec/microbench.h"
+#include "fft/fft.h"
+
+namespace tdc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Scalar-loop stages — the Winograd tile transforms, FFT butterflies and
+// the frequency-domain multiply-accumulate — run far off the packed GEMM
+// rate: they are gather/scatter loops the compiler cannot keep on the FMA
+// pipes. Measured against this repo's functional kernels the gap is a few
+// tens of ×; 48 keeps the model conservative about transform-heavy
+// algorithms on layers with many tiles (large planes, few channels), which
+// is exactly where the real Winograd path loses to im2col.
+constexpr double kScalarStagePenalty = 48.0;
+
+// The CPU executor of the TDC core kernel is a functional *emulator* of the
+// GPU scheme — a per-thread interpreter over the shared-memory staging loop,
+// measured ~150–250× slower per MAC than the packed GEMM on ResNet-18
+// shapes. It validates codegen and tilings; it is not a deployment kernel,
+// and this penalty keeps it priced out of every dense selection.
+constexpr double kTdcEmulatorPenalty = 256.0;
+
+double im2col_cost_s(const ConvShape& s, double gemm_rate, double byte_rate) {
+  const double ohw = static_cast<double>(s.out_h()) * s.out_w();
+  const double crs = static_cast<double>(s.c) * s.r * s.s;
+  const double gemm_flops = 2.0 * s.n * crs * ohw;
+  // Unit-stride unpadded 1×1 plans run the GEMM on the input in place
+  // (pointwise_conv_prepacked) — no patch matrix at all.
+  const bool in_place = s.r == 1 && s.s == 1 && s.stride_h == 1 &&
+                        s.stride_w == 1 && s.pad_h == 0 && s.pad_w == 0;
+  const double patch = in_place ? 0.0 : crs * ohw;
+  const double bytes =
+      4.0 * (2.0 * patch + static_cast<double>(s.c) * s.h * s.w + s.n * ohw);
+  return gemm_flops / gemm_rate + bytes / byte_rate;
+}
+
+double winograd_cost_s(const ConvShape& s, double gemm_rate,
+                       double byte_rate) {
+  // F(2×2, 3×3): 4×4 input tiles, 16 transform-domain GEMMs of
+  // [N, C] × [C, tiles], 2×2 output tiles (exec/plan_winograd.cpp).
+  const double tiles = static_cast<double>((s.out_h() + 1) / 2) *
+                       static_cast<double>((s.out_w() + 1) / 2);
+  const double gemm_flops = 2.0 * 16.0 * s.n * s.c * tiles;
+  // Per tile: ~64 adds for B^T d B per input channel, ~40 for A^T m A per
+  // output channel — scalar loops, priced at the penalized rate.
+  const double scalar_flops = tiles * (64.0 * s.c + 40.0 * s.n);
+  const double bytes =
+      4.0 * (static_cast<double>(s.c) * s.h * s.w +
+             static_cast<double>(s.n) * s.out_h() * s.out_w() +
+             2.0 * 16.0 * tiles * (static_cast<double>(s.c) + s.n));
+  return gemm_flops / gemm_rate +
+         scalar_flops * kScalarStagePenalty / gemm_rate + bytes / byte_rate;
+}
+
+double fft_cost_s(const ConvShape& s, double gemm_rate, double byte_rate) {
+  // Padded-plane spectra (exec/plan_fft.cpp): C forward transforms, the
+  // C·N frequency-domain multiply-accumulates against precomputed filter
+  // spectra, N inverse transforms. The C·N spectra read is the killer term
+  // on CPU: every image re-streams the whole transformed filter bank.
+  const double fh = static_cast<double>(next_pow2(s.h + 2 * s.pad_h));
+  const double fw = static_cast<double>(next_pow2(s.w + 2 * s.pad_w));
+  const double plane = fh * fw;
+  const double cn = static_cast<double>(s.c) * s.n;
+  const double fft_flops =
+      (static_cast<double>(s.c) + s.n) * 10.0 * plane * std::log2(plane);
+  const double cmac_flops = 8.0 * cn * plane;
+  const double bytes = 8.0 * plane * (cn + 2.0 * s.c + 2.0 * s.n) +
+                       4.0 * (static_cast<double>(s.c) * s.h * s.w +
+                              static_cast<double>(s.n) * s.out_h() * s.out_w());
+  return (fft_flops + cmac_flops) * kScalarStagePenalty / gemm_rate +
+         bytes / byte_rate;
+}
+
+}  // namespace
+
+double host_conv_cost_s(ConvAlgo algo, const ConvShape& shape) {
+  TDC_CHECK_MSG(shape.valid(), "invalid shape " + shape.to_string());
+  if (algo == ConvAlgo::kReference || algo == ConvAlgo::kAuto ||
+      !conv_algo_supports(algo, shape)) {
+    return kInf;
+  }
+  const bool pointwise = shape.r == 1 && shape.s == 1;
+  if (pointwise && (algo == ConvAlgo::kWinograd || algo == ConvAlgo::kFft)) {
+    return kInf;
+  }
+  const HostCalibration cal = host_calibration();
+  const double gemm_rate = cal.gflops * 1e9;
+  const double byte_rate = cal.gbs * 1e9;
+  double per_image = 0.0;
+  switch (algo) {
+    case ConvAlgo::kIm2col:
+      per_image = im2col_cost_s(shape, gemm_rate, byte_rate);
+      break;
+    case ConvAlgo::kWinograd:
+      per_image = winograd_cost_s(shape, gemm_rate, byte_rate);
+      break;
+    case ConvAlgo::kFft:
+      per_image = fft_cost_s(shape, gemm_rate, byte_rate);
+      break;
+    case ConvAlgo::kTdcCore:
+      per_image = shape.flops() / static_cast<double>(shape.batch) *
+                  kTdcEmulatorPenalty / gemm_rate;
+      break;
+    case ConvAlgo::kReference:
+    case ConvAlgo::kAuto:
+      return kInf;  // excluded above
+  }
+  return per_image * static_cast<double>(shape.batch);
+}
+
+std::string HostCostProvider::cache_key() const {
+  const HostCalibration cal = host_calibration();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "host;g=%.6g;b=%.6g", cal.gflops, cal.gbs);
+  return buf;
+}
+
+ConvAlgo HostCostProvider::resolve(const DeviceSpec& /*device*/,
+                                   const ConvShape& shape) const {
+  ConvAlgo best = ConvAlgo::kIm2col;
+  double best_s = kInf;
+  // Candidate order breaks exact-cost ties deterministically (im2col first).
+  for (const ConvAlgo algo : dense_algo_candidates(shape)) {
+    const double s = host_conv_cost_s(algo, shape);
+    if (s < best_s) {
+      best_s = s;
+      best = algo;
+    }
+  }
+  return best;
+}
+
+const CostProvider& host_cost_provider() {
+  static const HostCostProvider provider;
+  return provider;
+}
+
+}  // namespace tdc

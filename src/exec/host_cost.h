@@ -1,0 +1,49 @@
+// Host-aware algorithm selection: the CPU-engine cost model.
+//
+// resolve_conv_algo prices candidates for the *simulated GPU*, which on the
+// CPU engine can hand a layer to the TDC-core functional emulator (orders of
+// magnitude slower than im2col) — the reason serving callers used to pin
+// dense_algo = kIm2col. HostCostProvider replaces that hand-pin with a
+// first-order model of the engine's own kernels:
+//
+//   t(algo) ≈ GEMM-shaped flops / measured GEMM rate
+//           + scalar-stage flops / (rate / scalar penalty)
+//           + packing + transform traffic / measured bandwidth
+//
+// The two machine constants come from exec/microbench.h (measured once per
+// process, or pinned via TDC_HOST_GFLOPS / TDC_HOST_GBS). The model is a
+// ranking heuristic, not a simulator: its job is to keep catastrophic
+// choices (the TDC emulator, CPU FFT with its C·N-spectra traffic) out of
+// deployment and to call the close im2col-vs-Winograd races sensibly. The
+// AutotuneCostProvider (exec/autotune.h) uses the same estimates to decide
+// which candidates are worth timing for real.
+#pragma once
+
+#include "exec/cost_provider.h"
+
+namespace tdc {
+
+/// Estimated seconds for one whole-batch run of `algo` on `shape` on this
+/// host, under the current host_calibration(). Returns +infinity for
+/// non-deployable combinations (unsupported shape, kReference/kAuto, and
+/// transform-domain algorithms on 1×1 filters).
+double host_conv_cost_s(ConvAlgo algo, const ConvShape& shape);
+
+class HostCostProvider final : public CostProvider {
+ public:
+  const char* name() const override { return "host"; }
+  /// "host;g=<gflops>;b=<gbs>" — re-calibration (or a different env pin)
+  /// changes the key, so plans chosen under different machine constants
+  /// never alias in the PlanCache.
+  std::string cache_key() const override;
+  /// Argmin of host_conv_cost_s over dense_algo_candidates. The DeviceSpec
+  /// is ignored: this provider prices the CPU the process runs on, not the
+  /// descriptor's simulated target.
+  ConvAlgo resolve(const DeviceSpec& device,
+                   const ConvShape& shape) const override;
+};
+
+/// Process-wide instance (stateless beyond the shared calibration).
+const CostProvider& host_cost_provider();
+
+}  // namespace tdc

@@ -1,0 +1,113 @@
+#include "exec/microbench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/parallel.h"
+#include "linalg/gemm.h"
+
+namespace tdc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double env_positive(const char* name, bool* from_env) {
+  const char* v = std::getenv(name);
+  if (v != nullptr && *v != '\0') {
+    const double x = std::atof(v);
+    if (x > 0.0) {
+      *from_env = true;
+      return x;
+    }
+  }
+  *from_env = false;
+  return 0.0;
+}
+
+std::mutex& calibration_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::optional<HostCalibration>& calibration_slot() {
+  static std::optional<HostCalibration> slot;
+  return slot;
+}
+
+}  // namespace
+
+double measure_gemm_gflops() {
+  // The engine's own packed kernel on operands small enough to stay cache
+  // resident: what the im2col / transform-domain GEMMs actually sustain,
+  // SIMD width and thread fan-out included. ~14 MFLOP per rep.
+  constexpr std::int64_t kDim = 192;
+  std::vector<float> a(static_cast<std::size_t>(kDim * kDim), 1.0f);
+  std::vector<float> b(static_cast<std::size_t>(kDim * kDim), 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(kDim * kDim), 0.0f);
+  const double flop = 2.0 * kDim * kDim * kDim;
+  gemm(kDim, kDim, kDim, a, b, c);  // warm-up: pool spin-up, page faults
+  double best_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    gemm(kDim, kDim, kDim, a, b, c);
+    best_s = std::min(
+        best_s, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return flop / best_s / 1e9;
+}
+
+double measure_stream_gbs() {
+  // Out-of-cache streaming copy, the traffic pattern of im2col packing and
+  // the transform scatter/gather stages. 32 MiB source + 32 MiB destination
+  // defeats any L2/L3 this class of host has.
+  constexpr std::int64_t kFloats = 8ll << 20;
+  std::vector<float> src(static_cast<std::size_t>(kFloats), 1.0f);
+  std::vector<float> dst(static_cast<std::size_t>(kFloats), 0.0f);
+  const double bytes = 2.0 * static_cast<double>(kFloats) * sizeof(float);
+  auto copy = [&] {
+    parallel_for(0, kFloats, 1 << 16, [&](std::int64_t i0, std::int64_t i1) {
+      std::memcpy(dst.data() + i0, src.data() + i0,
+                  static_cast<std::size_t>(i1 - i0) * sizeof(float));
+    });
+  };
+  copy();  // warm-up
+  double best_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    copy();
+    best_s = std::min(
+        best_s, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return bytes / best_s / 1e9;
+}
+
+HostCalibration host_calibration() {
+  std::lock_guard<std::mutex> lock(calibration_mutex());
+  std::optional<HostCalibration>& slot = calibration_slot();
+  if (!slot.has_value()) {
+    HostCalibration cal;
+    cal.gflops = env_positive("TDC_HOST_GFLOPS", &cal.gflops_from_env);
+    cal.gbs = env_positive("TDC_HOST_GBS", &cal.gbs_from_env);
+    if (!cal.gflops_from_env) {
+      cal.gflops = measure_gemm_gflops();
+    }
+    if (!cal.gbs_from_env) {
+      cal.gbs = measure_stream_gbs();
+    }
+    slot = cal;
+  }
+  return *slot;
+}
+
+void reset_host_calibration() {
+  std::lock_guard<std::mutex> lock(calibration_mutex());
+  calibration_slot().reset();
+}
+
+}  // namespace tdc

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "exec/cost_provider.h"
 #include "tucker/tucker.h"
 
 namespace tdc {
@@ -63,6 +64,22 @@ void append_device(std::string* key, const DeviceSpec& d) {
                            d.model_top_fraction};
   h = fnv1a(fields, sizeof(fields), h);
   append_u64(key, h);
+}
+
+// kAuto plans embed their *resolution provenance* — which cost provider
+// picked the algorithm, under which calibration constants — so a plan tuned
+// for the CPU engine is never served to a simulated-GPU compile of the same
+// shape (or vice versa, or across re-calibrations). A pinned algorithm
+// compiles to the identical artifact under every provider, so those requests
+// share one entry.
+void append_provenance(std::string* key, const CostProvider* cost,
+                       ConvAlgo algo) {
+  if (algo == ConvAlgo::kAuto) {
+    *key += (cost != nullptr ? *cost : simulated_gpu_cost_provider())
+                .cache_key();
+  } else {
+    *key += "pinned";
+  }
 }
 
 }  // namespace
@@ -131,6 +148,8 @@ std::shared_ptr<const ConvPlan> PlanCache::get_or_compile(
   key += '|';
   append_device(&key, desc.device);
   key += '|';
+  append_provenance(&key, desc.cost, desc.algo);
+  key += '|';
   append_u64(&key, tensor_fingerprint(kernel));
   return lookup_or_insert(key,
                           [&] { return compile_conv_plan(desc, kernel); });
@@ -153,6 +172,12 @@ std::shared_ptr<const ConvPlan> PlanCache::get_or_compile_tucker(
   key += std::to_string(ranks.d2);
   key += '|';
   append_device(&key, desc.device);
+  key += '|';
+  // Only the staged executor resolves its core algorithm; the fused
+  // pipeline's core is fixed, so its provenance is always "pinned".
+  append_provenance(&key, desc.cost,
+                    desc.exec == TuckerExec::kStaged ? desc.core_algo
+                                                     : ConvAlgo::kIm2col);
   key += '|';
   append_u64(&key, tensor_fingerprint(kernel_cnrs));
   return lookup_or_insert(key, [&] {

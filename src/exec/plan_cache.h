@@ -7,12 +7,17 @@
 // The cache makes recompilation of an identical layer free — cuDNN-style —
 // by keying plans on everything that determines the compiled artifact:
 //
-//   shape ⊕ algorithm request ⊕ tiling ⊕ device ⊕ weight fingerprint
+//   shape ⊕ algorithm request ⊕ tiling ⊕ device ⊕ resolution provenance
+//        ⊕ weight fingerprint
 //
 // The weight fingerprint (FNV-1a over the kernel bytes and dims) keeps two
-// same-shape layers with different weights from aliasing; kAuto requests are
-// cacheable before resolution because resolution is a pure function of
-// (device, shape), both of which are in the key.
+// same-shape layers with different weights from aliasing. kAuto requests are
+// cacheable before resolution because the key carries the resolution
+// provenance — the cost provider's cache_key(), i.e. its id plus calibration
+// constants — alongside the (device, shape) the provider resolves against;
+// a host-tuned plan is therefore never served to a simulated-GPU compile of
+// the same shape. Pinned-algorithm requests compile identically under every
+// provider and share one entry.
 //
 // Cached plans are shared as shared_ptr<const ConvPlan>: running a plan is
 // const and touches only caller-owned output/workspace, so one compiled

@@ -225,6 +225,7 @@ std::unique_ptr<ConvPlan> compile_tucker_plan(const TuckerDescriptor& desc,
   core_desc.shape = core_conv_shape(desc.shape, ranks);
   core_desc.algo = desc.core_algo;
   core_desc.device = desc.device;
+  core_desc.cost = desc.cost;
   return std::make_unique<StagedTuckerPlanImpl>(
       desc.shape, factors, compile_conv_plan(core_desc, factors.core));
 }
