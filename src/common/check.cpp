@@ -1,17 +1,70 @@
 #include "common/check.h"
 
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 
-namespace tdc::detail {
+namespace tdc {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kDataCorruption:
+      return "data_corruption";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// -1 = not yet resolved from the environment; 0/1 once decided or overridden.
+std::atomic<int> g_check_finite{-1};
+
+}  // namespace
+
+bool check_finite_enabled() {
+  int v = g_check_finite.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("TDC_CHECK_FINITE");
+    v = env != nullptr && env[0] == '1' ? 1 : 0;
+    g_check_finite.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_check_finite(bool on) {
+  g_check_finite.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool all_finite(const float* data, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace detail {
 
 void check_failed(const char* expr, const char* file, int line,
-                  const std::string& message) {
+                  const std::string& message, ErrorCode code) {
   std::ostringstream os;
   os << "TDC_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!message.empty()) {
     os << " — " << message;
   }
-  throw Error(os.str());
+  throw Error(os.str(), code);
 }
 
-}  // namespace tdc::detail
+}  // namespace detail
+
+}  // namespace tdc

@@ -2,24 +2,81 @@
 //
 // TDC_CHECK is always on (it guards API contracts such as shape agreement);
 // violations throw tdc::Error so callers and tests can observe them without
-// aborting the process.
+// aborting the process. Every Error carries an ErrorCode so serving-tier
+// callers can map failures to a retry/reject/abort policy without parsing
+// message strings.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace tdc {
 
+/// Failure taxonomy of every tdc::Error the library throws. Callers branch on
+/// the code, never on the message text.
+enum class ErrorCode {
+  kInvalidArgument,    ///< malformed descriptor/operand (caller error; retrying
+                       ///  the same call cannot succeed)
+  kResourceExhausted,  ///< an allocation the operation needed failed; may
+                       ///  succeed later or with a smaller request
+  kDeadlineExceeded,   ///< the run's Deadline expired at a cooperative
+                       ///  cancellation point; state is reusable
+  kDataCorruption,     ///< data failed an integrity check (non-finite kernel
+                       ///  output, bad cache-file checksum)
+  kInternal,           ///< violated library invariant — a bug, not a caller
+                       ///  error
+};
+
+/// Stable lowercase name of a code ("invalid_argument", ...), for logs.
+const char* error_code_name(ErrorCode code);
+
 /// Exception thrown on any violated library precondition or invariant.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kInternal)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
+
+/// True when non-finite activation screening is on: TDC_CHECK_FINITE=1 in the
+/// environment (read once) or set_check_finite(true). Checked entry points
+/// (InferenceSession::run/run_batched) then reject non-finite inputs with
+/// kInvalidArgument and raise kDataCorruption when an op writes non-finite
+/// output. Off by default — the scan reads every activation element.
+bool check_finite_enabled();
+
+/// Programmatic override of TDC_CHECK_FINITE (tests, serving config).
+void set_check_finite(bool on);
+
+/// True when every element of [data, data + n) is finite.
+bool all_finite(const float* data, std::int64_t n);
 
 namespace detail {
 [[noreturn]] void check_failed(const char* expr, const char* file, int line,
-                               const std::string& message);
+                               const std::string& message,
+                               ErrorCode code = ErrorCode::kInvalidArgument);
 }  // namespace detail
+
+/// Runs f(), translating std::bad_alloc into Error(kResourceExhausted) with
+/// `context` naming the operation that was starved. Wraps the entry points
+/// that allocate on behalf of the caller (plan compilation, convenience
+/// workspaces) so out-of-memory surfaces as a typed, recoverable error.
+template <class F>
+decltype(auto) map_resource_failure(const char* context, F&& f) {
+  try {
+    return std::forward<F>(f)();
+  } catch (const std::bad_alloc&) {
+    throw Error(std::string(context) +
+                    ": allocation failed (resource exhausted)",
+                ErrorCode::kResourceExhausted);
+  }
+}
 
 }  // namespace tdc
 
@@ -34,5 +91,15 @@ namespace detail {
   do {                                                                 \
     if (!(expr)) {                                                     \
       ::tdc::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (0)
+
+// Invariant (not precondition) form: failures are library bugs and carry
+// ErrorCode::kInternal.
+#define TDC_CHECK_INTERNAL(expr, msg)                                  \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::tdc::detail::check_failed(#expr, __FILE__, __LINE__, (msg),    \
+                                  ::tdc::ErrorCode::kInternal);        \
     }                                                                  \
   } while (0)

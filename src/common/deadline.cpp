@@ -1,0 +1,70 @@
+#include "common/deadline.h"
+
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+thread_local const Deadline* t_deadline = nullptr;
+
+}  // namespace
+
+Deadline Deadline::after(double seconds) {
+  if (seconds < 0.0) {
+    seconds = 0.0;
+  }
+  return at(std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds)));
+}
+
+Deadline Deadline::at(std::chrono::steady_clock::time_point tp) {
+  Deadline d;
+  d.tp_ = tp;
+  d.armed_ = true;
+  return d;
+}
+
+double Deadline::remaining_s() const {
+  if (!armed_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::chrono::duration<double>(tp_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+namespace detail {
+
+const Deadline* active_deadline() { return t_deadline; }
+
+const Deadline* exchange_active_deadline(const Deadline* d) {
+  const Deadline* prev = t_deadline;
+  t_deadline = d;
+  return prev;
+}
+
+void deadline_exceeded(const char* where) {
+  throw Error(std::string("deadline exceeded at ") + where,
+              ErrorCode::kDeadlineExceeded);
+}
+
+}  // namespace detail
+
+DeadlineScope::DeadlineScope(const Deadline& deadline)
+    : effective_(deadline), prev_(t_deadline) {
+  // Nesting never extends an outer budget: keep the earlier deadline.
+  if (prev_ != nullptr && prev_->armed() &&
+      (!effective_.armed() ||
+       prev_->remaining_s() < effective_.remaining_s())) {
+    effective_ = *prev_;
+  }
+  t_deadline = effective_.armed() ? &effective_ : prev_;
+}
+
+DeadlineScope::~DeadlineScope() { t_deadline = prev_; }
+
+}  // namespace tdc

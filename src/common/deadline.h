@@ -1,0 +1,93 @@
+// Deadline-aware cooperative cancellation.
+//
+// A serving tier cannot afford a run that hangs its caller: an over-budget
+// request must come back as a typed error, with the session, plan cache and
+// thread pool immediately reusable. Deadline is a wall-clock budget; a
+// DeadlineScope arms it for the calling thread, and the execution layer
+// polls deadline_poll() at natural grain boundaries — between op plans in a
+// session walk, between images of a batched run, and between the packed
+// GEMM's cache-block bands — throwing Error(kDeadlineExceeded) when the
+// budget is gone:
+//
+//   DeadlineScope scope(Deadline::after(0.050));   // 50 ms budget
+//   session.run(x, &y, workspace);                 // throws if over budget
+//
+// The armed deadline is thread-local; the parallel runtime propagates it to
+// the pool workers of any region the deadlined thread opens, so cancellation
+// reaches the row-band grains of a multi-threaded GEMM. With no scope armed
+// a poll is one thread-local pointer test — the disarmed cost enforced by
+// bench_robustness. Cancellation is cooperative and never tears state: polls
+// sit between grains, not inside them, so a throw leaves every plan, cache
+// and pool invariant intact and the next run is bit-identical to an
+// unfaulted one.
+#pragma once
+
+#include <chrono>
+
+namespace tdc {
+
+/// A point in time the current operation must not run past. Default-built it
+/// is unarmed (never expires).
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Expires `seconds` from now (clamped to >= 0).
+  static Deadline after(double seconds);
+
+  /// Expires at `tp`.
+  static Deadline at(std::chrono::steady_clock::time_point tp);
+
+  bool armed() const { return armed_; }
+  bool expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= tp_;
+  }
+
+  /// Seconds left (negative once expired); infinity when unarmed.
+  double remaining_s() const;
+
+ private:
+  std::chrono::steady_clock::time_point tp_{};
+  bool armed_ = false;
+};
+
+namespace detail {
+
+/// The calling thread's armed deadline, or null. The parallel runtime reads
+/// this when opening a region and installs it on its workers.
+const Deadline* active_deadline();
+
+/// Installs `d` (may be null) as the calling thread's deadline, returning
+/// the previous value — used by DeadlineScope and the pool workers.
+const Deadline* exchange_active_deadline(const Deadline* d);
+
+[[noreturn]] void deadline_exceeded(const char* where);
+
+}  // namespace detail
+
+/// Arms `deadline` for the calling thread for the scope's lifetime. Scopes
+/// nest: an inner scope with a later deadline does not extend an outer one
+/// (the effective deadline is the earlier of the two).
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(const Deadline& deadline);
+  ~DeadlineScope();
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  Deadline effective_;
+  const Deadline* prev_;
+};
+
+/// Cooperative cancellation point: throws Error(kDeadlineExceeded) naming
+/// `where` when the armed deadline has passed; a thread-local null test when
+/// nothing is armed.
+inline void deadline_poll(const char* where) {
+  const Deadline* d = detail::active_deadline();
+  if (d != nullptr && d->expired()) {
+    detail::deadline_exceeded(where);
+  }
+}
+
+}  // namespace tdc

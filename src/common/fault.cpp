@@ -1,0 +1,186 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace tdc {
+
+namespace detail {
+std::atomic<int> g_armed_faults{-1};
+}  // namespace detail
+
+namespace {
+
+struct PointState {
+  FaultSpec spec;
+  bool armed = false;
+  std::int64_t hits = 0;   ///< queries since arming
+  std::int64_t fires = 0;  ///< queries that returned true
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState, std::less<>> points;
+  bool env_parsed = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Callers hold registry().mu.
+int armed_count_locked() {
+  int n = 0;
+  for (const auto& [name, p] : registry().points) {
+    if (p.armed && (p.spec.count < 0 || p.fires < p.spec.count)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// Parses one "point[=param][:skip[:count]]" clause. Malformed numeric fields
+// default to zero rather than failing — a typo in TDC_FAULT arms nothing
+// harmful, it just fires a point with default behavior.
+void parse_clause_locked(const std::string& clause) {
+  if (clause.empty()) {
+    return;
+  }
+  std::string head = clause;
+  FaultSpec spec;
+  spec.count = 1;  // env-armed points fire once by default
+  if (const std::size_t colon = head.find(':'); colon != std::string::npos) {
+    const std::string tail = head.substr(colon + 1);
+    head = head.substr(0, colon);
+    spec.skip = std::strtoll(tail.c_str(), nullptr, 10);
+    if (const std::size_t colon2 = tail.find(':');
+        colon2 != std::string::npos) {
+      spec.count = std::strtoll(tail.c_str() + colon2 + 1, nullptr, 10);
+    }
+  }
+  if (const std::size_t eq = head.find('='); eq != std::string::npos) {
+    spec.param = std::strtod(head.c_str() + eq + 1, nullptr);
+    head = head.substr(0, eq);
+  }
+  if (!head.empty()) {
+    PointState& p = registry().points[head];
+    p = PointState{};
+    p.spec = spec;
+    p.armed = true;
+  }
+}
+
+// Callers hold registry().mu.
+void ensure_env_parsed_locked() {
+  Registry& r = registry();
+  if (r.env_parsed) {
+    return;
+  }
+  r.env_parsed = true;
+  if (const char* env = std::getenv("TDC_FAULT"); env != nullptr) {
+    std::string text(env);
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t semi = text.find(';', start);
+      const std::size_t end = semi == std::string::npos ? text.size() : semi;
+      parse_clause_locked(text.substr(start, end - start));
+      if (semi == std::string::npos) {
+        break;
+      }
+      start = semi + 1;
+    }
+  }
+  detail::g_armed_faults.store(armed_count_locked(),
+                               std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void fault_arm(const std::string& point, const FaultSpec& spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked();
+  PointState& p = r.points[point];
+  p = PointState{};
+  p.spec = spec;
+  p.armed = true;
+  detail::g_armed_faults.store(armed_count_locked(),
+                               std::memory_order_relaxed);
+}
+
+void fault_disarm(const std::string& point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked();
+  if (const auto it = r.points.find(point); it != r.points.end()) {
+    it->second.armed = false;
+  }
+  detail::g_armed_faults.store(armed_count_locked(),
+                               std::memory_order_relaxed);
+}
+
+void fault_disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  // Forget the environment parse: after a disarm-all the next query re-reads
+  // TDC_FAULT, so tests can setenv/unsetenv around this call.
+  r.env_parsed = false;
+  detail::g_armed_faults.store(-1, std::memory_order_relaxed);
+}
+
+bool fault_armed(const std::string& point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked();
+  const auto it = r.points.find(point);
+  if (it == r.points.end() || !it->second.armed) {
+    return false;
+  }
+  const PointState& p = it->second;
+  return p.spec.count < 0 || p.fires < p.spec.count;
+}
+
+std::int64_t fault_fire_count(const std::string& point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked();
+  const auto it = r.points.find(point);
+  return it == r.points.end() ? 0 : it->second.fires;
+}
+
+namespace detail {
+
+bool fault_fire_slow(std::string_view point, double* param) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ensure_env_parsed_locked();
+  const auto it = r.points.find(point);
+  if (it == r.points.end() || !it->second.armed) {
+    return false;
+  }
+  PointState& p = it->second;
+  if (p.spec.count >= 0 && p.fires >= p.spec.count) {
+    return false;
+  }
+  ++p.hits;
+  if (p.hits <= p.spec.skip) {
+    return false;
+  }
+  ++p.fires;
+  if (p.spec.count >= 0 && p.fires >= p.spec.count) {
+    // Exhausted: drop it from the armed count so the fast path goes back to
+    // the single-load rejection.
+    g_armed_faults.store(armed_count_locked(), std::memory_order_relaxed);
+  }
+  if (param != nullptr) {
+    *param = p.spec.param;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+}  // namespace tdc

@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "common/deadline.h"
 
 namespace tdc {
 
@@ -170,6 +173,21 @@ std::mutex g_region_mutex;
 std::unique_ptr<ThreadPool> g_pool;
 std::atomic<int> g_num_threads{0};  // 0 = not yet resolved
 
+std::atomic<std::int64_t> g_pool_regions{0};
+std::atomic<std::int64_t> g_inline_regions{0};
+std::atomic<std::int64_t> g_serial_fallbacks{0};
+std::atomic<bool> g_fallback_noted{false};
+
+void note_serial_fallback() {
+  g_serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  if (!g_fallback_noted.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "tdc: concurrent top-level parallel callers — the pool "
+                 "serves one region at a time, extra callers run inline "
+                 "serial (counted in tdc::parallel_stats())\n");
+  }
+}
+
 int resolve_num_threads_locked() {
   int nt = g_num_threads.load(std::memory_order_relaxed);
   if (nt == 0) {
@@ -217,6 +235,14 @@ void set_num_threads(int n) {
 
 bool in_parallel_region() { return t_in_parallel; }
 
+ParallelStats parallel_stats() {
+  ParallelStats s;
+  s.pool_regions = g_pool_regions.load(std::memory_order_relaxed);
+  s.inline_regions = g_inline_regions.load(std::memory_order_relaxed);
+  s.serial_fallbacks = g_serial_fallbacks.load(std::memory_order_relaxed);
+  return s;
+}
+
 namespace detail {
 
 void run_chunked(std::int64_t num_chunks,
@@ -225,13 +251,15 @@ void run_chunked(std::int64_t num_chunks,
     return;
   }
   if (num_chunks == 1) {
+    g_inline_regions.fetch_add(1, std::memory_order_relaxed);
     run_inline(num_chunks, fn);
     return;
   }
-  // One fork/join region at a time; a concurrent top-level caller simply
-  // runs its range inline on its own thread.
+  // One fork/join region at a time; a concurrent top-level caller runs its
+  // range inline on its own thread — correct, but serial, so it is counted.
   std::unique_lock<std::mutex> region(g_region_mutex, std::try_to_lock);
   if (!region.owns_lock()) {
+    note_serial_fallback();
     run_inline(num_chunks, fn);
     return;
   }
@@ -246,10 +274,29 @@ void run_chunked(std::int64_t num_chunks,
   }
   if (pool == nullptr) {
     region.unlock();
+    g_inline_regions.fetch_add(1, std::memory_order_relaxed);
     run_inline(num_chunks, fn);
     return;
   }
-  pool->run(num_chunks, fn);
+  g_pool_regions.fetch_add(1, std::memory_order_relaxed);
+  // The caller's armed deadline (if any) rides into the pool workers so
+  // cancellation polls inside worker chunks (GEMM bands of a batched run)
+  // observe it; the extra wrapper exists only on deadlined regions.
+  const Deadline* dl = detail::active_deadline();
+  if (dl == nullptr) {
+    pool->run(num_chunks, fn);
+    return;
+  }
+  const std::function<void(std::int64_t)> deadlined =
+      [dl, &fn](std::int64_t chunk) {
+        const Deadline* prev = exchange_active_deadline(dl);
+        struct Restore {
+          const Deadline* prev;
+          ~Restore() { exchange_active_deadline(prev); }
+        } restore{prev};
+        fn(chunk);
+      };
+  pool->run(num_chunks, deadlined);
 }
 
 }  // namespace detail

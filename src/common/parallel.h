@@ -36,6 +36,23 @@ void set_num_threads(int n);
 /// True when called from inside a parallel_for body.
 bool in_parallel_region();
 
+/// Process-wide observability counters of the shared runtime. The serving
+/// tier reads these to see when it is oversubscribing the pool: the pool
+/// serves one top-level fork/join region at a time, and a concurrent caller
+/// silently degrades to inline serial execution — correct, but one core.
+/// That degradation used to be invisible; it is now counted (and noted once
+/// per process on stderr) so a multi-client deployment has a baseline.
+struct ParallelStats {
+  std::int64_t pool_regions = 0;      ///< regions fanned out on the pool
+  std::int64_t inline_regions = 0;    ///< regions inline by policy (one
+                                      ///  chunk, or a single-thread runtime)
+  std::int64_t serial_fallbacks = 0;  ///< regions inline because another
+                                      ///  top-level caller held the pool
+};
+
+/// Snapshot of the counters (monotonic since process start).
+ParallelStats parallel_stats();
+
 /// Default minimum iterations per chunk before a loop is worth splitting.
 inline constexpr std::int64_t kDefaultGrainSize = 1;
 

@@ -1,5 +1,7 @@
 #include "exec/autotune.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "exec/conv_plan.h"
 #include "exec/host_cost.h"
@@ -117,27 +120,107 @@ bool next_entry(const std::string& text, std::size_t* pos, std::string* key,
   return true;
 }
 
-// Callers hold state().mu.
-bool save_locked(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return false;
+// Cache-file format (version 2): a version header plus a checksum over the
+// entry content, so a torn write, a flipped byte or a file from a different
+// format revision is *detected* instead of silently half-loaded:
+//
+//   {
+//     "version": 2,
+//     "checksum": "<16 hex digits: FNV-1a over every (key, algo) pair>",
+//     "entries": [ {"key": "...", "algo": "..."}, ... ]
+//   }
+//
+// Writes go through a temp file in the same directory followed by an atomic
+// rename, so a crash mid-save (or a concurrent reader) can only ever observe
+// the previous complete file — never a torn one.
+
+constexpr long long kCacheFormatVersion = 2;
+
+std::uint64_t entries_checksum(
+    const std::map<std::string, ConvAlgo>& winners) {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto fold = [&h](const char* s) {
+    for (; *s != '\0'; ++s) {
+      h ^= static_cast<unsigned char>(*s);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xffU;  // separator: ("ab","c") must not collide with ("a","bc")
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [key, algo] : winners) {
+    fold(key.c_str());
+    fold(conv_algo_name(algo));
   }
-  std::fprintf(f, "{\n  \"version\": 1,\n  \"entries\": [");
-  bool first = true;
-  for (const auto& [key, algo] : state().winners) {
-    std::fprintf(f, "%s\n    {\"key\": \"%s\", \"algo\": \"%s\"}",
-                 first ? "" : ",", key.c_str(), conv_algo_name(algo));
-    first = false;
-  }
-  std::fprintf(f, "\n  ]\n}\n");
-  return std::fclose(f) == 0;
+  return h;
 }
 
-bool load_locked(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
+// Pulls the integer after "tag": out of `text`; -1 when absent.
+long long int_field(const std::string& text, const char* tag) {
+  const std::size_t at = text.find(tag);
+  if (at == std::string::npos) {
+    return -1;
+  }
+  return std::strtoll(text.c_str() + at + std::char_traits<char>::length(tag),
+                      nullptr, 10);
+}
+
+// Callers hold state().mu.
+bool save_locked(const std::string& path) {
+  // Serialize fully in memory first: the checksum covers exactly what is
+  // written, and the write happens in one pass to the temp file.
+  std::string body = "{\n  \"version\": " +
+                     std::to_string(kCacheFormatVersion) + ",\n";
+  {
+    char sum[24];
+    std::snprintf(sum, sizeof(sum), "%016llx",
+                  static_cast<unsigned long long>(
+                      entries_checksum(state().winners)));
+    body += "  \"checksum\": \"";
+    body += sum;
+    body += "\",\n  \"entries\": [";
+  }
+  bool first = true;
+  for (const auto& [key, algo] : state().winners) {
+    body += first ? "\n" : ",\n";
+    body += "    {\"key\": \"" + key + "\", \"algo\": \"" +
+            conv_algo_name(algo) + "\"}";
+    first = false;
+  }
+  body += "\n  ]\n}\n";
+
+  if (fault_injected("autotune.corrupt_save")) {
+    // Torn-write simulation: publish only the front half. The checksum on
+    // the next load is what must catch this.
+    body.resize(body.size() / 2);
+  }
+
+  // Same-directory temp file (rename is only atomic within one filesystem);
+  // the pid keeps concurrent *processes* saving to the same cache apart.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return false;
+  }
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+enum class CacheLoad { kOk, kMissing, kWrongVersion, kCorrupt };
+
+// Callers hold state().mu. Parses into a staging map and verifies the
+// checksum before anything merges into the winner table, so a corrupt file
+// contributes nothing at all.
+CacheLoad load_locked(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return CacheLoad::kMissing;
   }
   std::string text;
   char buf[4096];
@@ -146,16 +229,58 @@ bool load_locked(const std::string& path) {
     text.append(buf, got);
   }
   std::fclose(f);
+
+  if (int_field(text, "\"version\":") != kCacheFormatVersion) {
+    return CacheLoad::kWrongVersion;
+  }
+  std::uint64_t stated = 0;
+  {
+    const std::size_t at = text.find("\"checksum\":");
+    const std::size_t open =
+        at == std::string::npos ? std::string::npos : text.find('"', at + 11);
+    if (open == std::string::npos) {
+      return CacheLoad::kCorrupt;
+    }
+    stated = std::strtoull(text.c_str() + open + 1, nullptr, 16);
+  }
+  std::map<std::string, ConvAlgo> staged;
   std::size_t pos = 0;
   std::string key;
   std::string name;
   while (next_entry(text, &pos, &key, &name)) {
     ConvAlgo algo = ConvAlgo::kIm2col;
-    if (algo_from_name(name, &algo)) {
-      state().winners.emplace(key, algo);  // first (in-memory) entry wins
+    if (!algo_from_name(name, &algo)) {
+      return CacheLoad::kCorrupt;  // an entry names no known algorithm
     }
+    staged.emplace(key, algo);
   }
-  return true;
+  if (entries_checksum(staged) != stated) {
+    return CacheLoad::kCorrupt;
+  }
+  for (const auto& [k, algo] : staged) {
+    state().winners.emplace(k, algo);  // first (in-memory) entry wins
+  }
+  return CacheLoad::kOk;
+}
+
+// Moves a failed cache file out of the way (path + ".corrupt") so the next
+// save starts clean and the evidence survives for inspection; the process
+// degrades to re-tuning instead of crashing or re-reading bad data forever.
+void quarantine_locked(const std::string& path, const char* why) {
+  const std::string dest = path + ".corrupt";
+  std::remove(dest.c_str());
+  const bool moved = std::rename(path.c_str(), dest.c_str()) == 0;
+  std::fprintf(stderr,
+               "tdc: TDC_AUTOTUNE_CACHE file '%s' %s; %s — winners will be "
+               "re-tuned\n",
+               path.c_str(), why,
+               moved ? "quarantined to *.corrupt" : "could not be moved");
+}
+
+const char* cache_load_problem(CacheLoad r) {
+  return r == CacheLoad::kWrongVersion
+             ? "has an unsupported format version"
+             : "failed its integrity check (torn or corrupt)";
 }
 
 // Reads TDC_AUTOTUNE_CACHE once and loads the file when present. Callers
@@ -168,7 +293,13 @@ void ensure_cache_loaded_locked() {
   const char* path = std::getenv("TDC_AUTOTUNE_CACHE");
   state().cache_path = path != nullptr ? path : "";
   if (!state().cache_path.empty()) {
-    load_locked(state().cache_path);  // missing file: first run, fine
+    const CacheLoad r = load_locked(state().cache_path);
+    if (r == CacheLoad::kWrongVersion || r == CacheLoad::kCorrupt) {
+      // Serving must not fail because a cache file went bad: quarantine it
+      // and fall through to re-tuning.
+      quarantine_locked(state().cache_path, cache_load_problem(r));
+    }
+    // kMissing: first run, fine.
   }
 }
 
@@ -319,7 +450,17 @@ bool autotune_save(const std::string& path) {
 bool autotune_load(const std::string& path) {
   TunerState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
-  return load_locked(path);
+  const CacheLoad r = load_locked(path);
+  if (r == CacheLoad::kWrongVersion || r == CacheLoad::kCorrupt) {
+    // The explicit API reports integrity failures as a typed error (the
+    // env-driven load instead quarantines and silently re-tunes, because
+    // serving must survive a bad cache file). The file is quarantined
+    // either way so the next save starts clean.
+    quarantine_locked(path, cache_load_problem(r));
+    throw Error("autotune cache '" + path + "' " + cache_load_problem(r),
+                ErrorCode::kDataCorruption);
+  }
+  return r == CacheLoad::kOk;
 }
 
 std::vector<std::pair<std::string, ConvAlgo>> autotune_table() {

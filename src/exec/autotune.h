@@ -12,7 +12,11 @@
 // Optional persistence: when TDC_AUTOTUNE_CACHE=<path> is set, the table is
 // loaded from that JSON file on first use and rewritten whenever a new
 // winner lands, so cold sessions (a second replica, a restarted service)
-// skip re-tuning entirely.
+// skip re-tuning entirely. The file format is versioned and checksummed and
+// every save goes through a same-directory temp file plus atomic rename, so
+// a crash mid-save never publishes a torn file; a file that fails its
+// integrity check (or carries a different format version) is quarantined to
+// <path>.corrupt and the process re-tunes instead of crashing.
 #pragma once
 
 #include <cstdint>
@@ -59,7 +63,12 @@ AutotuneStats autotune_stats();
 void autotune_clear();
 
 /// Explicit persistence (the TDC_AUTOTUNE_CACHE path uses these internally).
-/// Both return false on I/O failure; load merges entries into the table.
+/// Both return false on I/O failure (including a missing file on load);
+/// load merges entries into the table, in-memory winners taking priority.
+/// A load of a file that exists but fails its version or checksum
+/// validation quarantines it to <path>.corrupt and throws
+/// Error(kDataCorruption); the env-driven implicit load quarantines
+/// silently instead, so serving degrades to re-tuning.
 bool autotune_save(const std::string& path);
 bool autotune_load(const std::string& path);
 

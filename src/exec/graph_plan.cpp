@@ -1,9 +1,14 @@
 #include "exec/graph_plan.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
+#include <new>
+#include <thread>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "exec/host_cost.h"
@@ -190,6 +195,20 @@ InferenceSession InferenceSession::compile(
     const std::vector<LayerWeights>& weights,
     const std::vector<LayerDecision>& decisions,
     const SessionOptions& options) {
+  // Compilation allocates heavily (packed weights, Tucker factors, plan
+  // tables); a failed allocation surfaces as kResourceExhausted, and a throw
+  // anywhere in the body leaves the shared PlanCache consistent — entries
+  // already inserted are complete plans, the in-flight one is discarded.
+  return map_resource_failure("InferenceSession::compile",
+                              [&] { return compile_impl(device, model, weights,
+                                                        decisions, options); });
+}
+
+InferenceSession InferenceSession::compile_impl(
+    const DeviceSpec& device, const ModelSpec& model,
+    const std::vector<LayerWeights>& weights,
+    const std::vector<LayerDecision>& decisions,
+    const SessionOptions& options) {
   TDC_CHECK_MSG(!model.layers.empty(), "empty model");
   TDC_CHECK_MSG(weights.size() == model.layers.size(),
                 "need one LayerWeights entry per model layer");
@@ -255,6 +274,10 @@ InferenceSession InferenceSession::compile(
   s.input_shape_ = conv_input_shape(model.layers.front().conv);
 
   for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    deadline_poll("session compile layer boundary");
+    if (fault_injected("exec.compile_alloc")) {
+      throw std::bad_alloc();  // a layer's plan allocation failed
+    }
     const LayerSpec& layer = model.layers[i];
     Node node;
     node.name = layer.name;
@@ -419,6 +442,7 @@ std::int64_t InferenceSession::batched_workspace_bytes(
 
 void InferenceSession::run_graph(const float* x, float* y,
                                  std::span<float> workspace) const {
+  const bool screen_finite = check_finite_enabled();
   float* arena = workspace.data();
   const std::span<float> plan_ws = workspace.subspan(
       static_cast<std::size_t>(arena_floats_),
@@ -427,6 +451,17 @@ void InferenceSession::run_graph(const float* x, float* y,
   const std::int64_t last = num_ops() - 1;
   for (std::int64_t i = 0; i <= last; ++i) {
     const Node& node = nodes_[static_cast<std::size_t>(i)];
+    // Cooperative cancellation between ops: an expired budget throws here
+    // (and between GEMM bands inside the conv plans) rather than hanging the
+    // caller; no op is left half-run, only caller scratch holds stale data.
+    deadline_poll("session op boundary");
+    {
+      double delay_ms = 0.0;
+      if (fault_injected("exec.op_delay", &delay_ms)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+    }
     for (std::size_t k = 0; k < node.inputs.size(); ++k) {
       const std::int64_t j = node.inputs[k];
       ptrs[k] = j == kModelInput
@@ -437,6 +472,15 @@ void InferenceSession::run_graph(const float* x, float* y,
     node.plan->run_inputs(
         std::span<const float* const>(ptrs, node.inputs.size()), out,
         plan_ws);
+    if (fault_injected("exec.op_nan")) {
+      out[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+    if (screen_finite &&
+        !all_finite(out, node.plan->output_shape().floats())) {
+      throw Error("op '" + node.name +
+                      "' produced non-finite output (TDC_CHECK_FINITE)",
+                  ErrorCode::kDataCorruption);
+    }
   }
 }
 
@@ -452,15 +496,33 @@ void InferenceSession::run(const Tensor& x, Tensor* y,
                     workspace_bytes(),
                 "session workspace too small: need " +
                     std::to_string(workspace_bytes()) + " bytes");
+  if (check_finite_enabled() && !all_finite(x.raw(), x.numel())) {
+    throw Error("session input contains non-finite values "
+                "(TDC_CHECK_FINITE)",
+                ErrorCode::kInvalidArgument);
+  }
   run_graph(x.raw(), y->raw(),
             workspace.first(static_cast<std::size_t>(workspace_bytes() /
                                                      sizeof(float))));
 }
 
+void InferenceSession::run(const Tensor& x, Tensor* y,
+                           std::span<float> workspace,
+                           const Deadline& deadline) const {
+  DeadlineScope scope(deadline);
+  run(x, y, workspace);
+}
+
 Tensor InferenceSession::run(const Tensor& x) const {
   Tensor y({output_shape_.c, output_shape_.h, output_shape_.w});
-  std::vector<float> workspace(
-      static_cast<std::size_t>(workspace_bytes() / sizeof(float)));
+  std::vector<float> workspace = map_resource_failure(
+      "InferenceSession::run workspace", [&] {
+        if (fault_injected("exec.run_alloc")) {
+          throw std::bad_alloc();  // the convenience workspace failed
+        }
+        return std::vector<float>(
+            static_cast<std::size_t>(workspace_bytes() / sizeof(float)));
+      });
   run(x, &y, workspace);
   return y;
 }
@@ -480,6 +542,11 @@ void InferenceSession::run_batched(const Tensor& x, Tensor* y,
                         static_cast<std::int64_t>(sizeof(float)) >=
                     batched_workspace_bytes(batch),
                 "batched session workspace too small");
+  if (check_finite_enabled() && !all_finite(x.raw(), x.numel())) {
+    throw Error("batched session input contains non-finite values "
+                "(TDC_CHECK_FINITE)",
+                ErrorCode::kInvalidArgument);
+  }
 
   const std::int64_t x_stride = input_shape_.floats();
   const std::int64_t y_stride = output_shape_.floats();
@@ -489,6 +556,13 @@ void InferenceSession::run_batched(const Tensor& x, Tensor* y,
       [&](std::int64_t b, std::span<float> slot_ws) {
         run_graph(x.raw() + b * x_stride, y->raw() + b * y_stride, slot_ws);
       });
+}
+
+void InferenceSession::run_batched(const Tensor& x, Tensor* y,
+                                   std::span<float> workspace,
+                                   const Deadline& deadline) const {
+  DeadlineScope scope(deadline);
+  run_batched(x, y, workspace);
 }
 
 }  // namespace tdc

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/codesign.h"
 #include "exec/conv_plan.h"
 #include "exec/op_plan.h"
@@ -126,7 +127,22 @@ class InferenceSession {
   /// x (input_shape() floats) → y preallocated (output_shape() floats).
   /// Allocation-free; every output element written; bit-identical across
   /// calls and thread counts.
+  ///
+  /// Failure contract (all entry points): a throw — invalid operands
+  /// (kInvalidArgument), allocation failure (kResourceExhausted), deadline
+  /// expiry (kDeadlineExceeded), non-finite op output under TDC_CHECK_FINITE
+  /// (kDataCorruption) — leaves the session, the shared PlanCache and the
+  /// thread pool fully reusable; only caller-owned scratch (workspace, *y)
+  /// holds partial data, and the next successful run is bit-identical to a
+  /// run of a never-faulted session.
   void run(const Tensor& x, Tensor* y, std::span<float> workspace) const;
+
+  /// run() under a per-run latency budget: the graph walk polls the deadline
+  /// at every op boundary (and the packed GEMM between cache-block bands)
+  /// and throws Error(kDeadlineExceeded) when it expires. Equivalent to
+  /// arming a DeadlineScope around run().
+  void run(const Tensor& x, Tensor* y, std::span<float> workspace,
+           const Deadline& deadline) const;
 
   /// Single-shot convenience: allocates output and workspace.
   Tensor run(const Tensor& x) const;
@@ -137,6 +153,11 @@ class InferenceSession {
   void run_batched(const Tensor& x, Tensor* y,
                    std::span<float> workspace) const;
 
+  /// run_batched() under a per-run latency budget (see the run overload);
+  /// the deadline rides into the pool workers each image runs on.
+  void run_batched(const Tensor& x, Tensor* y, std::span<float> workspace,
+                   const Deadline& deadline) const;
+
  private:
   struct Node {
     std::shared_ptr<const OpPlan> plan;
@@ -144,6 +165,12 @@ class InferenceSession {
     std::vector<std::int64_t> inputs;  ///< producer node ids or kModelInput
     std::int64_t arena_offset = 0;     ///< output placement, in floats
   };
+
+  static InferenceSession compile_impl(
+      const DeviceSpec& device, const ModelSpec& model,
+      const std::vector<LayerWeights>& weights,
+      const std::vector<LayerDecision>& decisions,
+      const SessionOptions& options);
 
   void run_graph(const float* x, float* y, std::span<float> workspace) const;
   std::int64_t batch_slots(std::int64_t batch) const;

@@ -73,11 +73,16 @@ void OpPlan::run(const Tensor& x, Tensor* y,
 }
 
 Tensor OpPlan::run(const Tensor& x) const {
-  Tensor y({output_shape_.c, output_shape_.h, output_shape_.w});
-  std::vector<float> workspace(
-      static_cast<std::size_t>(workspace_bytes() / sizeof(float)));
-  run(x, &y, workspace);
-  return y;
+  // The only allocating entry point of a compiled plan: a starved
+  // convenience workspace surfaces as kResourceExhausted instead of a bare
+  // bad_alloc, and the plan itself stays reusable.
+  return map_resource_failure("OpPlan::run workspace", [&] {
+    Tensor y({output_shape_.c, output_shape_.h, output_shape_.w});
+    std::vector<float> workspace(
+        static_cast<std::size_t>(workspace_bytes() / sizeof(float)));
+    run(x, &y, workspace);
+    return y;
+  });
 }
 
 void OpPlan::run_batched(const Tensor& x, Tensor* y,

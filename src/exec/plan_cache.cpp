@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/check.h"
 #include "exec/cost_provider.h"
 #include "tucker/tucker.h"
 
@@ -124,8 +125,11 @@ std::shared_ptr<const ConvPlan> PlanCache::lookup_or_insert(
   }
   // Compile outside the lock so concurrent sessions compiling different
   // layers don't serialize; on a race the first insert wins and both callers
-  // share it.
-  std::shared_ptr<const ConvPlan> plan = compile();
+  // share it. A throw here (including allocation failure, surfaced as
+  // kResourceExhausted) inserts nothing — the cache only ever holds
+  // fully-compiled plans, so a faulted compile can simply be retried.
+  std::shared_ptr<const ConvPlan> plan = map_resource_failure(
+      "plan compilation", [&] { return compile(); });
   std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = plans_.emplace(key, std::move(plan));
   return it->second;

@@ -8,6 +8,7 @@
 #endif
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/parallel.h"
 
 namespace tdc {
@@ -165,6 +166,10 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
   for (std::int64_t jc = 0; jc < n; jc += kNc) {
     const std::int64_t nc = std::min<std::int64_t>(kNc, n - jc);
     for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      // Cooperative cancellation between KC×NC bands: C holds only whole
+      // completed band updates when this throws, and the caller's next run
+      // rewrites C from scratch (beta pass), so no torn state survives.
+      deadline_poll("gemm band");
       const std::int64_t kc = std::min<std::int64_t>(kKc, k - pc);
       pack_b(kc, nc, b + pc * b_rs + jc * b_cs, b_rs, b_cs, bbuf.data());
 
