@@ -1,0 +1,185 @@
+#include "common/alloc_guard.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "common/check.h"
+
+namespace tdc {
+
+namespace detail {
+
+thread_local AllocGuardState t_alloc_guard;
+std::atomic<int> g_alloc_guard_enabled{-1};
+
+}  // namespace detail
+
+namespace {
+
+std::atomic<std::int64_t> g_violations{0};
+
+int resolve_enabled() {
+  if (const char* env = std::getenv("TDC_ALLOC_GUARD"); env != nullptr) {
+    return env[0] == '1' ? 1 : 0;
+  }
+#ifdef NDEBUG
+  return 0;
+#else
+  // Debug builds arm by default so the suite exercises the deny paths
+  // without configuration.
+  return 1;
+#endif
+}
+
+}  // namespace
+
+bool alloc_guard_enabled() {
+  int v = detail::g_alloc_guard_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve_enabled();
+    detail::g_alloc_guard_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_alloc_guard(bool on) {
+  detail::g_alloc_guard_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::int64_t alloc_guard_violations() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void alloc_guard_violation(std::size_t bytes) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  const char* site =
+      t_alloc_guard.site != nullptr ? t_alloc_guard.site : "<unknown site>";
+  // Building the message (and the exception object's string) must itself be
+  // allowed to allocate, or the throw would recurse into the guard.
+  AllowAllocScope allow;
+  throw Error("heap allocation of " + std::to_string(bytes) +
+                  " bytes inside allocation-free region '" + site +
+                  "' (DenyAllocGuard)",
+              ErrorCode::kInternal);
+}
+
+}  // namespace detail
+
+}  // namespace tdc
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete interposition. Linking the tdc library replaces
+// the default operators for the whole process: the fast path costs one
+// thread-local integer test per allocation, and deallocation is never denied
+// (frees inside a guarded region are legal — run paths own no heap memory to
+// free, and the unwinding of a denied allocation must be able to release
+// temporaries). Memory always comes from malloc/posix_memalign, so pointers
+// allocated before a guard arms are freed consistently after it.
+
+namespace {
+
+inline void deny_check(std::size_t bytes) {
+  const tdc::detail::AllocGuardState& g = tdc::detail::t_alloc_guard;
+  if (g.depth > 0 && g.bypass == 0) {
+    tdc::detail::alloc_guard_violation(bytes);
+  }
+}
+
+void* checked_alloc(std::size_t bytes) {
+  deny_check(bytes);
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  void* p = std::malloc(bytes);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* checked_aligned_alloc(std::size_t bytes, std::size_t align) {
+  deny_check(bytes);
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  void* p = nullptr;
+  if (align < sizeof(void*)) {
+    align = sizeof(void*);
+  }
+  if (posix_memalign(&p, align, bytes) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t bytes) { return checked_alloc(bytes); }
+void* operator new[](std::size_t bytes) { return checked_alloc(bytes); }
+
+void* operator new(std::size_t bytes, const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc(bytes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t bytes, const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc(bytes);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t bytes, std::align_val_t align) {
+  return checked_aligned_alloc(bytes, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t bytes, std::align_val_t align) {
+  return checked_aligned_alloc(bytes, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t bytes, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return checked_aligned_alloc(bytes, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t bytes, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return checked_aligned_alloc(bytes, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

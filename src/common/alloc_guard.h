@@ -1,0 +1,109 @@
+// Allocation-interposition guard: "allocation-free serving" as a failing test.
+//
+// The plan/execute layer promises that OpPlan::run / run_batched and
+// InferenceSession::run perform no heap allocation — the property that makes
+// serving latency flat and makes the workspace contract ("the exact scratch
+// one run touches") meaningful. Until now that promise was a comment plus
+// code review. DenyAllocGuard turns it into a machine-checked invariant: the
+// library interposes the global operator new/new[] (alloc_guard.cpp), and
+// while a guard scope is live on the calling thread, any heap allocation
+// throws a typed Error(kInternal) naming the guarded site:
+//
+//   DenyAllocGuard guard("OpPlan::run");
+//   run_node(...);          // a hidden std::vector here now fails loudly
+//
+// Arming is process-wide and opt-in — TDC_ALLOC_GUARD=1 in the environment
+// (read once) or set_alloc_guard(true) — because first-touch warm-up
+// (thread_local pack buffers growing to their steady-state capacity) is
+// allowed to allocate: tests and benches run one warm-up pass, then arm.
+// Disarmed, constructing a guard is one relaxed atomic load and the
+// interposed operator new costs one thread-local integer test — the same
+// zero-cost-disarmed pattern as common/fault.h, enforced by
+// bench_robustness. Guards nest; the innermost site is reported. Cold error
+// paths that legitimately build exception messages inside a guarded region
+// (TDC_CHECK failures, deadline expiry) open an AllowAllocScope around the
+// construction.
+//
+// The guard scope is thread-local; the parallel runtime propagates an armed
+// guard into the pool workers of any region the guarded thread opens
+// (common/parallel.cpp), so a hidden allocation inside a worker chunk of a
+// batched run is caught too.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tdc {
+
+/// True when guards actually deny: TDC_ALLOC_GUARD=1 (read once at first
+/// query) or set_alloc_guard(true). Debug builds default to armed so the
+/// suite exercises the deny paths without configuration.
+bool alloc_guard_enabled();
+
+/// Programmatic override of TDC_ALLOC_GUARD (tests, benches).
+void set_alloc_guard(bool on);
+
+/// Allocations denied (reported) since process start — lets tests assert the
+/// disarmed configuration really never fired.
+std::int64_t alloc_guard_violations();
+
+namespace detail {
+
+// Thread-local deny state, written only by the RAII types below. depth > 0
+// and bypass == 0 means operator new throws. Raw ints (not atomics): each
+// thread reads and writes only its own copy.
+struct AllocGuardState {
+  int depth = 0;
+  int bypass = 0;
+  const char* site = nullptr;
+};
+extern thread_local AllocGuardState t_alloc_guard;
+
+// Enablement cache: -1 until TDC_ALLOC_GUARD has been read.
+extern std::atomic<int> g_alloc_guard_enabled;
+
+[[noreturn]] void alloc_guard_violation(std::size_t bytes);
+
+}  // namespace detail
+
+/// Denies heap allocation on the calling thread for the scope's lifetime
+/// (when arming is enabled; otherwise a no-op). `site` must be a string
+/// literal or otherwise outlive the scope — it is stored, not copied,
+/// because copying would allocate.
+class DenyAllocGuard {
+ public:
+  explicit DenyAllocGuard(const char* site) {
+    if (alloc_guard_enabled()) {
+      armed_ = true;
+      prev_site_ = detail::t_alloc_guard.site;
+      detail::t_alloc_guard.site = site;
+      ++detail::t_alloc_guard.depth;
+    }
+  }
+  ~DenyAllocGuard() {
+    if (armed_) {
+      --detail::t_alloc_guard.depth;
+      detail::t_alloc_guard.site = prev_site_;
+    }
+  }
+  DenyAllocGuard(const DenyAllocGuard&) = delete;
+  DenyAllocGuard& operator=(const DenyAllocGuard&) = delete;
+
+ private:
+  bool armed_ = false;
+  const char* prev_site_ = nullptr;
+};
+
+/// Suspends an enclosing DenyAllocGuard (cold paths only: building the
+/// message of an exception that is about to unwind out of the guarded
+/// region). No-op when no guard is live.
+class AllowAllocScope {
+ public:
+  AllowAllocScope() { ++detail::t_alloc_guard.bypass; }
+  ~AllowAllocScope() { --detail::t_alloc_guard.bypass; }
+  AllowAllocScope(const AllowAllocScope&) = delete;
+  AllowAllocScope& operator=(const AllowAllocScope&) = delete;
+};
+
+}  // namespace tdc

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/alloc_guard.h"
+
 namespace tdc {
 
 const char* error_code_name(ErrorCode code) {
@@ -57,6 +59,9 @@ namespace detail {
 
 void check_failed(const char* expr, const char* file, int line,
                   const std::string& message, ErrorCode code) {
+  // A check may fail inside a DenyAllocGuard region; building the error
+  // message is the sanctioned cold-path allocation.
+  AllowAllocScope allow;
   std::ostringstream os;
   os << "TDC_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!message.empty()) {

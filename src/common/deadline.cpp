@@ -3,6 +3,7 @@
 #include <limits>
 #include <string>
 
+#include "common/alloc_guard.h"
 #include "common/check.h"
 
 namespace tdc {
@@ -48,6 +49,9 @@ const Deadline* exchange_active_deadline(const Deadline* d) {
 }
 
 void deadline_exceeded(const char* where) {
+  // Expiry fires inside guarded run paths; the error message is the
+  // sanctioned cold-path allocation.
+  AllowAllocScope allow;
   throw Error(std::string("deadline exceeded at ") + where,
               ErrorCode::kDeadlineExceeded);
 }

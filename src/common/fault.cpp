@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/alloc_guard.h"
+
 namespace tdc {
 
 namespace detail {
@@ -154,6 +156,9 @@ std::int64_t fault_fire_count(const std::string& point) {
 namespace detail {
 
 bool fault_fire_slow(std::string_view point, double* param) {
+  // Only reached when faults are armed (tests); first-query env parsing may
+  // allocate, and probes sit inside DenyAllocGuard-protected run paths.
+  AllowAllocScope allow;
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   ensure_env_parsed_locked();

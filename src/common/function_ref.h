@@ -1,0 +1,44 @@
+// Non-owning callable reference for allocation-free callback plumbing.
+//
+// std::function type-erases by value: any callable bigger than the
+// small-object buffer (two pointers on libstdc++ — less than one lambda with
+// three reference captures) goes to the heap, which put one hidden
+// allocation inside every parallel region the runtime opened. FunctionRef
+// erases by reference instead: two raw words, no ownership, no allocation,
+// trivially copyable. The referenced callable must outlive the FunctionRef —
+// exactly the fork/join contract of parallel_for / run_slotted, whose
+// callables live on the calling frame for the whole region.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace tdc {
+
+template <class Sig>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): callable adaptor by design
+  FunctionRef(const F& f)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<const std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace tdc

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/alloc_guard.h"
 #include "common/deadline.h"
 
 namespace tdc {
@@ -62,8 +63,7 @@ class ThreadPool {
     }
   }
 
-  void run(std::int64_t num_chunks,
-           const std::function<void(std::int64_t)>& fn) {
+  void run(std::int64_t num_chunks, FunctionRef<void(std::int64_t)> fn) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       fn_ = &fn;
@@ -93,7 +93,7 @@ class ThreadPool {
  private:
   // Pulls chunk indices until the region is exhausted. Called with the
   // region's function object; completion is recorded under the mutex.
-  void drain(const std::function<void(std::int64_t)>& fn) {
+  void drain(FunctionRef<void(std::int64_t)> fn) {
     std::int64_t executed = 0;
     std::exception_ptr error;
     std::int64_t chunk;
@@ -125,7 +125,7 @@ class ThreadPool {
   void worker_loop() {
     std::uint64_t seen_generation = 0;
     for (;;) {
-      const std::function<void(std::int64_t)>* fn = nullptr;
+      const FunctionRef<void(std::int64_t)>* fn = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         work_ready_.wait(lock, [&] {
@@ -155,7 +155,7 @@ class ThreadPool {
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
   std::vector<std::thread> workers_;
-  const std::function<void(std::int64_t)>* fn_ = nullptr;
+  const FunctionRef<void(std::int64_t)>* fn_ = nullptr;
   std::int64_t total_chunks_ = 0;
   std::atomic<std::int64_t> next_chunk_{0};
   std::int64_t done_chunks_ = 0;
@@ -197,8 +197,7 @@ int resolve_num_threads_locked() {
   return nt;
 }
 
-void run_inline(std::int64_t num_chunks,
-                const std::function<void(std::int64_t)>& fn) {
+void run_inline(std::int64_t num_chunks, FunctionRef<void(std::int64_t)> fn) {
   t_in_parallel = true;
   try {
     for (std::int64_t c = 0; c < num_chunks; ++c) {
@@ -245,8 +244,7 @@ ParallelStats parallel_stats() {
 
 namespace detail {
 
-void run_chunked(std::int64_t num_chunks,
-                 const std::function<void(std::int64_t)>& fn) {
+void run_chunked(std::int64_t num_chunks, FunctionRef<void(std::int64_t)> fn) {
   if (num_chunks <= 0) {
     return;
   }
@@ -268,6 +266,9 @@ void run_chunked(std::int64_t num_chunks,
     std::unique_lock<std::mutex> lock(g_pool_mutex);
     const int nt = resolve_num_threads_locked();
     if (nt > 1 && !g_pool) {
+      // One-time pool construction may be triggered by the first guarded
+      // run; infrastructure warm-up is the sanctioned allocation.
+      AllowAllocScope warmup;
       g_pool = std::make_unique<ThreadPool>(nt - 1);
     }
     pool = g_pool.get();
@@ -279,24 +280,39 @@ void run_chunked(std::int64_t num_chunks,
     return;
   }
   g_pool_regions.fetch_add(1, std::memory_order_relaxed);
-  // The caller's armed deadline (if any) rides into the pool workers so
-  // cancellation polls inside worker chunks (GEMM bands of a batched run)
-  // observe it; the extra wrapper exists only on deadlined regions.
+  // The caller's armed deadline and armed alloc guard (if any) ride into the
+  // pool workers, so cancellation polls and allocation denial inside worker
+  // chunks (GEMM bands of a batched run) observe them. The wrapper is a
+  // stack lambda behind a FunctionRef — no heap allocation either way — and
+  // exists only on deadlined/guarded regions.
   const Deadline* dl = detail::active_deadline();
-  if (dl == nullptr) {
+  const bool guarded = t_alloc_guard.depth > 0 && t_alloc_guard.bypass == 0;
+  if (dl == nullptr && !guarded) {
     pool->run(num_chunks, fn);
     return;
   }
-  const std::function<void(std::int64_t)> deadlined =
-      [dl, &fn](std::int64_t chunk) {
-        const Deadline* prev = exchange_active_deadline(dl);
-        struct Restore {
-          const Deadline* prev;
-          ~Restore() { exchange_active_deadline(prev); }
-        } restore{prev};
-        fn(chunk);
-      };
-  pool->run(num_chunks, deadlined);
+  const char* guard_site = guarded ? t_alloc_guard.site : nullptr;
+  const auto propagated = [dl, guarded, guard_site,
+                           fn](std::int64_t chunk) {
+    const Deadline* prev =
+        dl != nullptr ? exchange_active_deadline(dl) : nullptr;
+    struct Restore {
+      const Deadline* dl;
+      const Deadline* prev;
+      ~Restore() {
+        if (dl != nullptr) {
+          exchange_active_deadline(prev);
+        }
+      }
+    } restore{dl, prev};
+    if (guarded) {
+      DenyAllocGuard guard(guard_site);
+      fn(chunk);
+    } else {
+      fn(chunk);
+    }
+  };
+  pool->run(num_chunks, propagated);
 }
 
 }  // namespace detail

@@ -21,8 +21,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
+
+#include "common/function_ref.h"
 
 namespace tdc {
 
@@ -63,9 +64,10 @@ inline std::int64_t divup(std::int64_t x, std::int64_t y) {
 }
 
 /// Runs fn(chunk_id) for chunk_id in [0, num_chunks) across the pool,
-/// including the calling thread; blocks until every chunk finished.
-void run_chunked(std::int64_t num_chunks,
-                 const std::function<void(std::int64_t)>& fn);
+/// including the calling thread; blocks until every chunk finished. Takes a
+/// non-owning FunctionRef — opening a region performs no heap allocation, so
+/// parallel loops are legal inside DenyAllocGuard-protected serving paths.
+void run_chunked(std::int64_t num_chunks, FunctionRef<void(std::int64_t)> fn);
 
 }  // namespace detail
 

@@ -21,8 +21,7 @@ std::int64_t batch_slots(std::int64_t batch, std::int64_t max_slots) {
 
 void run_slotted(std::int64_t batch, std::int64_t slots,
                  std::span<float> workspace, std::int64_t ws_floats,
-                 const std::function<void(std::int64_t, std::span<float>)>&
-                     run_one) {
+                 FunctionRef<void(std::int64_t, std::span<float>)> run_one) {
   const std::int64_t per_slot = divup(batch, slots);
   parallel_for(0, slots, 1, [&](std::int64_t s0, std::int64_t s1) {
     for (std::int64_t slot = s0; slot < s1; ++slot) {

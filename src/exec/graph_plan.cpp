@@ -1,12 +1,14 @@
 #include "exec/graph_plan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
 #include <new>
 #include <thread>
 
+#include "common/alloc_guard.h"
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/parallel.h"
@@ -15,6 +17,7 @@
 #include "exec/op_plans.h"
 #include "exec/plan_cache.h"
 #include "exec/plan_impl.h"
+#include "exec/workspace_guard.h"
 #include "tucker/tucker.h"
 
 namespace tdc {
@@ -385,7 +388,12 @@ InferenceSession InferenceSession::compile_impl(
   // the arena for exactly [i, last consumer]; first-fit placement over the
   // blocks still live keeps skips and branches resident without the arena
   // growing to the sum of all activations. The final node writes the
-  // caller's output directly.
+  // caller's output directly. With the workspace guard on (frozen here for
+  // the session's lifetime), every block is padded with leading/trailing
+  // canary bands that run_graph fills and checks around each op.
+  s.guard_bands_ = workspace_guard_enabled();
+  const std::int64_t band =
+      s.guard_bands_ ? detail::kWsGuardBandFloats : 0;
   const std::int64_t n = s.num_ops();
   std::vector<std::int64_t> last_use(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
@@ -405,7 +413,8 @@ InferenceSession InferenceSession::compile_impl(
   for (std::int64_t i = 0; i + 1 < n; ++i) {
     std::erase_if(live, [&](const Block& b) { return b.last_use < i; });
     const std::int64_t size =
-        s.nodes_[static_cast<std::size_t>(i)].plan->output_shape().floats();
+        s.nodes_[static_cast<std::size_t>(i)].plan->output_shape().floats() +
+        2 * band;
     std::int64_t offset = 0;
     for (const Block& b : live) {
       if (offset + size <= b.offset) {
@@ -419,14 +428,16 @@ InferenceSession InferenceSession::compile_impl(
                                    return a.offset < b.offset;
                                  }),
                 placed);
-    s.nodes_[static_cast<std::size_t>(i)].arena_offset = offset;
+    s.nodes_[static_cast<std::size_t>(i)].arena_offset = offset + band;
     s.arena_floats_ = std::max(s.arena_floats_, offset + size);
   }
   return s;
 }
 
 std::int64_t InferenceSession::workspace_bytes() const {
-  return (arena_floats_ + plan_ws_floats_) *
+  const std::int64_t band =
+      guard_bands_ ? detail::kWsGuardBandFloats : 0;
+  return (arena_floats_ + plan_ws_floats_ + band) *
          static_cast<std::int64_t>(sizeof(float));
 }
 
@@ -447,8 +458,26 @@ void InferenceSession::run_graph(const float* x, float* y,
   const std::span<float> plan_ws = workspace.subspan(
       static_cast<std::size_t>(arena_floats_),
       static_cast<std::size_t>(plan_ws_floats_));
+  // Tail canary band of the shared plan-workspace slab (guarded sessions
+  // only; workspace_bytes() reserved it).
+  float* const ws_tail = arena + arena_floats_ + plan_ws_floats_;
+  const std::int64_t band = guard_bands_ ? detail::kWsGuardBandFloats : 0;
   const float* ptrs[kMaxNodeInputs];
   const std::int64_t last = num_ops() - 1;
+  // The whole graph walk is an allocation-free region: every plan's
+  // run_node, the parallel fan-outs they open, and the GEMM bands inside
+  // them must live off the preallocated workspace alone.
+  DenyAllocGuard alloc_guard("InferenceSession::run");
+  if (fault_injected("exec.run_hidden_alloc")) {
+    // Planted hidden allocation (fault-injection tests): the armed guard
+    // must convert this into a typed error; disarmed it is freed again
+    // immediately. The atomic escape keeps the compiler from eliding the
+    // paired new/delete.
+    static std::atomic<float*> sink{nullptr};
+    sink.store(new float[16],  // tdc-lint: allow(raw-new-array)
+               std::memory_order_relaxed);
+    delete[] sink.exchange(nullptr, std::memory_order_relaxed);
+  }
   for (std::int64_t i = 0; i <= last; ++i) {
     const Node& node = nodes_[static_cast<std::size_t>(i)];
     // Cooperative cancellation between ops: an expired budget throws here
@@ -469,14 +498,43 @@ void InferenceSession::run_graph(const float* x, float* y,
                     : arena + nodes_[static_cast<std::size_t>(j)].arena_offset;
     }
     float* out = i == last ? y : arena + node.arena_offset;
+    const std::int64_t out_floats = node.plan->output_shape().floats();
+    if (band > 0) {
+      // Re-fill the bands around the block this op is about to write (the
+      // arena reuses space, so a band may hold a dead block's old data) and
+      // the plan-workspace tail, then check them right after the op: an
+      // overrun is reported at the op that committed it, before the
+      // trampled bytes can become a later op's input.
+      if (i != last) {
+        detail::ws_guard_fill(out - band, band);
+        detail::ws_guard_fill(out + out_floats, band);
+      }
+      detail::ws_guard_fill(ws_tail, band);
+    }
     node.plan->run_inputs(
         std::span<const float* const>(ptrs, node.inputs.size()), out,
         plan_ws);
+    if (i != last && fault_injected("exec.op_overrun")) {
+      // Planted one-element overrun into the trailing band (tests).
+      out[out_floats] = 0.0f;
+    }
+    if (band > 0) {
+      if (i != last && !detail::ws_guard_intact(out + out_floats, band)) {
+        detail::ws_guard_violation(node.name.c_str(), "trailing arena band");
+      }
+      if (i != last && !detail::ws_guard_intact(out - band, band)) {
+        detail::ws_guard_violation(node.name.c_str(), "leading arena band");
+      }
+      if (!detail::ws_guard_intact(ws_tail, band)) {
+        detail::ws_guard_violation(node.name.c_str(),
+                                   "plan workspace tail band");
+      }
+    }
     if (fault_injected("exec.op_nan")) {
       out[0] = std::numeric_limits<float>::quiet_NaN();
     }
-    if (screen_finite &&
-        !all_finite(out, node.plan->output_shape().floats())) {
+    if (screen_finite && !all_finite(out, out_floats)) {
+      AllowAllocScope allow;  // cold path: the error message may allocate
       throw Error("op '" + node.name +
                       "' produced non-finite output (TDC_CHECK_FINITE)",
                   ErrorCode::kDataCorruption);
@@ -550,6 +608,9 @@ void InferenceSession::run_batched(const Tensor& x, Tensor* y,
 
   const std::int64_t x_stride = input_shape_.floats();
   const std::int64_t y_stride = output_shape_.floats();
+  // The fan-out itself must not allocate; the guard rides into the pool
+  // workers, and each image's graph walk re-arms it with the session site.
+  DenyAllocGuard alloc_guard("InferenceSession::run_batched");
   detail::run_slotted(
       batch, batch_slots(batch), workspace,
       workspace_bytes() / static_cast<std::int64_t>(sizeof(float)),

@@ -181,6 +181,10 @@ class InferenceSession {
   std::int64_t arena_floats_ = 0;
   std::int64_t plan_ws_floats_ = 0;
   std::int64_t max_slots_ = 1;
+  // Frozen at compile time from workspace_guard_enabled(): when set, arena
+  // blocks carry canary bands and workspace_bytes() includes them, so the
+  // layout and the reported size can never disagree for a live session.
+  bool guard_bands_ = false;
 };
 
 }  // namespace tdc

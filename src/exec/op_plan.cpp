@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/alloc_guard.h"
 #include "common/check.h"
 #include "common/parallel.h"
 #include "exec/plan_impl.h"
@@ -9,8 +10,16 @@
 namespace tdc {
 
 std::string OpShape::to_string() const {
-  return "[" + std::to_string(c) + ", " + std::to_string(h) + ", " +
-         std::to_string(w) + "]";
+  // Built by append rather than operator+ chaining: GCC 12's -Wrestrict
+  // false-positives on the chained form under -O2 (GCC bug 105329).
+  std::string s = "[";
+  s += std::to_string(c);
+  s += ", ";
+  s += std::to_string(h);
+  s += ", ";
+  s += std::to_string(w);
+  s += "]";
+  return s;
 }
 
 OpPlan::OpPlan(std::vector<OpShape> input_shapes, OpShape output_shape)
@@ -40,6 +49,7 @@ void OpPlan::run_inputs(std::span<const float* const> inputs, float* y,
                     workspace_bytes(),
                 "op plan workspace too small: need " +
                     std::to_string(workspace_bytes()) + " bytes");
+  DenyAllocGuard guard("OpPlan::run_inputs");
   run_node(inputs, y,
            workspace.first(
                static_cast<std::size_t>(workspace_bytes() / sizeof(float))));
@@ -108,6 +118,7 @@ void OpPlan::run_batched(const Tensor& x, Tensor* y,
 
   const std::int64_t x_stride = in.floats();
   const std::int64_t y_stride = output_shape_.floats();
+  DenyAllocGuard guard("OpPlan::run_batched");
   detail::run_slotted(
       batch, batch_slots(batch), workspace, workspace_bytes() / sizeof(float),
       [&](std::int64_t b, std::span<float> slot_ws) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/alloc_guard.h"
 #include "common/check.h"
 #include "tensor/tensor.h"
 
@@ -95,6 +96,9 @@ class OpPlan {
     TDC_CHECK_MSG(num_inputs() == 1,
                   "run_unchecked is single-input; use run_inputs");
     const float* inputs[1] = {x};
+    // Allocation-free invariant of the execute path, machine-checked when
+    // the guard is armed (TDC_ALLOC_GUARD=1 or debug builds).
+    DenyAllocGuard guard("OpPlan::run");
     run_node(std::span<const float* const>(inputs, 1), y, workspace);
   }
 

@@ -6,9 +6,9 @@
 // stays one algorithm per translation unit.
 #pragma once
 
-#include <functional>
 #include <memory>
 
+#include "common/function_ref.h"
 #include "exec/conv_plan.h"
 
 namespace tdc::detail {
@@ -30,10 +30,11 @@ std::int64_t batch_slots(std::int64_t batch, std::int64_t max_slots);
 /// Fans items [0, batch) across `slots` workspace slices of `ws_floats`
 /// floats each: contiguous item ranges per slot, run_one(item, slot_ws).
 /// Bit-identical at any thread count — each item runs the same single-item
-/// code against its slot's slice.
+/// code against its slot's slice. Takes a non-owning FunctionRef so a
+/// batched run opens its fan-out without heap allocation (the run-path
+/// DenyAllocGuard invariant).
 void run_slotted(std::int64_t batch, std::int64_t slots,
                  std::span<float> workspace, std::int64_t ws_floats,
-                 const std::function<void(std::int64_t, std::span<float>)>&
-                     run_one);
+                 FunctionRef<void(std::int64_t, std::span<float>)> run_one);
 
 }  // namespace tdc::detail

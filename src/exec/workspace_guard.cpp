@@ -1,0 +1,78 @@
+#include "exec/workspace_guard.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/alloc_guard.h"
+#include "common/check.h"
+
+namespace tdc {
+
+namespace {
+
+// Quiet NaN with a recognizable payload: poisons any computation that reads
+// a band by accident, and is vanishingly unlikely to be produced by one.
+constexpr std::uint32_t kCanaryBits = 0x7FC0DEADu;
+
+std::atomic<int> g_ws_guard_enabled{-1};  // -1 = env not yet read
+
+int resolve_enabled() {
+  if (const char* env = std::getenv("TDC_WORKSPACE_GUARD"); env != nullptr) {
+    return env[0] == '1' ? 1 : 0;
+  }
+#ifdef NDEBUG
+  return 0;
+#else
+  // Debug builds guard by default so the suite exercises the bands.
+  return 1;
+#endif
+}
+
+}  // namespace
+
+bool workspace_guard_enabled() {
+  int v = g_ws_guard_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve_enabled();
+    g_ws_guard_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_workspace_guard(bool on) {
+  g_ws_guard_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void ws_guard_fill(float* band, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(band + i, &kCanaryBits, sizeof(float));
+  }
+}
+
+bool ws_guard_intact(const float* band, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, band + i, sizeof(float));
+    if (bits != kCanaryBits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ws_guard_violation(const char* op_name, const char* band) {
+  // Fired from inside the session's DenyAllocGuard region; the error
+  // message is the sanctioned cold-path allocation.
+  AllowAllocScope allow;
+  throw Error("op '" + std::string(op_name) + "' overran its workspace: " +
+                  band + " trampled (WorkspaceGuard)",
+              ErrorCode::kDataCorruption);
+}
+
+}  // namespace detail
+
+}  // namespace tdc

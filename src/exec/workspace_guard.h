@@ -1,0 +1,56 @@
+// Workspace canaries: overrun detection for the liveness-planned arena.
+//
+// A session workspace is tightly packed — the activation arena reuses a
+// block the moment its producer's last consumer has run, and every op shares
+// one plan-workspace slab. An op that writes one element past its output
+// block therefore corrupts a *later* op's input silently: the run completes,
+// the numbers are wrong. The guard-band idiom that lived only in tests (NaN
+// poison around the buffer, checked afterwards) is promoted here into the
+// session itself: when the guard is enabled at session compile time, every
+// arena block is padded with leading/trailing canary bands and the shared
+// plan workspace gets a tail band; run_graph fills the bands of the block an
+// op is about to write, runs the op, and re-checks them, throwing
+// Error(kDataCorruption) naming the op on the first trampled word — the
+// overrun is caught at the boundary of the op that committed it, not layers
+// later.
+//
+// Enablement (read once, frozen into each session at compile): the
+// TDC_WORKSPACE_GUARD environment variable, or set_workspace_guard(). The
+// canary word is a quiet-NaN bit pattern, compared bitwise (a float compare
+// would pass NaN through). Disabled sessions carry no padding and the run
+// path pays one branch per op; enabled sessions trade workspace_bytes() for
+// detection, which is why the flag is frozen at compile time — a session's
+// layout and its reported workspace size can never disagree.
+#pragma once
+
+#include <cstdint>
+
+namespace tdc {
+
+/// True when sessions compiled now insert and check canary bands:
+/// TDC_WORKSPACE_GUARD=1 (read once at first query) or
+/// set_workspace_guard(true). Debug builds default to on.
+bool workspace_guard_enabled();
+
+/// Programmatic override of TDC_WORKSPACE_GUARD (tests, benches). Affects
+/// sessions compiled after the call; existing sessions keep their layout.
+void set_workspace_guard(bool on);
+
+namespace detail {
+
+/// Canary band width, in floats, on each side of a protected block.
+inline constexpr std::int64_t kWsGuardBandFloats = 16;
+
+/// Fills band[0, n) with the canary pattern.
+void ws_guard_fill(float* band, std::int64_t n);
+
+/// True when band[0, n) still holds the canary pattern (bitwise).
+bool ws_guard_intact(const float* band, std::int64_t n);
+
+/// Reports a trampled band as Error(kDataCorruption) naming the op and
+/// which band (e.g. "trailing arena band") was hit.
+[[noreturn]] void ws_guard_violation(const char* op_name, const char* band);
+
+}  // namespace detail
+
+}  // namespace tdc

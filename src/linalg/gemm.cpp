@@ -7,6 +7,7 @@
 #include <immintrin.h>
 #endif
 
+#include "common/alloc_guard.h"
 #include "common/check.h"
 #include "common/deadline.h"
 #include "common/parallel.h"
@@ -161,8 +162,21 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
   }
 
   const std::int64_t pm = packed_a_rows(m);
-  std::vector<float> bbuf(static_cast<std::size_t>(
-      kKc * std::min<std::int64_t>(detail::divup(n, kNr) * kNr, kNc)));
+  // Thread-local pack buffer: capacity only ever grows, so after first-touch
+  // warm-up the steady state performs no heap allocation — which the armed
+  // band guard below then enforces for everything inside the block walk.
+  thread_local std::vector<float> bbuf;
+  {
+    AllowAllocScope warmup;
+    // Grow-only warm-up of the thread-local B pack buffer.
+    // tdc-lint: allow(run-path-alloc)
+    bbuf.resize(static_cast<std::size_t>(
+        kKc * std::min<std::int64_t>(detail::divup(n, kNr) * kNr, kNc)));
+  }
+  // bbuf is thread-local, so workers must read the caller's packed panel
+  // through this captured pointer, not through their own thread's bbuf.
+  float* const bpack = bbuf.data();
+  DenyAllocGuard band_guard("gemm band");
   for (std::int64_t jc = 0; jc < n; jc += kNc) {
     const std::int64_t nc = std::min<std::int64_t>(kNc, n - jc);
     for (std::int64_t pc = 0; pc < k; pc += kKc) {
@@ -171,7 +185,7 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
       // rewrites C from scratch (beta pass), so no torn state survives.
       deadline_poll("gemm band");
       const std::int64_t kc = std::min<std::int64_t>(kKc, k - pc);
-      pack_b(kc, nc, b + pc * b_rs + jc * b_cs, b_rs, b_cs, bbuf.data());
+      pack_b(kc, nc, b + pc * b_rs + jc * b_cs, b_rs, b_cs, bpack);
 
       // One chunk per MC panel of rows; each worker packs its own A panel
       // (or reads the plan-time pack when one is supplied).
@@ -185,13 +199,19 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
           if (prepacked_a != nullptr) {
             apanel = prepacked_a + pm * pc + ic * kc;
           } else {
-            abuf.resize(static_cast<std::size_t>(kMc * kKc));
+            {
+              // First-touch growth of the worker's pack buffer is the one
+              // allowed allocation inside the guarded band.
+              AllowAllocScope warmup;
+              abuf.resize(  // tdc-lint: allow(run-path-alloc)
+                  static_cast<std::size_t>(kMc * kKc));
+            }
             pack_a(mc, kc, a + ic * a_rs + pc * a_cs, a_rs, a_cs, abuf.data());
             apanel = abuf.data();
           }
           for (std::int64_t jr = 0; jr < nc; jr += kNr) {
             const std::int64_t nr = std::min<std::int64_t>(kNr, nc - jr);
-            const float* bp = bbuf.data() + (jr / kNr) * kc * kNr;
+            const float* bp = bpack + (jr / kNr) * kc * kNr;
             for (std::int64_t ir = 0; ir < mc; ir += kMr) {
               const std::int64_t mr = std::min<std::int64_t>(kMr, mc - ir);
               const float* ap = apanel + (ir / kMr) * kc * kMr;
@@ -265,7 +285,9 @@ PackedGemmA pack_gemm_a(std::int64_t m, std::int64_t k, const float* a,
   packed.m_ = m;
   packed.k_ = k;
   const std::int64_t pm = packed_a_rows(m);
-  packed.panels_.resize(static_cast<std::size_t>(pm * k));
+  // Weight pre-packing happens at plan-compile time, not while serving.
+  packed.panels_.resize(  // tdc-lint: allow(run-path-alloc)
+      static_cast<std::size_t>(pm * k));
   // Same (pc, ic) block walk as the driver, so offsets line up exactly:
   // the panel for K-block pc and row panel ic starts at pm·pc + ic·kc.
   for (std::int64_t pc = 0; pc < k; pc += kKc) {

@@ -93,7 +93,7 @@ WideModelSpec make_googlenet() {
   return g;
 }
 
-double concurrent_latency(const DeviceSpec& device,
+double concurrent_latency([[maybe_unused]] const DeviceSpec& device,
                           const std::vector<LatencyBreakdown>& kernels) {
   TDC_CHECK_MSG(!kernels.empty(), "no kernels to co-schedule");
   // Lower bounds: the slowest member (its critical path cannot shrink) and

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/alloc_guard.h"
 #include "common/check.h"
 #include "common/deadline.h"
 #include "common/fault.h"
@@ -24,6 +25,7 @@
 #include "common/rng.h"
 #include "exec/autotune.h"
 #include "exec/graph_plan.h"
+#include "exec/workspace_guard.h"
 #include "gpusim/device.h"
 #include "linalg/gemm.h"
 #include "nn/models.h"
@@ -601,6 +603,39 @@ TEST(EnvDriven, AmbientFaultSurfacesTypedAndRecovers) {
     EXPECT_TRUE(threw);
     s.session.run(s.x, &s.y, s.workspace);
     EXPECT_EQ(Tensor::max_abs_diff(s.y, s.run_clean()), 0.0);
+  } else if (point == "exec.run_hidden_alloc") {
+    // Inert unless the allocation guard is armed: arm it so the planted
+    // hidden allocation trips the run's DenyAllocGuard.
+    Serving s;
+    set_alloc_guard(true);
+    bool threw = false;
+    try {
+      s.session.run(s.x, &s.y, s.workspace);
+    } catch (const Error& e) {
+      threw = true;
+      EXPECT_EQ(e.code(), ErrorCode::kInternal);
+    }
+    set_alloc_guard(false);
+    EXPECT_TRUE(threw);
+    s.session.run(s.x, &s.y, s.workspace);
+    EXPECT_EQ(Tensor::max_abs_diff(s.y, s.run_clean()), 0.0);
+  } else if (point == "exec.op_overrun") {
+    // Inert unless canary bands were compiled into the session: freeze
+    // them on for this session so the planted overrun lands on a band.
+    const bool ws_prev = workspace_guard_enabled();
+    set_workspace_guard(true);
+    Serving s;
+    bool threw = false;
+    try {
+      s.session.run(s.x, &s.y, s.workspace);
+    } catch (const Error& e) {
+      threw = true;
+      EXPECT_EQ(e.code(), ErrorCode::kDataCorruption);
+    }
+    EXPECT_TRUE(threw);
+    s.session.run(s.x, &s.y, s.workspace);
+    EXPECT_EQ(Tensor::max_abs_diff(s.y, s.run_clean()), 0.0);
+    set_workspace_guard(ws_prev);
   } else if (point == "autotune.corrupt_save") {
     ::unsetenv("TDC_AUTOTUNE_CACHE");
     autotune_clear();

@@ -147,17 +147,20 @@ TEST_F(ParallelTest, ConcurrentTopLevelCallersStayCorrect) {
   }
 }
 
+// A deliberately foreign exception type: the pool must rethrow anything the
+// body throws, not just the tdc::Error taxonomy.
+struct Boom {};
+
 TEST_F(ParallelTest, ExceptionsPropagateToCaller) {
   for (const int nt : {1, 4}) {
     set_num_threads(nt);
-    EXPECT_THROW(
-        parallel_for(0, 64, 1,
-                     [&](std::int64_t b, std::int64_t) {
-                       if (b >= 0) {
-                         throw std::runtime_error("boom");
-                       }
-                     }),
-        std::runtime_error);
+    EXPECT_THROW(parallel_for(0, 64, 1,
+                              [&](std::int64_t b, std::int64_t) {
+                                if (b >= 0) {
+                                  throw Boom{};
+                                }
+                              }),
+                 Boom);
     // The pool must stay usable after an exception.
     std::atomic<std::int64_t> sum{0};
     parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {

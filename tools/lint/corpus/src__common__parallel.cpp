@@ -1,0 +1,24 @@
+// Corpus: registered singletons pass. This file simulates
+// src/common/parallel.cpp, whose g_*/t_* names are in the
+// REGISTERED_SINGLETONS table — no findings expected.
+#include <atomic>
+#include <mutex>
+
+namespace tdc {
+namespace {
+
+thread_local bool t_in_parallel = false;
+std::mutex g_pool_mutex;
+std::atomic<int> g_num_threads{0};
+std::atomic<long> g_pool_regions{0};
+
+int snapshot() {
+  (void)t_in_parallel;
+  std::unique_lock<std::mutex> lock(g_pool_mutex);
+  return g_num_threads.load() + static_cast<int>(g_pool_regions.load());
+}
+
+int g_registered_only = 0;                                 // expect-lint: file-scope-globals
+
+}  // namespace
+}  // namespace tdc

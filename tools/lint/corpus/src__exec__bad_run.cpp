@@ -1,0 +1,34 @@
+// Corpus: raw allocation and error-handling violations in a library file.
+// Each violating line declares the expected rule inline; --self-test checks
+// the linter reports exactly these (rule, line) pairs and nothing else.
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tdc {
+namespace {
+
+float* make_buffer(int n) {
+  float* p = new float[16];                                // expect-lint: raw-new-array
+  void* q = malloc(static_cast<std::size_t>(n));           // expect-lint: raw-malloc
+  free(q);                                                 // expect-lint: raw-malloc
+  assert(n > 0);                                           // expect-lint: check-macros
+  if (n < 0) {
+    throw std::runtime_error("bad n");                     // expect-lint: check-macros
+  }
+  return p;
+}
+
+void loop(int n) {
+#pragma omp parallel for                                   // expect-lint: no-openmp
+  for (int i = 0; i < n; ++i) {
+    make_buffer(i);
+  }
+}
+
+// A new[] spelled inside a comment or string must NOT be reported:
+// new float[16] is fine here.
+const char* kDoc = "new float[16] in a string literal";
+
+}  // namespace
+}  // namespace tdc

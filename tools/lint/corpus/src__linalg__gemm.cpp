@@ -1,0 +1,15 @@
+// Corpus: run-path allocation rule. This file's simulated path is in
+// RUN_PATH_FILES, so growth calls need a justification or they are findings.
+#include <vector>
+
+namespace tdc {
+
+void pack(std::vector<float>& buf, int n) {
+  buf.resize(static_cast<std::size_t>(n));                 // expect-lint: run-path-alloc
+  buf.push_back(1.0f);                                     // expect-lint: run-path-alloc
+  // Warm-up growth of a thread_local scratch buffer, grow-only, under
+  // AllowAllocScope — sanctioned, so the allow() silences the rule:
+  buf.reserve(64);  // tdc-lint: allow(run-path-alloc)
+}
+
+}  // namespace tdc

@@ -1,0 +1,19 @@
+// Corpus: determinism rule — every randomness source that breaks
+// bit-replayability across runs is a finding, in tests too.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace {
+
+int noise() {
+  std::srand(static_cast<unsigned>(time(nullptr)));        // expect-lint: deterministic-rng
+  std::mt19937 gen(std::random_device{}());                // expect-lint: deterministic-rng
+  return std::rand() + static_cast<int>(gen());            // expect-lint: deterministic-rng
+}
+
+// Naming a type in prose is fine; only code positions count:
+// std::mt19937 mentioned in a comment is not a finding.
+int runtime_ms = noise();
+
+}  // namespace

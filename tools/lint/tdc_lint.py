@@ -1,0 +1,481 @@
+#!/usr/bin/env python3
+"""tdc_lint: the repo-rule linter.
+
+Enforces repo-specific invariants that generic tooling (clang-tidy, warnings)
+cannot know about, over src/ tests/ bench/. AST-free by design: every rule is
+a line-oriented pattern plus a little context (comment/string stripping and
+brace-depth tracking), so a full-tree run is milliseconds and the checker has
+no compiler or package dependencies.
+
+Usage:
+  tools/lint/tdc_lint.py                 # lint the repo (src/ tests/ bench/)
+  tools/lint/tdc_lint.py path...         # lint specific files or directories
+  tools/lint/tdc_lint.py --explain RULE  # what a rule means and how to fix it
+  tools/lint/tdc_lint.py --explain       # list all rules
+  tools/lint/tdc_lint.py --self-test     # run the corpus under tools/lint/corpus/
+
+Escape hatch: append `// tdc-lint: allow(rule-id)` to the offending line (or
+put it alone on the line above) with a short justification. Allowlists that
+are structural — the allocation interposer may call malloc, the registered
+process-wide singletons — live in the tables below and in rules.md, not in
+scattered comments.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT_SCOPES = ("src", "tests", "bench")
+CXX_SUFFIXES = {".cpp", ".h"}
+
+# Files whose steady-state bodies are run paths: the serving invariant says
+# they perform no heap allocation after warm-up, so any container growth in
+# them must carry an explicit allow() justifying why it cannot fire at
+# steady state (thread-local warm-up growth, compile-time helpers).
+RUN_PATH_FILES = {
+    "src/linalg/gemm.cpp",
+    "src/fft/fft.cpp",
+    "src/conv/conv_im2col.cpp",
+    "src/conv/conv_ref.cpp",
+    "src/conv/pointwise.cpp",
+    "src/conv/tucker_conv.cpp",
+    "src/core/tdc_kernel.cpp",
+}
+
+# The allocation interposition layer is the one translation unit that must
+# call malloc/free directly (it IS operator new/delete).
+RAW_MALLOC_EXEMPT_FILES = {
+    "src/common/alloc_guard.cpp",
+}
+
+# Registered process-wide singletons: the only sanctioned mutable file-scope
+# state, file -> names. Everything here is either an atomic with documented
+# ordering, a mutex, state owned by one (mutex, thread) discipline, or
+# thread-local state with a propagation story in the parallel runtime.
+# Adding a name is a reviewed act: extend this table AND rules.md together.
+REGISTERED_SINGLETONS = {
+    "src/common/parallel.cpp": {
+        "t_in_parallel", "g_pool_mutex", "g_region_mutex", "g_pool",
+        "g_num_threads", "g_pool_regions", "g_inline_regions",
+        "g_serial_fallbacks", "g_fallback_noted",
+    },
+    "src/common/deadline.cpp": {"t_deadline"},
+    "src/common/fault.cpp": {"g_armed_faults"},
+    "src/common/fault.h": {"g_armed_faults"},
+    "src/common/check.cpp": {"g_check_finite"},
+    "src/common/alloc_guard.cpp": {
+        "t_alloc_guard", "g_alloc_guard_enabled", "g_violations",
+    },
+    "src/common/alloc_guard.h": {"t_alloc_guard", "g_alloc_guard_enabled"},
+    "src/exec/workspace_guard.cpp": {"g_ws_guard_enabled"},
+}
+
+
+class Rule:
+    def __init__(self, rule_id, summary, explain, applies, check):
+        self.rule_id = rule_id
+        self.summary = summary
+        self.explain = explain
+        self.applies = applies  # (relpath: str) -> bool
+        self.check = check      # (ctx) -> yields (line_no, message)
+
+
+class FileContext:
+    """One file, preprocessed for the rules: raw lines, code-only lines
+    (comments and string/char literals blanked), and the brace depth at the
+    start of every line."""
+
+    def __init__(self, relpath: str, text: str):
+        self.relpath = relpath
+        self.lines = text.splitlines()
+        self.code_lines = _strip_comments_and_strings(text).splitlines()
+        self.depth_at_line = _brace_depths(self.code_lines)
+        self.allows = _collect_allows(self.lines)
+
+
+def _strip_comments_and_strings(text: str) -> str:
+    """Blanks //, /* */ comments and "..."/'...' literals, preserving line
+    structure so line numbers and brace counts stay aligned."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | dquote | squote
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "dquote"
+                out.append(" ")
+                i += 1
+                continue
+            if ch == "'":
+                state = "squote"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(ch)
+            i += 1
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+            i += 1
+        else:  # dquote / squote
+            quote = '"' if state == "dquote" else "'"
+            if ch == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = "code"
+            out.append("\n" if ch == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+def _brace_depths(code_lines):
+    """Brace depth at the START of each line (comments/strings already
+    stripped)."""
+    depths = []
+    depth = 0
+    for line in code_lines:
+        depths.append(depth)
+        depth += line.count("{") - line.count("}")
+    return depths
+
+
+ALLOW_RE = re.compile(r"//\s*tdc-lint:\s*allow\(([a-z0-9_,\- ]+)\)")
+
+
+def _collect_allows(lines):
+    """Maps line number (1-based) -> set of allowed rule ids. An allow on a
+    line that holds only the comment applies to the next line."""
+    allows = {}
+    for idx, line in enumerate(lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        target = idx
+        if line.strip().startswith("//"):
+            target = idx + 1
+        allows.setdefault(target, set()).update(rules)
+        allows.setdefault(idx, set()).update(rules)
+    return allows
+
+
+def _grep_rule(pattern, message):
+    rx = re.compile(pattern)
+    def check(ctx):
+        for idx, line in enumerate(ctx.code_lines, start=1):
+            if rx.search(line):
+                yield idx, message
+    return check
+
+
+def _in_scope(*prefixes):
+    def applies(relpath):
+        return any(relpath.startswith(p) for p in prefixes)
+    return applies
+
+
+def _check_raw_malloc(ctx):
+    if ctx.relpath in RAW_MALLOC_EXEMPT_FILES:
+        return
+    rx = re.compile(r"\b(malloc|calloc|realloc|free)\s*\(")
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        if rx.search(line):
+            yield idx, "raw malloc/calloc/realloc/free; use containers or Tensor"
+
+
+def _check_run_path_alloc(ctx):
+    if ctx.relpath not in RUN_PATH_FILES:
+        return
+    rx = re.compile(r"\.(push_back|emplace_back|resize|reserve)\s*\(|\bnew\b")
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        if rx.search(line):
+            yield idx, ("container growth in a run-path file; run paths are "
+                        "allocation-free after warm-up (DenyAllocGuard)")
+
+
+def _check_file_scope_globals(ctx):
+    if not ctx.relpath.startswith("src"):
+        return
+    decl = re.compile(
+        r"^\s*(?:static\s+|thread_local\s+|inline\s+)*"
+        r"[A-Za-z_][\w:<>,*&\s]*[\s&*]"
+        r"(g_[a-z0-9_]+|t_[a-z0-9_]+)\s*[;={(]")
+    registered = REGISTERED_SINGLETONS.get(ctx.relpath, set())
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        if ctx.depth_at_line[idx - 1] > 2:
+            continue  # inside a function or class body
+        m = decl.match(line)
+        if not m:
+            continue
+        stripped = line.strip()
+        if stripped.startswith(("const ", "constexpr ", "inline constexpr")):
+            continue
+        name = m.group(1)
+        if name in registered:
+            continue
+        yield idx, (f"mutable file-scope global '{name}' is not in the "
+                    "registered-singleton list (tools/lint/tdc_lint.py)")
+
+
+def _check_impl_header(ctx):
+    if not (ctx.relpath.startswith("src") and ctx.relpath.endswith(".h")):
+        return
+    rx = re.compile(r'#\s*include\s+"[^"]*_impl\.h"')
+    for idx, line in enumerate(ctx.lines, start=1):
+        if rx.search(line):
+            yield idx, "public header includes an internal *_impl.h header"
+
+
+RULES = [
+    Rule(
+        "raw-new-array",
+        "no naked new[] anywhere in the library",
+        "Raw array new has no owner and no exception safety; buffers are\n"
+        "std::vector, Tensor, or a workspace slice. A deliberate raw\n"
+        "allocation (e.g. a fault-injection plant) carries an inline allow()\n"
+        "with its justification.",
+        _in_scope("src"),
+        _grep_rule(r"\bnew\s+[A-Za-z_][\w:]*\s*\[",
+                   "naked new[]; use std::vector, Tensor, or workspace"),
+    ),
+    Rule(
+        "raw-malloc",
+        "no malloc/calloc/realloc/free in the library",
+        "C allocation bypasses operator new and therefore the\n"
+        "DenyAllocGuard interposition; the only translation unit allowed to\n"
+        "touch malloc/free is src/common/alloc_guard.cpp, which implements\n"
+        "the interposed operators themselves (structural exemption, see\n"
+        "RAW_MALLOC_EXEMPT_FILES).",
+        _in_scope("src"),
+        _check_raw_malloc,
+    ),
+    Rule(
+        "run-path-alloc",
+        "no container growth in run-path files",
+        "Files on the serving run path (RUN_PATH_FILES) promise zero heap\n"
+        "allocation at steady state — the property DenyAllocGuard enforces\n"
+        "at runtime. Growth calls (push_back/resize/reserve) and raw new in\n"
+        "those files must be warm-up-only (thread_local, grow-only, under\n"
+        "AllowAllocScope) or compile-time helpers, and say so in an inline\n"
+        "allow().",
+        _in_scope("src"),
+        _check_run_path_alloc,
+    ),
+    Rule(
+        "deterministic-rng",
+        "no std::rand/time()/unseeded RNG in deterministic paths",
+        "Results are bit-identical across runs and thread counts; the only\n"
+        "randomness source is tdc::Rng with an explicit seed. std::rand,\n"
+        "srand, time()-derived seeds, std::random_device and bare\n"
+        "std::mt19937 all break replayability.",
+        _in_scope("src", "tests", "bench"),
+        _grep_rule(r"\bstd::rand\b|\bsrand\s*\(|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"
+                   r"|\bstd::random_device\b|\bstd::mt19937\b",
+                   "nondeterministic randomness; use tdc::Rng with an explicit seed"),
+    ),
+    Rule(
+        "check-macros",
+        "TDC_CHECK* instead of assert / throw std::runtime_error",
+        "assert() vanishes under NDEBUG and aborts instead of throwing;\n"
+        "bare std::runtime_error/logic_error lose the ErrorCode taxonomy the\n"
+        "serving tier dispatches on. Use TDC_CHECK / TDC_CHECK_MSG /\n"
+        "TDC_CHECK_INTERNAL or throw tdc::Error with an explicit code.",
+        _in_scope("src", "tests", "bench"),
+        _grep_rule(r"\bassert\s*\(|\bthrow\s+std::(runtime_error|logic_error)\b",
+                   "use TDC_CHECK*/tdc::Error instead of assert or bare "
+                   "std::runtime_error"),
+    ),
+    Rule(
+        "no-openmp",
+        "no OpenMP pragmas; use common/parallel.h",
+        "Every multi-threaded loop funnels through the shared runtime\n"
+        "(parallel_for) so thread count, nesting policy, deadline and\n"
+        "alloc-guard propagation stay consistent. An OpenMP pragma would\n"
+        "fork outside all of that.",
+        _in_scope("src", "tests", "bench"),
+        _grep_rule(r"#\s*pragma\s+omp\b",
+                   "OpenMP pragma; use tdc::parallel_for (common/parallel.h)"),
+    ),
+    Rule(
+        "file-scope-globals",
+        "mutable file-scope globals must be registered singletons",
+        "Process-wide mutable state is where the races live. Every mutable\n"
+        "namespace-scope g_*/t_* variable must appear in the\n"
+        "REGISTERED_SINGLETONS table (and rules.md) where its\n"
+        "synchronization discipline is reviewed; anything else is a\n"
+        "finding. Function-local statics and const/constexpr globals are\n"
+        "exempt.",
+        _in_scope("src"),
+        _check_file_scope_globals,
+    ),
+    Rule(
+        "impl-header-in-public",
+        "public headers must not include *_impl.h",
+        "Headers under src/ are the library's public surface; *_impl.h\n"
+        "files are internal factory/detail seams. Including one from a\n"
+        "public header leaks the internals into every consumer and defeats\n"
+        "the one-algorithm-per-TU layout.",
+        _in_scope("src"),
+        _check_impl_header,
+    ),
+]
+
+RULES_BY_ID = {r.rule_id: r for r in RULES}
+
+
+def lint_text(relpath: str, text: str):
+    """Lints one file's content; returns [(rule_id, line_no, message)]."""
+    ctx = FileContext(relpath, text)
+    findings = []
+    for rule in RULES:
+        if not rule.applies(relpath):
+            continue
+        for line_no, message in rule.check(ctx):
+            if rule.rule_id in ctx.allows.get(line_no, set()):
+                continue
+            findings.append((rule.rule_id, line_no, message))
+    findings.sort(key=lambda f: (f[1], f[0]))
+    return findings
+
+
+def iter_lint_files(paths):
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(
+                f for f in p.rglob("*") if f.suffix in CXX_SUFFIXES)
+        elif p.suffix in CXX_SUFFIXES:
+            yield p
+
+
+def run_lint(paths) -> int:
+    total = 0
+    for f in iter_lint_files(paths):
+        try:
+            rel = f.resolve().relative_to(REPO_ROOT).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        findings = lint_text(rel, f.read_text(encoding="utf-8",
+                                              errors="replace"))
+        for rule_id, line_no, message in findings:
+            print(f"{rel}:{line_no}: [{rule_id}] {message}")
+            total += 1
+    if total:
+        print(f"\ntdc_lint: {total} finding(s). "
+              "Run with --explain RULE for the rationale; a justified "
+              "exception takes `// tdc-lint: allow(RULE)`.")
+        return 1
+    print("tdc_lint: clean")
+    return 0
+
+
+def explain(rule_id=None) -> int:
+    if rule_id is None:
+        width = max(len(r.rule_id) for r in RULES)
+        for r in RULES:
+            print(f"{r.rule_id:<{width}}  {r.summary}")
+        return 0
+    rule = RULES_BY_ID.get(rule_id)
+    if rule is None:
+        print(f"unknown rule '{rule_id}'; known rules:", file=sys.stderr)
+        for r in RULES:
+            print(f"  {r.rule_id}", file=sys.stderr)
+        return 2
+    print(f"{rule.rule_id}: {rule.summary}\n")
+    print(rule.explain)
+    print("\nEscape hatch: `// tdc-lint: allow(" + rule.rule_id + ")` on the "
+          "line (or alone on the line above) with a justification.")
+    return 0
+
+
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z0-9\-]+(?:\s*,\s*[a-z0-9\-]+)*)")
+
+
+def self_test() -> int:
+    """Runs the corpus: each file under corpus/ declares its expected
+    findings inline as `// expect-lint: rule-id[, rule-id]` on the violating
+    line; the linter must produce exactly that set (pytest-style: every file
+    is a case, failures report expected vs. actual)."""
+    corpus = Path(__file__).resolve().parent / "corpus"
+    cases = sorted(corpus.glob("*.*"))
+    if not cases:
+        print("self-test: no corpus files found", file=sys.stderr)
+        return 2
+    failures = 0
+    for case in cases:
+        # Corpus files simulate repo paths via their names:
+        # src__exec__foo.cpp -> src/exec/foo.cpp
+        rel = case.name.replace("__", "/")
+        text = case.read_text(encoding="utf-8")
+        expected = set()
+        for idx, line in enumerate(text.splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rid in m.group(1).split(","):
+                    expected.add((rid.strip(), idx))
+        actual = {(rule_id, line_no)
+                  for rule_id, line_no, _ in lint_text(rel, text)}
+        if actual == expected:
+            print(f"PASS {case.name}")
+        else:
+            failures += 1
+            print(f"FAIL {case.name}")
+            for miss in sorted(expected - actual):
+                print(f"  expected but not reported: {miss[0]} @ line {miss[1]}")
+            for extra in sorted(actual - expected):
+                print(f"  reported but not expected: {extra[0]} @ line {extra[1]}")
+    print(f"self-test: {len(cases) - failures}/{len(cases)} cases passed")
+    return 1 if failures else 0
+
+
+def main(argv) -> int:
+    if "--help" in argv or "-h" in argv:
+        print(__doc__)
+        return 0
+    if "--self-test" in argv:
+        return self_test()
+    if "--explain" in argv:
+        i = argv.index("--explain")
+        rule_id = argv[i + 1] if i + 1 < len(argv) else None
+        return explain(rule_id)
+    paths = [Path(a) for a in argv if not a.startswith("-")]
+    if not paths:
+        paths = [REPO_ROOT / scope for scope in LINT_SCOPES]
+    return run_lint(paths)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:  # e.g. `tdc_lint.py --explain | head`
+        sys.exit(0)
