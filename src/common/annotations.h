@@ -1,0 +1,50 @@
+// Structural annotations read by the semantic analyzer (tools/analyze/).
+//
+// The analyzer builds a whole-project call graph and proves that everything
+// reachable from the serving run path is pure: no heap allocation, no
+// std::function construction, no I/O, no nondeterminism, and no mutex
+// acquisition outside the sanctioned blocking points. These macros are how
+// the sources talk to it — structurally, on declarations, not through
+// comments the tool would have to grep for.
+//
+//   TDC_RUN_PATH
+//     Marks a function definition as a run-path root: the analyzer seeds its
+//     reachability walk here. Roots are the steady-state serving entry
+//     points — InferenceSession::run / run_batched, OpPlan::run*, the packed
+//     GEMM block walk — plus the pool worker bodies that execute their
+//     chunks. Everything reachable from a root inherits the purity contract
+//     that DenyAllocGuard (common/alloc_guard.h) enforces dynamically.
+//
+//   TDC_ANALYZE_ALLOW(rule)
+//     Function-scope escape hatch: waives the named analyzer rule for the
+//     enclosing function, e.g. TDC_ANALYZE_ALLOW(run-path-lock) inside the
+//     thread pool's fork/join handoff. Every use must sit next to a comment
+//     saying why the waiver is sound; tools/analyze/rules.md lists the rule
+//     ids and the currently sanctioned escapes. The analyzer recognizes the
+//     declaration itself (an annotated constant), never the comment.
+//
+// Under Clang the macros expand to annotate attributes the libclang
+// frontend reads from the AST; under GCC (which has no annotate attribute)
+// they expand to nothing / a static_assert, and the analyzer's fallback
+// frontend recognizes the macro tokens directly in the source. Runtime
+// behavior is identical either way: both expansions are zero-cost.
+#pragma once
+
+#if defined(__clang__)
+#define TDC_RUN_PATH __attribute__((annotate("tdc-run-path")))
+#else
+#define TDC_RUN_PATH
+#endif
+
+#define TDC_ANALYZE_CONCAT_IMPL(a, b) a##b
+#define TDC_ANALYZE_CONCAT(a, b) TDC_ANALYZE_CONCAT_IMPL(a, b)
+
+#if defined(__clang__)
+#define TDC_ANALYZE_ALLOW(rule)                                        \
+  [[maybe_unused]] static constexpr int __attribute__((                \
+      annotate("tdc-analyze-allow:" #rule)))                           \
+  TDC_ANALYZE_CONCAT(tdc_analyze_allow_, __LINE__) = 0
+#else
+#define TDC_ANALYZE_ALLOW(rule) \
+  static_assert(true, "tdc-analyze-allow:" #rule)
+#endif

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/alloc_guard.h"
+#include "common/annotations.h"
 #include "common/deadline.h"
 
 namespace tdc {
@@ -63,7 +64,12 @@ class ThreadPool {
     }
   }
 
-  void run(std::int64_t num_chunks, FunctionRef<void(std::int64_t)> fn) {
+  TDC_RUN_PATH void run(std::int64_t num_chunks,
+                        FunctionRef<void(std::int64_t)> fn) {
+    // The pool's fork/join handoff is the library's one sanctioned blocking
+    // point on the run path: region state is published under mutex_ and the
+    // join waits on all_done_. TSan-verified (PR 7).
+    TDC_ANALYZE_ALLOW(run-path-lock);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       fn_ = &fn;
@@ -93,7 +99,9 @@ class ThreadPool {
  private:
   // Pulls chunk indices until the region is exhausted. Called with the
   // region's function object; completion is recorded under the mutex.
-  void drain(FunctionRef<void(std::int64_t)> fn) {
+  TDC_RUN_PATH void drain(FunctionRef<void(std::int64_t)> fn) {
+    // Completion accounting of the fork/join handoff (see run()).
+    TDC_ANALYZE_ALLOW(run-path-lock);
     std::int64_t executed = 0;
     std::exception_ptr error;
     std::int64_t chunk;
@@ -122,7 +130,10 @@ class ThreadPool {
     }
   }
 
-  void worker_loop() {
+  TDC_RUN_PATH void worker_loop() {
+    // Workers sleep on work_ready_ between regions; the wait and the
+    // active-worker bookkeeping are the sanctioned pool blocking point.
+    TDC_ANALYZE_ALLOW(run-path-lock);
     std::uint64_t seen_generation = 0;
     for (;;) {
       const FunctionRef<void(std::int64_t)>* fn = nullptr;
@@ -179,6 +190,9 @@ std::atomic<std::int64_t> g_serial_fallbacks{0};
 std::atomic<bool> g_fallback_noted{false};
 
 void note_serial_fallback() {
+  // One-shot stderr diagnostic (first fallback only); steady-state runs
+  // never reach the fprintf.
+  TDC_ANALYZE_ALLOW(run-path-io);
   g_serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
   if (!g_fallback_noted.exchange(true, std::memory_order_relaxed)) {
     std::fprintf(stderr,
@@ -213,6 +227,9 @@ void run_inline(std::int64_t num_chunks, FunctionRef<void(std::int64_t)> fn) {
 }  // namespace
 
 int num_threads() {
+  // First-call resolution takes the pool mutex once; the steady state is
+  // the relaxed atomic load above it.
+  TDC_ANALYZE_ALLOW(run-path-lock);
   const int nt = g_num_threads.load(std::memory_order_relaxed);
   if (nt != 0) {
     return nt;
@@ -244,7 +261,18 @@ ParallelStats parallel_stats() {
 
 namespace detail {
 
-void run_chunked(std::int64_t num_chunks, FunctionRef<void(std::int64_t)> fn) {
+TDC_RUN_PATH void run_chunked(std::int64_t num_chunks,
+                              FunctionRef<void(std::int64_t)> fn) {
+  // Region admission: g_region_mutex is deliberately held for the whole
+  // fork/join region — across the pool handoff AND the chunk callbacks it
+  // runs — because the pool serves one region at a time; a losing caller
+  // runs inline, it never blocks on the winner, and chunk callbacks never
+  // re-enter the parallel runtime (the nested-region test pins this).
+  // g_pool_mutex guards lazy pool construction. Both are the sanctioned
+  // pool blocking points.
+  TDC_ANALYZE_ALLOW(run-path-lock);
+  TDC_ANALYZE_ALLOW(lock-across-pool);
+  TDC_ANALYZE_ALLOW(lock-across-callback);
   if (num_chunks <= 0) {
     return;
   }

@@ -5,6 +5,11 @@
 // latency models, element counts for the memory-bound layers. ModelSpec is
 // that inventory for the five CNNs of the paper plus the CIFAR ResNet-20 of
 // Table 2.
+//
+// Lives in core/ (not nn/) because the execution layer compiles ModelSpecs:
+// the layering DAG is common → linalg/fft/tensor → conv/core → exec → nn,
+// so the descriptor types sit below exec while the concrete inventories
+// (nn/models.h, nn/inception.h) stay above it.
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/alloc_guard.h"
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/parallel.h"
@@ -451,7 +452,7 @@ std::int64_t InferenceSession::batched_workspace_bytes(
   return batch_slots(batch) * workspace_bytes();
 }
 
-void InferenceSession::run_graph(const float* x, float* y,
+TDC_RUN_PATH void InferenceSession::run_graph(const float* x, float* y,
                                  std::span<float> workspace) const {
   const bool screen_finite = check_finite_enabled();
   float* arena = workspace.data();
@@ -474,7 +475,7 @@ void InferenceSession::run_graph(const float* x, float* y,
     // immediately. The atomic escape keeps the compiler from eliding the
     // paired new/delete.
     static std::atomic<float*> sink{nullptr};
-    sink.store(new float[16],  // tdc-lint: allow(raw-new-array)
+    sink.store(new float[16],  // tdc-lint: allow(raw-new-array, run-path-alloc)
                std::memory_order_relaxed);
     delete[] sink.exchange(nullptr, std::memory_order_relaxed);
   }
@@ -542,8 +543,8 @@ void InferenceSession::run_graph(const float* x, float* y,
   }
 }
 
-void InferenceSession::run(const Tensor& x, Tensor* y,
-                           std::span<float> workspace) const {
+TDC_RUN_PATH void InferenceSession::run(const Tensor& x, Tensor* y,
+                                        std::span<float> workspace) const {
   TDC_CHECK_MSG(operand_matches(x, input_shape_),
                 "session input does not match " + input_shape_.to_string());
   TDC_CHECK_MSG(y != nullptr && operand_matches(*y, output_shape_),
@@ -564,9 +565,9 @@ void InferenceSession::run(const Tensor& x, Tensor* y,
                                                      sizeof(float))));
 }
 
-void InferenceSession::run(const Tensor& x, Tensor* y,
-                           std::span<float> workspace,
-                           const Deadline& deadline) const {
+TDC_RUN_PATH void InferenceSession::run(const Tensor& x, Tensor* y,
+                                        std::span<float> workspace,
+                                        const Deadline& deadline) const {
   DeadlineScope scope(deadline);
   run(x, y, workspace);
 }
@@ -585,8 +586,8 @@ Tensor InferenceSession::run(const Tensor& x) const {
   return y;
 }
 
-void InferenceSession::run_batched(const Tensor& x, Tensor* y,
-                                   std::span<float> workspace) const {
+TDC_RUN_PATH void InferenceSession::run_batched(
+    const Tensor& x, Tensor* y, std::span<float> workspace) const {
   TDC_CHECK_MSG(x.rank() == 4 && x.dim(1) == input_shape_.c &&
                     x.dim(2) == input_shape_.h && x.dim(3) == input_shape_.w,
                 "batched session input must be [B, C, H, W]");
@@ -619,9 +620,9 @@ void InferenceSession::run_batched(const Tensor& x, Tensor* y,
       });
 }
 
-void InferenceSession::run_batched(const Tensor& x, Tensor* y,
-                                   std::span<float> workspace,
-                                   const Deadline& deadline) const {
+TDC_RUN_PATH void InferenceSession::run_batched(
+    const Tensor& x, Tensor* y, std::span<float> workspace,
+    const Deadline& deadline) const {
   DeadlineScope scope(deadline);
   run_batched(x, y, workspace);
 }

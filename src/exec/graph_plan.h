@@ -37,7 +37,7 @@
 #include "core/codesign.h"
 #include "exec/conv_plan.h"
 #include "exec/op_plan.h"
-#include "nn/layer.h"
+#include "core/model_spec.h"
 
 namespace tdc {
 

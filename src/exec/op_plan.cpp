@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/alloc_guard.h"
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/parallel.h"
 #include "exec/plan_impl.h"
@@ -38,7 +39,8 @@ std::int64_t OpPlan::batched_workspace_bytes(std::int64_t batch) const {
   return batch_slots(batch) * workspace_bytes();
 }
 
-void OpPlan::run_inputs(std::span<const float* const> inputs, float* y,
+TDC_RUN_PATH void OpPlan::run_inputs(std::span<const float* const> inputs,
+                                     float* y,
                         std::span<float> workspace) const {
   TDC_CHECK_MSG(static_cast<std::int64_t>(inputs.size()) == num_inputs(),
                 "op plan expects " + std::to_string(num_inputs()) +
@@ -62,8 +64,8 @@ bool operand_matches(const Tensor& t, const OpShape& shape) {
   return t.numel() == shape.floats();
 }
 
-void OpPlan::run(const Tensor& x, Tensor* y,
-                 std::span<float> workspace) const {
+TDC_RUN_PATH void OpPlan::run(const Tensor& x, Tensor* y,
+                              std::span<float> workspace) const {
   TDC_CHECK_MSG(num_inputs() == 1,
                 "checked single-input run on a multi-input plan; use "
                 "run_inputs");
@@ -95,8 +97,8 @@ Tensor OpPlan::run(const Tensor& x) const {
   });
 }
 
-void OpPlan::run_batched(const Tensor& x, Tensor* y,
-                         std::span<float> workspace) const {
+TDC_RUN_PATH void OpPlan::run_batched(const Tensor& x, Tensor* y,
+                                      std::span<float> workspace) const {
   TDC_CHECK_MSG(num_inputs() == 1,
                 "batched run is single-input; multi-input plans run inside a "
                 "graph");

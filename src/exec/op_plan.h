@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/alloc_guard.h"
+#include "common/annotations.h"
 #include "common/check.h"
 #include "tensor/tensor.h"
 
@@ -91,8 +92,8 @@ class OpPlan {
   /// Expert entry point over validated flat buffers (single-input plans
   /// only — a multi-input plan would read past the one pointer): what run()
   /// calls after checking operands once.
-  void run_unchecked(const float* x, float* y,
-                     std::span<float> workspace) const {
+  TDC_RUN_PATH void run_unchecked(const float* x, float* y,
+                                  std::span<float> workspace) const {
     TDC_CHECK_MSG(num_inputs() == 1,
                   "run_unchecked is single-input; use run_inputs");
     const float* inputs[1] = {x};

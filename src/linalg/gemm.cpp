@@ -8,6 +8,7 @@
 #endif
 
 #include "common/alloc_guard.h"
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/deadline.h"
 #include "common/parallel.h"
@@ -151,7 +152,8 @@ std::int64_t packed_a_rows(std::int64_t m) {
 // and a C row stride for writing into a band of a larger matrix. When
 // `prepacked_a` is non-null it holds the pack_a output for every (pc, ic)
 // block (the PackedGemmA layout) and the per-panel pack is skipped.
-void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+TDC_RUN_PATH void gemm_packed(std::int64_t m, std::int64_t n,
+                              std::int64_t k,
                  const float* a, std::int64_t a_rs, std::int64_t a_cs,
                  const float* b, std::int64_t b_rs, std::int64_t b_cs,
                  float* cp, std::int64_t ldc, float alpha, float beta,

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/codesign.h"
-#include "nn/layer.h"
+#include "core/model_spec.h"
 
 namespace tdc {
 

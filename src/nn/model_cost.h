@@ -14,7 +14,7 @@
 #pragma once
 
 #include "core/codesign.h"
-#include "nn/layer.h"
+#include "core/model_spec.h"
 
 namespace tdc {
 

@@ -7,7 +7,7 @@
 // same kernel sequence the paper's C++/CUDA implementations execute.
 #pragma once
 
-#include "nn/layer.h"
+#include "core/model_spec.h"
 
 namespace tdc {
 

@@ -1,0 +1,31 @@
+// Positive: a heap allocation hiding two calls below a run-path root must
+// still be reported — the whole point of reachability over file lists.
+#include <vector>
+
+#include "common/alloc_guard.h"
+#include "common/annotations.h"
+
+namespace tdc {
+
+struct Accumulator {
+  std::vector<float> slots_;
+
+  void grow_slots(float v) {
+    slots_.push_back(v);  // expect-analyze: run-path-alloc
+  }
+
+  void record(float v) { grow_slots(v); }
+};
+
+// Negative: default construction of a vector does not allocate, and growth
+// under an AllowAllocScope is the sanctioned warm-up pattern.
+void warm_up(Accumulator& acc) {
+  AllowAllocScope warmup;
+  acc.slots_.reserve(64);
+}
+
+TDC_RUN_PATH void serve_request(Accumulator& acc, float v) {
+  acc.record(v);
+}
+
+}  // namespace tdc

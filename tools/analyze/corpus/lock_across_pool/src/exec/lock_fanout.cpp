@@ -1,0 +1,31 @@
+// Positive: fanning out into the thread pool while holding a lock — a worker
+// chunk that touches the same lock deadlocks, and the hold time multiplies
+// by the region length. Negative: release first, then fan out.
+#include <mutex>
+
+#include "common/parallel.h"
+
+namespace tdc {
+
+struct Tuner {
+  std::mutex mu_;
+  float best_ = 0.0f;
+
+  void time_candidates_locked(float* out, std::int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    parallel_for(0, n, [&](std::int64_t i) {  // expect-analyze: lock-across-pool
+      out[i] = best_;
+    });
+  }
+
+  void time_candidates_unlocked(float* out, std::int64_t n) {
+    float best;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      best = best_;
+    }
+    parallel_for(0, n, [&, best](std::int64_t i) { out[i] = best; });
+  }
+};
+
+}  // namespace tdc

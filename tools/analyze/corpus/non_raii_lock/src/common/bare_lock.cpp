@@ -1,0 +1,27 @@
+// Positive: a bare mutex.lock()/unlock() pair — an exception in between
+// deadlocks the process. Negative: the RAII forms, including re-locking a
+// named unique_lock, are fine.
+#include <mutex>
+
+namespace tdc {
+
+std::int64_t g_hits_unsafe_counter = 0;  // expect-analyze: unregistered-singleton
+
+void count_hit_bare(std::mutex& m) {
+  m.lock();  // expect-analyze: non-raii-lock
+  ++g_hits_unsafe_counter;
+  m.unlock();
+}
+
+void count_hit_raii(std::mutex& m) {
+  std::lock_guard<std::mutex> lock(m);
+  ++g_hits_unsafe_counter;
+}
+
+void count_hit_relock(std::mutex& m) {
+  std::unique_lock<std::mutex> lk(m, std::defer_lock);
+  lk.lock();
+  ++g_hits_unsafe_counter;
+}
+
+}  // namespace tdc

@@ -1,0 +1,49 @@
+// Negative: overloads are distinguished by arity. The run path calls the
+// 3-argument scale(); the allocating 1-argument convenience overload must
+// not be pulled into the reachable set by bare-name matching.
+// Positive: a callback invoked under a lock — the callback can reenter the
+// locking component (lock-across-callback fires on the call graph, not on
+// reachability).
+#include <mutex>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/function_ref.h"
+
+namespace tdc {
+
+std::vector<float> scale(float v) {
+  std::vector<float> out(4, v);
+  return out;
+}
+
+void scale(const float* in, float* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = in[i] * 2.0f;
+  }
+}
+
+TDC_RUN_PATH void serve(const float* in, float* out, std::int64_t n) {
+  scale(in, out, n);
+}
+
+struct Notifier {
+  std::mutex mu_;
+  int seq_ = 0;
+
+  void notify_locked(FunctionRef<void(int)> on_event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    on_event(seq_);  // expect-analyze: lock-across-callback
+  }
+
+  void notify_unlocked(FunctionRef<void(int)> on_event) {
+    int seq;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = ++seq_;
+    }
+    on_event(seq);
+  }
+};
+
+}  // namespace tdc

@@ -1,0 +1,18 @@
+// Positive: std::function construction on the run path type-erases through
+// a possible heap allocation. Negative: FunctionRef is the non-owning,
+// never-allocating replacement the pool hot path uses.
+#include <functional>
+
+#include "common/annotations.h"
+#include "common/function_ref.h"
+
+namespace tdc {
+
+float apply_ref(FunctionRef<float(float)> op, float x) { return op(x); }
+
+TDC_RUN_PATH float serve(float x) {
+  std::function<float(float)> op = [](float v) { return v * 2.0f; };  // expect-analyze: run-path-function
+  return op(x) + apply_ref([](float v) { return v + 1.0f; }, x);
+}
+
+}  // namespace tdc

@@ -1,0 +1,19 @@
+// This file deliberately reuses the path of the real registered-singleton
+// table entry: g_pool is registered for src/common/parallel.cpp (negative),
+// g_rogue_state is not (positive). One table — tools/lint/tdc_lint.py —
+// serves both the linter and the analyzer.
+#include <atomic>
+#include <memory>
+
+namespace tdc {
+
+struct PoolStub {};
+
+std::unique_ptr<PoolStub> g_pool;
+
+std::atomic<int> g_rogue_state{0};  // expect-analyze: unregistered-singleton
+
+// Negative: constants are not mutable state.
+constexpr int g_pool_default_threads = 4;
+
+}  // namespace tdc

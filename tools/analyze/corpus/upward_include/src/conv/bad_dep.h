@@ -1,0 +1,9 @@
+// Positive: conv (tier 2) reaching up into exec (tier 3) inverts the
+// layering DAG common -> linalg/fft/tensor -> conv/core -> exec -> nn.
+#pragma once
+
+#include "exec/plan_api.h"  // expect-analyze: layering
+
+namespace tdc {
+inline int conv_uses_exec() { return kPlanApiVersion; }
+}  // namespace tdc

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace tdc {
+inline constexpr int kConvTypesVersion = 1;
+}  // namespace tdc

@@ -1,0 +1,9 @@
+// Negative: exec (tier 3) may include conv (tier 2) — downward edges and
+// same-tier edges are the allowed directions.
+#pragma once
+
+#include "conv/conv_types.h"
+
+namespace tdc {
+inline constexpr int kPlanApiVersion = kConvTypesVersion + 1;
+}  // namespace tdc

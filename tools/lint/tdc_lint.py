@@ -25,6 +25,7 @@ Exit status: 0 clean, 1 findings, 2 usage/internal error.
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -33,19 +34,41 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 LINT_SCOPES = ("src", "tests", "bench")
 CXX_SUFFIXES = {".cpp", ".h"}
 
-# Files whose steady-state bodies are run paths: the serving invariant says
-# they perform no heap allocation after warm-up, so any container growth in
-# them must carry an explicit allow() justifying why it cannot fire at
-# steady state (thread-local warm-up growth, compile-time helpers).
-RUN_PATH_FILES = {
-    "src/linalg/gemm.cpp",
-    "src/fft/fft.cpp",
-    "src/conv/conv_im2col.cpp",
-    "src/conv/conv_ref.cpp",
-    "src/conv/pointwise.cpp",
-    "src/conv/tucker_conv.cpp",
-    "src/core/tdc_kernel.cpp",
-}
+# Run-path scope: computed, not hand-named. The semantic analyzer
+# (tools/analyze/tdc_analyze.py) walks the call graph from the TDC_RUN_PATH
+# roots and commits the reachable function spans to
+# tools/analyze/run_path.json; the run-path-alloc rule checks exactly those
+# spans, so the linter and the analyzer cannot drift. Regenerate with
+#   tools/analyze/tdc_analyze.py --write-run-path
+RUN_PATH_JSON = Path(__file__).resolve().parents[1] / "analyze" / "run_path.json"
+_RUN_PATH_SPANS = None
+
+
+def _run_path_spans():
+    """{relpath: [(start_line, end_line), ...]} from the committed analyzer
+    artifact. Missing artifact is a usage error (exit 2): the linter must
+    never silently lint nothing."""
+    global _RUN_PATH_SPANS
+    if _RUN_PATH_SPANS is None:
+        if not RUN_PATH_JSON.exists():
+            print(f"tdc_lint: {RUN_PATH_JSON} missing; run "
+                  "tools/analyze/tdc_analyze.py --write-run-path and commit "
+                  "the result", file=sys.stderr)
+            sys.exit(2)
+        data = json.loads(RUN_PATH_JSON.read_text())
+        spans = {}
+        for fn in data.get("functions", []):
+            spans.setdefault(fn["file"], []).append(
+                (fn["line"], fn["end_line"]))
+        _RUN_PATH_SPANS = spans
+    return _RUN_PATH_SPANS
+
+
+# Corpus/test hook: a file may pin its own run-path spans with
+# `// lint-test: run-path-span(START-END)` so the corpus can exercise the
+# rule without depending on the real artifact's line numbers.
+SPAN_DIRECTIVE_RE = re.compile(
+    r"//\s*lint-test:\s*run-path-span\((\d+)-(\d+)\)")
 
 # The allocation interposition layer is the one translation unit that must
 # call malloc/free directly (it IS operator new/delete).
@@ -215,12 +238,19 @@ def _check_raw_malloc(ctx):
 
 
 def _check_run_path_alloc(ctx):
-    if ctx.relpath not in RUN_PATH_FILES:
+    spans = [(int(m.group(1)), int(m.group(2)))
+             for line in ctx.lines
+             for m in [SPAN_DIRECTIVE_RE.search(line)] if m]
+    if not spans:
+        spans = _run_path_spans().get(ctx.relpath, [])
+    if not spans:
         return
     rx = re.compile(r"\.(push_back|emplace_back|resize|reserve)\s*\(|\bnew\b")
     for idx, line in enumerate(ctx.code_lines, start=1):
-        if rx.search(line):
-            yield idx, ("container growth in a run-path file; run paths are "
+        if rx.search(line) and any(a <= idx <= b for a, b in spans):
+            yield idx, ("container growth inside a run-path function "
+                        "(reachable from a TDC_RUN_PATH root per "
+                        "tools/analyze/run_path.json); run paths are "
                         "allocation-free after warm-up (DenyAllocGuard)")
 
 
@@ -282,13 +312,14 @@ RULES = [
     ),
     Rule(
         "run-path-alloc",
-        "no container growth in run-path files",
-        "Files on the serving run path (RUN_PATH_FILES) promise zero heap\n"
+        "no container growth inside run-path functions",
+        "Functions reachable from a TDC_RUN_PATH root promise zero heap\n"
         "allocation at steady state — the property DenyAllocGuard enforces\n"
-        "at runtime. Growth calls (push_back/resize/reserve) and raw new in\n"
-        "those files must be warm-up-only (thread_local, grow-only, under\n"
-        "AllowAllocScope) or compile-time helpers, and say so in an inline\n"
-        "allow().",
+        "at runtime. The scope is computed by the call-graph analyzer and\n"
+        "committed as tools/analyze/run_path.json (regenerate with\n"
+        "tdc_analyze.py --write-run-path); growth calls and raw new inside\n"
+        "a reachable span must be warm-up-only (thread_local, grow-only,\n"
+        "under AllowAllocScope) and say so in an inline allow().",
         _in_scope("src"),
         _check_run_path_alloc,
     ),
