@@ -1,0 +1,259 @@
+// Serving-runtime benchmark: the InferenceServer replica fleet and the
+// latency-SLO coalescer on full-width ResNet-18 (the paper's end-to-end
+// subject), decomposed by a real codesign pass at the 65% budget.
+//
+// Three sections, emitted to BENCH_serving.json alongside the table:
+//   * fleet cold-start — four replicas compiled from one model; with
+//     single-flight PlanCache compilation the 2nd..4th replica must be pure
+//     cache hits (misses == entries after a cleared cache);
+//   * throughput scaling — the arena split in serving's throughput mode
+//     (inter_op wide, intra_op = 1: every client's region runs on its own
+//     lane) with 1, 2 and 4 closed-loop clients. CI enforces the scaling
+//     floor: 4 clients must sustain >= 2x the single-caller QPS, with
+//     4-client p99 within 8x the solo p50 (both gated on >= 4 hardware
+//     threads — a 1-core container serializes everything);
+//   * coalescer — one replica, max_batch = 4, a 10 ms SLO window, four
+//     clients: single-image arrivals must ride batched fan-outs
+//     (batches > 0, coalesced_images > 0), reported but not gated.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "exec/microbench.h"
+#include "exec/plan_cache.h"
+#include "nn/models.h"
+#include "serving/inference_server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadResult {
+  double qps = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  std::int64_t requests = 0;
+};
+
+double percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t idx = std::min(
+      xs.size() - 1, static_cast<std::size_t>(p * static_cast<double>(xs.size())));
+  return xs[idx];
+}
+
+// Closed-loop load: `clients` threads each send `per_client` back-to-back
+// single-image requests; QPS is total completions over the slowest client's
+// wall clock, latency is measured per request at the client.
+LoadResult run_load(tdc::InferenceServer& server,
+                    const std::vector<tdc::Tensor>& inputs, int clients,
+                    int per_client) {
+  using tdc::Tensor;
+  const tdc::OpShape& out = server.output_shape();
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Tensor y({out.c, out.h, out.w});
+      const Tensor& x = inputs[static_cast<std::size_t>(c) % inputs.size()];
+      for (int r = 0; r < per_client; ++r) {
+        const auto q0 = Clock::now();
+        server.infer(x, &y);
+        lat[static_cast<std::size_t>(c)].push_back(
+            std::chrono::duration<double>(Clock::now() - q0).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadResult res;
+  std::vector<double> all;
+  for (const auto& v : lat) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  res.requests = static_cast<std::int64_t>(all.size());
+  res.qps = static_cast<double>(res.requests) / wall;
+  res.p50_s = percentile(all, 0.50);
+  res.p99_s = percentile(all, 0.99);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tdc;
+  const DeviceSpec device = make_a100();
+  const ModelSpec model = make_resnet18();
+  const auto weights = random_model_weights(model, 20230225);
+
+  CodesignOptions cd_opts;
+  cd_opts.budget = 0.65;
+  const CodesignResult codesign =
+      run_codesign(device, model.decomposable_conv_shapes(), cd_opts);
+  host_calibration();
+
+  constexpr int kClientsMax = 4;
+  constexpr int kPerClient = 8;
+
+  // --- fleet cold-start: single-flight sharing across replicas ------------
+  PlanCache::instance().clear();
+  ServerOptions fleet_opts;
+  fleet_opts.replicas = kClientsMax;
+  fleet_opts.coalescer.max_batch = 1;  // pure fleet mode, no batching
+  const auto t_cold = Clock::now();
+  InferenceServer server = InferenceServer::compile(device, model, weights,
+                                                    codesign.layers, fleet_opts);
+  const double fleet_cold_s =
+      std::chrono::duration<double>(Clock::now() - t_cold).count();
+  const PlanCache::Stats cache = PlanCache::instance().stats();
+
+  // --- throughput scaling: inter-op lanes, one intra-op thread each -------
+  const ArenaConfig saved_arenas = arena_config();
+  set_arena_config(ArenaConfig{.inter_op = kMaxArenas, .intra_op = 1});
+
+  Rng rng(20230226);
+  const OpShape& in = server.input_shape();
+  std::vector<Tensor> inputs;
+  for (int c = 0; c < kClientsMax; ++c) {
+    inputs.push_back(Tensor::random_uniform({in.c, in.h, in.w}, rng));
+  }
+  // Warm-up: touch every replica's workspace once before the timers start.
+  (void)run_load(server, inputs, kClientsMax, 1);
+
+  const ParallelStats par_before = parallel_stats();
+  std::vector<LoadResult> scaling;
+  for (const int clients : {1, 2, kClientsMax}) {
+    scaling.push_back(run_load(server, inputs, clients, kPerClient));
+  }
+  const std::int64_t fallbacks =
+      parallel_stats().serial_fallbacks - par_before.serial_fallbacks;
+  set_arena_config(saved_arenas);
+
+  // --- coalescer: one replica, four clients ride batched fan-outs ---------
+  ServerOptions co_opts;
+  co_opts.replicas = 1;
+  co_opts.coalescer.max_batch = kClientsMax;
+  co_opts.coalescer.max_delay_s = 0.010;
+  InferenceServer coalesced = InferenceServer::compile(device, model, weights,
+                                                       codesign.layers, co_opts);
+  (void)run_load(coalesced, inputs, kClientsMax, 1);
+  const ServerStats co_before = coalesced.stats();
+  const LoadResult co = run_load(coalesced, inputs, kClientsMax, kPerClient);
+  const ServerStats co_stats = coalesced.stats();
+  const std::int64_t co_batches = co_stats.batches - co_before.batches;
+  const std::int64_t co_images =
+      co_stats.coalesced_images - co_before.coalesced_images;
+
+  // ---- table --------------------------------------------------------------
+  bench::print_title(
+      "Serving — ResNet-18 InferenceServer fleet (" +
+      std::to_string(fleet_opts.replicas) + " replicas, " +
+      std::to_string(cache.entries) + " cached plans)");
+  std::printf("fleet compile  %8sms cold   cache misses %lld  hits %lld  "
+              "(single-flight: replicas 2..%d are pure hits)\n",
+              bench::ms(fleet_cold_s).c_str(),
+              static_cast<long long>(cache.misses),
+              static_cast<long long>(cache.hits), fleet_opts.replicas);
+  std::printf("%-10s %8s %10s %10s %10s\n", "clients", "QPS", "p50 ms",
+              "p99 ms", "scaling");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const int clients = (i == 0) ? 1 : (i == 1 ? 2 : kClientsMax);
+    std::printf("%-10d %8.2f %10s %10s %10s\n", clients, scaling[i].qps,
+                bench::ms(scaling[i].p50_s).c_str(),
+                bench::ms(scaling[i].p99_s).c_str(),
+                bench::ratio(scaling[i].qps / scaling[0].qps).c_str());
+  }
+  std::printf("coalescer  %8.2f QPS   p99 %sms   %lld batches, %lld coalesced "
+              "images (1 replica, batch %d, %.0f ms SLO)\n",
+              co.qps, bench::ms(co.p99_s).c_str(),
+              static_cast<long long>(co_batches),
+              static_cast<long long>(co_images), kClientsMax,
+              co_opts.coalescer.max_delay_s * 1e3);
+  std::printf("threads: %d, hardware: %u, arena fallbacks during scaling: "
+              "%lld\n",
+              num_threads(), std::thread::hardware_concurrency(),
+              static_cast<long long>(fallbacks));
+
+  // ---- JSON ---------------------------------------------------------------
+  FILE* json = std::fopen("BENCH_serving.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_serving.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"serving\",\n  \"model\": \"resnet18\",\n"
+               "  \"threads\": %d,\n  \"replicas\": %d,\n"
+               "  \"fleet_cold_ms\": %.3f,\n"
+               "  \"cache\": {\"entries\": %lld, \"misses\": %lld, "
+               "\"hits\": %lld},\n  \"scaling\": [\n",
+               num_threads(), fleet_opts.replicas, fleet_cold_s * 1e3,
+               static_cast<long long>(cache.entries),
+               static_cast<long long>(cache.misses),
+               static_cast<long long>(cache.hits));
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const int clients = (i == 0) ? 1 : (i == 1 ? 2 : kClientsMax);
+    std::fprintf(json,
+                 "    {\"clients\": %d, \"qps\": %.3f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f}%s\n",
+                 clients, scaling[i].qps, scaling[i].p50_s * 1e3,
+                 scaling[i].p99_s * 1e3,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"serial_fallbacks\": %lld,\n"
+               "  \"coalescer\": {\"qps\": %.3f, \"p99_ms\": %.3f, "
+               "\"batches\": %lld, \"coalesced_images\": %lld}\n}\n",
+               static_cast<long long>(fallbacks), co.qps, co.p99_s * 1e3,
+               static_cast<long long>(co_batches),
+               static_cast<long long>(co_images));
+  std::fclose(json);
+  std::printf("wrote BENCH_serving.json\n");
+
+  // Regression bars (CI runs this binary). Cache sharing and coalescing are
+  // machine-independent; the QPS floors need real cores, so they gate on
+  // hardware_concurrency — a 1-core container serializes every client and
+  // scaling is meaningless there.
+  if (cache.misses != cache.entries || cache.hits < cache.entries) {
+    std::fprintf(stderr,
+                 "FAIL: fleet compile not single-flight (entries %lld, "
+                 "misses %lld, hits %lld)\n",
+                 static_cast<long long>(cache.entries),
+                 static_cast<long long>(cache.misses),
+                 static_cast<long long>(cache.hits));
+    return 1;
+  }
+  if (co_batches <= 0 || co_images <= 0) {
+    std::fprintf(stderr,
+                 "FAIL: coalescer never batched (batches %lld, images %lld)\n",
+                 static_cast<long long>(co_batches),
+                 static_cast<long long>(co_images));
+    return 1;
+  }
+  if (std::thread::hardware_concurrency() >= 4 && num_threads() >= 4) {
+    const double scale4 = scaling.back().qps / scaling.front().qps;
+    if (scale4 < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: 4 clients sustain only %.2fx single-caller QPS "
+                   "(floor: 2.0x)\n",
+                   scale4);
+      return 1;
+    }
+    if (scaling.back().p99_s > 8.0 * scaling.front().p50_s) {
+      std::fprintf(stderr,
+                   "FAIL: 4-client p99 %.1fms exceeds 8x solo p50 %.1fms\n",
+                   scaling.back().p99_s * 1e3,
+                   scaling.front().p50_s * 1e3);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Strict environment-variable parsing shared by every integer knob.
+//
+// The runtime's env knobs (TDC_NUM_THREADS, TDC_INTER_OP, TDC_INTRA_OP, the
+// TDC_FAULT skip/count fields) used to go through bare strtol with a null
+// endptr, so TDC_NUM_THREADS=abc silently resolved to 0-and-fallback and
+// TDC_NUM_THREADS=8x silently resolved to 8 — a deployment typo configured
+// the process without a trace. This header is the one strict parser they all
+// route through: the full text must be one integer (optional sign, decimal,
+// no trailing garbage), the value must fit the caller's range, and a reject
+// warns once per variable on stderr before the caller falls back to its
+// documented default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tdc {
+
+/// Strict integer parse of `text`: optional leading/trailing ASCII
+/// whitespace, optional sign, decimal digits, nothing else. Returns nullopt
+/// on empty input, trailing garbage, or out-of-range values.
+std::optional<std::int64_t> parse_int_strict(std::string_view text);
+
+/// Reads integer environment variable `name`. Unset returns nullopt
+/// silently; set-but-malformed (parse failure or outside [min, max]) returns
+/// nullopt after a one-shot stderr warning naming the variable and the
+/// rejected text (one warning per variable per process, so a misconfigured
+/// fleet logs once, not once per query).
+std::optional<std::int64_t> env_int(
+    const char* name, std::int64_t min = INT64_MIN,
+    std::int64_t max = INT64_MAX);
+
+/// The one-shot warning used by env_int, exposed for knobs that parse
+/// structured values themselves (TDC_FAULT's skip/count fields): warns that
+/// `name` holds the malformed `text`, at most once per name per process.
+void env_warn_invalid(const char* name, std::string_view text);
+
+}  // namespace tdc

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/alloc_guard.h"
+#include "common/env.h"
 
 namespace tdc {
 
@@ -43,9 +44,10 @@ int armed_count_locked() {
   return n;
 }
 
-// Parses one "point[=param][:skip[:count]]" clause. Malformed numeric fields
-// default to zero rather than failing — a typo in TDC_FAULT arms nothing
-// harmful, it just fires a point with default behavior.
+// Parses one "point[=param][:skip[:count]]" clause. The skip/count fields go
+// through the strict integer parser (common/env.h): a malformed field warns
+// once naming TDC_FAULT and keeps the clause's default — a typo arms nothing
+// harmful, and it is no longer silent.
 void parse_clause_locked(const std::string& clause) {
   if (clause.empty()) {
     return;
@@ -56,10 +58,21 @@ void parse_clause_locked(const std::string& clause) {
   if (const std::size_t colon = head.find(':'); colon != std::string::npos) {
     const std::string tail = head.substr(colon + 1);
     head = head.substr(0, colon);
-    spec.skip = std::strtoll(tail.c_str(), nullptr, 10);
+    std::string skip_text = tail;
     if (const std::size_t colon2 = tail.find(':');
         colon2 != std::string::npos) {
-      spec.count = std::strtoll(tail.c_str() + colon2 + 1, nullptr, 10);
+      skip_text = tail.substr(0, colon2);
+      const std::string count_text = tail.substr(colon2 + 1);
+      if (const auto count = parse_int_strict(count_text)) {
+        spec.count = *count;
+      } else {
+        env_warn_invalid("TDC_FAULT", count_text);
+      }
+    }
+    if (const auto skip = parse_int_strict(skip_text)) {
+      spec.skip = *skip;
+    } else {
+      env_warn_invalid("TDC_FAULT", skip_text);
     }
   }
   if (const std::size_t eq = head.find('='); eq != std::string::npos) {

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
-#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -12,6 +11,7 @@
 #include "common/alloc_guard.h"
 #include "common/annotations.h"
 #include "common/deadline.h"
+#include "common/env.h"
 
 namespace tdc {
 
@@ -25,12 +25,10 @@ int hardware_threads() {
 }
 
 int env_num_threads() {
-  const char* env = std::getenv("TDC_NUM_THREADS");
-  if (env == nullptr) {
-    return 0;
-  }
-  const long v = std::strtol(env, nullptr, 10);
-  return v >= 1 ? static_cast<int>(v) : 0;
+  // Strictly parsed: TDC_NUM_THREADS=abc or =8x warns once and falls back to
+  // hardware concurrency instead of being silently misread.
+  const auto v = env_int("TDC_NUM_THREADS", 1, 4096);
+  return v.has_value() ? static_cast<int>(*v) : 0;
 }
 
 int initial_num_threads() {
@@ -38,18 +36,42 @@ int initial_num_threads() {
   return env >= 1 ? env : hardware_threads();
 }
 
-// Persistent fork/join pool. The calling thread participates in every
-// parallel region, so the pool owns num_threads()-1 workers. Chunk indices
-// are handed out through an atomic counter; a generation number wakes the
-// workers. run() does not return until every chunk has executed AND no
-// worker is still inside the region, so the function object can never
-// dangle across regions.
+std::atomic<std::int64_t> g_pool_regions{0};
+std::atomic<std::int64_t> g_inline_regions{0};
+std::atomic<std::int64_t> g_serial_fallbacks{0};
+std::atomic<std::int64_t> g_arena_regions{0};
+std::atomic<std::int64_t> g_peak_regions{0};
+std::atomic<bool> g_fallback_noted{false};
+
+// Region-start accounting, called by the pool outside its mutex.
+void note_region_started(bool shared, int concurrent) {
+  g_pool_regions.fetch_add(1, std::memory_order_relaxed);
+  if (shared) {
+    g_arena_regions.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::int64_t peak = g_peak_regions.load(std::memory_order_relaxed);
+  while (concurrent > peak &&
+         !g_peak_regions.compare_exchange_weak(peak, concurrent,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+// Task-arena pool (the ATen Parallel.h / TBB arena idiom, PR 9): one
+// persistent set of workers serves up to kMaxArenas concurrent top-level
+// fork/join regions. Each region is an arena slot holding its function
+// object, an atomic chunk cursor, and completion accounting; the calling
+// thread always drains its own region, and idle workers pick any active
+// region whose assisting-worker count is below the region's intra-op share.
+// Workers re-select a region per drain, so they redistribute across arenas
+// as regions open and close. run() does not return until every chunk of its
+// region has executed AND no worker is still inside it, so the function
+// object can never dangle.
 class ThreadPool {
  public:
   explicit ThreadPool(int workers) {
     workers_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   }
 
@@ -64,49 +86,99 @@ class ThreadPool {
     }
   }
 
-  TDC_RUN_PATH void run(std::int64_t num_chunks,
+  /// Runs the region on an arena slot; the caller participates and up to
+  /// `max_assists` pool workers help. Returns false — having run nothing —
+  /// when region admission fails (every slot taken, or more than
+  /// `max_regions` regions active): the caller runs inline instead.
+  TDC_RUN_PATH bool run(std::int64_t num_chunks, int max_regions,
+                        int max_assists,
                         FunctionRef<void(std::int64_t)> fn) {
-    // The pool's fork/join handoff is the library's one sanctioned blocking
-    // point on the run path: region state is published under mutex_ and the
-    // join waits on all_done_. TSan-verified (PR 7).
+    // The arena admission handoff is the library's sanctioned blocking
+    // point on the run path: slot state is published under mutex_ and the
+    // join waits on region_done_. TSan-verified.
     TDC_ANALYZE_ALLOW(run-path-lock);
+    Region* r = nullptr;
+    bool shared = false;
+    int concurrent = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      fn_ = &fn;
-      total_chunks_ = num_chunks;
-      next_chunk_.store(0, std::memory_order_relaxed);
-      done_chunks_ = 0;
-      first_error_ = nullptr;
-      ++generation_;
+      if (active_regions_ >= max_regions) {
+        return false;
+      }
+      for (Region& slot : regions_) {
+        if (!slot.active) {
+          r = &slot;
+          break;
+        }
+      }
+      if (r == nullptr) {
+        return false;
+      }
+      r->active = true;
+      r->fn = &fn;
+      r->total_chunks = num_chunks;
+      r->next_chunk.store(0, std::memory_order_relaxed);
+      r->done_chunks = 0;
+      r->assists = 0;
+      r->max_assists = max_assists;
+      r->first_error = nullptr;
+      ++active_regions_;
+      shared = active_regions_ > 1;
+      concurrent = active_regions_;
     }
-    work_ready_.notify_all();
+    note_region_started(shared, concurrent);
+    if (max_assists > 0) {
+      work_ready_.notify_all();
+    }
 
-    drain(fn);  // the caller is worker 0
+    drain(*r, fn);  // the caller is its region's first executor
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] {
-      return done_chunks_ >= total_chunks_ && active_workers_ == 0;
-    });
-    fn_ = nullptr;
-    if (first_error_) {
-      std::exception_ptr err = first_error_;
-      first_error_ = nullptr;
-      lock.unlock();
+    std::exception_ptr err;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      region_done_.wait(lock, [r] {
+        return r->done_chunks >= r->total_chunks && r->assists == 0;
+      });
+      err = r->first_error;
+      r->first_error = nullptr;
+      r->fn = nullptr;
+      r->active = false;
+      --active_regions_;
+    }
+    if (err) {
       std::rethrow_exception(err);
     }
+    return true;
   }
 
  private:
-  // Pulls chunk indices until the region is exhausted. Called with the
-  // region's function object; completion is recorded under the mutex.
-  TDC_RUN_PATH void drain(FunctionRef<void(std::int64_t)> fn) {
+  struct Region {
+    bool active = false;  ///< slot occupancy, under mutex_
+    const FunctionRef<void(std::int64_t)>* fn = nullptr;
+    std::int64_t total_chunks = 0;
+    std::atomic<std::int64_t> next_chunk{0};  ///< lock-free chunk cursor
+    std::int64_t done_chunks = 0;  ///< completed chunks, under mutex_
+    int assists = 0;       ///< pool workers inside the region, under mutex_
+    int max_assists = 0;   ///< the region's intra-op share (workers)
+    std::exception_ptr first_error;  ///< under mutex_
+  };
+
+  // True when a pool worker may usefully enter the region. Under mutex_.
+  static bool assistable(const Region& r) {
+    return r.active && r.assists < r.max_assists &&
+           r.next_chunk.load(std::memory_order_relaxed) < r.total_chunks;
+  }
+
+  // Pulls chunk indices from one region until its cursor is exhausted.
+  // Called outside mutex_; completion is recorded under it.
+  TDC_RUN_PATH void drain(Region& r, FunctionRef<void(std::int64_t)> fn) {
     // Completion accounting of the fork/join handoff (see run()).
     TDC_ANALYZE_ALLOW(run-path-lock);
     std::int64_t executed = 0;
     std::exception_ptr error;
     std::int64_t chunk;
-    while ((chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed)) <
-           total_chunks_) {
+    while ((chunk = r.next_chunk.fetch_add(1, std::memory_order_relaxed)) <
+           r.total_chunks) {
       t_in_parallel = true;
       try {
         fn(chunk);
@@ -120,43 +192,60 @@ class ThreadPool {
     }
     if (executed > 0 || error) {
       std::unique_lock<std::mutex> lock(mutex_);
-      done_chunks_ += executed;
-      if (error && !first_error_) {
-        first_error_ = error;
+      r.done_chunks += executed;
+      if (error && !r.first_error) {
+        r.first_error = error;
       }
-      if (done_chunks_ >= total_chunks_) {
-        all_done_.notify_all();
+      if (r.done_chunks >= r.total_chunks && r.assists == 0) {
+        region_done_.notify_all();
       }
     }
   }
 
-  TDC_RUN_PATH void worker_loop() {
+  TDC_RUN_PATH void worker_loop(int id) {
     // Workers sleep on work_ready_ between regions; the wait and the
-    // active-worker bookkeeping are the sanctioned pool blocking point.
+    // assisting-worker bookkeeping are the sanctioned pool blocking point.
     TDC_ANALYZE_ALLOW(run-path-lock);
-    std::uint64_t seen_generation = 0;
     for (;;) {
+      Region* r = nullptr;
       const FunctionRef<void(std::int64_t)>* fn = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex_);
-        work_ready_.wait(lock, [&] {
-          return stop_ || generation_ != seen_generation;
+        work_ready_.wait(lock, [this] {
+          if (stop_) {
+            return true;
+          }
+          for (const Region& slot : regions_) {
+            if (assistable(slot)) {
+              return true;
+            }
+          }
+          return false;
         });
         if (stop_) {
           return;
         }
-        seen_generation = generation_;
-        fn = fn_;
-        ++active_workers_;
+        // Scan from a per-worker offset so concurrent regions spread the
+        // workers instead of all piling onto slot 0.
+        for (int k = 0; k < kMaxArenas; ++k) {
+          Region& slot = regions_[(id + k) % kMaxArenas];
+          if (assistable(slot)) {
+            r = &slot;
+            break;
+          }
+        }
+        if (r == nullptr) {
+          continue;  // another worker took the last eligible region
+        }
+        ++r->assists;
+        fn = r->fn;
       }
-      if (fn != nullptr) {
-        drain(*fn);
-      }
+      drain(*r, *fn);
       {
         std::unique_lock<std::mutex> lock(mutex_);
-        --active_workers_;
-        if (active_workers_ == 0 && done_chunks_ >= total_chunks_) {
-          all_done_.notify_all();
+        --r->assists;
+        if (r->done_chunks >= r->total_chunks && r->assists == 0) {
+          region_done_.notify_all();
         }
       }
     }
@@ -164,30 +253,23 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable work_ready_;
-  std::condition_variable all_done_;
+  std::condition_variable region_done_;
   std::vector<std::thread> workers_;
-  const FunctionRef<void(std::int64_t)>* fn_ = nullptr;
-  std::int64_t total_chunks_ = 0;
-  std::atomic<std::int64_t> next_chunk_{0};
-  std::int64_t done_chunks_ = 0;
-  int active_workers_ = 0;
-  std::uint64_t generation_ = 0;
-  std::exception_ptr first_error_ = nullptr;
+  Region regions_[kMaxArenas];
+  int active_regions_ = 0;  ///< under mutex_
   bool stop_ = false;
 };
 
 std::mutex g_pool_mutex;
-// Held for the whole of one fork/join region: the pool supports a single
-// active region at a time, so a second top-level caller falls back to
-// inline execution instead of corrupting the active region's state.
-std::mutex g_region_mutex;
-std::unique_ptr<ThreadPool> g_pool;
+// The pool is shared-owned: run_chunked pins its pool for the whole region,
+// so a concurrent set_num_threads can swap the global pointer without ever
+// destroying a pool mid-region — the old pool dies when its last in-flight
+// region finishes.
+std::shared_ptr<ThreadPool> g_pool;
 std::atomic<int> g_num_threads{0};  // 0 = not yet resolved
-
-std::atomic<std::int64_t> g_pool_regions{0};
-std::atomic<std::int64_t> g_inline_regions{0};
-std::atomic<std::int64_t> g_serial_fallbacks{0};
-std::atomic<bool> g_fallback_noted{false};
+std::atomic<int> g_inter_op{0};     // 0 = not yet resolved
+std::atomic<int> g_intra_op{-1};    // -1 = not yet resolved; 0 = track
+                                    // num_threads()
 
 void note_serial_fallback() {
   // One-shot stderr diagnostic (first fallback only); steady-state runs
@@ -196,9 +278,10 @@ void note_serial_fallback() {
   g_serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
   if (!g_fallback_noted.exchange(true, std::memory_order_relaxed)) {
     std::fprintf(stderr,
-                 "tdc: concurrent top-level parallel callers — the pool "
-                 "serves one region at a time, extra callers run inline "
-                 "serial (counted in tdc::parallel_stats())\n");
+                 "tdc: more concurrent top-level parallel callers than "
+                 "arena slots (inter_op=%d) — extra callers run inline "
+                 "serial (counted in tdc::parallel_stats())\n",
+                 arena_config().inter_op);
   }
 }
 
@@ -209,6 +292,33 @@ int resolve_num_threads_locked() {
     g_num_threads.store(nt, std::memory_order_relaxed);
   }
   return nt;
+}
+
+int clamp_inter_op(int v) {
+  return v < 1 ? 1 : (v > kMaxArenas ? kMaxArenas : v);
+}
+
+// Resolved inter-op bound (>= 1). First call reads TDC_INTER_OP strictly.
+int resolve_inter_op() {
+  int v = g_inter_op.load(std::memory_order_relaxed);
+  if (v == 0) {
+    const auto env = env_int("TDC_INTER_OP", 1, kMaxArenas);
+    v = clamp_inter_op(env.has_value() ? static_cast<int>(*env) : kMaxArenas);
+    g_inter_op.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+// Resolved intra-op width (>= 1): 0 in the stored config means "track
+// num_threads()". First call reads TDC_INTRA_OP strictly.
+int resolve_intra_op() {
+  int v = g_intra_op.load(std::memory_order_relaxed);
+  if (v == -1) {
+    const auto env = env_int("TDC_INTRA_OP", 1, 4096);
+    v = env.has_value() ? static_cast<int>(*env) : 0;
+    g_intra_op.store(v, std::memory_order_relaxed);
+  }
+  return v == 0 ? num_threads() : v;
 }
 
 void run_inline(std::int64_t num_chunks, FunctionRef<void(std::int64_t)> fn) {
@@ -240,12 +350,41 @@ int num_threads() {
 
 void set_num_threads(int n) {
   const int clamped = n < 1 ? 1 : n;
-  // Take the region lock too so a resize never destroys a pool mid-region.
-  std::unique_lock<std::mutex> region(g_region_mutex);
-  std::unique_lock<std::mutex> lock(g_pool_mutex);
-  if (clamped != g_num_threads.load(std::memory_order_relaxed)) {
-    g_pool.reset();  // rebuilt lazily at the new size
-    g_num_threads.store(clamped, std::memory_order_relaxed);
+  std::shared_ptr<ThreadPool> retired;
+  {
+    std::unique_lock<std::mutex> lock(g_pool_mutex);
+    if (clamped != g_num_threads.load(std::memory_order_relaxed)) {
+      retired = std::move(g_pool);  // rebuilt lazily at the new size
+      g_pool = nullptr;
+      g_num_threads.store(clamped, std::memory_order_relaxed);
+    }
+  }
+  // `retired` (if any) is destroyed here, outside the mutex. Regions still
+  // in flight on it hold their own references; the pool joins its workers
+  // when the last reference drops.
+}
+
+ArenaConfig arena_config() {
+  ArenaConfig c;
+  c.inter_op = resolve_inter_op();
+  c.intra_op = resolve_intra_op();
+  return c;
+}
+
+void set_arena_config(const ArenaConfig& config) {
+  if (config.inter_op != 0) {
+    g_inter_op.store(clamp_inter_op(config.inter_op),
+                     std::memory_order_relaxed);
+  } else {
+    // Back to the default resolution (env, then kMaxArenas) at next use.
+    g_inter_op.store(0, std::memory_order_relaxed);
+  }
+  if (config.intra_op != 0) {
+    g_intra_op.store(config.intra_op < 1 ? 1 : config.intra_op,
+                     std::memory_order_relaxed);
+  } else {
+    // Back to the default resolution (env, then num_threads()) at next use.
+    g_intra_op.store(-1, std::memory_order_relaxed);
   }
 }
 
@@ -256,6 +395,8 @@ ParallelStats parallel_stats() {
   s.pool_regions = g_pool_regions.load(std::memory_order_relaxed);
   s.inline_regions = g_inline_regions.load(std::memory_order_relaxed);
   s.serial_fallbacks = g_serial_fallbacks.load(std::memory_order_relaxed);
+  s.arena_regions = g_arena_regions.load(std::memory_order_relaxed);
+  s.peak_concurrent_regions = g_peak_regions.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -263,16 +404,11 @@ namespace detail {
 
 TDC_RUN_PATH void run_chunked(std::int64_t num_chunks,
                               FunctionRef<void(std::int64_t)> fn) {
-  // Region admission: g_region_mutex is deliberately held for the whole
-  // fork/join region — across the pool handoff AND the chunk callbacks it
-  // runs — because the pool serves one region at a time; a losing caller
-  // runs inline, it never blocks on the winner, and chunk callbacks never
-  // re-enter the parallel runtime (the nested-region test pins this).
-  // g_pool_mutex guards lazy pool construction. Both are the sanctioned
-  // pool blocking points.
+  // Arena admission: g_pool_mutex guards lazy pool construction and the
+  // shared-ownership pin; it is released before the pool handoff. A caller
+  // the arenas cannot admit (every slot taken) runs inline on its own
+  // thread — correct, but serial, so it is counted.
   TDC_ANALYZE_ALLOW(run-path-lock);
-  TDC_ANALYZE_ALLOW(lock-across-pool);
-  TDC_ANALYZE_ALLOW(lock-across-callback);
   if (num_chunks <= 0) {
     return;
   }
@@ -281,15 +417,7 @@ TDC_RUN_PATH void run_chunked(std::int64_t num_chunks,
     run_inline(num_chunks, fn);
     return;
   }
-  // One fork/join region at a time; a concurrent top-level caller runs its
-  // range inline on its own thread — correct, but serial, so it is counted.
-  std::unique_lock<std::mutex> region(g_region_mutex, std::try_to_lock);
-  if (!region.owns_lock()) {
-    note_serial_fallback();
-    run_inline(num_chunks, fn);
-    return;
-  }
-  ThreadPool* pool = nullptr;
+  std::shared_ptr<ThreadPool> pool;
   {
     std::unique_lock<std::mutex> lock(g_pool_mutex);
     const int nt = resolve_num_threads_locked();
@@ -297,17 +425,17 @@ TDC_RUN_PATH void run_chunked(std::int64_t num_chunks,
       // One-time pool construction may be triggered by the first guarded
       // run; infrastructure warm-up is the sanctioned allocation.
       AllowAllocScope warmup;
-      g_pool = std::make_unique<ThreadPool>(nt - 1);
+      g_pool = std::make_shared<ThreadPool>(nt - 1);
     }
-    pool = g_pool.get();
+    pool = g_pool;  // pin: survives a concurrent set_num_threads
   }
   if (pool == nullptr) {
-    region.unlock();
     g_inline_regions.fetch_add(1, std::memory_order_relaxed);
     run_inline(num_chunks, fn);
     return;
   }
-  g_pool_regions.fetch_add(1, std::memory_order_relaxed);
+  const int max_regions = resolve_inter_op();
+  const int max_assists = resolve_intra_op() - 1;
   // The caller's armed deadline and armed alloc guard (if any) ride into the
   // pool workers, so cancellation polls and allocation denial inside worker
   // chunks (GEMM bands of a batched run) observe them. The wrapper is a
@@ -316,7 +444,10 @@ TDC_RUN_PATH void run_chunked(std::int64_t num_chunks,
   const Deadline* dl = detail::active_deadline();
   const bool guarded = t_alloc_guard.depth > 0 && t_alloc_guard.bypass == 0;
   if (dl == nullptr && !guarded) {
-    pool->run(num_chunks, fn);
+    if (!pool->run(num_chunks, max_regions, max_assists, fn)) {
+      note_serial_fallback();
+      run_inline(num_chunks, fn);
+    }
     return;
   }
   const char* guard_site = guarded ? t_alloc_guard.site : nullptr;
@@ -340,7 +471,10 @@ TDC_RUN_PATH void run_chunked(std::int64_t num_chunks,
       fn(chunk);
     }
   };
-  pool->run(num_chunks, propagated);
+  if (!pool->run(num_chunks, max_regions, max_assists, propagated)) {
+    note_serial_fallback();
+    run_inline(num_chunks, fn);  // deadline/guard are already armed here
+  }
 }
 
 }  // namespace detail

@@ -13,10 +13,15 @@
 //   3. std::thread::hardware_concurrency().
 //
 // Chunks are split statically; a call from inside a parallel region runs
-// serially (no nested fan-out), and when two application threads open
-// top-level regions concurrently, the second runs inline on its own thread —
-// both configurations are correct, just without extra fan-out. Exceptions
-// thrown by the body are captured and rethrown on the calling thread.
+// serially (no nested fan-out). Concurrent *top-level* callers are served by
+// task arenas (TBB-style, the ATen Parallel.h idiom): the persistent pool
+// admits up to arena_config().inter_op simultaneous fork/join regions, each
+// with a bounded share of the workers (intra_op - 1 assisting workers plus
+// the calling thread), and workers share themselves across the active
+// regions chunk by chunk. Only when every arena slot is taken does an extra
+// caller degrade to inline serial execution (counted in parallel_stats()).
+// Exceptions thrown by the body are captured and rethrown on the calling
+// thread.
 #pragma once
 
 #include <algorithm>
@@ -37,18 +42,49 @@ void set_num_threads(int n);
 /// True when called from inside a parallel_for body.
 bool in_parallel_region();
 
+/// Hard bound on simultaneously active fork/join regions (arena slots the
+/// pool carries; inter_op is clamped to it).
+inline constexpr int kMaxArenas = 8;
+
+/// Inter-op/intra-op split of the shared pool (the ATen/TBB task-arena
+/// model). `inter_op` bounds how many top-level fork/join regions may run
+/// concurrently; `intra_op` bounds the threads serving any one region (the
+/// calling thread plus up to intra_op - 1 assisting pool workers). The
+/// product may exceed num_threads(): workers are shared, the caps only bound
+/// each region's share. Resolution order per field: set_arena_config,
+/// TDC_INTER_OP / TDC_INTRA_OP (strictly parsed, common/env.h), defaults
+/// (inter_op = kMaxArenas; intra_op = 0 meaning "track num_threads()").
+struct ArenaConfig {
+  int inter_op = 0;  ///< 0 = default (kMaxArenas)
+  int intra_op = 0;  ///< 0 = default (num_threads())
+};
+
+/// The resolved configuration (fields never 0; intra_op reported as the
+/// current effective width).
+ArenaConfig arena_config();
+
+/// Override the arena split; 0-valued fields keep their default resolution.
+/// Takes effect at the next region admission — safe to call at any time.
+void set_arena_config(const ArenaConfig& config);
+
 /// Process-wide observability counters of the shared runtime. The serving
-/// tier reads these to see when it is oversubscribing the pool: the pool
-/// serves one top-level fork/join region at a time, and a concurrent caller
-/// silently degrades to inline serial execution — correct, but one core.
-/// That degradation used to be invisible; it is now counted (and noted once
-/// per process on stderr) so a multi-client deployment has a baseline.
+/// tier reads these to see when it is oversubscribing the pool: the arenas
+/// serve up to inter_op concurrent top-level fork/join regions, and a caller
+/// that arrives when every slot is taken degrades to inline serial
+/// execution — correct, but one core. That degradation is counted (and noted
+/// once per process on stderr) so a multi-client deployment has a baseline;
+/// a serving fleet sized within the arena bound should see
+/// serial_fallbacks stay flat.
 struct ParallelStats {
   std::int64_t pool_regions = 0;      ///< regions fanned out on the pool
   std::int64_t inline_regions = 0;    ///< regions inline by policy (one
                                       ///  chunk, or a single-thread runtime)
-  std::int64_t serial_fallbacks = 0;  ///< regions inline because another
-                                      ///  top-level caller held the pool
+  std::int64_t serial_fallbacks = 0;  ///< regions inline because every arena
+                                      ///  slot held another caller's region
+  std::int64_t arena_regions = 0;     ///< pool regions that ran concurrently
+                                      ///  with at least one other region
+  std::int64_t peak_concurrent_regions = 0;  ///< high-water mark of
+                                             ///  simultaneously active regions
 };
 
 /// Snapshot of the counters (monotonic since process start).

@@ -19,6 +19,15 @@ std::int64_t batch_slots(std::int64_t batch, std::int64_t max_slots) {
   return std::max<std::int64_t>(std::min(batch, max_slots), 1);
 }
 
+std::int64_t clamped_batch_slots(std::int64_t batch, std::int64_t per_slot,
+                                 std::int64_t ws_floats) {
+  std::int64_t slots = batch_slots(batch, std::max(num_threads(), 1));
+  if (per_slot > 0) {
+    slots = std::min(slots, ws_floats / per_slot);
+  }
+  return std::max<std::int64_t>(slots, 1);
+}
+
 void run_slotted(std::int64_t batch, std::int64_t slots,
                  std::span<float> workspace, std::int64_t ws_floats,
                  FunctionRef<void(std::int64_t, std::span<float>)> run_one) {

@@ -274,7 +274,6 @@ InferenceSession InferenceSession::compile_impl(
                                  : &host_cost_provider();
 
   InferenceSession s;
-  s.max_slots_ = std::max(num_threads(), 1);
   s.input_shape_ = conv_input_shape(model.layers.front().conv);
 
   for (std::size_t i = 0; i < model.layers.size(); ++i) {
@@ -443,7 +442,7 @@ std::int64_t InferenceSession::workspace_bytes() const {
 }
 
 std::int64_t InferenceSession::batch_slots(std::int64_t batch) const {
-  return detail::batch_slots(batch, max_slots_);
+  return detail::batch_slots(batch, std::max(num_threads(), 1));
 }
 
 std::int64_t InferenceSession::batched_workspace_bytes(
@@ -597,10 +596,13 @@ TDC_RUN_PATH void InferenceSession::run_batched(
                     y->dim(2) == output_shape_.h &&
                     y->dim(3) == output_shape_.w,
                 "batched session output must be [B, C', H', W']");
-  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
-                        static_cast<std::int64_t>(sizeof(float)) >=
-                    batched_workspace_bytes(batch),
-                "batched session workspace too small");
+  const std::int64_t ws_floats = static_cast<std::int64_t>(workspace.size());
+  const std::int64_t per_slot =
+      workspace_bytes() / static_cast<std::int64_t>(sizeof(float));
+  TDC_CHECK_MSG(ws_floats * static_cast<std::int64_t>(sizeof(float)) >=
+                    workspace_bytes(),
+                "batched session workspace too small: need at least "
+                "workspace_bytes() for one slot");
   if (check_finite_enabled() && !all_finite(x.raw(), x.numel())) {
     throw Error("batched session input contains non-finite values "
                 "(TDC_CHECK_FINITE)",
@@ -613,9 +615,8 @@ TDC_RUN_PATH void InferenceSession::run_batched(
   // workers, and each image's graph walk re-arms it with the session site.
   DenyAllocGuard alloc_guard("InferenceSession::run_batched");
   detail::run_slotted(
-      batch, batch_slots(batch), workspace,
-      workspace_bytes() / static_cast<std::int64_t>(sizeof(float)),
-      [&](std::int64_t b, std::span<float> slot_ws) {
+      batch, detail::clamped_batch_slots(batch, per_slot, ws_floats),
+      workspace, per_slot, [&](std::int64_t b, std::span<float> slot_ws) {
         run_graph(x.raw() + b * x_stride, y->raw() + b * y_stride, slot_ws);
       });
 }

@@ -121,7 +121,10 @@ class InferenceSession {
   /// Exact scratch bytes one run() touches: the activation arena plus the
   /// largest per-op plan workspace.
   std::int64_t workspace_bytes() const;
-  /// Scratch for run_batched over `batch` images.
+  /// Scratch for run_batched over `batch` images: one workspace_bytes()
+  /// slot per fan-out lane, sized from the runtime's thread count at call
+  /// time. A smaller buffer holding at least workspace_bytes() still runs,
+  /// just with a narrower fan-out.
   std::int64_t batched_workspace_bytes(std::int64_t batch) const;
 
   /// x (input_shape() floats) → y preallocated (output_shape() floats).
@@ -180,7 +183,6 @@ class InferenceSession {
   OpShape output_shape_;
   std::int64_t arena_floats_ = 0;
   std::int64_t plan_ws_floats_ = 0;
-  std::int64_t max_slots_ = 1;
   // Frozen at compile time from workspace_guard_enabled(): when set, arena
   // blocks carry canary bands and workspace_bytes() includes them, so the
   // layout and the reported size can never disagree for a live session.

@@ -26,12 +26,16 @@ std::string OpShape::to_string() const {
 OpPlan::OpPlan(std::vector<OpShape> input_shapes, OpShape output_shape)
     : input_shapes_(std::move(input_shapes)),
       output_shape_(output_shape),
-      max_slots_(std::max(num_threads(), 1)) {
+      compile_slots_(std::max(num_threads(), 1)) {
   TDC_CHECK_MSG(!input_shapes_.empty(), "an op plan needs at least one input");
 }
 
 std::int64_t OpPlan::batch_slots(std::int64_t batch) const {
-  return detail::batch_slots(batch, max_slots_);
+  return detail::batch_slots(batch, std::max(num_threads(), 1));
+}
+
+std::int64_t OpPlan::compile_batch_slots(std::int64_t batch) const {
+  return detail::batch_slots(batch, compile_slots_);
 }
 
 std::int64_t OpPlan::batched_workspace_bytes(std::int64_t batch) const {
@@ -113,17 +117,19 @@ TDC_RUN_PATH void OpPlan::run_batched(const Tensor& x, Tensor* y,
                     y->dim(3) == output_shape_.w,
                 "batched plan output must be a preallocated "
                 "[B, C', H', W'] tensor");
-  TDC_CHECK_MSG(static_cast<std::int64_t>(workspace.size()) *
-                        static_cast<std::int64_t>(sizeof(float)) >=
-                    batched_workspace_bytes(batch),
-                "batched plan workspace too small");
+  const std::int64_t ws_floats = static_cast<std::int64_t>(workspace.size());
+  const std::int64_t per_slot = workspace_bytes() / sizeof(float);
+  TDC_CHECK_MSG(ws_floats * static_cast<std::int64_t>(sizeof(float)) >=
+                    workspace_bytes(),
+                "batched plan workspace too small: need at least "
+                "workspace_bytes() for one slot");
 
   const std::int64_t x_stride = in.floats();
   const std::int64_t y_stride = output_shape_.floats();
   DenyAllocGuard guard("OpPlan::run_batched");
   detail::run_slotted(
-      batch, batch_slots(batch), workspace, workspace_bytes() / sizeof(float),
-      [&](std::int64_t b, std::span<float> slot_ws) {
+      batch, detail::clamped_batch_slots(batch, per_slot, ws_floats),
+      workspace, per_slot, [&](std::int64_t b, std::span<float> slot_ws) {
         run_unchecked(x.raw() + b * x_stride, y->raw() + b * y_stride,
                       slot_ws);
       });

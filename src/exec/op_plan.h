@@ -63,7 +63,9 @@ class OpPlan {
   virtual std::int64_t workspace_bytes() const = 0;
 
   /// Scratch bytes a run_batched() call over `batch` images touches: one
-  /// single-image workspace per concurrency slot.
+  /// single-image workspace per concurrency slot, sized from the runtime's
+  /// thread count at call time (a cached plan serves the caller's current
+  /// concurrency, not the thread count at first compile).
   std::int64_t batched_workspace_bytes(std::int64_t batch) const;
 
   /// Multi-input execution over flat buffers: inputs[i] holds
@@ -84,8 +86,10 @@ class OpPlan {
 
   /// Batched serving entry point (requires num_inputs() == 1):
   /// x [B, C, H, W] → y [B, C', H', W'], images fanned across the parallel
-  /// runtime with per-slot workspace slices; `workspace` needs
-  /// batched_workspace_bytes(B).
+  /// runtime with per-slot workspace slices. `workspace` needs
+  /// batched_workspace_bytes(B) for the full fan-out; any smaller buffer
+  /// holding at least workspace_bytes() narrows the fan-out to the slots
+  /// that fit (correct, just less concurrent).
   void run_batched(const Tensor& x, Tensor* y,
                    std::span<float> workspace) const;
 
@@ -111,14 +115,20 @@ class OpPlan {
   virtual void run_node(std::span<const float* const> inputs, float* y,
                         std::span<float> workspace) const = 0;
 
-  /// Concurrency slots a batched run fans out over (frozen at compile time
-  /// from the runtime's thread count, so later set_num_threads calls never
-  /// outgrow a sized workspace).
+  /// Concurrency slots a batched run fans out over, from the runtime's
+  /// thread count *at call time* (run_batched additionally clamps to the
+  /// caller's workspace capacity).
   std::int64_t batch_slots(std::int64_t batch) const;
+
+  /// Slot count frozen from the thread count at plan construction. Plans
+  /// whose *internal* scratch layout is slot-strided (plan_fft) size with
+  /// this so workspace_bytes() never shifts under a live session when
+  /// set_num_threads changes.
+  std::int64_t compile_batch_slots(std::int64_t batch) const;
 
   std::vector<OpShape> input_shapes_;
   OpShape output_shape_;
-  std::int64_t max_slots_;
+  std::int64_t compile_slots_;
 };
 
 }  // namespace tdc

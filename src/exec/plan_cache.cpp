@@ -114,25 +114,70 @@ PlanCache& PlanCache::instance() {
 std::shared_ptr<const ConvPlan> PlanCache::lookup_or_insert(
     const std::string& key,
     const std::function<std::unique_ptr<ConvPlan>()>& compile) {
+  // Single-flight compilation: the first caller of a key becomes its
+  // compiler; every concurrent same-key caller waits on the in-flight entry
+  // and shares the one artifact. Without this, N replicas cold-starting the
+  // same model ran N duplicate Tucker decompositions (last-insert-wins) —
+  // the thundering herd a serving fleet hits on deploy.
+  std::shared_ptr<InFlight> flight;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     const auto it = plans_.find(key);
     if (it != plans_.end()) {
       ++hits_;
       return it->second;
     }
+    const auto in = inflight_.find(key);
+    if (in != inflight_.end()) {
+      // Join the in-flight compile. Counted as a hit once it lands: this
+      // caller compiled nothing, it shared another caller's artifact.
+      flight = in->second;
+      lock.unlock();
+      std::unique_lock<std::mutex> wait_lock(flight->mu);
+      flight->cv.wait(wait_lock, [&] { return flight->done; });
+      if (flight->error) {
+        // The compiler faulted; surface its error here too. The in-flight
+        // entry is already gone, so a retry starts a fresh compile.
+        std::rethrow_exception(flight->error);
+      }
+      std::shared_ptr<const ConvPlan> plan = flight->plan;
+      wait_lock.unlock();
+      std::lock_guard<std::mutex> stats_lock(mu_);
+      ++hits_;
+      return plan;
+    }
     ++misses_;
+    flight = std::make_shared<InFlight>();
+    inflight_.emplace(key, flight);
   }
-  // Compile outside the lock so concurrent sessions compiling different
-  // layers don't serialize; on a race the first insert wins and both callers
-  // share it. A throw here (including allocation failure, surfaced as
-  // kResourceExhausted) inserts nothing — the cache only ever holds
-  // fully-compiled plans, so a faulted compile can simply be retried.
-  std::shared_ptr<const ConvPlan> plan = map_resource_failure(
-      "plan compilation", [&] { return compile(); });
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = plans_.emplace(key, std::move(plan));
-  return it->second;
+  // Compile outside the lock so concurrent sessions compiling *different*
+  // layers don't serialize. A throw here (including allocation failure,
+  // surfaced as kResourceExhausted) inserts nothing — the cache only ever
+  // holds fully-compiled plans, so a faulted compile can simply be retried.
+  std::shared_ptr<const ConvPlan> plan;
+  try {
+    plan = map_resource_failure("plan compilation", [&] { return compile(); });
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    std::lock_guard<std::mutex> flight_lock(flight->mu);
+    flight->error = std::current_exception();
+    flight->done = true;
+    flight->cv.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plans_.emplace(key, plan);
+    inflight_.erase(key);
+  }
+  std::lock_guard<std::mutex> flight_lock(flight->mu);
+  flight->plan = plan;
+  flight->done = true;
+  flight->cv.notify_all();
+  return plan;
 }
 
 std::shared_ptr<const ConvPlan> PlanCache::get_or_compile(

@@ -21,16 +21,18 @@
 //
 // Cached plans are shared as shared_ptr<const ConvPlan>: running a plan is
 // const and touches only caller-owned output/workspace, so one compiled
-// artifact can serve any number of sessions and threads concurrently. One
-// caveat for *direct* plan users: a plan freezes its batched fan-out slot
-// count from the runtime thread count at first compile, so a cache hit
-// taken under a higher set_num_threads() setting serves run_batched at the
-// original concurrency (correct, just narrower; sessions size their own
-// slots at session compile and are unaffected). The cache never evicts;
-// clear() exists for tests and cold-compile benchmarks.
+// artifact can serve any number of sessions and threads concurrently.
+// run_batched sizes its fan-out from the thread count at call time, so a
+// cache hit serves the caller's current concurrency regardless of the
+// setting at first compile. Same-key compiles are single-flight: concurrent
+// callers of one key wait for the first caller's artifact instead of
+// compiling duplicates (stats().misses counts exactly one compile). The
+// cache never evicts; clear() exists for tests and cold-compile benchmarks.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -81,8 +83,19 @@ class PlanCache {
       const std::string& key,
       const std::function<std::unique_ptr<ConvPlan>()>& compile);
 
+  /// A compile in progress; same-key callers wait on it instead of
+  /// duplicating the work (single-flight).
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const ConvPlan> plan;
+    std::exception_ptr error;
+  };
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const ConvPlan>> plans_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
 };

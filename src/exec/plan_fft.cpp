@@ -149,7 +149,10 @@ class FftPlanImpl final : public ConvPlan {
   }
 
  private:
-  std::int64_t n_slots() const { return batch_slots(shape_.n); }
+  // Internal scratch is slot-strided, so the count is frozen at compile
+  // time — workspace_bytes() must not shift under a live session when
+  // set_num_threads changes.
+  std::int64_t n_slots() const { return compile_batch_slots(shape_.n); }
 
   std::int64_t fh_;
   std::int64_t fw_;

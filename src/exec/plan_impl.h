@@ -22,10 +22,18 @@ std::unique_ptr<ConvPlan> make_fft_plan(const ConvShape& shape,
 // Shared batching machinery of ConvPlan::run_batched and
 // CompiledModel::run_batched, so the slot policy lives in one place.
 
-/// Concurrency slots a batched run fans out over: `max_slots` is frozen at
-/// compile time from the runtime's thread count, so later set_num_threads
-/// calls never outgrow a sized workspace.
+/// Concurrency slots for fanning `batch` items over at most `max_slots`
+/// workers (>= 1 always).
 std::int64_t batch_slots(std::int64_t batch, std::int64_t max_slots);
+
+/// Slots a batched entry point actually fans out over: the runtime's thread
+/// count *at call time*, clamped by the batch and by how many `per_slot`
+/// float workspaces fit in the caller's `ws_floats` buffer. A workspace
+/// sized under an older, smaller thread count narrows the fan-out instead
+/// of failing; one sized with the current batched_workspace_bytes() gets
+/// the full width.
+std::int64_t clamped_batch_slots(std::int64_t batch, std::int64_t per_slot,
+                                 std::int64_t ws_floats);
 
 /// Fans items [0, batch) across `slots` workspace slices of `ws_floats`
 /// floats each: contiguous item ranges per slot, run_one(item, slot_ws).

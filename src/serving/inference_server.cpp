@@ -1,0 +1,350 @@
+#include "serving/inference_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/annotations.h"
+#include "exec/op_plan.h"
+
+namespace tdc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::nanoseconds to_ns(double seconds) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(std::max(seconds, 0.0)));
+}
+
+}  // namespace
+
+/// One caller's synchronous request, living on its thread's stack for the
+/// whole exchange: queued by address, completed (done + error) under the
+/// fleet mutex by whichever thread led its batch.
+struct InferenceServer::Request {
+  const Tensor* x = nullptr;
+  Tensor* y = nullptr;
+  Deadline deadline;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+struct InferenceServer::Replica {
+  InferenceSession session;
+  std::vector<float> workspace;
+  /// Coalescer buffers, touched only by the leader that has this replica
+  /// claimed. batch_x/batch_y are re-shaped when the drained batch size
+  /// differs from the last dispatch (stable under sustained load).
+  Tensor batch_x;
+  Tensor batch_y;
+  std::vector<Request*> pending;
+};
+
+struct InferenceServer::Fleet {
+  ServerOptions options;
+  std::vector<Replica> replicas;
+
+  /// Guards everything below — and nothing else: no session run, pool call
+  /// or buffer copy ever happens with this held.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Request*> queue;
+  std::vector<int> free_replicas;
+  ServerStats stats;
+
+  /// The leader half of the leader-follower protocol: claims a free
+  /// replica, coalesces a batch from the queue and runs it. Called with
+  /// `lock` held (a free replica and a non-empty queue observed); returns
+  /// with it held. The session run happens unlocked: only queue/fleet
+  /// bookkeeping sits under the mutex.
+  void lead_batch(std::unique_lock<std::mutex>& lock);
+};
+
+InferenceServer InferenceServer::compile(
+    const DeviceSpec& device, const ModelSpec& model,
+    const std::vector<LayerWeights>& weights,
+    const std::vector<LayerDecision>& decisions,
+    const ServerOptions& options) {
+  TDC_CHECK_MSG(options.replicas >= 1, "a server needs at least one replica");
+  TDC_CHECK_MSG(options.max_pending >= 1, "max_pending must be >= 1");
+  TDC_CHECK_MSG(options.coalescer.max_batch >= 1,
+                "coalescer max_batch must be >= 1");
+  TDC_CHECK_MSG(options.coalescer.max_delay_s >= 0,
+                "coalescer max_delay_s must be >= 0");
+
+  InferenceServer server;
+  server.fleet_ = std::make_shared<Fleet>();
+  Fleet& f = *server.fleet_;
+  f.options = options;
+  f.replicas.resize(static_cast<std::size_t>(options.replicas));
+  const std::int64_t max_batch = options.coalescer.max_batch;
+  for (int r = 0; r < options.replicas; ++r) {
+    Replica& rep = f.replicas[static_cast<std::size_t>(r)];
+    // Every replica compiles through the shared PlanCache: single-flight
+    // lookup means the fleet pays each layer's packing/decomposition once
+    // and replica 2..N get the artifacts for the cost of a graph skeleton.
+    rep.session = InferenceSession::compile(device, model, weights, decisions,
+                                            options.session);
+    rep.workspace.resize(static_cast<std::size_t>(
+        std::max(rep.session.workspace_bytes(),
+                 rep.session.batched_workspace_bytes(max_batch)) /
+        static_cast<std::int64_t>(sizeof(float))));
+    rep.pending.reserve(static_cast<std::size_t>(max_batch));
+    if (max_batch > 1) {
+      const OpShape& in = rep.session.input_shape();
+      const OpShape& out = rep.session.output_shape();
+      rep.batch_x = Tensor({max_batch, in.c, in.h, in.w});
+      rep.batch_y = Tensor({max_batch, out.c, out.h, out.w});
+    }
+    f.free_replicas.push_back(r);
+  }
+  return server;
+}
+
+const OpShape& InferenceServer::input_shape() const {
+  TDC_CHECK_MSG(fleet_ != nullptr, "server not compiled");
+  return fleet_->replicas.front().session.input_shape();
+}
+
+const OpShape& InferenceServer::output_shape() const {
+  TDC_CHECK_MSG(fleet_ != nullptr, "server not compiled");
+  return fleet_->replicas.front().session.output_shape();
+}
+
+ServerStats InferenceServer::stats() const {
+  TDC_CHECK_MSG(fleet_ != nullptr, "server not compiled");
+  std::lock_guard<std::mutex> lock(fleet_->mu);
+  return fleet_->stats;
+}
+
+int InferenceServer::replicas() const {
+  TDC_CHECK_MSG(fleet_ != nullptr, "server not compiled");
+  return static_cast<int>(fleet_->replicas.size());
+}
+
+const ServerOptions& InferenceServer::options() const {
+  TDC_CHECK_MSG(fleet_ != nullptr, "server not compiled");
+  return fleet_->options;
+}
+
+void InferenceServer::infer(const Tensor& x, Tensor* y) {
+  infer(x, y, Deadline());
+}
+
+Tensor InferenceServer::infer(const Tensor& x) {
+  const OpShape& out = output_shape();
+  return map_resource_failure("server infer output", [&] {
+    Tensor y({out.c, out.h, out.w});
+    infer(x, &y, Deadline());
+    return y;
+  });
+}
+
+void InferenceServer::infer(const Tensor& x, Tensor* y,
+                            const Deadline& deadline) {
+  TDC_CHECK_MSG(fleet_ != nullptr, "server not compiled");
+  Fleet& f = *fleet_;
+  const InferenceSession& probe = f.replicas.front().session;
+  if (!operand_matches(x, probe.input_shape())) {
+    throw Error("server input does not match " +
+                    probe.input_shape().to_string(),
+                ErrorCode::kInvalidArgument);
+  }
+  if (y == nullptr || !operand_matches(*y, probe.output_shape())) {
+    throw Error("server output must be a preallocated " +
+                    probe.output_shape().to_string() + " tensor",
+                ErrorCode::kInvalidArgument);
+  }
+
+  Request req;
+  req.x = &x;
+  req.y = y;
+  req.deadline = deadline;
+  if (!req.deadline.armed() && f.options.default_deadline_s > 0) {
+    req.deadline = Deadline::after(f.options.default_deadline_s);
+  }
+
+  std::unique_lock<std::mutex> lock(f.mu);
+  if (static_cast<std::int64_t>(f.queue.size()) >= f.options.max_pending) {
+    ++f.stats.rejected_overload;
+    throw Error("inference server overloaded: " +
+                    std::to_string(f.queue.size()) +
+                    " requests pending (max_pending = " +
+                    std::to_string(f.options.max_pending) + ")",
+                ErrorCode::kResourceExhausted);
+  }
+  ++f.stats.accepted;
+  f.queue.push_back(&req);
+  f.stats.peak_pending =
+      std::max(f.stats.peak_pending,
+               static_cast<std::int64_t>(f.queue.size()));
+  // Wake a leader that is holding a replica open for followers.
+  f.cv.notify_all();
+
+  for (;;) {
+    if (req.done) {
+      if (req.error != nullptr) {
+        std::rethrow_exception(req.error);
+      }
+      return;
+    }
+    if (!f.free_replicas.empty() && !f.queue.empty()) {
+      // Become a leader: run one batch (not necessarily containing this
+      // thread's own request — FIFO order decides), then re-check.
+      f.lead_batch(lock);
+      continue;
+    }
+    if (req.deadline.armed()) {
+      const double remaining = req.deadline.remaining_s();
+      const bool queued =
+          std::find(f.queue.begin(), f.queue.end(), &req) != f.queue.end();
+      if (remaining <= 0 && queued) {
+        // Budget spent before any leader picked the request up; withdraw
+        // it. (Once drained into a batch the input is in use — the run
+        // itself carries the deadline and completes the request.)
+        f.queue.erase(std::find(f.queue.begin(), f.queue.end(), &req));
+        ++f.stats.expired_in_queue;
+        ++f.stats.failed;
+        throw Error("request deadline expired while queued",
+                    ErrorCode::kDeadlineExceeded);
+      }
+      if (queued) {
+        f.cv.wait_for(lock, to_ns(remaining));
+        continue;
+      }
+    }
+    f.cv.wait(lock);
+  }
+}
+
+void InferenceServer::Fleet::lead_batch(
+    std::unique_lock<std::mutex>& lock) {
+  Fleet& f = *this;
+  const int r = f.free_replicas.back();
+  f.free_replicas.pop_back();
+  Replica& rep = f.replicas[static_cast<std::size_t>(r)];
+  const CoalescerOptions& co = f.options.coalescer;
+
+  // SLO window: with the replica claimed and the batch not full, give
+  // followers max_delay_s to arrive. Bounded and lock-released (condition
+  // wait), so the worst case adds exactly the configured latency.
+  if (co.max_batch > 1 && co.max_delay_s > 0 &&
+      static_cast<std::int64_t>(f.queue.size()) < co.max_batch) {
+    const Clock::time_point give_up = Clock::now() + to_ns(co.max_delay_s);
+    while (!f.queue.empty() &&
+           static_cast<std::int64_t>(f.queue.size()) < co.max_batch) {
+      if (f.cv.wait_until(lock, give_up) == std::cv_status::timeout) {
+        break;
+      }
+    }
+  }
+
+  // Drain FIFO up to max_batch, completing (not running) requests whose
+  // budget died in the queue.
+  rep.pending.clear();
+  while (!f.queue.empty() &&
+         static_cast<std::int64_t>(rep.pending.size()) < co.max_batch) {
+    Request* q = f.queue.front();
+    f.queue.pop_front();
+    if (q->deadline.armed() && q->deadline.expired()) {
+      ++f.stats.expired_in_queue;
+      ++f.stats.failed;
+      q->error = std::make_exception_ptr(
+          Error("request deadline expired while queued",
+                ErrorCode::kDeadlineExceeded));
+      q->done = true;
+      continue;
+    }
+    rep.pending.push_back(q);
+  }
+  const std::int64_t batch =
+      static_cast<std::int64_t>(rep.pending.size());
+  if (batch == 0) {
+    // Everything expired (or another leader drained the queue during the
+    // SLO wait); hand the replica back.
+    f.free_replicas.push_back(r);
+    f.cv.notify_all();
+    return;
+  }
+
+  // The batch runs under the earliest member budget: coalescing shares one
+  // fan-out, so it shares the tightest deadline too (documented SLO
+  // semantics — budgets within one queue should be comparable).
+  Deadline run_deadline;
+  double tightest = std::numeric_limits<double>::infinity();
+  for (const Request* q : rep.pending) {
+    if (q->deadline.armed() && q->deadline.remaining_s() < tightest) {
+      tightest = q->deadline.remaining_s();
+      run_deadline = q->deadline;
+    }
+  }
+
+  // Leader idiom: the fleet lock is dropped across the run (no lock is ever
+  // held across a session run or pool call) and reacquired on the caller's
+  // own unique_lock to publish results — the matched unlock()/lock() pair on
+  // an owning unique_lock is the RAII-safe form of that handoff.
+  TDC_ANALYZE_ALLOW(non-raii-lock);
+  lock.unlock();
+  std::exception_ptr failure;
+  try {
+    if (batch == 1) {
+      // Solo dispatch runs on the caller's own tensors — no copies.
+      Request& q = *rep.pending.front();
+      rep.session.run(*q.x, q.y, rep.workspace, run_deadline);
+    } else {
+      const OpShape& in = rep.session.input_shape();
+      const OpShape& out = rep.session.output_shape();
+      if (rep.batch_x.dim(0) != batch) {
+        rep.batch_x = Tensor({batch, in.c, in.h, in.w});
+        rep.batch_y = Tensor({batch, out.c, out.h, out.w});
+      }
+      const std::int64_t x_stride = in.floats();
+      const std::int64_t y_stride = out.floats();
+      for (std::int64_t i = 0; i < batch; ++i) {
+        std::memcpy(rep.batch_x.raw() + i * x_stride,
+                    rep.pending[static_cast<std::size_t>(i)]->x->raw(),
+                    static_cast<std::size_t>(x_stride) * sizeof(float));
+      }
+      rep.session.run_batched(rep.batch_x, &rep.batch_y, rep.workspace,
+                              run_deadline);
+      for (std::int64_t i = 0; i < batch; ++i) {
+        std::memcpy(rep.pending[static_cast<std::size_t>(i)]->y->raw(),
+                    rep.batch_y.raw() + i * y_stride,
+                    static_cast<std::size_t>(y_stride) * sizeof(float));
+      }
+    }
+  } catch (...) {
+    // Typed failure (deadline mid-run, starved allocation, poisoned
+    // input): every member gets the same exception; the session's failure
+    // contract keeps the replica reusable.
+    failure = std::current_exception();
+  }
+
+  lock.lock();
+  for (Request* q : rep.pending) {
+    q->error = failure;
+    q->done = true;
+  }
+  if (failure != nullptr) {
+    f.stats.failed += batch;
+  } else {
+    f.stats.completed += batch;
+  }
+  if (batch == 1) {
+    ++f.stats.solo_runs;
+  } else {
+    ++f.stats.batches;
+    f.stats.coalesced_images += batch;
+  }
+  rep.pending.clear();
+  f.free_replicas.push_back(r);
+  f.cv.notify_all();
+}
+
+}  // namespace tdc

@@ -1,0 +1,133 @@
+// Multi-client serving: a replica fleet plus a latency-SLO request coalescer.
+//
+// One InferenceSession is a single-caller artifact: its run() is reentrant
+// only across *distinct* workspaces, and a process serving many clients
+// wants admission control, per-request latency budgets and batching — not N
+// copies of that plumbing in every embedder. InferenceServer packages the
+// serving idiom the paper's end-to-end figures assume:
+//
+//   * a fleet of `replicas` InferenceSessions compiled from one model.
+//     Replicas share compiled artifacts through the process-wide PlanCache —
+//     with single-flight compilation, a fleet cold-start runs each layer's
+//     packing/decomposition exactly once, and the per-replica state is just
+//     the graph skeleton plus a private workspace;
+//   * synchronous dispatch to an idle replica, with a per-request Deadline
+//     that bounds both queue wait and execution (kDeadlineExceeded), and
+//     typed rejection when the pending queue is full (kResourceExhausted) —
+//     callers branch on Error::code(), never on message text;
+//   * a leader-follower request coalescer: single-image arrivals queue
+//     briefly (up to CoalescerOptions::max_delay_s, the latency SLO knob)
+//     and ride one run_batched() fan-out of up to max_batch images. The
+//     caller thread that claims a replica becomes the batch's leader and
+//     carries the work — there are no background threads, so an idle server
+//     costs nothing and teardown is trivially safe.
+//
+// Results are bit-identical to running each request alone on one session:
+// coalescing only changes *when* an image runs, never its arithmetic (the
+// batched fan-out runs the same single-image code per workspace slot).
+//
+//   InferenceServer server = InferenceServer::compile(
+//       device, model, weights, cd.layers, {.replicas = 4});
+//   Tensor y({1000, 1, 1});
+//   server.infer(x, &y, Deadline::after(0.050));   // throws typed Error
+//
+// Thread-safety: every public method may be called from any number of
+// threads concurrently. Internally no lock is ever held across a session
+// run or a pool call — the dispatch mutex guards only queue/fleet state.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/deadline.h"
+#include "exec/graph_plan.h"
+
+namespace tdc {
+
+/// Batching policy of the request coalescer. max_batch <= 1 disables
+/// coalescing (every request runs solo). max_delay_s is the admission-to-
+/// dispatch latency the SLO tolerates: a leader with a claimed replica and a
+/// non-full batch waits at most this long for followers before running.
+struct CoalescerOptions {
+  std::int64_t max_batch = 4;
+  double max_delay_s = 0.002;
+};
+
+struct ServerOptions {
+  /// Replica sessions (>= 1). Concurrent requests beyond this number queue.
+  int replicas = 2;
+  /// Bound on requests waiting for a replica; an arrival past it is rejected
+  /// with kResourceExhausted instead of growing the queue without bound.
+  std::int64_t max_pending = 64;
+  /// Budget armed for requests that arrive with an unarmed Deadline
+  /// (seconds; 0 leaves them unbounded).
+  double default_deadline_s = 0.0;
+  CoalescerOptions coalescer;
+  SessionOptions session;
+};
+
+/// Monotonic counters since construction; snapshot via stats().
+struct ServerStats {
+  std::int64_t accepted = 0;          ///< admitted past the pending bound
+  std::int64_t completed = 0;         ///< finished successfully
+  std::int64_t failed = 0;            ///< finished with an error (including
+                                      ///  deadline expiry mid-run)
+  std::int64_t rejected_overload = 0; ///< kResourceExhausted at admission
+  std::int64_t expired_in_queue = 0;  ///< deadline passed before dispatch
+  std::int64_t batches = 0;           ///< coalesced run_batched dispatches
+  std::int64_t coalesced_images = 0;  ///< images that rode those batches
+  std::int64_t solo_runs = 0;         ///< single-image dispatches
+  std::int64_t peak_pending = 0;      ///< queue-depth high-water mark
+};
+
+class InferenceServer {
+ public:
+  /// Compile `replicas` sessions of the model (see InferenceSession::compile
+  /// for the decision-list contract). Workspaces and coalescer batch buffers
+  /// are preallocated here; the serving path performs no allocation beyond
+  /// the dispatch bookkeeping.
+  static InferenceServer compile(const DeviceSpec& device,
+                                 const ModelSpec& model,
+                                 const std::vector<LayerWeights>& weights,
+                                 const std::vector<LayerDecision>& decisions = {},
+                                 const ServerOptions& options = {});
+
+  /// Serve one image: x holds input_shape().floats() floats, *y is a
+  /// preallocated output_shape() tensor. Blocks until the result is in *y
+  /// or throws: kResourceExhausted (queue full), kDeadlineExceeded (budget
+  /// spent queued or mid-run), kInvalidArgument (geometry). The failure
+  /// leaves the server fully reusable.
+  void infer(const Tensor& x, Tensor* y);
+
+  /// infer() under an explicit per-request budget (overrides the default).
+  void infer(const Tensor& x, Tensor* y, const Deadline& deadline);
+
+  /// Single-shot convenience: allocates the output tensor.
+  Tensor infer(const Tensor& x);
+
+  const OpShape& input_shape() const;
+  const OpShape& output_shape() const;
+  int replicas() const;
+  const ServerOptions& options() const;
+
+  ServerStats stats() const;
+
+ private:
+  struct Request;
+  struct Replica;
+  struct Fleet;
+
+  InferenceServer() = default;
+
+  // Shared (not unique) so a default-constructed-then-assigned server and
+  // the value-semantics compile() factory compose; the fleet itself is
+  // non-movable state (mutex, CV).
+  std::shared_ptr<Fleet> fleet_;
+};
+
+}  // namespace tdc

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
 #include <set>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/rng.h"
 
 namespace tdc {
@@ -95,6 +98,39 @@ TEST(Rng, PermutationIsAPermutation) {
 TEST(Rng, PermutationDeterministicPerSeed) {
   Rng a(23), b(23);
   EXPECT_EQ(a.permutation(64), b.permutation(64));
+}
+
+TEST(Env, ParseIntStrictAcceptsPlainIntegers) {
+  EXPECT_EQ(parse_int_strict("0"), 0);
+  EXPECT_EQ(parse_int_strict("42"), 42);
+  EXPECT_EQ(parse_int_strict("-7"), -7);
+  EXPECT_EQ(parse_int_strict("+8"), 8);
+  EXPECT_EQ(parse_int_strict("  16 "), 16);  // surrounding blanks are fine
+  EXPECT_EQ(parse_int_strict("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Env, ParseIntStrictRejectsGarbage) {
+  // The historical bug class: "8x" silently parsed as 8 under atoi/strtol.
+  EXPECT_FALSE(parse_int_strict("8x").has_value());
+  EXPECT_FALSE(parse_int_strict("x8").has_value());
+  EXPECT_FALSE(parse_int_strict("4 threads").has_value());
+  EXPECT_FALSE(parse_int_strict("3.5").has_value());
+  EXPECT_FALSE(parse_int_strict("").has_value());
+  EXPECT_FALSE(parse_int_strict("   ").has_value());
+  EXPECT_FALSE(parse_int_strict("+-3").has_value());
+  EXPECT_FALSE(parse_int_strict("0x10").has_value());
+  EXPECT_FALSE(parse_int_strict("9223372036854775808").has_value());  // 2^63
+}
+
+TEST(Env, EnvIntReadsRangeCheckedValues) {
+  ::setenv("TDC_TEST_ENV_INT", "12", 1);
+  EXPECT_EQ(env_int("TDC_TEST_ENV_INT"), 12);
+  EXPECT_EQ(env_int("TDC_TEST_ENV_INT", 1, 8), std::nullopt);  // out of range
+  ::setenv("TDC_TEST_ENV_INT", "12noise", 1);
+  EXPECT_EQ(env_int("TDC_TEST_ENV_INT"), std::nullopt);
+  ::unsetenv("TDC_TEST_ENV_INT");
+  EXPECT_EQ(env_int("TDC_TEST_ENV_INT"), std::nullopt);
 }
 
 }  // namespace

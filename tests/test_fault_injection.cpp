@@ -501,7 +501,12 @@ TEST_F(FaultTest, ImplicitEnvLoadDegradesToRetuningOnCorruption) {
 
 TEST_F(FaultTest, ConcurrentTopLevelCallerIsCountedAsSerialFallback) {
   const int prev_threads = num_threads();
+  const ArenaConfig prev_arenas = arena_config();
   set_num_threads(4);
+  // Concurrent top-level callers are normally admitted as separate arena
+  // regions now; pinning inter_op = 1 recreates the exhausted-arena case so
+  // the counted degradation path stays deterministic to exercise.
+  set_arena_config(ArenaConfig{.inter_op = 1, .intra_op = 0});
   // Prime the pool so its creation races nothing below.
   parallel_for(0, 8, 1, [](std::int64_t, std::int64_t) {});
   const ParallelStats before = parallel_stats();
@@ -519,8 +524,8 @@ TEST_F(FaultTest, ConcurrentTopLevelCallerIsCountedAsSerialFallback) {
   while (!started.load()) {
     std::this_thread::yield();
   }
-  // The occupant holds the pool: this top-level region must fall back to
-  // inline serial execution — correct, and now counted.
+  // The occupant holds the only arena slot: this top-level region must fall
+  // back to inline serial execution — correct, and counted.
   std::atomic<std::int64_t> sum{0};
   parallel_for(0, 4, 1, [&](std::int64_t b, std::int64_t e) {
     sum.fetch_add(e - b);
@@ -531,9 +536,10 @@ TEST_F(FaultTest, ConcurrentTopLevelCallerIsCountedAsSerialFallback) {
   hold.store(false);
   occupant.join();
 
-  // With the pool free again, regions fan out normally.
+  // With the slot free again, regions fan out normally.
   parallel_for(0, 8, 1, [](std::int64_t, std::int64_t) {});
   EXPECT_GT(parallel_stats().pool_regions, before.pool_regions);
+  set_arena_config(prev_arenas);
   set_num_threads(prev_threads);
 }
 

@@ -12,13 +12,20 @@
 namespace tdc {
 namespace {
 
-// Restores the ambient thread count after each test so suites don't leak
-// configuration into each other.
+// Restores the ambient thread count and arena split after each test so
+// suites don't leak configuration into each other.
 class ParallelTest : public ::testing::Test {
  protected:
-  void SetUp() override { saved_threads_ = num_threads(); }
-  void TearDown() override { set_num_threads(saved_threads_); }
+  void SetUp() override {
+    saved_threads_ = num_threads();
+    saved_arenas_ = arena_config();
+  }
+  void TearDown() override {
+    set_num_threads(saved_threads_);
+    set_arena_config(saved_arenas_);
+  }
   int saved_threads_ = 1;
+  ArenaConfig saved_arenas_;
 };
 
 TEST_F(ParallelTest, NumThreadsIsPositive) { EXPECT_GE(num_threads(), 1); }
@@ -122,9 +129,9 @@ TEST_F(ParallelTest, NestedCallsRunInline) {
 }
 
 TEST_F(ParallelTest, ConcurrentTopLevelCallersStayCorrect) {
-  // Two application threads opening top-level regions at once: one gets the
-  // pool, the other falls back to inline execution — both must cover their
-  // own range exactly.
+  // Two application threads opening top-level regions at once: the arena
+  // admission gives each its own region (workers shared chunk by chunk) —
+  // both must cover their own range exactly.
   set_num_threads(4);
   constexpr std::int64_t kN = 50'000;
   auto fill = [&](std::vector<std::int64_t>& out) {
@@ -145,6 +152,106 @@ TEST_F(ParallelTest, ConcurrentTopLevelCallersStayCorrect) {
       ASSERT_EQ(b[static_cast<std::size_t>(i)], i * 3 + 1) << "b @" << i;
     }
   }
+}
+
+TEST_F(ParallelTest, ArenaConfigResolvesDefaults) {
+  set_arena_config(ArenaConfig{});  // both fields default
+  const ArenaConfig cfg = arena_config();
+  EXPECT_EQ(cfg.inter_op, kMaxArenas);
+  EXPECT_EQ(cfg.intra_op, num_threads());  // 0 tracks the thread count
+
+  set_arena_config(ArenaConfig{.inter_op = 3, .intra_op = 2});
+  EXPECT_EQ(arena_config().inter_op, 3);
+  EXPECT_EQ(arena_config().intra_op, 2);
+
+  set_arena_config(ArenaConfig{.inter_op = 100, .intra_op = 0});
+  EXPECT_EQ(arena_config().inter_op, kMaxArenas);  // clamped to the slots
+  EXPECT_EQ(arena_config().intra_op, num_threads());
+}
+
+TEST_F(ParallelTest, ConcurrentCallersWithinInterOpNeverFallBack) {
+  // The regression this PR exists for: with arena slots free, N concurrent
+  // top-level callers must all be served by the pool — zero of them may
+  // degrade to inline serial execution.
+  set_num_threads(4);
+  set_arena_config(ArenaConfig{});  // inter_op = kMaxArenas
+  constexpr int kCallers = 4;      // <= kMaxArenas
+  constexpr std::int64_t kN = 200'000;
+
+  const std::int64_t fallbacks_before = parallel_stats().serial_fallbacks;
+  std::vector<std::vector<std::int64_t>> outs(
+      kCallers, std::vector<std::int64_t>(kN, -1));
+  {
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kCallers; ++t) {
+      callers.emplace_back([&outs, t] {
+        for (int round = 0; round < 5; ++round) {
+          parallel_for(0, kN, 1, [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+              outs[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+                  i * 3 + t;
+            }
+          });
+        }
+      });
+    }
+    for (std::thread& th : callers) {
+      th.join();
+    }
+  }
+  EXPECT_EQ(parallel_stats().serial_fallbacks - fallbacks_before, 0);
+  for (int t = 0; t < kCallers; ++t) {
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(outs[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)],
+                i * 3 + t)
+          << "caller " << t << " @" << i;
+    }
+  }
+}
+
+TEST_F(ParallelTest, InterOpOneForcesCountedFallback) {
+  // With the arena bound dropped to one region, a second concurrent caller
+  // must degrade to inline execution — correct results, counted fallback.
+  set_num_threads(4);
+  set_arena_config(ArenaConfig{.inter_op = 1, .intra_op = 0});
+  constexpr std::int64_t kN = 500'000;
+  const std::int64_t fallbacks_before = parallel_stats().serial_fallbacks;
+
+  std::int64_t fallbacks_after = fallbacks_before;
+  // Colliding two regions is timing-dependent; retry a few rounds (each
+  // round overlaps two large regions, so one collision is near-certain).
+  for (int round = 0; round < 50 && fallbacks_after == fallbacks_before;
+       ++round) {
+    std::vector<std::int64_t> a(kN, -1);
+    std::vector<std::int64_t> b(kN, -1);
+    auto fill = [&](std::vector<std::int64_t>& out) {
+      parallel_for(0, kN, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          out[static_cast<std::size_t>(i)] = i;
+        }
+      });
+    };
+    std::thread other([&] { fill(b); });
+    fill(a);
+    other.join();
+    for (std::int64_t i = 0; i < kN; i += 997) {
+      ASSERT_EQ(a[static_cast<std::size_t>(i)], i);
+      ASSERT_EQ(b[static_cast<std::size_t>(i)], i);
+    }
+    fallbacks_after = parallel_stats().serial_fallbacks;
+  }
+  EXPECT_GT(fallbacks_after, fallbacks_before);
+}
+
+TEST_F(ParallelTest, StatsCountRegions) {
+  set_num_threads(4);
+  const ParallelStats before = parallel_stats();
+  parallel_for(0, 10'000, 1, [](std::int64_t, std::int64_t) {});
+  const ParallelStats after = parallel_stats();
+  EXPECT_EQ(after.pool_regions, before.pool_regions + 1);
+  // A solo region is not a fallback, and the high-water mark is at least 1.
+  EXPECT_EQ(after.serial_fallbacks, before.serial_fallbacks);
+  EXPECT_GE(after.peak_concurrent_regions, 1);
 }
 
 // A deliberately foreign exception type: the pool must rethrow anything the

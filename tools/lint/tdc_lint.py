@@ -83,9 +83,11 @@ RAW_MALLOC_EXEMPT_FILES = {
 # Adding a name is a reviewed act: extend this table AND rules.md together.
 REGISTERED_SINGLETONS = {
     "src/common/parallel.cpp": {
-        "t_in_parallel", "g_pool_mutex", "g_region_mutex", "g_pool",
-        "g_num_threads", "g_pool_regions", "g_inline_regions",
-        "g_serial_fallbacks", "g_fallback_noted",
+        "t_in_parallel", "g_pool_mutex", "g_pool",
+        "g_num_threads", "g_inter_op", "g_intra_op",
+        "g_pool_regions", "g_inline_regions",
+        "g_serial_fallbacks", "g_arena_regions", "g_peak_regions",
+        "g_fallback_noted",
     },
     "src/common/deadline.cpp": {"t_deadline"},
     "src/common/fault.cpp": {"g_armed_faults"},
