@@ -60,8 +60,10 @@ void env_warn_invalid(const char* name, std::string_view text) {
   static std::set<std::string>* warned = nullptr;
   std::lock_guard<std::mutex> lock(mu);
   if (warned == nullptr) {
-    warned = new std::set<std::string>();  // intentionally leaked (exit-safe)
+    // Intentionally leaked (exit-safe); cold by the warn-once gate.
+    warned = new std::set<std::string>();  // tdc-lint: allow(run-path-alloc)
   }
+  // tdc-lint: allow(run-path-alloc) — once per misconfigured variable.
   if (!warned->insert(std::string(name)).second) {
     return;
   }

@@ -80,4 +80,12 @@ Tensor im2col(const Tensor& x, const ConvShape& shape);
 /// written); `x` is a flat [C, H, W] image.
 void im2col_into(const float* x, const ConvShape& shape, float* cols);
 
+/// Quantized-domain im2col for the int8 serving path: same patch-row
+/// flattening as im2col_into over a uint8 [C, H, W] image, except border
+/// taps are filled with `pad_value` — the activation zero point, i.e. the
+/// quantized encoding of fp32 0.0 — so the padding of a quantized plan
+/// dequantizes to exactly the zeros of the fp32 plan.
+void im2col_u8_into(const std::uint8_t* x, const ConvShape& shape,
+                    std::uint8_t* cols, std::uint8_t pad_value);
+
 }  // namespace tdc

@@ -37,6 +37,38 @@ void im2col_into(const float* x, const ConvShape& shape, float* cols) {
   });
 }
 
+void im2col_u8_into(const std::uint8_t* x, const ConvShape& shape,
+                    std::uint8_t* cols, std::uint8_t pad_value) {
+  const std::int64_t oh = shape.out_h();
+  const std::int64_t ow = shape.out_w();
+
+  // Mirrors the fp32 walk above; border taps carry the activation zero
+  // point instead of 0.0f so they dequantize to the fp32 path's zeros.
+  parallel_for(0, shape.c * shape.r * shape.s, 1,
+               [&](std::int64_t row0, std::int64_t row1) {
+    for (std::int64_t row = row0; row < row1; ++row) {
+      const std::int64_t c = row / (shape.r * shape.s);
+      const std::int64_t r = (row / shape.s) % shape.r;
+      const std::int64_t s = row % shape.s;
+      const std::uint8_t* plane = x + c * shape.h * shape.w;
+      std::uint8_t* out_row = cols + row * oh * ow;
+      for (std::int64_t o_h = 0; o_h < oh; ++o_h) {
+        const std::int64_t ih = o_h * shape.stride_h - shape.pad_h + r;
+        std::uint8_t* out = out_row + o_h * ow;
+        if (ih < 0 || ih >= shape.h) {
+          std::fill(out, out + ow, pad_value);
+          continue;
+        }
+        const std::uint8_t* in_row = plane + ih * shape.w;
+        for (std::int64_t o_w = 0; o_w < ow; ++o_w) {
+          const std::int64_t iw = o_w * shape.stride_w - shape.pad_w + s;
+          out[o_w] = (iw >= 0 && iw < shape.w) ? in_row[iw] : pad_value;
+        }
+      }
+    }
+  });
+}
+
 Tensor im2col(const Tensor& x, const ConvShape& shape) {
   TDC_CHECK_MSG(x.rank() == 3, "im2col expects [C,H,W]");
   Tensor cols({shape.c * shape.r * shape.s, shape.out_h() * shape.out_w()});

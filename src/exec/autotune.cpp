@@ -16,6 +16,7 @@
 #include "exec/conv_plan.h"
 #include "exec/host_cost.h"
 #include "exec/microbench.h"
+#include "exec/quantize.h"
 
 namespace tdc {
 
@@ -33,6 +34,9 @@ constexpr int kMaxTimedCandidates = 3;
 struct TunerState {
   std::mutex mu;
   std::map<std::string, ConvAlgo> winners;  // ordered → stable snapshots
+  // Measured fp32-vs-int8 duels (resolve_precision), keyed like `winners`
+  // but never persisted: precision winners re-measure per process.
+  std::map<std::string, Precision> precisions;
   AutotuneStats stats;
   bool env_checked = false;
   bool save_warned = false;
@@ -330,6 +334,29 @@ double time_candidate(ConvAlgo algo, const DeviceSpec& device,
   return best_s;
 }
 
+double time_quantized(const ConvShape& shape) {
+  // Synthetic unit-scale calibration: quantization parameters change only
+  // the epilogue multipliers, never the instruction stream, so unit scales
+  // time like calibrated ones.
+  LayerQuant quant;
+  quant.quantize = true;
+  const Tensor kernel({shape.c, shape.n, shape.r, shape.s});
+  const auto plan = compile_quantized_conv_plan(shape, kernel, quant);
+  const Tensor x({shape.c, shape.h, shape.w});
+  Tensor y({shape.n, shape.out_h(), shape.out_w()});
+  std::vector<float> ws(
+      static_cast<std::size_t>(plan->workspace_bytes() / sizeof(float)));
+  plan->run(x, &y, ws);  // warm-up
+  double best_s = 1e300;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = Clock::now();
+    plan->run(x, &y, ws);
+    best_s = std::min(
+        best_s, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return best_s;
+}
+
 }  // namespace
 
 std::string AutotuneCostProvider::cache_key() const {
@@ -418,6 +445,34 @@ ConvAlgo AutotuneCostProvider::resolve(const DeviceSpec& device,
   return it->second;
 }
 
+Precision AutotuneCostProvider::resolve_precision(
+    const DeviceSpec& device, const ConvShape& shape) const {
+  if (shape.batch != 1) {
+    // Candidate timing runs single-image plans; estimate instead.
+    return host_conv_cost_s8_s(shape) <
+                   host_conv_cost_s(resolve(device, shape), shape)
+               ? Precision::kInt8
+               : Precision::kFp32;
+  }
+  TunerState& s = state();
+  const std::string key = "prec|" + entry_key(shape, {}, num_threads());
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (const auto it = s.precisions.find(key); it != s.precisions.end()) {
+      return it->second;
+    }
+  }
+  const ConvAlgo fp32_algo = resolve(device, shape);
+  const double fp32_s = time_candidate(fp32_algo, device, shape);
+  const double s8_s = time_quantized(shape);
+  const Precision winner =
+      s8_s < fp32_s ? Precision::kInt8 : Precision::kFp32;
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.stats.timed_candidates += 2;
+  // First insert wins on a race, like the algorithm table.
+  return s.precisions.emplace(key, winner).first->second;
+}
+
 const CostProvider& autotune_cost_provider() {
   static const AutotuneCostProvider provider;
   return provider;
@@ -434,6 +489,7 @@ void autotune_clear() {
   TunerState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   s.winners.clear();
+  s.precisions.clear();
   s.stats = AutotuneStats{};
   s.env_checked = false;
   s.save_warned = false;

@@ -44,6 +44,14 @@ class AutotuneCostProvider final : public CostProvider {
   /// are also never timed.
   ConvAlgo resolve(const DeviceSpec& device,
                    const ConvShape& shape) const override;
+  /// Measured fp32-vs-int8 duel: times the resolved fp32 plan against a
+  /// quantized im2col plan at the same shape and memoizes the winner per
+  /// shape ⊕ thread count (in-memory only — precision winners are not
+  /// persisted to TDC_AUTOTUNE_CACHE; they re-measure per process).
+  /// autotune_clear() forgets them like everything else. Batched shapes
+  /// fall back to the host model's estimate.
+  Precision resolve_precision(const DeviceSpec& device,
+                              const ConvShape& shape) const override;
 };
 
 /// Process-wide instance (all state lives in the shared winner table).

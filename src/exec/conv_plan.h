@@ -85,6 +85,9 @@ class ConvPlan : public OpPlan {
   const char* algo_name() const { return conv_algo_name(algo_); }
   /// True for Tucker-pipeline plans (compile_tucker_plan).
   virtual bool decomposed() const { return false; }
+  /// True for int8 plans (exec/quantize.h): int8 arithmetic inside, fp32
+  /// activations at the plan boundary like every other ConvPlan.
+  virtual bool quantized() const { return false; }
 
  protected:
   ConvPlan(const ConvShape& shape, ConvAlgo algo);

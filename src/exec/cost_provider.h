@@ -30,6 +30,11 @@
 
 namespace tdc {
 
+/// Arithmetic precision of a compiled convolution plan. kInt8 selects the
+/// quantized engine (exec/quantize.h): int8 weights/activations inside the
+/// plan, fp32 at the plan boundary.
+enum class Precision { kFp32, kInt8 };
+
 class CostProvider {
  public:
   virtual ~CostProvider() = default;
@@ -49,6 +54,17 @@ class CostProvider {
   /// transform-domain algorithm for a pointwise (1×1) filter.
   virtual ConvAlgo resolve(const DeviceSpec& device,
                            const ConvShape& shape) const = 0;
+
+  /// Price fp32 against int8 for a calibrated layer: returns kInt8 when the
+  /// quantized im2col plan is expected to beat the provider's resolved fp32
+  /// algorithm on `shape`. Only consulted for layers that carry calibration
+  /// (SessionOptions::quant) under TDC_INT8=1; TDC_INT8=2 overrides the
+  /// answer. The base policy is conservative: fp32 always (the simulated-GPU
+  /// provider keeps paper-repro selections untouched).
+  virtual Precision resolve_precision(const DeviceSpec& /*device*/,
+                                      const ConvShape& /*shape*/) const {
+    return Precision::kFp32;
+  }
 };
 
 /// The dense deployment candidates every provider prices for `shape`:

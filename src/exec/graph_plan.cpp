@@ -18,6 +18,7 @@
 #include "exec/op_plans.h"
 #include "exec/plan_cache.h"
 #include "exec/plan_impl.h"
+#include "exec/quantize.h"
 #include "exec/workspace_guard.h"
 #include "tucker/tucker.h"
 
@@ -304,14 +305,42 @@ InferenceSession InferenceSession::compile_impl(
                           "' needs a CNRS kernel matching " +
                           layer.conv.to_string());
         const LayerDecision* dec = dec_for[i];
-        if (dec != nullptr && dec->decomposed) {
+        const bool decomposed = dec != nullptr && dec->decomposed;
+        // Precision selection: a calibrated layer compiles int8 when
+        // TDC_INT8 forces it, or when the cost provider prices the
+        // quantized engine cheaper — but never over a pinned
+        // transform-domain algorithm (the quantized engine is im2col-only).
+        const LayerQuant* lq = nullptr;
+        if (options.quant != nullptr &&
+            i < options.quant->layers.size() &&
+            options.quant->layers[i].quantize) {
+          lq = &options.quant->layers[i];
+        }
+        const ConvAlgo requested =
+            decomposed ? options.tucker_core_algo : options.dense_algo;
+        bool use_int8 = false;
+        if (lq != nullptr &&
+            (requested == ConvAlgo::kAuto || requested == ConvAlgo::kIm2col)) {
+          const int mode = int8_mode();
+          use_int8 = mode == 2 ||
+                     (mode == 1 && cost->resolve_precision(
+                                       device, layer.conv) == Precision::kInt8);
+        }
+        if (decomposed) {
           TuckerDescriptor desc;
           desc.shape = layer.conv;
           desc.exec = options.tucker_exec;
           desc.core_algo = options.tucker_core_algo;
           desc.device = device;
           desc.cost = cost;
-          if (options.use_plan_cache) {
+          if (use_int8) {
+            node.plan = options.use_plan_cache
+                            ? PlanCache::instance().get_or_compile_tucker_s8(
+                                  desc, kernel, dec->ranks, *lq)
+                            : compile_quantized_tucker_plan(
+                                  layer.conv,
+                                  tucker_decompose(kernel, dec->ranks), *lq);
+          } else if (options.use_plan_cache) {
             node.plan = PlanCache::instance().get_or_compile_tucker(
                 desc, kernel, dec->ranks);
           } else {
@@ -324,7 +353,13 @@ InferenceSession InferenceSession::compile_impl(
           desc.algo = options.dense_algo;
           desc.device = device;
           desc.cost = cost;
-          if (options.use_plan_cache) {
+          if (use_int8) {
+            node.plan = options.use_plan_cache
+                            ? PlanCache::instance().get_or_compile_s8(
+                                  desc, kernel, *lq)
+                            : compile_quantized_conv_plan(layer.conv, kernel,
+                                                          *lq);
+          } else if (options.use_plan_cache) {
             node.plan = PlanCache::instance().get_or_compile(desc, kernel);
           } else {
             node.plan = compile_conv_plan(desc, kernel);

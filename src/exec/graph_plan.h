@@ -41,6 +41,8 @@
 
 namespace tdc {
 
+struct QuantTable;  // exec/quantize.h
+
 /// Per-layer parameters, aligned with ModelSpec::layers. Only the fields the
 /// layer kind needs are read; the rest stay empty.
 struct LayerWeights {
@@ -74,6 +76,16 @@ struct SessionOptions {
   /// Compile convolution plans through the process-wide PlanCache. Off, every
   /// plan is compiled privately (no sharing, no cache pollution).
   bool use_plan_cache = true;
+  /// Calibrated activation-quantization table (calibrate_quant in
+  /// exec/quantize.h), aligned with model.layers; the caller keeps it alive
+  /// through compile(). Null — the default — serves every layer in fp32.
+  /// With a table present, each calibrated convolution compiles int8 when
+  /// TDC_INT8 says so (2 = always; 1 = when the cost provider's
+  /// resolve_precision prices int8 cheaper; 0 = never), provided the
+  /// layer's algorithm options admit the quantized engine (dense_algo — or
+  /// tucker_core_algo for decomposed layers — is kAuto or kIm2col; a pinned
+  /// transform-domain algorithm is respected over quantization).
+  const QuantTable* quant = nullptr;
 };
 
 class InferenceSession {

@@ -118,10 +118,33 @@ double host_conv_cost_s(ConvAlgo algo, const ConvShape& shape) {
   return per_image * static_cast<double>(shape.batch);
 }
 
+double host_conv_cost_s8_s(const ConvShape& shape) {
+  TDC_CHECK_MSG(shape.valid(), "invalid shape " + shape.to_string());
+  const HostCalibration cal = host_calibration();
+  const double s8_rate = cal.s8_gops * 1e9;
+  const double byte_rate = cal.gbs * 1e9;
+  const double ohw = static_cast<double>(shape.out_h()) * shape.out_w();
+  const double crs = static_cast<double>(shape.c) * shape.r * shape.s;
+  const double chw = static_cast<double>(shape.c) * shape.h * shape.w;
+  const double gemm_ops = 2.0 * shape.n * crs * ohw;
+  const bool in_place = shape.r == 1 && shape.s == 1 && shape.stride_h == 1 &&
+                        shape.stride_w == 1 && shape.pad_h == 0 &&
+                        shape.pad_w == 0;
+  // Traffic: fp32 read + u8 write of the quantize stage, the u8 patch
+  // matrix both ways (skipped in place), the int32 accumulator write and
+  // its fp32 dequantized read-back.
+  const double patch = in_place ? 0.0 : crs * ohw;
+  const double bytes =
+      5.0 * chw + 2.0 * patch + 8.0 * static_cast<double>(shape.n) * ohw;
+  const double per_image = gemm_ops / s8_rate + bytes / byte_rate;
+  return per_image * static_cast<double>(shape.batch);
+}
+
 std::string HostCostProvider::cache_key() const {
   const HostCalibration cal = host_calibration();
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "host;g=%.6g;b=%.6g", cal.gflops, cal.gbs);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "host;g=%.6g;b=%.6g;q=%.6g", cal.gflops,
+                cal.gbs, cal.s8_gops);
   return buf;
 }
 
@@ -138,6 +161,13 @@ ConvAlgo HostCostProvider::resolve(const DeviceSpec& /*device*/,
     }
   }
   return best;
+}
+
+Precision HostCostProvider::resolve_precision(const DeviceSpec& device,
+                                              const ConvShape& shape) const {
+  const double fp32_s = host_conv_cost_s(resolve(device, shape), shape);
+  return host_conv_cost_s8_s(shape) < fp32_s ? Precision::kInt8
+                                             : Precision::kFp32;
 }
 
 const CostProvider& host_cost_provider() {

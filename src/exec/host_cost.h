@@ -29,18 +29,28 @@ namespace tdc {
 /// transform-domain algorithms on 1×1 filters).
 double host_conv_cost_s(ConvAlgo algo, const ConvShape& shape);
 
+/// Estimated seconds for one whole-batch run of the quantized im2col plan
+/// (exec/quantize.h) on `shape`: GEMM ops over the measured int8 rate plus
+/// the quantize/patch/dequantize traffic (u8 patches move 4× fewer bytes
+/// than fp32, which is where int8 wins on memory-bound layers).
+double host_conv_cost_s8_s(const ConvShape& shape);
+
 class HostCostProvider final : public CostProvider {
  public:
   const char* name() const override { return "host"; }
-  /// "host;g=<gflops>;b=<gbs>" — re-calibration (or a different env pin)
-  /// changes the key, so plans chosen under different machine constants
-  /// never alias in the PlanCache.
+  /// "host;g=<gflops>;b=<gbs>;q=<s8 gops>" — re-calibration (or a different
+  /// env pin) changes the key, so plans chosen under different machine
+  /// constants never alias in the PlanCache.
   std::string cache_key() const override;
   /// Argmin of host_conv_cost_s over dense_algo_candidates. The DeviceSpec
   /// is ignored: this provider prices the CPU the process runs on, not the
   /// descriptor's simulated target.
   ConvAlgo resolve(const DeviceSpec& device,
                    const ConvShape& shape) const override;
+  /// kInt8 when host_conv_cost_s8_s beats the resolved fp32 algorithm's
+  /// host_conv_cost_s (ties keep fp32 — exact arithmetic wins a dead heat).
+  Precision resolve_precision(const DeviceSpec& device,
+                              const ConvShape& shape) const override;
 };
 
 /// Process-wide instance (stateless beyond the shared calibration).

@@ -10,6 +10,7 @@
 
 #include "common/parallel.h"
 #include "linalg/gemm.h"
+#include "linalg/gemm_s8.h"
 
 namespace tdc {
 
@@ -87,6 +88,27 @@ double measure_stream_gbs() {
   return bytes / best_s / 1e9;
 }
 
+double measure_gemm_s8_gops() {
+  // The quantized serving kernel at the same L2-resident square as the fp32
+  // measurement, prepacked A excluded from the timed region exactly like
+  // serving (plans pack once at compile).
+  constexpr std::int64_t kDim = 192;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(kDim * kDim), 3);
+  std::vector<std::uint8_t> b(static_cast<std::size_t>(kDim * kDim), 5);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(kDim * kDim), 0);
+  const PackedGemmAS8 packed = pack_gemm_a_s8(kDim, kDim, a.data(), kDim, 1);
+  const double ops = 2.0 * kDim * kDim * kDim;
+  gemm_prepacked_s8u8(packed, kDim, b.data(), kDim, 0, c.data(), kDim);
+  double best_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    gemm_prepacked_s8u8(packed, kDim, b.data(), kDim, 0, c.data(), kDim);
+    best_s = std::min(
+        best_s, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return ops / best_s / 1e9;
+}
+
 HostCalibration host_calibration() {
   std::lock_guard<std::mutex> lock(calibration_mutex());
   std::optional<HostCalibration>& slot = calibration_slot();
@@ -94,11 +116,15 @@ HostCalibration host_calibration() {
     HostCalibration cal;
     cal.gflops = env_positive("TDC_HOST_GFLOPS", &cal.gflops_from_env);
     cal.gbs = env_positive("TDC_HOST_GBS", &cal.gbs_from_env);
+    cal.s8_gops = env_positive("TDC_HOST_S8_GOPS", &cal.s8_from_env);
     if (!cal.gflops_from_env) {
       cal.gflops = measure_gemm_gflops();
     }
     if (!cal.gbs_from_env) {
       cal.gbs = measure_stream_gbs();
+    }
+    if (!cal.s8_from_env) {
+      cal.s8_gops = measure_gemm_s8_gops();
     }
     slot = cal;
   }

@@ -13,8 +13,9 @@
 //
 //   TDC_HOST_GFLOPS=<achieved GEMM GFLOP/s>
 //   TDC_HOST_GBS=<achieved streaming GB/s>
+//   TDC_HOST_S8_GOPS=<achieved int8 GEMM GOP/s>
 //
-// When both are set no measurement runs at all.
+// When all are set no measurement runs at all.
 #pragma once
 
 namespace tdc {
@@ -22,8 +23,10 @@ namespace tdc {
 struct HostCalibration {
   double gflops = 0.0;  ///< achieved packed-GEMM rate, GFLOP/s
   double gbs = 0.0;     ///< achieved streaming-copy bandwidth, GB/s
+  double s8_gops = 0.0;  ///< achieved int8 packed-GEMM rate, GOP/s (MAC·2)
   bool gflops_from_env = false;
   bool gbs_from_env = false;
+  bool s8_from_env = false;
 };
 
 /// The process-wide calibration: environment overrides where present,
@@ -43,5 +46,10 @@ double measure_gemm_gflops();
 /// Best-of-3 out-of-cache streaming copy through the parallel runtime →
 /// achieved GB/s (read + write traffic).
 double measure_stream_gbs();
+
+/// Best-of-3 prepacked int8 GEMM (linalg/gemm_s8.h) on L2-resident operands
+/// → achieved GOP/s, counting one multiply-accumulate as 2 ops like the
+/// fp32 measurement so the two rates are directly comparable.
+double measure_gemm_s8_gops();
 
 }  // namespace tdc

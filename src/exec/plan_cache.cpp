@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "exec/cost_provider.h"
+#include "exec/quantize.h"
 #include "tucker/tucker.h"
 
 namespace tdc {
@@ -232,6 +233,46 @@ std::shared_ptr<const ConvPlan> PlanCache::get_or_compile_tucker(
   return lookup_or_insert(key, [&] {
     const TuckerFactors factors = tucker_decompose(kernel_cnrs, ranks);
     return compile_tucker_plan(desc, factors);
+  });
+}
+
+std::shared_ptr<const ConvPlan> PlanCache::get_or_compile_s8(
+    const ConvDescriptor& desc, const Tensor& kernel,
+    const LayerQuant& quant) {
+  // Quantized plans are always the int8 im2col pipeline — no algorithm or
+  // tiling component — but the quant-parameter fingerprint joins the key so
+  // two calibrations of one model compile distinct artifacts.
+  std::string key = "conv8|";
+  append_shape(&key, desc.shape);
+  key += '|';
+  append_device(&key, desc.device);
+  key += '|';
+  append_u64(&key, quant_fingerprint(quant));
+  key += '|';
+  append_u64(&key, tensor_fingerprint(kernel));
+  return lookup_or_insert(key, [&] {
+    return compile_quantized_conv_plan(desc.shape, kernel, quant);
+  });
+}
+
+std::shared_ptr<const ConvPlan> PlanCache::get_or_compile_tucker_s8(
+    const TuckerDescriptor& desc, const Tensor& kernel_cnrs,
+    const TuckerRanks& ranks, const LayerQuant& quant) {
+  std::string key = "tucker8|";
+  append_shape(&key, desc.shape);
+  key += '|';
+  key += std::to_string(ranks.d1);
+  key += ',';
+  key += std::to_string(ranks.d2);
+  key += '|';
+  append_device(&key, desc.device);
+  key += '|';
+  append_u64(&key, quant_fingerprint(quant));
+  key += '|';
+  append_u64(&key, tensor_fingerprint(kernel_cnrs));
+  return lookup_or_insert(key, [&] {
+    const TuckerFactors factors = tucker_decompose(kernel_cnrs, ranks);
+    return compile_quantized_tucker_plan(desc.shape, factors, quant);
   });
 }
 

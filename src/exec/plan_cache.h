@@ -43,6 +43,8 @@
 
 namespace tdc {
 
+struct LayerQuant;  // exec/quantize.h
+
 /// 64-bit FNV-1a over a tensor's dims and payload bytes — the weight
 /// identity used in cache keys.
 std::uint64_t tensor_fingerprint(const Tensor& t);
@@ -64,6 +66,21 @@ class PlanCache {
   std::shared_ptr<const ConvPlan> get_or_compile_tucker(
       const TuckerDescriptor& desc, const Tensor& kernel_cnrs,
       const TuckerRanks& ranks);
+
+  /// Quantized dense-plan lookup (compile_quantized_conv_plan). The key
+  /// embeds the precision tag plus quant_fingerprint(quant) alongside the
+  /// usual shape ⊕ device ⊕ weight identity, so an int8 plan never aliases
+  /// its fp32 twin and two calibrations of one model never alias each other.
+  std::shared_ptr<const ConvPlan> get_or_compile_s8(const ConvDescriptor& desc,
+                                                    const Tensor& kernel,
+                                                    const LayerQuant& quant);
+
+  /// Quantized decomposed-layer lookup (compile_quantized_tucker_plan),
+  /// keyed on the original kernel, the decided ranks and the quant
+  /// fingerprint; a hit skips the Tucker decomposition too.
+  std::shared_ptr<const ConvPlan> get_or_compile_tucker_s8(
+      const TuckerDescriptor& desc, const Tensor& kernel_cnrs,
+      const TuckerRanks& ranks, const LayerQuant& quant);
 
   struct Stats {
     std::int64_t hits = 0;

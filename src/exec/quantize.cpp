@@ -1,0 +1,407 @@
+#include "exec/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "linalg/gemm.h"
+#include "tucker/flops.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+
+namespace {
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t bytes,
+                          std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+QuantParams choose_quant_params(float lo, float hi) {
+  // Widen to include 0 so fp32 zero (padding, ReLU floors) maps exactly to
+  // the zero point; degenerate ranges fall back to unit scale.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  QuantParams qp;
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+  if (!(range > 0.0) || !std::isfinite(range)) {
+    return qp;  // all-zero (or unseen) tensor: scale 1, zero point 0
+  }
+  qp.scale = static_cast<float>(range / 127.0);
+  const double zp = std::nearbyint(-static_cast<double>(lo) /
+                                   static_cast<double>(qp.scale));
+  qp.zero_point = static_cast<std::int32_t>(
+      std::clamp(zp, 0.0, 127.0));
+  return qp;
+}
+
+void quantize_u8(const float* x, std::int64_t count, const QuantParams& qp,
+                 std::uint8_t* out) {
+  const float inv = 1.0f / qp.scale;
+  const std::int32_t zp = qp.zero_point;
+  parallel_for(0, count, 4096, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const std::int32_t q =
+          static_cast<std::int32_t>(std::nearbyintf(x[i] * inv)) + zp;
+      out[i] = static_cast<std::uint8_t>(std::clamp(q, 0, 127));
+    }
+  });
+}
+
+void dequantize_u8(const std::uint8_t* q, std::int64_t count,
+                   const QuantParams& qp, float* out) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    out[i] = static_cast<float>(static_cast<std::int32_t>(q[i]) -
+                                qp.zero_point) *
+             qp.scale;
+  }
+}
+
+QuantizedRows quantize_rows_s8(std::int64_t m, std::int64_t k, const float* a,
+                               std::int64_t a_rs, std::int64_t a_cs) {
+  TDC_CHECK(m >= 1 && k >= 1);
+  QuantizedRows out;
+  out.values.resize(static_cast<std::size_t>(m * k));
+  out.scales.resize(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    float max_abs = 0.0f;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      max_abs = std::max(max_abs, std::fabs(a[i * a_rs + kk * a_cs]));
+    }
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    const float inv = 1.0f / scale;
+    out.scales[static_cast<std::size_t>(i)] = scale;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float q = std::nearbyintf(a[i * a_rs + kk * a_cs] * inv);
+      out.values[static_cast<std::size_t>(i * k + kk)] =
+          static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+    }
+  }
+  return out;
+}
+
+Tensor fold_batchnorm_into_kernel(const Tensor& kernel_cnrs,
+                                  const FoldedBatchNorm& bn) {
+  TDC_CHECK_MSG(kernel_cnrs.rank() == 4,
+                "fold_batchnorm_into_kernel expects a CNRS kernel");
+  const std::int64_t n = kernel_cnrs.dim(1);
+  TDC_CHECK_MSG(bn.scale.rank() == 1 && bn.scale.dim(0) == n,
+                "bn scale must be [N] matching the kernel's output channels");
+  Tensor folded = kernel_cnrs;
+  const std::int64_t c = kernel_cnrs.dim(0);
+  const std::int64_t rs = kernel_cnrs.dim(2) * kernel_cnrs.dim(3);
+  float* w = folded.raw();
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    for (std::int64_t nn = 0; nn < n; ++nn) {
+      const float g = bn.scale[nn];
+      float* plane = w + (cc * n + nn) * rs;
+      for (std::int64_t i = 0; i < rs; ++i) {
+        plane[i] *= g;
+      }
+    }
+  }
+  return folded;
+}
+
+void MinMaxObserver::observe(const float* x, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (!seen_) {
+      lo_ = hi_ = x[i];
+      seen_ = true;
+    } else {
+      lo_ = std::min(lo_, x[i]);
+      hi_ = std::max(hi_, x[i]);
+    }
+  }
+}
+
+PercentileObserver::PercentileObserver(double pct, std::int64_t cap)
+    : pct_(pct), cap_(cap) {
+  TDC_CHECK(pct > 0.5 && pct <= 1.0 && cap >= 16);
+  vals_.reserve(static_cast<std::size_t>(cap));
+}
+
+void PercentileObserver::observe(const float* x, std::int64_t count) {
+  // Deterministic stride subsample: ~4k values per observation, thinned by
+  // powers of two whenever the buffer would outgrow its cap. No RNG — two
+  // identical calibration runs observe identical samples.
+  const std::int64_t stride =
+      std::max<std::int64_t>(std::int64_t{1}, count / 4096) * stride_;
+  for (std::int64_t i = 0; i < count; i += stride) {
+    vals_.push_back(x[i]);
+  }
+  while (static_cast<std::int64_t>(vals_.size()) > cap_) {
+    std::vector<float> thin;
+    thin.reserve(vals_.size() / 2 + 1);
+    for (std::size_t i = 0; i < vals_.size(); i += 2) {
+      thin.push_back(vals_[i]);
+    }
+    vals_.swap(thin);
+    stride_ *= 2;
+  }
+}
+
+QuantParams PercentileObserver::params() const {
+  if (vals_.empty()) {
+    return QuantParams{};
+  }
+  std::vector<float> sorted = vals_;
+  std::sort(sorted.begin(), sorted.end());
+  const double last = static_cast<double>(sorted.size() - 1);
+  const auto at = [&](double q) {
+    const std::size_t idx = static_cast<std::size_t>(
+        std::clamp(std::nearbyint(q * last), 0.0, last));
+    return sorted[idx];
+  };
+  return choose_quant_params(at(1.0 - pct_), at(pct_));
+}
+
+std::uint64_t quant_fingerprint(const LayerQuant& q) {
+  std::uint64_t h = 14695981039346656037ULL;
+  const std::int32_t flag = q.quantize ? 1 : 0;
+  h = fnv1a_bytes(&flag, sizeof(flag), h);
+  for (const QuantParams* p : {&q.input, &q.z1, &q.z2}) {
+    h = fnv1a_bytes(&p->scale, sizeof(p->scale), h);
+    h = fnv1a_bytes(&p->zero_point, sizeof(p->zero_point), h);
+  }
+  return h;
+}
+
+int int8_mode() {
+  // Re-read per call (cheap getenv) so tests and long-lived processes can
+  // flip the knob; env_int rejects malformed text with a one-shot warning.
+  return static_cast<int>(env_int("TDC_INT8", 0, 2).value_or(1));
+}
+
+std::int64_t calibration_samples_default() {
+  return env_int("TDC_CALIBRATION_SAMPLES", 1, 4096).value_or(4);
+}
+
+namespace {
+
+/// The decision-list alignment rule of InferenceSession::compile, shared by
+/// calibration so both agree on which layers decompose: one entry per
+/// convolution, or one per decomposable (spatial-filter) convolution.
+std::vector<const LayerDecision*> align_decisions(
+    const ModelSpec& model, const std::vector<LayerDecision>& decisions) {
+  std::vector<const LayerDecision*> dec_for(model.layers.size(), nullptr);
+  if (decisions.empty()) {
+    return dec_for;
+  }
+  std::vector<std::size_t> conv_idx;
+  std::vector<std::size_t> decomposable_idx;
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    const LayerSpec& l = model.layers[i];
+    if (l.kind != LayerKind::kConv) {
+      continue;
+    }
+    conv_idx.push_back(i);
+    if (l.conv.r > 1 || l.conv.s > 1) {
+      decomposable_idx.push_back(i);
+    }
+  }
+  const std::vector<std::size_t>* target = nullptr;
+  if (decisions.size() == conv_idx.size()) {
+    target = &conv_idx;
+  } else if (decisions.size() == decomposable_idx.size()) {
+    target = &decomposable_idx;
+  }
+  TDC_CHECK_MSG(target != nullptr,
+                "calibration decision list must cover every convolution (" +
+                    std::to_string(conv_idx.size()) +
+                    ") or every decomposable convolution (" +
+                    std::to_string(decomposable_idx.size()) + "); got " +
+                    std::to_string(decisions.size()));
+  for (std::size_t k = 0; k < decisions.size(); ++k) {
+    dec_for[(*target)[k]] = &decisions[k];
+  }
+  return dec_for;
+}
+
+/// Method-dispatching range observer.
+struct RangeObserver {
+  explicit RangeObserver(const CalibrationOptions& options)
+      : method(options.method), pct(options.percentile) {}
+  void observe(const float* x, std::int64_t count) {
+    if (method == CalibMethod::kMinMax) {
+      mm.observe(x, count);
+    } else {
+      pct.observe(x, count);
+    }
+  }
+  QuantParams params() const {
+    return method == CalibMethod::kMinMax ? mm.params() : pct.params();
+  }
+  CalibMethod method;
+  MinMaxObserver mm;
+  PercentileObserver pct;
+};
+
+/// Per-decomposed-layer fp32 reference of the Tucker intermediates: the
+/// factors plus an im2col core plan, so calibration can observe Z1/Z2 on
+/// the same numbers the quantized pipeline will approximate.
+struct TuckerRef {
+  TuckerFactors factors;
+  ConvShape core_shape;
+  std::unique_ptr<ConvPlan> core_plan;
+};
+
+}  // namespace
+
+QuantTable calibrate_quant(const DeviceSpec& device, const ModelSpec& model,
+                           const std::vector<LayerWeights>& weights,
+                           const std::vector<LayerDecision>& decisions,
+                           const CalibrationOptions& options) {
+  TDC_CHECK_MSG(weights.size() == model.layers.size(),
+                "calibration needs one LayerWeights entry per layer");
+  const std::int64_t samples = options.samples > 0
+                                   ? options.samples
+                                   : calibration_samples_default();
+  TDC_CHECK_MSG(samples >= 1, "calibration needs at least one sample");
+
+  // The fp32 reference: a dense session with the deterministic im2col plan
+  // everywhere (calibration prices nothing — it only needs exact fp32
+  // activations at every conv input).
+  SessionOptions ref_options;
+  ref_options.dense_algo = ConvAlgo::kIm2col;
+  const InferenceSession ref =
+      InferenceSession::compile(device, model, weights, {}, ref_options);
+
+  const std::vector<const LayerDecision*> dec_for =
+      align_decisions(model, decisions);
+
+  // Tucker intermediates of decomposed layers come from the real factors at
+  // the decided ranks (one extra decomposition per layer; the PlanCache
+  // will reuse its own when the quantized session compiles).
+  std::vector<TuckerRef> tucker_refs(model.layers.size());
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    const LayerDecision* dec = dec_for[i];
+    if (dec == nullptr || !dec->decomposed) {
+      continue;
+    }
+    TuckerRef& tr = tucker_refs[i];
+    tr.factors = tucker_decompose(weights[i].conv_kernel, dec->ranks);
+    tr.core_shape = core_conv_shape(model.layers[i].conv, dec->ranks);
+    ConvDescriptor core_desc;
+    core_desc.shape = tr.core_shape;
+    core_desc.algo = ConvAlgo::kIm2col;
+    core_desc.device = device;
+    tr.core_plan = compile_conv_plan(core_desc, tr.factors.core);
+  }
+
+  // Private per-op activation buffers (calibration needs every conv input,
+  // which the session's internal arena does not expose).
+  const std::int64_t n_ops = ref.num_ops();
+  std::vector<std::vector<float>> outputs(static_cast<std::size_t>(n_ops));
+  std::int64_t ws_floats = 0;
+  for (std::int64_t i = 0; i < n_ops; ++i) {
+    outputs[static_cast<std::size_t>(i)].resize(
+        static_cast<std::size_t>(ref.op(i).output_shape().floats()));
+    ws_floats = std::max(ws_floats, (ref.op(i).workspace_bytes() + 3) / 4);
+  }
+  for (std::size_t i = 0; i < tucker_refs.size(); ++i) {
+    if (tucker_refs[i].core_plan != nullptr) {
+      const TuckerRef& tr = tucker_refs[i];
+      ws_floats =
+          std::max(ws_floats, (tr.core_plan->workspace_bytes() + 3) / 4);
+    }
+  }
+  std::vector<float> workspace(static_cast<std::size_t>(ws_floats));
+  std::vector<float> z_buf;  // grows to the largest Z1/Z2 of the model
+
+  std::vector<RangeObserver> input_obs(static_cast<std::size_t>(n_ops),
+                                       RangeObserver(options));
+  std::vector<RangeObserver> z1_obs(static_cast<std::size_t>(n_ops),
+                                    RangeObserver(options));
+  std::vector<RangeObserver> z2_obs(static_cast<std::size_t>(n_ops),
+                                    RangeObserver(options));
+
+  Rng rng(options.seed);
+  const OpShape& in = ref.input_shape();
+  const float* ptrs[2] = {nullptr, nullptr};
+  for (std::int64_t sample = 0; sample < samples; ++sample) {
+    const Tensor x =
+        Tensor::random_uniform({in.c, in.h, in.w}, rng, -1.0f, 1.0f);
+    for (std::int64_t i = 0; i < n_ops; ++i) {
+      const std::span<const std::int64_t> edges = ref.op_inputs(i);
+      // The graph walk gathers producer pointers like run_graph does, but
+      // into private buffers; fan-in beyond 2 (concat) gathers on the heap
+      // — calibration is offline, allocation is fine.
+      std::vector<const float*> wide;
+      std::span<const float* const> inputs;
+      if (edges.size() <= 2) {
+        for (std::size_t k = 0; k < edges.size(); ++k) {
+          ptrs[k] = edges[k] == InferenceSession::kModelInput
+                        ? x.raw()
+                        : outputs[static_cast<std::size_t>(edges[k])].data();
+        }
+        inputs = std::span<const float* const>(ptrs, edges.size());
+      } else {
+        for (const std::int64_t j : edges) {
+          wide.push_back(j == InferenceSession::kModelInput
+                             ? x.raw()
+                             : outputs[static_cast<std::size_t>(j)].data());
+        }
+        inputs = std::span<const float* const>(wide.data(), wide.size());
+      }
+      const bool is_conv =
+          model.layers[static_cast<std::size_t>(i)].kind == LayerKind::kConv;
+      if (is_conv) {
+        const ConvShape& cs = model.layers[static_cast<std::size_t>(i)].conv;
+        input_obs[static_cast<std::size_t>(i)].observe(inputs[0],
+                                                       cs.c * cs.h * cs.w);
+        const TuckerRef& tr = tucker_refs[static_cast<std::size_t>(i)];
+        if (tr.core_plan != nullptr) {
+          const TuckerRanks ranks = tr.factors.ranks();
+          const std::int64_t hw = cs.h * cs.w;
+          const std::int64_t ohw = cs.out_h() * cs.out_w();
+          z_buf.resize(static_cast<std::size_t>(
+              std::max(ranks.d1 * hw + ranks.d2 * ohw, std::int64_t{1})));
+          float* z1 = z_buf.data();
+          float* z2 = z1 + ranks.d1 * hw;
+          // Z1 = U1ᵀ · X (u1 is stored [C, D1]).
+          gemm_at(ranks.d1, hw, cs.c,
+                  std::span<const float>(tr.factors.u1.raw(),
+                                         static_cast<std::size_t>(cs.c *
+                                                                  ranks.d1)),
+                  std::span<const float>(inputs[0],
+                                         static_cast<std::size_t>(cs.c * hw)),
+                  std::span<float>(z1, static_cast<std::size_t>(ranks.d1 *
+                                                                hw)));
+          z1_obs[static_cast<std::size_t>(i)].observe(z1, ranks.d1 * hw);
+          tr.core_plan->run_unchecked(z1, z2, workspace);
+          z2_obs[static_cast<std::size_t>(i)].observe(z2, ranks.d2 * ohw);
+        }
+      }
+      ref.op(i).run_inputs(inputs,
+                           outputs[static_cast<std::size_t>(i)].data(),
+                           workspace);
+    }
+  }
+
+  QuantTable table;
+  table.layers.resize(model.layers.size());
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    if (model.layers[i].kind != LayerKind::kConv) {
+      continue;
+    }
+    LayerQuant& q = table.layers[i];
+    q.quantize = true;
+    q.input = input_obs[i].params();
+    q.z1 = z1_obs[i].params();
+    q.z2 = z2_obs[i].params();
+  }
+  return table;
+}
+
+}  // namespace tdc

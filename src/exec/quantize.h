@@ -1,0 +1,195 @@
+// Int8 quantization for the serving path: parameter choosers, calibration
+// observers, quantized plan compilation, and the env knobs that gate it.
+//
+// The quantized engine follows the fixed-point deployments of the
+// hardware-aware Tucker literature: weights are symmetric signed int8 with
+// per-output-channel scales, activations are asymmetric unsigned int8
+// restricted to the 7-bit domain [0, 127] (the restriction that makes the
+// AVX2 maddubs micro-kernel exact — linalg/gemm_s8.h). A calibration pass
+// over synthetic activations picks per-tensor activation parameters, and
+// the resulting QuantTable rides into InferenceSession via
+// SessionOptions::quant; per layer, the cost provider then prices fp32
+// against int8 and the PlanCache keys the two precisions apart.
+//
+// Accuracy contract: a quantized plan's output differs from its fp32 twin
+// by the usual quantization error — bounded per output element by
+// (s_x/2)·Σ_k|w| + (s_w/2)·Σ_k|x| + K·s_x·s_w/4 for a single GEMM stage
+// (tests/test_quantize.cpp checks exactly this bound); chained Tucker
+// stages compound it. Layers whose activations are badly captured by the
+// calibration range (heavy outliers under kMinMax) degrade gracefully —
+// values clamp, they do not wrap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/conv_plan.h"
+#include "exec/graph_plan.h"
+#include "exec/op_plans.h"
+#include "linalg/gemm_s8.h"
+
+namespace tdc {
+
+/// Affine quantization of one activation tensor into the 7-bit domain:
+/// q = clamp(rne(x / scale) + zero_point, 0, 127), x̂ = (q − zp) · scale.
+struct QuantParams {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;  ///< in [0, 127]
+};
+
+/// Parameters covering the observed range [lo, hi] (widened to include 0 so
+/// fp32 zero — padding, ReLU floors — quantizes exactly to the zero point).
+QuantParams choose_quant_params(float lo, float hi);
+
+/// Quantizes `count` floats into the 7-bit activation domain. Deterministic
+/// and allocation-free (run-path safe); round-to-nearest-even.
+void quantize_u8(const float* x, std::int64_t count, const QuantParams& qp,
+                 std::uint8_t* out);
+
+/// Inverse map (tests, diagnostics): x̂ = (q − zp) · scale.
+void dequantize_u8(const std::uint8_t* q, std::int64_t count,
+                   const QuantParams& qp, float* out);
+
+/// Per-row symmetric int8 weight quantization: row i of the [m, k] matrix
+/// A(i,kk) = a[i·a_rs + kk·a_cs] maps to q = rne(w / scales[i]) in
+/// [-127, 127] with scales[i] = max_k|A(i,·)| / 127 (1.0 for all-zero
+/// rows). `values` is the row-major [m, k] quantized matrix.
+struct QuantizedRows {
+  std::vector<std::int8_t> values;
+  std::vector<float> scales;
+};
+QuantizedRows quantize_rows_s8(std::int64_t m, std::int64_t k, const float* a,
+                               std::int64_t a_rs, std::int64_t a_cs);
+
+/// Folds an inference BatchNorm's per-channel scale into a CNRS kernel:
+/// W'(c, n, r, s) = W(c, n, r, s) · bn.scale(n). Weight quantization of a
+/// BN-carrying layer happens on the folded kernel, so the per-channel int8
+/// scales absorb the BN gain instead of leaving it to a lossy second
+/// multiply; the BN shift stays in the (fp32) elementwise op.
+Tensor fold_batchnorm_into_kernel(const Tensor& kernel_cnrs,
+                                  const FoldedBatchNorm& bn);
+
+// ---------------------------------------------------------------------------
+// Calibration: range observers over synthetic activations.
+
+/// Running min/max over every observed value.
+class MinMaxObserver {
+ public:
+  void observe(const float* x, std::int64_t count);
+  bool seen() const { return seen_; }
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
+  QuantParams params() const { return choose_quant_params(lo_, hi_); }
+
+ private:
+  bool seen_ = false;
+  float lo_ = 0.0f;
+  float hi_ = 0.0f;
+};
+
+/// Percentile range over a deterministic stride-subsample: keeps at most
+/// `cap` values (thinning by powers of two as observations accumulate) and
+/// reads the [1−pct, pct] quantiles, so a handful of outliers cannot blow
+/// up the scale the way kMinMax lets them.
+class PercentileObserver {
+ public:
+  explicit PercentileObserver(double pct = 0.999,
+                              std::int64_t cap = 1 << 16);
+  void observe(const float* x, std::int64_t count);
+  QuantParams params() const;
+
+ private:
+  double pct_;
+  std::int64_t cap_;
+  std::int64_t stride_ = 1;
+  std::vector<float> vals_;
+};
+
+// ---------------------------------------------------------------------------
+// The per-layer table that rides in SessionOptions.
+
+/// Activation quantization of one convolution layer. `input` covers the
+/// layer input; `z1`/`z2` cover the Tucker-pipeline intermediates (stage-1
+/// output and core output) and are only read when the layer compiles as a
+/// decomposed pipeline. Weight scales are not stored here — they derive
+/// deterministically from the kernel tensor at plan-compile time.
+struct LayerQuant {
+  bool quantize = false;
+  QuantParams input;
+  QuantParams z1;
+  QuantParams z2;
+};
+
+/// One entry per ModelSpec layer (non-conv layers keep quantize = false).
+struct QuantTable {
+  std::vector<LayerQuant> layers;
+};
+
+/// FNV-1a digest of one layer's quantization parameters — the component
+/// PlanCache keys embed so two calibrations of one model never alias.
+std::uint64_t quant_fingerprint(const LayerQuant& q);
+
+enum class CalibMethod {
+  kMinMax,
+  kPercentile,
+};
+
+struct CalibrationOptions {
+  CalibMethod method = CalibMethod::kMinMax;
+  /// Synthetic calibration inputs; 0 selects calibration_samples_default().
+  std::int64_t samples = 0;
+  /// Quantile captured by kPercentile (per side).
+  double percentile = 0.999;
+  /// Seed of the synthetic activation stream.
+  std::uint64_t seed = 4242;
+};
+
+/// Calibrates activation quantization for every convolution layer of
+/// `model`: compiles a dense fp32 reference session, drives `samples`
+/// synthetic inputs through it while observing each convolution's input
+/// range, and — for layers `decisions` marks decomposed — additionally
+/// decomposes the kernel at the decided ranks and observes the fp32 Z1/Z2
+/// intermediates. Deterministic for fixed options; offline (allocates
+/// freely). The returned table aligns with model.layers and marks every
+/// convolution quantize = true.
+QuantTable calibrate_quant(const DeviceSpec& device, const ModelSpec& model,
+                           const std::vector<LayerWeights>& weights,
+                           const std::vector<LayerDecision>& decisions = {},
+                           const CalibrationOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Env knobs (strict-parsed via common/env.h, warn-once on malformed text).
+
+/// TDC_INT8: 0 = int8 off everywhere, 1 = cost provider decides per layer
+/// (default), 2 = force int8 for every calibrated layer. Re-read on each
+/// call so tests and long-lived processes can flip it; malformed or
+/// out-of-range text warns once and falls back to 1.
+int int8_mode();
+
+/// TDC_CALIBRATION_SAMPLES: synthetic inputs per calibration when
+/// CalibrationOptions.samples is 0 (default 4; accepted range [1, 4096]).
+std::int64_t calibration_samples_default();
+
+// ---------------------------------------------------------------------------
+// Quantized plan compilation (exec/plan_s8.cpp).
+
+/// Compiles `shape` as a quantized im2col plan: weights per-channel int8
+/// (quantize_rows_s8 over the [N, C·R·S] weight matrix), activations
+/// quantized on entry with quant.input, int32 accumulation, fp32
+/// dequantized output. Pointwise (1×1, unit-stride, unpadded) layers skip
+/// the patch copy like the fp32 plan. The returned plan satisfies the full
+/// OpPlan contract (allocation-free, deadline-polled, bit-identical across
+/// thread counts) and reports quantized() = true.
+std::unique_ptr<ConvPlan> compile_quantized_conv_plan(
+    const ConvShape& shape, const Tensor& kernel_cnrs,
+    const LayerQuant& quant);
+
+/// Compiles the decomposed pipeline as a chain of three int8 GEMM stages
+/// (stage-1 pointwise, im2col core, stage-3 pointwise) with u8 requantized
+/// intermediates (quant.z1 / quant.z2) and an fp32 final stage.
+std::unique_ptr<ConvPlan> compile_quantized_tucker_plan(
+    const ConvShape& shape, const TuckerFactors& factors,
+    const LayerQuant& quant);
+
+}  // namespace tdc

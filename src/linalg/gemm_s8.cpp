@@ -1,0 +1,418 @@
+#include "linalg/gemm_s8.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/alloc_guard.h"
+#include "common/annotations.h"
+#include "common/check.h"
+#include "common/deadline.h"
+#include "common/parallel.h"
+
+namespace tdc {
+
+namespace {
+
+// Same BLIS-style geometry as the fp32 engine (linalg/gemm.cpp); the 8-bit
+// operands make every panel 4× smaller, so the fp32 blocking is comfortably
+// cache-resident here too. kKc stays a multiple of kKq so only the final K
+// block ever carries quad padding.
+constexpr std::int64_t kMr = 6;
+constexpr std::int64_t kNr = 16;
+constexpr std::int64_t kKq = 4;     // k-quad: k's reduced per maddubs+madd
+constexpr std::int64_t kMc = 120;   // multiple of kMr
+constexpr std::int64_t kKc = 256;   // multiple of kKq
+constexpr std::int64_t kNc = 1024;  // multiple of kNr
+
+std::int64_t quadup(std::int64_t k) {
+  return detail::divup(k, kKq) * kKq;
+}
+
+std::int64_t packed_a_rows_s8(std::int64_t m) {
+  return detail::divup(m, kMr) * kMr;
+}
+
+// C[MR×NR] ⊕= Ap·Bp over `quads` k-quads. Ap stores, per quad, kMr rows ×
+// 4 bytes; Bp stores, per quad, kNr columns × 4 bytes (consecutive k's per
+// 32-bit lane). Both are zero-padded, so the kernel is branch-free.
+//
+// `row_init` selects the epilogue: null accumulates into C (load + add, the
+// 2nd..last K blocks); non-null overwrites C with row_init[r] + Ap·Bp (the
+// first K block). Seeding the first block with −zp·row_sums folds the
+// zero-point correction in for free — no C zero-fill pass before the block
+// walk and no correction pass after it, which matters because those passes
+// are pure int32 memory traffic that low-K serving GEMMs can't amortize.
+#if defined(__AVX2__)
+void micro_kernel_s8(std::int64_t quads, const std::int8_t* ap,
+                     const std::uint8_t* bp, std::int32_t* c,
+                     std::int64_t ldc, const std::int32_t* row_init) {
+  __m256i acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    acc[r][0] = row_init != nullptr ? _mm256_set1_epi32(row_init[r])
+                                    : _mm256_setzero_si256();
+    acc[r][1] = acc[r][0];
+  }
+#if defined(__AVX512VNNI__) && defined(__AVX512VL__)
+  for (std::int64_t q = 0; q < quads; ++q) {
+    // Bytes [x(k,j), x(k+1,j), x(k+2,j), x(k+3,j)] per 32-bit lane j:
+    // b0 covers columns 0–7, b1 columns 8–15.
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 32));
+    bp += kNr * kKq;
+    for (int r = 0; r < kMr; ++r) {
+      std::int32_t wq;
+      std::memcpy(&wq, ap + r * kKq, sizeof(wq));
+      const __m256i a = _mm256_set1_epi32(wq);
+      // vpdpbusd: unsigned activations × signed weights, the four products
+      // of each lane summed exactly into the int32 accumulator — one
+      // instruction where the AVX2 tier below needs maddubs + madd + add.
+      // The 4-product sum is ≤ 4·127·127, so the accumulation is exact and
+      // bit-identical to both other tiers.
+      acc[r][0] = _mm256_dpbusd_epi32(acc[r][0], b0, a);
+      acc[r][1] = _mm256_dpbusd_epi32(acc[r][1], b1, a);
+    }
+    ap += kMr * kKq;
+  }
+#else
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (std::int64_t q = 0; q < quads; ++q) {
+    // Bytes [x(k,j), x(k+1,j), x(k+2,j), x(k+3,j)] per 32-bit lane j:
+    // b0 covers columns 0–7, b1 columns 8–15.
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 32));
+    bp += kNr * kKq;
+    for (int r = 0; r < kMr; ++r) {
+      std::int32_t wq;
+      std::memcpy(&wq, ap + r * kKq, sizeof(wq));
+      const __m256i a = _mm256_set1_epi32(wq);
+      // maddubs: unsigned activations × signed weights → int16 pair sums.
+      // With activations ≤ 127 the pairs are ≤ 32258 < INT16_MAX, so the
+      // saturating add never saturates and the arithmetic is exact.
+      const __m256i p0 = _mm256_maddubs_epi16(b0, a);
+      const __m256i p1 = _mm256_maddubs_epi16(b1, a);
+      // madd ×1 widens the two pair sums of each lane to one int32 per
+      // column — no cross-column mixing by construction of the layout.
+      acc[r][0] = _mm256_add_epi32(acc[r][0], _mm256_madd_epi16(p0, ones));
+      acc[r][1] = _mm256_add_epi32(acc[r][1], _mm256_madd_epi16(p1, ones));
+    }
+    ap += kMr * kKq;
+  }
+#endif
+  for (int r = 0; r < kMr; ++r) {
+    std::int32_t* crow = c + r * ldc;
+    __m256i* c0 = reinterpret_cast<__m256i*>(crow);
+    __m256i* c1 = reinterpret_cast<__m256i*>(crow + 8);
+    if (row_init != nullptr) {
+      _mm256_storeu_si256(c0, acc[r][0]);
+      _mm256_storeu_si256(c1, acc[r][1]);
+    } else {
+      _mm256_storeu_si256(c0, _mm256_add_epi32(_mm256_loadu_si256(c0),
+                                               acc[r][0]));
+      _mm256_storeu_si256(c1, _mm256_add_epi32(_mm256_loadu_si256(c1),
+                                               acc[r][1]));
+    }
+  }
+}
+#else
+void micro_kernel_s8(std::int64_t quads, const std::int8_t* ap,
+                     const std::uint8_t* bp, std::int32_t* c,
+                     std::int64_t ldc, const std::int32_t* row_init) {
+  std::int32_t acc[kMr][kNr];
+  for (int r = 0; r < kMr; ++r) {
+    for (int j = 0; j < kNr; ++j) {
+      acc[r][j] = row_init != nullptr ? row_init[r] : 0;
+    }
+  }
+  for (std::int64_t q = 0; q < quads; ++q) {
+    for (int r = 0; r < kMr; ++r) {
+      const std::int8_t* aq = ap + r * kKq;
+      for (int j = 0; j < kNr; ++j) {
+        const std::uint8_t* bq = bp + j * kKq;
+        std::int32_t sum = 0;
+        for (int t = 0; t < kKq; ++t) {
+          sum += static_cast<std::int32_t>(bq[t]) *
+                 static_cast<std::int32_t>(aq[t]);
+        }
+        acc[r][j] += sum;
+      }
+    }
+    ap += kMr * kKq;
+    bp += kNr * kKq;
+  }
+  for (int r = 0; r < kMr; ++r) {
+    std::int32_t* crow = c + r * ldc;
+    for (int j = 0; j < kNr; ++j) {
+      if (row_init != nullptr) {
+        crow[j] = acc[r][j];
+      } else {
+        crow[j] += acc[r][j];
+      }
+    }
+  }
+}
+#endif
+
+// Packs B(pc0+0..kc, jc0+0..nc) into NR-column, k-quad-interleaved slivers,
+// zero-padded in both directions (padding contributes 0·w = 0 exactly).
+void pack_b_u8(std::int64_t kc, std::int64_t nc, const std::uint8_t* b,
+               std::int64_t ldb, std::uint8_t* dst) {
+  const std::int64_t pkc = quadup(kc);
+  for (std::int64_t j0 = 0; j0 < nc; j0 += kNr) {
+    const std::int64_t cols = std::min<std::int64_t>(kNr, nc - j0);
+    for (std::int64_t kq = 0; kq < pkc; kq += kKq) {
+      for (std::int64_t j = 0; j < kNr; ++j) {
+        if (j < cols) {
+          const std::uint8_t* col = b + kq * ldb + j0 + j;
+          for (std::int64_t t = 0; t < kKq; ++t) {
+            *dst++ = kq + t < kc ? col[t * ldb] : 0;
+          }
+        } else {
+          for (std::int64_t t = 0; t < kKq; ++t) {
+            *dst++ = 0;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Packs A(ic0+0..mc, pc0+0..kc) into MR-row, k-quad-interleaved slivers.
+void pack_a_s8(std::int64_t mc, std::int64_t kc, const std::int8_t* a,
+               std::int64_t rs, std::int64_t cs, std::int8_t* dst) {
+  const std::int64_t pkc = quadup(kc);
+  for (std::int64_t i0 = 0; i0 < mc; i0 += kMr) {
+    const std::int64_t rows = std::min<std::int64_t>(kMr, mc - i0);
+    for (std::int64_t kq = 0; kq < pkc; kq += kKq) {
+      for (std::int64_t r = 0; r < kMr; ++r) {
+        if (r < rows) {
+          const std::int8_t* row = a + (i0 + r) * rs + kq * cs;
+          for (std::int64_t t = 0; t < kKq; ++t) {
+            *dst++ = kq + t < kc ? row[t * cs] : 0;
+          }
+        } else {
+          for (std::int64_t t = 0; t < kKq; ++t) {
+            *dst++ = 0;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PackedGemmAS8 pack_gemm_a_s8(std::int64_t m, std::int64_t k,
+                             const std::int8_t* a, std::int64_t a_rs,
+                             std::int64_t a_cs) {
+  TDC_CHECK(m >= 1 && k >= 1);
+  PackedGemmAS8 packed;
+  packed.m_ = m;
+  packed.k_ = k;
+  const std::int64_t pm = packed_a_rows_s8(m);
+  const std::int64_t pk = quadup(k);
+  // Weight pre-packing happens at plan-compile time, not while serving.
+  packed.panels_.resize(  // tdc-lint: allow(run-path-alloc)
+      static_cast<std::size_t>(pm * pk));
+  packed.row_sums_.resize(  // tdc-lint: allow(run-path-alloc)
+      static_cast<std::size_t>(m));
+  // Same (pc, ic) block walk as the driver: full K blocks are kKq-aligned,
+  // so the panel for K-block pc and row panel ic starts at pm·pc + ic·pkc.
+  for (std::int64_t pc = 0; pc < k; pc += kKc) {
+    const std::int64_t kc = std::min<std::int64_t>(kKc, k - pc);
+    const std::int64_t pkc = quadup(kc);
+    for (std::int64_t ic = 0; ic < m; ic += kMc) {
+      const std::int64_t mc = std::min<std::int64_t>(kMc, m - ic);
+      pack_a_s8(mc, kc, a + ic * a_rs + pc * a_cs, a_rs, a_cs,
+                packed.panels_.data() + pm * pc + ic * pkc);
+    }
+  }
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int32_t sum = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      sum += static_cast<std::int32_t>(a[i * a_rs + kk * a_cs]);
+    }
+    packed.row_sums_[static_cast<std::size_t>(i)] = sum;
+  }
+  return packed;
+}
+
+TDC_RUN_PATH void gemm_prepacked_s8u8(const PackedGemmAS8& a, std::int64_t n,
+                                      const std::uint8_t* b, std::int64_t ldb,
+                                      std::int32_t b_zero_point,
+                                      std::int32_t* c, std::int64_t ldc) {
+  TDC_CHECK_MSG(!a.empty(), "gemm_prepacked_s8u8 on an empty PackedGemmAS8");
+  TDC_CHECK(n >= 1 && ldb >= n && ldc >= n);
+  const std::int64_t m = a.m_;
+  const std::int64_t k = a.k_;
+  const std::int64_t pm = packed_a_rows_s8(m);
+  const std::int8_t* prepacked = a.panels_.data();
+  const std::int32_t* row_sums = a.row_sums_.data();
+
+  // Thread-local pack buffer: capacity only ever grows, so after first-touch
+  // warm-up the steady state performs no heap allocation — enforced by the
+  // armed band guard below for everything inside the block walk.
+  thread_local std::vector<std::uint8_t> bbuf;
+  {
+    AllowAllocScope warmup;
+    // Grow-only warm-up of the thread-local B pack buffer.
+    // tdc-lint: allow(run-path-alloc)
+    bbuf.resize(static_cast<std::size_t>(
+        kKc * std::min<std::int64_t>(detail::divup(n, kNr) * kNr, kNc)));
+  }
+  // bbuf is thread-local, so workers must read the caller's packed panel
+  // through this captured pointer, not through their own thread's bbuf.
+  std::uint8_t* const bpack = bbuf.data();
+  DenyAllocGuard band_guard("gemm_s8 band");
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min<std::int64_t>(kNc, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      // Cooperative cancellation between KC×NC bands, like the fp32 engine:
+      // C holds only whole completed band updates when this throws, and the
+      // next run rewrites C from scratch (the first K block of every column
+      // band overwrites instead of accumulating).
+      deadline_poll("gemm_s8 band");
+      const std::int64_t kc = std::min<std::int64_t>(kKc, k - pc);
+      const std::int64_t pkc = quadup(kc);
+      const std::int64_t quads = pkc / kKq;
+      pack_b_u8(kc, nc, b + pc * ldb + jc, ldb, bpack);
+
+      // The first K block overwrites C seeded with the zero-point
+      // correction (−zp·Σ w_q per row, exact in int32: |zp·Σw| ≤ 127·127·k);
+      // later blocks accumulate. C therefore needs no zero-fill pass before
+      // this walk and no correction pass after it.
+      const bool first_block = pc == 0;
+      const std::int64_t num_panels = detail::divup(m, kMc);
+      parallel_for(0, num_panels, 1, [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t ic = p * kMc;
+          const std::int64_t mc = std::min<std::int64_t>(kMc, m - ic);
+          const std::int8_t* apanel = prepacked + pm * pc + ic * pkc;
+          for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+            const std::int64_t nr = std::min<std::int64_t>(kNr, nc - jr);
+            const std::uint8_t* bp = bpack + (jr / kNr) * pkc * kNr;
+            for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+              const std::int64_t mr = std::min<std::int64_t>(kMr, mc - ir);
+              const std::int8_t* ap = apanel + (ir / kMr) * pkc * kMr;
+              std::int32_t* ctile = c + (ic + ir) * ldc + jc + jr;
+              std::int32_t init[kMr] = {};
+              if (first_block && b_zero_point != 0) {
+                for (std::int64_t r = 0; r < mr; ++r) {
+                  init[r] = -b_zero_point * row_sums[ic + ir + r];
+                }
+              }
+              const std::int32_t* row_init = first_block ? init : nullptr;
+              if (mr == kMr && nr == kNr) {
+                micro_kernel_s8(quads, ap, bp, ctile, ldc, row_init);
+              } else {
+                // Ragged edge: run the kernel on an MR×NR scratch tile and
+                // copy (first block) or accumulate (later blocks) only the
+                // live entries.
+                std::int32_t tmp[kMr * kNr] = {};
+                micro_kernel_s8(quads, ap, bp, tmp, kNr, row_init);
+                for (std::int64_t i = 0; i < mr; ++i) {
+                  for (std::int64_t j = 0; j < nr; ++j) {
+                    if (first_block) {
+                      ctile[i * ldc + j] = tmp[i * kNr + j];
+                    } else {
+                      ctile[i * ldc + j] += tmp[i * kNr + j];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+
+}
+
+namespace {
+
+// Shared requantization body: q = RNE(acc·mult) + zp, clamped to
+// [q_lo, q_hi]. The AVX2 and scalar paths compute the identical float
+// product and both round under round-to-nearest-even (default MXCSR /
+// fenv), so they agree bit-for-bit.
+template <typename Out>
+void requantize_rows(const std::int32_t* acc, std::int64_t m, std::int64_t n,
+                     std::int64_t ldc, const float* multiplier,
+                     std::int32_t zero_point, std::int32_t q_lo,
+                     std::int32_t q_hi, Out* out, std::int64_t ldo) {
+  parallel_for(0, m, 8, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const std::int32_t* arow = acc + i * ldc;
+      Out* orow = out + i * ldo;
+      const float mult = multiplier[i];
+      std::int64_t j = 0;
+#if defined(__AVX2__)
+      const __m256 vm = _mm256_set1_ps(mult);
+      const __m256i vzp = _mm256_set1_epi32(zero_point);
+      const __m256i vlo = _mm256_set1_epi32(q_lo);
+      const __m256i vhi = _mm256_set1_epi32(q_hi);
+      alignas(32) std::int32_t tmp[8];
+      for (; j + 8 <= n; j += 8) {
+        const __m256 prod = _mm256_mul_ps(
+            _mm256_cvtepi32_ps(_mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(arow + j))),
+            vm);
+        __m256i q = _mm256_add_epi32(_mm256_cvtps_epi32(prod), vzp);
+        q = _mm256_min_epi32(_mm256_max_epi32(q, vlo), vhi);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), q);
+        for (int t = 0; t < 8; ++t) {
+          orow[j + t] = static_cast<Out>(tmp[t]);
+        }
+      }
+#endif
+      for (; j < n; ++j) {
+        const float prod = static_cast<float>(arow[j]) * mult;
+        const std::int32_t q =
+            static_cast<std::int32_t>(std::nearbyintf(prod)) + zero_point;
+        orow[j] = static_cast<Out>(std::clamp(q, q_lo, q_hi));
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void requantize_s8(const std::int32_t* acc, std::int64_t m, std::int64_t n,
+                   std::int64_t ldc, const float* multiplier,
+                   std::int32_t zero_point, std::int8_t* out,
+                   std::int64_t ldo) {
+  requantize_rows(acc, m, n, ldc, multiplier, zero_point, -128, 127, out,
+                  ldo);
+}
+
+void requantize_u8(const std::int32_t* acc, std::int64_t m, std::int64_t n,
+                   std::int64_t ldc, const float* multiplier,
+                   std::int32_t zero_point, std::uint8_t* out,
+                   std::int64_t ldo) {
+  requantize_rows(acc, m, n, ldc, multiplier, zero_point, 0, 127, out, ldo);
+}
+
+void dequantize_f32(const std::int32_t* acc, std::int64_t m, std::int64_t n,
+                    std::int64_t ldc, const float* multiplier, float* out,
+                    std::int64_t ldo) {
+  parallel_for(0, m, 8, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const std::int32_t* arow = acc + i * ldc;
+      float* orow = out + i * ldo;
+      const float mult = multiplier[i];
+      for (std::int64_t j = 0; j < n; ++j) {
+        orow[j] = static_cast<float>(arow[j]) * mult;
+      }
+    }
+  });
+}
+
+}  // namespace tdc

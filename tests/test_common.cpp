@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "common/rng.h"
+#include "exec/quantize.h"
 
 namespace tdc {
 namespace {
@@ -131,6 +132,32 @@ TEST(Env, EnvIntReadsRangeCheckedValues) {
   EXPECT_EQ(env_int("TDC_TEST_ENV_INT"), std::nullopt);
   ::unsetenv("TDC_TEST_ENV_INT");
   EXPECT_EQ(env_int("TDC_TEST_ENV_INT"), std::nullopt);
+}
+
+TEST(Env, Int8ModeKnobClampsAndRejectsGarbage) {
+  // TDC_INT8: 0 = never, 1 = cost provider decides, 2 = always. Unset,
+  // malformed and out-of-range values all land on the default (1).
+  ::setenv("TDC_INT8", "0", 1);
+  EXPECT_EQ(int8_mode(), 0);
+  ::setenv("TDC_INT8", "2", 1);
+  EXPECT_EQ(int8_mode(), 2);
+  ::setenv("TDC_INT8", "7", 1);  // out of range
+  EXPECT_EQ(int8_mode(), 1);
+  ::setenv("TDC_INT8", "2x", 1);  // trailing garbage must not parse as 2
+  EXPECT_EQ(int8_mode(), 1);
+  ::unsetenv("TDC_INT8");
+  EXPECT_EQ(int8_mode(), 1);
+}
+
+TEST(Env, CalibrationSamplesKnobClampsAndRejectsGarbage) {
+  ::setenv("TDC_CALIBRATION_SAMPLES", "16", 1);
+  EXPECT_EQ(calibration_samples_default(), 16);
+  ::setenv("TDC_CALIBRATION_SAMPLES", "0", 1);  // below the [1, 4096] range
+  EXPECT_EQ(calibration_samples_default(), 4);
+  ::setenv("TDC_CALIBRATION_SAMPLES", "4x", 1);
+  EXPECT_EQ(calibration_samples_default(), 4);
+  ::unsetenv("TDC_CALIBRATION_SAMPLES");
+  EXPECT_EQ(calibration_samples_default(), 4);
 }
 
 }  // namespace

@@ -1,0 +1,590 @@
+// Tests for the int8 serving path (linalg/gemm_s8.h, exec/quantize.h):
+// quantizer round-trip and saturation; round-to-nearest-even requantization
+// against a double-precision oracle; the int8 prepacked GEMM against an
+// exact naive integer reference (the AVX2 and scalar kernels must both match
+// it bit for bit); per-channel BN folding; quantized conv and Tucker plans
+// against their fp32 twins within the documented quantization-error bound on
+// NaN-poisoned guard-banded workspaces; calibration determinism; and the
+// acceptance walk — a calibrated mixed-precision full-width ResNet-18 served
+// through the replica fleet bitwise-identically to a plain session.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "common/alloc_guard.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "conv/conv.h"
+#include "core/codesign.h"
+#include "exec/graph_plan.h"
+#include "exec/op_plans.h"
+#include "exec/plan_cache.h"
+#include "exec/quantize.h"
+#include "exec/workspace_guard.h"
+#include "linalg/gemm.h"
+#include "linalg/gemm_s8.h"
+#include "nn/models.h"
+#include "serving/inference_server.h"
+#include "tucker/flops.h"
+#include "tucker/tucker.h"
+
+namespace tdc {
+namespace {
+
+constexpr float kGuard = 12345.678f;
+constexpr std::int64_t kGuardFloats = 64;
+
+// Workspace of exactly plan->workspace_bytes(), bracketed by guard bands and
+// poisoned with NaN (see test_conv_plan.cpp): stale-scratch reads propagate
+// NaN, out-of-bounds writes trip a guard.
+struct PoisonedWorkspace {
+  explicit PoisonedWorkspace(std::int64_t bytes)
+      : floats(bytes / static_cast<std::int64_t>(sizeof(float))),
+        buf(static_cast<std::size_t>(floats + 2 * kGuardFloats), kGuard) {
+    poison();
+  }
+
+  void poison() {
+    std::fill(buf.begin() + kGuardFloats, buf.begin() + kGuardFloats + floats,
+              std::numeric_limits<float>::quiet_NaN());
+  }
+
+  std::span<float> span() {
+    return std::span<float>(buf).subspan(kGuardFloats,
+                                         static_cast<std::size_t>(floats));
+  }
+
+  bool guards_intact() const {
+    for (std::int64_t i = 0; i < kGuardFloats; ++i) {
+      if (buf[static_cast<std::size_t>(i)] != kGuard ||
+          buf[buf.size() - 1 - static_cast<std::size_t>(i)] != kGuard) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::int64_t floats;
+  std::vector<float> buf;
+};
+
+bool all_finite(const Tensor& t) {
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (!std::isfinite(t[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+QuantParams observe_params(const float* x, std::int64_t count) {
+  MinMaxObserver obs;
+  obs.observe(x, count);
+  return obs.params();
+}
+
+TEST(Quantize, ChooseParamsCoversRangeAndMapsZeroExactly) {
+  const QuantParams qp = choose_quant_params(-2.0f, 6.0f);
+  EXPECT_NEAR(qp.scale, 8.0f / 127.0f, 1e-6f);
+  EXPECT_GE(qp.zero_point, 0);
+  EXPECT_LE(qp.zero_point, 127);
+  // fp32 zero must quantize to the zero point and dequantize back exactly.
+  const float zero = 0.0f;
+  std::uint8_t q = 0;
+  quantize_u8(&zero, 1, qp, &q);
+  EXPECT_EQ(static_cast<std::int32_t>(q), qp.zero_point);
+  float back = -1.0f;
+  dequantize_u8(&q, 1, qp, &back);
+  EXPECT_EQ(back, 0.0f);
+
+  // Degenerate ranges (all-zero tensors, never-observed layers) fall back to
+  // unit scale instead of dividing by zero.
+  const QuantParams flat = choose_quant_params(0.0f, 0.0f);
+  EXPECT_EQ(flat.scale, 1.0f);
+  EXPECT_EQ(flat.zero_point, 0);
+}
+
+TEST(Quantize, RoundTripWithinHalfScaleAndSaturates) {
+  Rng rng(7001);
+  const Tensor x = Tensor::random_uniform({512}, rng, -1.5f, 3.0f);
+  const QuantParams qp = observe_params(x.raw(), x.numel());
+  std::vector<std::uint8_t> q(static_cast<std::size_t>(x.numel()));
+  std::vector<float> back(static_cast<std::size_t>(x.numel()));
+  quantize_u8(x.raw(), x.numel(), qp, q.data());
+  dequantize_u8(q.data(), x.numel(), qp, back.data());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::fabs(back[static_cast<std::size_t>(i)] - x[i]),
+              qp.scale * 0.5f * 1.05f + 1e-5f)
+        << "i=" << i;
+  }
+  // Out-of-range values clamp to the 7-bit domain instead of wrapping.
+  const float wild[2] = {1e6f, -1e6f};
+  std::uint8_t qw[2] = {0, 0};
+  quantize_u8(wild, 2, qp, qw);
+  EXPECT_EQ(static_cast<std::int32_t>(qw[0]), 127);
+  EXPECT_EQ(static_cast<std::int32_t>(qw[1]), 0);
+}
+
+TEST(Quantize, RequantizeIsRoundToNearestEven) {
+  // multiplier 0.5 is exact in float, so acc·m lands exactly on .5
+  // boundaries: ties must go to even on both the AVX2 and scalar epilogues.
+  const std::int32_t acc[8] = {1, 3, 5, 7, -1, -3, 300, -300};
+  const float mult = 0.5f;
+  std::int8_t s8[8] = {};
+  requantize_s8(acc, 1, 8, 8, &mult, 0, s8, 8);
+  EXPECT_EQ(s8[0], 0);   // 0.5 → 0
+  EXPECT_EQ(s8[1], 2);   // 1.5 → 2
+  EXPECT_EQ(s8[2], 2);   // 2.5 → 2
+  EXPECT_EQ(s8[3], 4);   // 3.5 → 4
+  EXPECT_EQ(s8[4], 0);   // -0.5 → 0
+  EXPECT_EQ(s8[5], -2);  // -1.5 → -2
+  EXPECT_EQ(s8[6], 127);   // saturate high
+  EXPECT_EQ(s8[7], -128);  // saturate low
+
+  std::uint8_t u8[8] = {};
+  requantize_u8(acc, 1, 8, 8, &mult, 0, u8, 8);
+  EXPECT_EQ(static_cast<std::int32_t>(u8[6]), 127);  // clamps to 7-bit
+  EXPECT_EQ(static_cast<std::int32_t>(u8[7]), 0);    // negatives floor at 0
+
+  // Against a double oracle on random accumulators and multipliers.
+  Rng rng(7002);
+  std::vector<std::int32_t> a(256);
+  for (auto& v : a) {
+    v = static_cast<std::int32_t>(
+        std::lround((rng.uniform() - 0.5) * 200000.0));
+  }
+  const float m = 0.000775f;
+  std::vector<std::int8_t> got(a.size());
+  requantize_s8(a.data(), 1, static_cast<std::int64_t>(a.size()),
+                static_cast<std::int64_t>(a.size()), &m, 3, got.data(),
+                static_cast<std::int64_t>(a.size()));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // The kernel rounds the *float* product; reproduce it exactly.
+    const float prod = static_cast<float>(a[i]) * m;
+    const double want =
+        std::clamp(std::nearbyint(static_cast<double>(prod)) + 3.0, -128.0,
+                   127.0);
+    EXPECT_EQ(static_cast<double>(got[i]), want) << "i=" << i;
+  }
+}
+
+TEST(Quantize, Int8GemmMatchesNaiveIntegerReferenceExactly) {
+  const int saved = num_threads();
+  Rng rng(7003);
+  struct Case {
+    std::int64_t m, k, n;
+    std::int32_t zp;
+  };
+  // Ragged edges in every dimension, a k beyond one cache band, and both
+  // zero and nonzero activation zero points.
+  const Case cases[] = {
+      {6, 4, 16, 0}, {7, 9, 17, 11}, {13, 300, 33, 127}, {1, 1, 1, 64}};
+  for (const Case& c : cases) {
+    std::vector<std::int8_t> a(static_cast<std::size_t>(c.m * c.k));
+    std::vector<std::uint8_t> b(static_cast<std::size_t>(c.k * c.n));
+    for (auto& v : a) {
+      v = static_cast<std::int8_t>(
+          std::lround((rng.uniform() - 0.5) * 254.0));
+    }
+    for (auto& v : b) {
+      v = static_cast<std::uint8_t>(std::lround(rng.uniform() * 127.0));
+    }
+    const PackedGemmAS8 packed = pack_gemm_a_s8(c.m, c.k, a.data(), c.k, 1);
+    EXPECT_EQ(packed.rows(), c.m);
+    EXPECT_EQ(packed.depth(), c.k);
+
+    std::vector<std::int32_t> want(static_cast<std::size_t>(c.m * c.n));
+    for (std::int64_t i = 0; i < c.m; ++i) {
+      for (std::int64_t j = 0; j < c.n; ++j) {
+        std::int64_t sum = 0;
+        for (std::int64_t kk = 0; kk < c.k; ++kk) {
+          sum += static_cast<std::int64_t>(a[static_cast<std::size_t>(
+                     i * c.k + kk)]) *
+                 (static_cast<std::int64_t>(
+                      b[static_cast<std::size_t>(kk * c.n + j)]) -
+                  c.zp);
+        }
+        want[static_cast<std::size_t>(i * c.n + j)] =
+            static_cast<std::int32_t>(sum);
+      }
+    }
+
+    for (const int nt : {1, 3}) {
+      set_num_threads(nt);
+      std::vector<std::int32_t> got(static_cast<std::size_t>(c.m * c.n),
+                                    -777);
+      gemm_prepacked_s8u8(packed, c.n, b.data(), c.n, c.zp, got.data(), c.n);
+      EXPECT_EQ(got, want) << "m=" << c.m << " k=" << c.k << " n=" << c.n
+                           << " zp=" << c.zp << " threads=" << nt;
+    }
+  }
+  set_num_threads(saved);
+}
+
+TEST(Quantize, QuantizeRowsUsesPerChannelSymmetricScales) {
+  // Row 0 spans ±4, row 1 is tiny, row 2 is all zeros.
+  const float a[3][4] = {{4.0f, -2.0f, 1.0f, -4.0f},
+                         {0.01f, -0.005f, 0.002f, 0.01f},
+                         {0.0f, 0.0f, 0.0f, 0.0f}};
+  const QuantizedRows q = quantize_rows_s8(3, 4, &a[0][0], 4, 1);
+  EXPECT_NEAR(q.scales[0], 4.0f / 127.0f, 1e-7f);
+  EXPECT_NEAR(q.scales[1], 0.01f / 127.0f, 1e-9f);
+  EXPECT_EQ(q.scales[2], 1.0f);  // all-zero row: unit scale, zero values
+  EXPECT_EQ(q.values[0], 127);   // the row max hits full scale
+  EXPECT_EQ(q.values[3], -127);
+  for (int kk = 0; kk < 4; ++kk) {
+    EXPECT_EQ(q.values[static_cast<std::size_t>(8 + kk)], 0);
+  }
+  // Per-row reconstruction stays within half a step.
+  for (int i = 0; i < 2; ++i) {
+    for (int kk = 0; kk < 4; ++kk) {
+      const float back =
+          static_cast<float>(q.values[static_cast<std::size_t>(i * 4 + kk)]) *
+          q.scales[static_cast<std::size_t>(i)];
+      EXPECT_LE(std::fabs(back - a[i][kk]),
+                q.scales[static_cast<std::size_t>(i)] * 0.5f + 1e-9f);
+    }
+  }
+}
+
+TEST(Quantize, FoldBatchnormIntoKernelMatchesChannelwiseScale) {
+  Rng rng(7004);
+  const ConvShape shape = ConvShape::same(3, 5, 8, 3);
+  const Tensor kernel =
+      Tensor::random_uniform({shape.c, shape.n, shape.r, shape.s}, rng);
+  const Tensor gamma = Tensor::random_uniform({shape.n}, rng, 0.5f, 1.5f);
+  const Tensor beta = Tensor::random_uniform({shape.n}, rng, -0.2f, 0.2f);
+  const Tensor mean = Tensor::random_uniform({shape.n}, rng, -0.3f, 0.3f);
+  const Tensor var = Tensor::random_uniform({shape.n}, rng, 0.5f, 2.0f);
+  const FoldedBatchNorm bn = fold_batchnorm(gamma, beta, mean, var);
+  const Tensor folded = fold_batchnorm_into_kernel(kernel, bn);
+
+  for (std::int64_t c = 0; c < shape.c; ++c) {
+    for (std::int64_t n = 0; n < shape.n; ++n) {
+      for (std::int64_t r = 0; r < shape.r; ++r) {
+        for (std::int64_t s = 0; s < shape.s; ++s) {
+          EXPECT_EQ(folded(c, n, r, s), kernel(c, n, r, s) * bn.scale[n]);
+        }
+      }
+    }
+  }
+  // Semantics: conv with the folded kernel equals BN-scale applied to the
+  // conv output (the shift stays in the elementwise op).
+  const Tensor x = Tensor::random_uniform({shape.c, shape.h, shape.w}, rng);
+  const Tensor y = conv2d_reference(x, kernel, shape);
+  const Tensor yf = conv2d_reference(x, folded, shape);
+  const std::int64_t ohw = shape.out_h() * shape.out_w();
+  for (std::int64_t n = 0; n < shape.n; ++n) {
+    for (std::int64_t i = 0; i < ohw; ++i) {
+      EXPECT_NEAR(yf[n * ohw + i], y[n * ohw + i] * bn.scale[n], 2e-4f);
+    }
+  }
+}
+
+TEST(Quantize, PercentileObserverShrugsOffOutliersDeterministically) {
+  Rng rng(7005);
+  std::vector<float> vals(20000);
+  for (auto& v : vals) {
+    v = rng.uniform();  // [0, 1)
+  }
+  vals[777] = 1000.0f;  // a single wild outlier
+
+  MinMaxObserver mm;
+  mm.observe(vals.data(), static_cast<std::int64_t>(vals.size()));
+  PercentileObserver pct(0.999);
+  pct.observe(vals.data(), static_cast<std::int64_t>(vals.size()));
+  // kMinMax stretches the scale across the outlier; the percentile range
+  // stays near the bulk of the distribution.
+  EXPECT_GT(mm.params().scale, 1.0f);
+  EXPECT_LT(pct.params().scale, 0.05f);
+
+  // Identical observations → identical parameters (no RNG in the subsample).
+  PercentileObserver again(0.999);
+  again.observe(vals.data(), static_cast<std::int64_t>(vals.size()));
+  EXPECT_EQ(pct.params().scale, again.params().scale);
+  EXPECT_EQ(pct.params().zero_point, again.params().zero_point);
+}
+
+// The documented single-GEMM error bound, per output channel i:
+//   |ŷ − y| ≤ (s_x/2)·Σ_k|w(i,k)| + (s_w_i/2)·max_j Σ_k|x(k,j)| + K·s_x·s_w_i/4
+// evaluated on the true fp32 weight matrix and patch matrix.
+std::vector<float> conv_quant_bounds(const ConvShape& shape, const Tensor& x,
+                                     const Tensor& kernel, float s_x) {
+  const Tensor wmat = conv_weight_matrix(kernel, shape);
+  const Tensor cols = im2col(x, shape);
+  const std::int64_t kdim = shape.c * shape.r * shape.s;
+  const std::int64_t ohw = shape.out_h() * shape.out_w();
+  const QuantizedRows qw =
+      quantize_rows_s8(shape.n, kdim, wmat.raw(), kdim, 1);
+  float col_sum_max = 0.0f;
+  for (std::int64_t j = 0; j < ohw; ++j) {
+    float s = 0.0f;
+    for (std::int64_t kk = 0; kk < kdim; ++kk) {
+      s += std::fabs(cols[kk * ohw + j]);
+    }
+    col_sum_max = std::max(col_sum_max, s);
+  }
+  std::vector<float> bounds(static_cast<std::size_t>(shape.n));
+  for (std::int64_t i = 0; i < shape.n; ++i) {
+    float w_sum = 0.0f;
+    for (std::int64_t kk = 0; kk < kdim; ++kk) {
+      w_sum += std::fabs(wmat[i * kdim + kk]);
+    }
+    const float s_w = qw.scales[static_cast<std::size_t>(i)];
+    bounds[static_cast<std::size_t>(i)] =
+        0.5f * s_x * w_sum + 0.5f * s_w * col_sum_max +
+        0.25f * static_cast<float>(kdim) * s_x * s_w;
+  }
+  return bounds;
+}
+
+TEST(QuantizedConvPlan, MatchesFp32WithinQuantBoundOnPoisonedWorkspace) {
+  Rng rng(7006);
+  ConvShape strided = ConvShape::same(4, 6, 11, 3, 2);
+  const ConvShape shapes[] = {
+      ConvShape::same(5, 7, 12, 3),          // padded 3×3
+      ConvShape::valid_conv(8, 6, 10, 10, 1, 1),  // pointwise, patch-free
+      strided,                               // strided stage transition
+      ConvShape::same(3, 4, 9, 5),           // 5×5, pad 2
+  };
+  for (const ConvShape& shape : shapes) {
+    const Tensor x = Tensor::random_uniform({shape.c, shape.h, shape.w}, rng);
+    const Tensor kernel =
+        Tensor::random_uniform({shape.c, shape.n, shape.r, shape.s}, rng);
+    const Tensor ref = conv2d_reference(x, kernel, shape);
+
+    LayerQuant quant;
+    quant.quantize = true;
+    quant.input = observe_params(x.raw(), x.numel());
+    const auto plan = compile_quantized_conv_plan(shape, kernel, quant);
+    EXPECT_TRUE(plan->quantized());
+    EXPECT_FALSE(plan->decomposed());
+
+    PoisonedWorkspace ws(plan->workspace_bytes());
+    Tensor y({shape.n, shape.out_h(), shape.out_w()});
+    plan->run(x, &y, ws.span());
+    EXPECT_TRUE(ws.guards_intact()) << shape.to_string();
+    EXPECT_TRUE(all_finite(y)) << shape.to_string();
+
+    const std::vector<float> bounds =
+        conv_quant_bounds(shape, x, kernel, quant.input.scale);
+    const std::int64_t ohw = shape.out_h() * shape.out_w();
+    for (std::int64_t i = 0; i < shape.n; ++i) {
+      for (std::int64_t j = 0; j < ohw; ++j) {
+        EXPECT_LE(std::fabs(y[i * ohw + j] - ref[i * ohw + j]),
+                  1.05f * bounds[static_cast<std::size_t>(i)] + 1e-3f)
+            << shape.to_string() << " at (" << i << "," << j << ")";
+      }
+    }
+
+    // Bit-identical across thread counts (integer arithmetic is exact, the
+    // epilogue multiplies are elementwise).
+    const int saved = num_threads();
+    for (const int nt : {1, 4}) {
+      set_num_threads(nt);
+      ws.poison();
+      Tensor again({shape.n, shape.out_h(), shape.out_w()});
+      plan->run(x, &again, ws.span());
+      EXPECT_EQ(Tensor::max_abs_diff(y, again), 0.0)
+          << shape.to_string() << " threads=" << nt;
+    }
+    set_num_threads(saved);
+  }
+}
+
+TEST(QuantizedTuckerPlan, TracksFp32PipelineOnPoisonedWorkspace) {
+  Rng rng(7007);
+  const ConvShape shape = ConvShape::same(8, 10, 10, 3);
+  const TuckerRanks ranks{5, 6};
+  const Tensor kernel =
+      Tensor::random_uniform({shape.c, shape.n, shape.r, shape.s}, rng);
+  const Tensor x = Tensor::random_uniform({shape.c, shape.h, shape.w}, rng);
+  const TuckerFactors factors = tucker_decompose(kernel, ranks);
+
+  // The fp32 twin of the same factors is the accuracy baseline — the
+  // quantized pipeline approximates the decomposed computation, not the
+  // original kernel.
+  TuckerDescriptor fdesc;
+  fdesc.shape = shape;
+  fdesc.exec = TuckerExec::kStaged;
+  fdesc.core_algo = ConvAlgo::kIm2col;
+  const auto fp32_plan = compile_tucker_plan(fdesc, factors);
+  const Tensor want = fp32_plan->run(x);
+
+  // Calibrate z1/z2 exactly as calibrate_quant does: fp32 intermediates of
+  // this input.
+  const ConvShape core = core_conv_shape(shape, ranks);
+  const std::int64_t hw = shape.h * shape.w;
+  std::vector<float> z1(static_cast<std::size_t>(ranks.d1 * hw));
+  gemm_at(ranks.d1, hw, shape.c,
+          std::span<const float>(factors.u1.raw(),
+                                 static_cast<std::size_t>(shape.c * ranks.d1)),
+          std::span<const float>(x.raw(), static_cast<std::size_t>(x.numel())),
+          std::span<float>(z1));
+  ConvDescriptor cdesc;
+  cdesc.shape = core;
+  cdesc.algo = ConvAlgo::kIm2col;
+  const auto core_plan = compile_conv_plan(cdesc, factors.core);
+  Tensor z1t({core.c, core.h, core.w});
+  std::copy(z1.begin(), z1.end(), z1t.raw());
+  const Tensor z2 = core_plan->run(z1t);
+
+  LayerQuant quant;
+  quant.quantize = true;
+  quant.input = observe_params(x.raw(), x.numel());
+  quant.z1 = observe_params(z1.data(), static_cast<std::int64_t>(z1.size()));
+  quant.z2 = observe_params(z2.raw(), z2.numel());
+
+  const auto plan = compile_quantized_tucker_plan(shape, factors, quant);
+  EXPECT_TRUE(plan->quantized());
+  EXPECT_TRUE(plan->decomposed());
+  EXPECT_EQ(plan->shape(), shape);
+
+  PoisonedWorkspace ws(plan->workspace_bytes());
+  Tensor y({shape.n, shape.out_h(), shape.out_w()});
+  plan->run(x, &y, ws.span());
+  EXPECT_TRUE(ws.guards_intact());
+  EXPECT_TRUE(all_finite(y));
+  // Three chained 7-bit stages compound error; the pipeline must still track
+  // its fp32 twin closely in relative terms.
+  EXPECT_LT(Tensor::rel_error(y, want), 0.15);
+
+  const int saved = num_threads();
+  for (const int nt : {1, 4}) {
+    set_num_threads(nt);
+    ws.poison();
+    Tensor again({shape.n, shape.out_h(), shape.out_w()});
+    plan->run(x, &again, ws.span());
+    EXPECT_EQ(Tensor::max_abs_diff(y, again), 0.0) << "threads=" << nt;
+  }
+  set_num_threads(saved);
+}
+
+TEST(Quantize, CalibrationCoversEveryConvAndIsDeterministic) {
+  ModelSpec model;
+  model.name = "calib-tiny";
+  model.layers.push_back(
+      LayerSpec::make_conv("conv0", ConvShape::same(3, 6, 12, 3)));
+  model.layers.push_back(
+      LayerSpec::make_conv("conv1", ConvShape::same(6, 6, 12, 3)));
+  model.layers.push_back(LayerSpec::make_elementwise("relu", 6.0 * 12 * 12));
+  model.layers.push_back(
+      LayerSpec::make_conv("conv2", ConvShape::same(6, 4, 12, 3)));
+  const auto weights = random_model_weights(model, 7008);
+
+  CalibrationOptions opts;
+  opts.samples = 2;
+  const QuantTable table =
+      calibrate_quant(make_a100(), model, weights, {}, opts);
+  ASSERT_EQ(table.layers.size(), model.layers.size());
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    if (model.layers[i].kind == LayerKind::kConv) {
+      EXPECT_TRUE(table.layers[i].quantize) << i;
+      EXPECT_GT(table.layers[i].input.scale, 0.0f) << i;
+    } else {
+      EXPECT_FALSE(table.layers[i].quantize) << i;
+    }
+  }
+
+  const QuantTable again =
+      calibrate_quant(make_a100(), model, weights, {}, opts);
+  for (std::size_t i = 0; i < table.layers.size(); ++i) {
+    EXPECT_EQ(quant_fingerprint(table.layers[i]),
+              quant_fingerprint(again.layers[i]))
+        << i;
+  }
+  // Different calibrations must not alias in cache keys.
+  CalibrationOptions other = opts;
+  other.seed = 99;
+  const QuantTable shifted =
+      calibrate_quant(make_a100(), model, weights, {}, other);
+  EXPECT_NE(quant_fingerprint(table.layers[0]),
+            quant_fingerprint(shifted.layers[0]));
+}
+
+// The acceptance walk: calibrated mixed-precision full-width ResNet-18 —
+// codesign decisions, int8 forced onto every calibrated layer — served
+// through the replica fleet with allocation and workspace guards armed,
+// bitwise-identical to a plain session and across thread counts.
+TEST(QuantizedServing, MixedPrecisionResnet18ThroughServer) {
+  const DeviceSpec device = make_a100();
+  const ModelSpec model = make_resnet18();
+  const auto weights = random_model_weights(model, 7010);
+
+  CodesignOptions cd_opts;
+  cd_opts.budget = 0.65;
+  const CodesignResult codesign =
+      run_codesign(device, model.decomposable_conv_shapes(), cd_opts);
+  const std::vector<LayerDecision>& decisions = codesign.layers;
+
+  CalibrationOptions calib;
+  calib.samples = 1;
+  const QuantTable table =
+      calibrate_quant(device, model, weights, decisions, calib);
+
+  ::setenv("TDC_INT8", "2", 1);  // force int8 for every calibrated layer
+  const bool saved_ws_guard = workspace_guard_enabled();
+  const bool saved_alloc_guard = alloc_guard_enabled();
+  set_workspace_guard(true);
+  set_alloc_guard(true);
+  const std::int64_t violations_before = alloc_guard_violations();
+
+  SessionOptions session_options;
+  session_options.dense_algo = ConvAlgo::kIm2col;
+  session_options.quant = &table;
+
+  const InferenceSession session = InferenceSession::compile(
+      device, model, weights, decisions, session_options);
+  std::int64_t quantized_ops = 0;
+  std::int64_t decomposed_quantized = 0;
+  for (std::int64_t i = 0; i < session.num_ops(); ++i) {
+    const auto* conv = dynamic_cast<const ConvPlan*>(&session.op(i));
+    if (conv != nullptr && conv->quantized()) {
+      ++quantized_ops;
+      decomposed_quantized += conv->decomposed() ? 1 : 0;
+    }
+  }
+  EXPECT_GT(quantized_ops, 0);
+  EXPECT_GT(decomposed_quantized, 0);  // the Tucker stages quantize too
+
+  Rng rng(7011);
+  const Tensor x = Tensor::random_uniform({3, 224, 224}, rng);
+  PoisonedWorkspace ws(session.workspace_bytes());
+  Tensor y({1000, 1, 1});
+  session.run(x, &y, ws.span());
+  EXPECT_TRUE(ws.guards_intact());
+  EXPECT_TRUE(all_finite(y));
+
+  const int saved_threads = num_threads();
+  for (const int nt : {1, 4}) {
+    set_num_threads(nt);
+    ws.poison();
+    Tensor again({1000, 1, 1});
+    session.run(x, &again, ws.span());
+    EXPECT_EQ(Tensor::max_abs_diff(y, again), 0.0) << "threads=" << nt;
+  }
+  set_num_threads(saved_threads);
+
+  // Through the fleet: replicas share the session's cached plans, so the
+  // server answer is bitwise the session answer.
+  ServerOptions server_options;
+  server_options.replicas = 2;
+  server_options.session = session_options;
+  InferenceServer server = InferenceServer::compile(device, model, weights,
+                                                    decisions, server_options);
+  const Tensor served = server.infer(x);
+  EXPECT_EQ(Tensor::max_abs_diff(served, y), 0.0);
+
+  EXPECT_EQ(alloc_guard_violations(), violations_before);
+  set_alloc_guard(saved_alloc_guard);
+  set_workspace_guard(saved_ws_guard);
+  ::unsetenv("TDC_INT8");
+}
+
+}  // namespace
+}  // namespace tdc
